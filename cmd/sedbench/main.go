@@ -1,0 +1,144 @@
+// Command sedbench regenerates the tables and figures of the SEDSpec
+// paper's evaluation against this repository's emulated-device substrate.
+//
+// Usage:
+//
+//	sedbench [-experiment all|table1|table2|table3|fig34|fig5|comparison|ablation]
+//	         [-full] [-frames N] [-mib N]
+//
+// With -full, Table II runs the paper's 10/20/30 virtual hours (slow);
+// otherwise a scaled-down 2/4/6-hour study with a proportionally raised
+// rare-command rate preserves the regime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sedspec/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	full := flag.Bool("full", false, "run Table II at the paper's full 10/20/30 hours")
+	frames := flag.Int("frames", 600, "frames per Figure 5 bandwidth series")
+	mib := flag.Int("mib", 8, "MiB per Figure 3/4 data point")
+	flag.Parse()
+
+	if err := run(*experiment, *full, *frames, *mib); err != nil {
+		fmt.Fprintln(os.Stderr, "sedbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, full bool, frames, mib int) error {
+	w := os.Stdout
+	want := func(name string) bool { return experiment == "all" || experiment == name }
+
+	if want("table1") {
+		rows, err := bench.Table1(true)
+		if err != nil {
+			return err
+		}
+		bench.WriteTable1(w, rows)
+		fmt.Fprintln(w)
+	}
+
+	var fpr = map[string]float64{}
+	if want("table2") || want("table3") {
+		cfg := bench.DefaultFPConfig()
+		if !full {
+			cfg.Hours = []int{2, 4, 6}
+			cfg.RarePerCase *= 5 // same expected counts in a fifth of the time
+		}
+		var rows []*bench.Table2Row
+		for _, t := range bench.Targets(true) {
+			row, err := bench.Table2(t, cfg)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+			fpr[t.Name] = row.FPR
+		}
+		if want("table2") {
+			bench.WriteTable2(w, cfg.Hours, rows)
+			if !full {
+				fmt.Fprintln(w, "  (scaled study: hours x1/5, rare-command rate x5; pass -full for 10/20/30h)")
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	if want("table3") {
+		rows, err := bench.Table3Detection()
+		if err != nil {
+			return err
+		}
+		cov := map[string]float64{}
+		for _, t := range bench.Targets(true) {
+			c, err := bench.EffectiveCoverage(t, 800, 3)
+			if err != nil {
+				return err
+			}
+			cov[t.Name] = c
+		}
+		bench.WriteTable3(w, rows, fpr, cov)
+		fmt.Fprintln(w)
+	}
+
+	if want("fig34") {
+		for _, name := range []string{"fdc", "ehci", "sdhci", "scsi"} {
+			t := bench.TargetByName(name, true)
+			blocks := []int{4, 64, 512, 2048}
+			if name == "fdc" {
+				blocks = []int{4, 64, 512, 1024} // 2.88MB medium cap
+			}
+			for _, write := range []bool{true, false} {
+				points, err := bench.Figure34(t, blocks, mib, write)
+				if err != nil {
+					return err
+				}
+				bench.WriteFigure34(w, points)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	if want("fig5") {
+		points, err := bench.Figure5(frames)
+		if err != nil {
+			return err
+		}
+		bench.WriteFigure5(w, points)
+		fmt.Fprintln(w)
+	}
+
+	if want("comparison") {
+		rows, err := bench.ComparisonNioh()
+		if err != nil {
+			return err
+		}
+		bench.WriteComparison(w, rows)
+		fmt.Fprintln(w)
+	}
+
+	if want("ablation") {
+		var reds []*bench.AblationReductionRow
+		var filts []*bench.AblationFilterRow
+		for _, t := range bench.Targets(true) {
+			r, err := bench.AblationReduction(t, 150)
+			if err != nil {
+				return err
+			}
+			reds = append(reds, r)
+			f, err := bench.AblationFilters(t)
+			if err != nil {
+				return err
+			}
+			filts = append(filts, f)
+		}
+		bench.WriteAblations(w, reds, filts)
+	}
+	return nil
+}

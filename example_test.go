@@ -1,0 +1,69 @@
+package sedspec_test
+
+import (
+	"errors"
+	"fmt"
+
+	"sedspec"
+	"sedspec/internal/devices/testdev"
+	"sedspec/internal/machine"
+)
+
+// Example shows the complete SEDSpec lifecycle on a small device: learn
+// the execution specification from benign traffic, attach the ES-Checker,
+// and watch an overflow exploit get blocked while normal I/O flows.
+func Example() {
+	m := sedspec.NewMachine()
+	dev := testdev.New(testdev.Options{}) // vulnerable by default
+	att := m.Attach(dev, machine.WithPIO(testdev.PortCmd, testdev.PortCount))
+
+	// Learn: trace benign samples, select device-state parameters, build
+	// the ES-CFG.
+	spec, err := sedspec.Learn(att, func(d *sedspec.Driver) error {
+		for _, n := range []byte{4, 16} {
+			if _, err := d.Out(testdev.PortCmd, []byte{testdev.CmdWriteBegin, n}); err != nil {
+				return err
+			}
+			for i := byte(0); i < n; i++ {
+				if _, err := d.Out8(testdev.PortData, i); err != nil {
+					return err
+				}
+			}
+			if _, err := d.Out8(testdev.PortCmd, testdev.CmdRead); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("learn failed:", err)
+		return
+	}
+
+	// Protect: every guest I/O is now simulated against the
+	// specification before the device consumes it.
+	sedspec.Protect(att, spec)
+	d := sedspec.NewDriver(att)
+
+	// Benign traffic passes.
+	if _, err := d.Out(testdev.PortCmd, []byte{testdev.CmdWriteBegin, 8}); err != nil {
+		fmt.Println("benign blocked:", err)
+		return
+	}
+	fmt.Println("benign write accepted")
+
+	// The overflow exploit is stopped at the buffer boundary.
+	for i := 0; i < 32; i++ {
+		if _, err = d.Out8(testdev.PortData, 0x41); err != nil {
+			break
+		}
+	}
+	var anom *sedspec.Anomaly
+	if errors.As(err, &anom) {
+		fmt.Println("exploit blocked by", anom.Strategy)
+	}
+
+	// Output:
+	// benign write accepted
+	// exploit blocked by parameter-check
+}

@@ -1,0 +1,79 @@
+// Specinspect: build the execution specification for any of the five
+// devices and dump everything the construction produced — the selected
+// device-state parameters (Table I view), construction statistics, the
+// command access table, learned indirect-call targets, and the ES-CFG in
+// Graphviz form — plus a JSON round-trip of the persisted specification.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sedspec"
+	"sedspec/internal/bench"
+	"sedspec/internal/core"
+	"sedspec/internal/machine"
+)
+
+func main() {
+	device := flag.String("device", "sdhci", "fdc | ehci | pcnet | sdhci | scsi")
+	dotPath := flag.String("dot", "", "write the ES-CFG to this Graphviz file")
+	flag.Parse()
+
+	target := bench.TargetByName(*device, false)
+	if target == nil {
+		log.Fatalf("unknown device %q", *device)
+	}
+
+	m := machine.New(machine.WithMemory(1 << 20))
+	dev, opts := target.Build()
+	att := m.Attach(dev, opts...)
+
+	r, err := sedspec.LearnFull(att, target.Train)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(r.Spec.String())
+	fmt.Print(r.Params.String())
+
+	fmt.Printf("ITC-CFG: %d nodes, %d edges over %d traced runs (%.1f%% block coverage)\n",
+		r.Graph.NumNodes(), r.Graph.NumEdges(), r.Graph.Runs(), 100*r.Graph.BlockCoverage())
+	fmt.Printf("trace: %d packets (%d raw events; %d dropped by range filter, %d by ring filter)\n",
+		r.Trace.Packets, r.Trace.Events, r.Trace.FilteredRange, r.Trace.FilteredKernel)
+	fmt.Printf("device-state-change log: %d rounds\n", len(r.Log.Rounds))
+
+	fmt.Printf("command access table: %d commands, %d globally accessible blocks\n",
+		r.Spec.CmdTable.Commands(), len(r.Spec.CmdTable.Global))
+	for field, targets := range r.Spec.IndirectTargets {
+		prog := dev.Program()
+		fmt.Printf("indirect targets of %q:", prog.Fields[field].Name)
+		for t := range targets {
+			fmt.Printf(" %s", prog.Handlers[t].Name)
+		}
+		fmt.Println()
+	}
+
+	// Persist and reload the specification to show the JSON form works.
+	var buf bytes.Buffer
+	if err := r.Spec.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	size := buf.Len()
+	reloaded, err := core.Load(dev.Program(), &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("JSON round-trip: %d bytes, %d ES blocks reloaded\n",
+		size, reloaded.Stats.ESBlocks)
+
+	if *dotPath != "" {
+		if err := os.WriteFile(*dotPath, []byte(r.Spec.Dot()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ES-CFG written to %s\n", *dotPath)
+	}
+}

@@ -1,0 +1,91 @@
+// Storageaudit: run two storage controllers (SDHCI and SCSI) on one
+// machine under enhancement mode — the availability-first working mode
+// that warns on conditional/indirect anomalies instead of halting — and
+// print the audit trail that rare-but-legitimate commands produce, while a
+// real exploit (CVE-2021-3409) still blocks hard.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"sedspec"
+	"sedspec/internal/checker"
+	"sedspec/internal/devices/scsi"
+	"sedspec/internal/devices/sdhci"
+	"sedspec/internal/machine"
+	"sedspec/internal/workload"
+)
+
+func main() {
+	m := sedspec.NewMachine(machine.WithMemory(1 << 20))
+	sd := sdhci.New(sdhci.Options{})
+	sdAtt := m.Attach(sd, machine.WithMMIO(0x1000, sdhci.RegionSize))
+	sc := scsi.New(scsi.Options{})
+	scAtt := m.Attach(sc, machine.WithPIO(0x100, scsi.PortCount))
+
+	sdSpec, err := sedspec.Learn(sdAtt, func(d *sedspec.Driver) error {
+		return workload.TrainSDHCI(d, workload.TrainConfig{})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	scSpec, err := sedspec.Learn(scAtt, func(d *sedspec.Driver) error {
+		return workload.TrainSCSI(d, workload.TrainConfig{})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sdChk := sedspec.Protect(sdAtt, sdSpec, checker.WithMode(checker.ModeEnhancement))
+	scChk := sedspec.Protect(scAtt, scSpec, checker.WithMode(checker.ModeEnhancement))
+
+	// Regular storage traffic on both devices.
+	sdg := sdhci.NewGuest(sedspec.NewDriver(sdAtt))
+	must(sdg.InitCard())
+	must(sdg.Transfer(true, 512, 4))
+	must(sdg.Transfer(false, 512, 4))
+
+	scg := scsi.NewGuest(sedspec.NewDriver(scAtt))
+	must(scg.TestUnitReady())
+	must(scg.Write10(64, 4))
+	must(scg.Read10(64, 4))
+
+	// Rare-but-legitimate commands: in enhancement mode these warn and
+	// proceed (the Table II false-positive tail), keeping the tenant's
+	// storage available.
+	must(sdg.GenCmd())     // SD CMD56, absent from training
+	must(scg.SelNATN())    // ESP select-without-ATN, absent from training
+	must(scg.Read10(8, 1)) // traffic continues after the warnings
+
+	fmt.Println("audit trail (warnings, execution continued):")
+	for _, wrn := range append(sdChk.Warnings(), scChk.Warnings()...) {
+		fmt.Printf("  [%s] %s: %s\n", wrn.Device, wrn.Strategy, wrn.Detail)
+	}
+	fmt.Printf("resyncs after warnings: sdhci=%d scsi=%d\n",
+		sdChk.Stats().Resyncs, scChk.Stats().Resyncs)
+
+	// A real exploit still blocks hard: parameter-check anomalies halt
+	// even in enhancement mode (CVE-2021-3409's mid-transfer BLKSIZE
+	// shrink).
+	fmt.Println("launching CVE-2021-3409 against sdhci ...")
+	must(sdg.Write32(sdhci.RegSDMA, sdg.DMABuf))
+	must(sdg.Write16(sdhci.RegBlkSize, 512))
+	must(sdg.Write16(sdhci.RegBlkCnt, 4))
+	must(sdg.Command(sdhci.CmdWriteMulti, 0))
+	must(sdg.Write16(sdhci.RegBlkSize, 64))
+	err = sdg.ResumeDMA()
+	var anom *sedspec.Anomaly
+	if !errors.As(err, &anom) {
+		log.Fatalf("exploit was not blocked: %v", err)
+	}
+	fmt.Printf("blocked by %s: %s\n", anom.Strategy, anom.Detail)
+	fmt.Printf("machine halted: %v\n", m.Halted())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

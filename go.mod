@@ -1,0 +1,3 @@
+module sedspec
+
+go 1.22

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sedspec/internal/interp"
+)
+
+// ReqInfo summarizes the I/O request that opened a round.
+type ReqInfo struct {
+	Space interp.Space `json:"space"`
+	Addr  uint64       `json:"addr"`
+	Write bool         `json:"write"`
+	Data  []byte       `json:"data,omitempty"`
+}
+
+// Round is one I/O interaction's worth of observation events — one entry of
+// the device-state-change log.
+type Round struct {
+	Req    ReqInfo           `json:"req"`
+	Events []interp.ObsEvent `json:"events"`
+	// Faulted is set when the device faulted during the round; faulted
+	// rounds are excluded from specification construction.
+	Faulted bool `json:"faulted,omitempty"`
+}
+
+// Log is the device-state-change log (paper §IV): the control flow and
+// state changes of an emulated device across training rounds. The ES-CFG
+// constructor consumes it together with the device source.
+type Log struct {
+	Device string   `json:"device"`
+	Rounds []*Round `json:"rounds"`
+}
+
+// Recorder accumulates a Log. Install it as the interpreter's observer and
+// bracket each dispatch with Begin/End.
+type Recorder struct {
+	log *Log
+	cur *Round
+}
+
+var _ interp.Observer = (*Recorder)(nil)
+
+// NewRecorder returns a recorder for the named device.
+func NewRecorder(device string) *Recorder {
+	return &Recorder{log: &Log{Device: device}}
+}
+
+// Begin opens a round for a request about to be dispatched.
+func (r *Recorder) Begin(req *interp.Request) {
+	dataCopy := make([]byte, len(req.Data))
+	copy(dataCopy, req.Data)
+	r.cur = &Round{Req: ReqInfo{
+		Space: req.Space,
+		Addr:  req.Addr,
+		Write: req.Write,
+		Data:  dataCopy,
+	}}
+}
+
+// Observe implements interp.Observer.
+func (r *Recorder) Observe(ev interp.ObsEvent) {
+	if r.cur == nil {
+		return
+	}
+	// Field slices are reused by the interpreter per event construction;
+	// copy to decouple.
+	if len(ev.Fields) > 0 {
+		ev.Fields = append([]interp.FieldVal(nil), ev.Fields...)
+	}
+	r.cur.Events = append(r.cur.Events, ev)
+}
+
+// End closes the round, marking whether the device faulted.
+func (r *Recorder) End(res *interp.Result) {
+	if r.cur == nil {
+		return
+	}
+	if res != nil && res.Fault != nil {
+		r.cur.Faulted = true
+	}
+	r.log.Rounds = append(r.log.Rounds, r.cur)
+	r.cur = nil
+}
+
+// Log returns the accumulated log.
+func (r *Recorder) Log() *Log { return r.log }
+
+// Save writes the log as JSON.
+func (l *Log) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(l); err != nil {
+		return fmt.Errorf("analysis: save log: %w", err)
+	}
+	return nil
+}
+
+// LoadLog reads a JSON log.
+func LoadLog(r io.Reader) (*Log, error) {
+	var l Log
+	if err := json.NewDecoder(r).Decode(&l); err != nil {
+		return nil, fmt.Errorf("analysis: load log: %w", err)
+	}
+	return &l, nil
+}
+
+// MergeLogs unions device-state-change logs for the same device, the
+// paper's false-positive remedy (§VIII): developers and testers each
+// contribute training logs, and the specification is rebuilt from their
+// union. Logs for other devices are rejected.
+func MergeLogs(logs ...*Log) (*Log, error) {
+	if len(logs) == 0 {
+		return nil, fmt.Errorf("analysis: nothing to merge")
+	}
+	out := &Log{Device: logs[0].Device}
+	for _, l := range logs {
+		if l.Device != out.Device {
+			return nil, fmt.Errorf("analysis: cannot merge log for %q into %q", l.Device, out.Device)
+		}
+		out.Rounds = append(out.Rounds, l.Rounds...)
+	}
+	return out, nil
+}
+
+// CleanRounds returns the non-faulted rounds.
+func (l *Log) CleanRounds() []*Round {
+	out := make([]*Round, 0, len(l.Rounds))
+	for _, r := range l.Rounds {
+		if !r.Faulted {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+// Package analysis implements SEDSpec's CFG analyzer (paper §IV-B): it
+// examines the ITC-CFG and the device "source" (the IR program) to select
+// device-state parameters by the paper's two rules, to place observation
+// points, and to record the device-state-change log. It also provides the
+// data-flow machinery (backward def-use slicing) that stands in for the
+// paper's use of angr: deciding which ops the execution specification must
+// retain and whether a branch condition is computable from device state and
+// I/O data or needs a sync point.
+package analysis
+
+import (
+	"sedspec/internal/ir"
+)
+
+// OpRef names one op within a program.
+type OpRef struct {
+	Handler int `json:"handler"`
+	Block   int `json:"block"`
+	Op      int `json:"op"`
+}
+
+// Influence describes everything that may flow into a temp's value.
+type Influence struct {
+	// Fields are control-structure fields that may feed the value.
+	Fields map[int]bool
+	// IOData is set when request payload/address/length feeds the value.
+	IOData bool
+	// Env is set when an environment read feeds the value (forces a sync
+	// point if the value reaches a branch condition).
+	Env bool
+	// GuestMem is set when DMA-read guest memory feeds the value.
+	GuestMem bool
+}
+
+func newInfluence() *Influence { return &Influence{Fields: make(map[int]bool)} }
+
+func (in *Influence) mergeFrom(o *Influence) bool {
+	changed := false
+	for f := range o.Fields {
+		if !in.Fields[f] {
+			in.Fields[f] = true
+			changed = true
+		}
+	}
+	if o.IOData && !in.IOData {
+		in.IOData = true
+		changed = true
+	}
+	if o.Env && !in.Env {
+		in.Env = true
+		changed = true
+	}
+	if o.GuestMem && !in.GuestMem {
+		in.GuestMem = true
+		changed = true
+	}
+	return changed
+}
+
+func (in *Influence) addField(f int) bool {
+	if in.Fields[f] {
+		return false
+	}
+	in.Fields[f] = true
+	return true
+}
+
+// HandlerFlow is the data-flow summary of one handler: per-temp influence
+// sets computed to a fixpoint over all defining ops (a sound
+// over-approximation in the presence of loops and reassignment).
+type HandlerFlow struct {
+	Handler int
+	temps   []*Influence
+}
+
+// FlowOf computes (or returns cached) flow for a handler.
+func FlowOf(p *ir.Program, handler int) *HandlerFlow {
+	h := &p.Handlers[handler]
+	hf := &HandlerFlow{Handler: handler, temps: make([]*Influence, h.NumTemps)}
+	for i := range hf.temps {
+		hf.temps[i] = newInfluence()
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := range h.Blocks {
+			for oi := range h.Blocks[bi].Ops {
+				if hf.applyOp(&h.Blocks[bi].Ops[oi]) {
+					changed = true
+				}
+			}
+		}
+	}
+	return hf
+}
+
+func (hf *HandlerFlow) applyOp(op *ir.Op) bool {
+	dst := opDst(op)
+	if dst < 0 {
+		return false
+	}
+	in := hf.temps[dst]
+	switch op.Code {
+	case ir.OpConst:
+		return false
+	case ir.OpLoad, ir.OpLoadFunc:
+		return in.addField(op.Field)
+	case ir.OpArith:
+		c := in.mergeFrom(hf.temps[op.A])
+		if in.mergeFrom(hf.temps[op.B]) {
+			c = true
+		}
+		return c
+	case ir.OpBufLoad:
+		c := in.addField(op.Field)
+		if in.mergeFrom(hf.temps[op.Idx]) {
+			c = true
+		}
+		return c
+	case ir.OpIOIn, ir.OpIOAddr, ir.OpIOLen, ir.OpIOIsWrite:
+		if in.IOData {
+			return false
+		}
+		in.IOData = true
+		return true
+	case ir.OpEnvRead:
+		if in.Env {
+			return false
+		}
+		in.Env = true
+		return true
+	case ir.OpDMARead:
+		// Guest-memory values are data, not device state: the pointer
+		// field does not determine the value, so address influence does
+		// not propagate (otherwise every DMA-derived temporary would
+		// look parameter-derived, contradicting the paper's
+		// CVE-2015-7504/5158 analysis).
+		if in.GuestMem {
+			return false
+		}
+		in.GuestMem = true
+		return true
+	default:
+		return false
+	}
+}
+
+// TempInfluence returns the influence set of a temp.
+func (hf *HandlerFlow) TempInfluence(t int) *Influence { return hf.temps[t] }
+
+func opDst(op *ir.Op) int {
+	switch op.Code {
+	case ir.OpConst, ir.OpLoad, ir.OpLoadFunc, ir.OpArith, ir.OpBufLoad,
+		ir.OpIOIn, ir.OpIOAddr, ir.OpIOLen, ir.OpIOIsWrite, ir.OpDMARead,
+		ir.OpEnvRead:
+		return op.Dst
+	default:
+		return -1
+	}
+}
+
+// opUses returns the temps an op reads.
+func opUses(op *ir.Op, dst []int) []int {
+	switch op.Code {
+	case ir.OpStore, ir.OpStoreFunc, ir.OpIOOut:
+		dst = append(dst, op.Src)
+	case ir.OpArith:
+		dst = append(dst, op.A, op.B)
+	case ir.OpBufLoad:
+		dst = append(dst, op.Idx)
+	case ir.OpBufStore:
+		dst = append(dst, op.Idx, op.Src)
+	case ir.OpDMARead:
+		dst = append(dst, op.A)
+	case ir.OpDMAWrite:
+		dst = append(dst, op.A, op.Src)
+	case ir.OpDMAToBuf, ir.OpDMAFromBuf:
+		dst = append(dst, op.A, op.B, op.Idx)
+	case ir.OpIOToBuf:
+		dst = append(dst, op.B, op.Idx)
+	case ir.OpWork:
+		dst = append(dst, op.Src)
+	}
+	return dst
+}
+
+// Slice is the per-handler kept-op computation used by ES-CFG
+// construction: which ops the specification retains (DSOD), which are
+// dropped (bulk work, interrupts, guest-visible outputs), and where sync
+// points are required.
+type Slice struct {
+	Handler int
+	// Kept[block][op] reports whether the op is retained in the ES-CFG.
+	Kept [][]bool
+	// SyncPoints lists retained environment reads — the values the
+	// checker must synchronize with the device environment at runtime.
+	SyncPoints []OpRef
+	// KeptOps and DroppedOps count retention for reduction statistics.
+	KeptOps, DroppedOps int
+}
+
+// ComputeSlice determines retained ops for a handler.
+//
+// Roots (always retained): field stores (shadow state must stay coherent),
+// buffer/DMA-copy ops (bounds semantics feed the parameter check), payload
+// reads (stream position), and calls. Value-producing ops are retained only
+// if some retained op or terminator transitively consumes their temp.
+// Never retained: emulation work, interrupts, guest-memory writes, and
+// response output — the ops whose omission gives the specification its low
+// overhead relative to full re-execution.
+func ComputeSlice(p *ir.Program, handler int) *Slice {
+	h := &p.Handlers[handler]
+	s := &Slice{Handler: handler, Kept: make([][]bool, len(h.Blocks))}
+	required := make([]bool, h.NumTemps)
+
+	markUses := func(op *ir.Op) {
+		var uses []int
+		for _, t := range opUses(op, uses) {
+			required[t] = true
+		}
+	}
+
+	// Terminator conditions are roots for temp requirement.
+	for bi := range h.Blocks {
+		s.Kept[bi] = make([]bool, len(h.Blocks[bi].Ops))
+		t := &h.Blocks[bi].Term
+		switch t.Kind {
+		case ir.TermBranch:
+			required[t.A] = true
+			required[t.B] = true
+		case ir.TermSwitch:
+			required[t.A] = true
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for bi := range h.Blocks {
+			for oi := range h.Blocks[bi].Ops {
+				if s.Kept[bi][oi] {
+					continue
+				}
+				op := &h.Blocks[bi].Ops[oi]
+				if keepOp(op, required) {
+					s.Kept[bi][oi] = true
+					markUses(op)
+					changed = true
+				}
+			}
+		}
+	}
+
+	for bi := range h.Blocks {
+		for oi, kept := range s.Kept[bi] {
+			if kept {
+				s.KeptOps++
+				op := &h.Blocks[bi].Ops[oi]
+				if op.Code == ir.OpEnvRead {
+					s.SyncPoints = append(s.SyncPoints, OpRef{Handler: handler, Block: bi, Op: oi})
+				}
+			} else {
+				s.DroppedOps++
+			}
+		}
+	}
+	return s
+}
+
+func keepOp(op *ir.Op, required []bool) bool {
+	switch op.Code {
+	case ir.OpStore, ir.OpStoreFunc, ir.OpBufStore,
+		ir.OpDMAToBuf, ir.OpDMAFromBuf, ir.OpIOToBuf,
+		ir.OpIOIn, // preserves payload stream position
+		// OpDMAWrite is retained so the checker can journal descriptor
+		// writebacks: ring-scan loops terminate on the device because it
+		// cleared an OWN flag, and the simulation must see its own
+		// (suppressed) writeback to terminate identically.
+		ir.OpDMAWrite,
+		ir.OpCall, ir.OpCallPtr:
+		return true
+	case ir.OpWork, ir.OpIRQRaise, ir.OpIRQLower, ir.OpIOOut:
+		return false
+	default:
+		d := opDst(op)
+		return d >= 0 && required[d]
+	}
+}

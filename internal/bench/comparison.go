@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"sedspec"
+	"sedspec/internal/cvesim"
+	"sedspec/internal/machine"
+	"sedspec/internal/nioh"
+)
+
+// CompRow is one row of the SEDSpec-vs-Nioh comparison.
+type CompRow struct {
+	CVE     string
+	Device  string
+	SEDSpec bool
+	Nioh    bool
+	// NiohModel is false when no manual model exists for the device —
+	// the scalability cost Nioh pays per device.
+	NiohModel bool
+	// Note explains route-dependent outcomes.
+	Note string
+}
+
+// niohModelFor returns the hand-written model for a device, or nil.
+func niohModelFor(device string) *nioh.FSM {
+	switch device {
+	case "fdc":
+		return nioh.FDC()
+	case "scsi":
+		return nioh.SCSI()
+	case "pcnet":
+		return nioh.PCNet()
+	case "ehci":
+		return nioh.EHCI()
+	default:
+		return nil // nobody wrote an SDHCI model
+	}
+}
+
+// notes for route-dependent Nioh outcomes (see internal/nioh tests for the
+// request-visible routes the Nioh paper evaluated).
+var niohNotes = map[string]string{
+	"CVE-2016-7909":  "misses the init-block route; the CSR76 route is caught",
+	"CVE-2015-5158":  "misses the raw-memory route; the honest-driver route is caught",
+	"CVE-2015-7504":  "data plane: invisible to a request-level model",
+	"CVE-2015-7512":  "data plane: invisible to a request-level model",
+	"CVE-2020-14364": "setup packet lives in guest memory: invisible",
+	"CVE-2016-1568":  "caught: the human encoded no-resume-after-unlink",
+	"CVE-2021-3409":  "no manual model written for SDHCI",
+}
+
+// ComparisonNioh replays every case study under SEDSpec (all strategies)
+// and under the Nioh baseline's hand-written model.
+func ComparisonNioh() ([]CompRow, error) {
+	var rows []CompRow
+	for _, p := range cvesim.All() {
+		row := CompRow{CVE: p.CVE, Device: p.Device, Note: niohNotes[p.CVE]}
+
+		out, err := p.RunProtected()
+		if err != nil {
+			return nil, fmt.Errorf("bench: comparison %s (sedspec): %w", p.CVE, err)
+		}
+		row.SEDSpec = out.Detected
+
+		if fsm := niohModelFor(p.Device); fsm != nil {
+			row.NiohModel = true
+			m := machine.New(machine.WithMemory(1 << 20))
+			dev, opts := p.Build()
+			att := m.Attach(dev, opts...)
+			nioh.Protect(att, fsm)
+			exErr := p.Exploit(sedspec.NewDriver(att), m)
+			var v *nioh.Violation
+			row.Nioh = errors.As(exErr, &v) || m.Halted()
+			if exErr != nil && !row.Nioh && !errors.Is(exErr, machine.ErrBlocked) {
+				return nil, fmt.Errorf("bench: comparison %s (nioh): %w", p.CVE, exErr)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteComparison renders the comparison.
+func WriteComparison(w io.Writer, rows []CompRow) {
+	fmt.Fprintln(w, "Comparison — SEDSpec (automatic) vs Nioh baseline (manual FSM)")
+	mark := func(b bool) string {
+		if b {
+			return "x"
+		}
+		return "-"
+	}
+	for _, r := range rows {
+		niohMark := mark(r.Nioh)
+		if !r.NiohModel {
+			niohMark = "n/a"
+		}
+		fmt.Fprintf(w, "  %-15s %-7s sedspec=%-3s nioh=%-3s %s\n",
+			r.CVE, r.Device, mark(r.SEDSpec), niohMark, r.Note)
+	}
+	fmt.Fprintln(w, "  manual effort: nioh needs a hand-written model per device"+
+		" (fdc 130, scsi 95, pcnet 70, ehci 60 spec lines; sdhci unmodelled);"+
+		" sedspec derives its specifications automatically from traces")
+}

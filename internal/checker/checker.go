@@ -1,0 +1,349 @@
+// Package checker implements ES-Checker, SEDSpec's runtime-protection
+// proxy (paper §VI). For every I/O interaction it simulates the device's
+// execution specification on a shadow device state before the emulated
+// device runs, applying three check strategies:
+//
+//   - the parameter check (integer overflow via flag bits at typed stores,
+//     buffer overflow via index bounds on device-state buffers),
+//   - the indirect-jump check (function-pointer call targets must be
+//     legitimate ES-CFG blocks learned in training), and
+//   - the conditional-jump check (branch arms and commands never traversed
+//     in training are anomalies).
+//
+// In protection mode any anomaly blocks the I/O and halts the machine; in
+// enhancement mode only parameter-check anomalies block, while the other
+// strategies raise warnings and let execution continue.
+package checker
+
+import (
+	"fmt"
+
+	"sedspec/internal/core"
+	"sedspec/internal/interp"
+	"sedspec/internal/ir"
+	"sedspec/internal/machine"
+)
+
+// Strategy identifies a check strategy.
+type Strategy uint8
+
+const (
+	// StrategyParameter is the parameter check.
+	StrategyParameter Strategy = iota + 1
+	// StrategyIndirectJump is the indirect jump check.
+	StrategyIndirectJump
+	// StrategyConditionalJump is the conditional jump check.
+	StrategyConditionalJump
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyParameter:
+		return "parameter-check"
+	case StrategyIndirectJump:
+		return "indirect-jump-check"
+	case StrategyConditionalJump:
+		return "conditional-jump-check"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// Mode selects the working mode (paper §VI-B).
+type Mode uint8
+
+const (
+	// ModeProtection halts the machine on any anomaly.
+	ModeProtection Mode = iota + 1
+	// ModeEnhancement halts only on parameter-check anomalies and warns
+	// on the rest.
+	ModeEnhancement
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeProtection:
+		return "protection"
+	case ModeEnhancement:
+		return "enhancement"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Severity grades anomalies for alert classification (paper §VIII:
+// "classify the alert levels based on different check strategies").
+type Severity uint8
+
+const (
+	// SeverityCritical marks anomalies directly tied to exploitation
+	// (parameter check): never false positives per the paper.
+	SeverityCritical Severity = iota + 1
+	// SeverityHigh marks control-flow hijack indicators (indirect jump
+	// check).
+	SeverityHigh
+	// SeverityWarning marks irregular-operation indicators (conditional
+	// jump check), which may be rare-command false positives.
+	SeverityWarning
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SeverityCritical:
+		return "critical"
+	case SeverityHigh:
+		return "high"
+	case SeverityWarning:
+		return "warning"
+	default:
+		return fmt.Sprintf("Severity(%d)", uint8(s))
+	}
+}
+
+// Anomaly describes one detected specification violation.
+type Anomaly struct {
+	Strategy Strategy
+	Device   string
+	Block    ir.BlockRef
+	Src      ir.SourceRef
+	Detail   string
+	Round    uint64
+}
+
+// Severity grades the anomaly by its strategy.
+func (a *Anomaly) Severity() Severity {
+	switch a.Strategy {
+	case StrategyParameter:
+		return SeverityCritical
+	case StrategyIndirectJump:
+		return SeverityHigh
+	default:
+		return SeverityWarning
+	}
+}
+
+// Error implements error.
+func (a *Anomaly) Error() string {
+	return fmt.Sprintf("sedspec: %s anomaly in %s at %s: %s",
+		a.Strategy, a.Device, a.Src, a.Detail)
+}
+
+// Stats counts checker activity.
+type Stats struct {
+	Rounds             int
+	ParamAnomalies     int
+	IndirectAnomalies  int
+	CondAnomalies      int
+	Blocked            int
+	Warnings           int
+	Resyncs            int
+	StepsSimulated     int
+	SyncPointsResolved int
+}
+
+// Checker is the ES-Checker proxy. It implements machine.Interposer (and
+// the PostInterposer extension) and is not safe for concurrent use, like
+// the device dispatch path it guards.
+type Checker struct {
+	spec *core.Spec
+	mode Mode
+	// enabled strategies, indexed by Strategy (all on by default). An
+	// array rather than a map: it is consulted on the simulation's hot
+	// path.
+	enabled [4]bool
+	env     interp.Env
+	haltFn  func()
+	budget  int
+	// accessControl gates the command access table check (ablation
+	// switch; on by default).
+	accessControl bool
+
+	shadow *interp.State
+
+	cmdActive bool
+	activeCmd uint64
+	// suppressAccess disables access-vector checks after a shadow resync
+	// until the next command-decision block restores tracking.
+	suppressAccess bool
+
+	needResync bool
+	warnings   []Anomaly
+	stats      Stats
+
+	frames []simFrame
+	temps  [][]uint64
+	flags  [][]interp.Flags
+
+	// dmaShadow journals guest-memory writes the simulation suppresses
+	// (descriptor writebacks), overlaid on subsequent reads within the
+	// same round so loops that terminate via writeback terminate in the
+	// simulation too. It never reaches real guest memory.
+	dmaShadow map[uint64]byte
+}
+
+type simFrame struct {
+	block int
+	op    int
+	temps []uint64
+	flags []interp.Flags
+}
+
+// Option configures a Checker.
+type Option func(*Checker)
+
+// WithMode sets the working mode (default protection).
+func WithMode(m Mode) Option { return func(c *Checker) { c.mode = m } }
+
+// WithStrategies enables only the listed strategies (default: all three).
+func WithStrategies(ss ...Strategy) Option {
+	return func(c *Checker) {
+		c.enabled = [4]bool{}
+		for _, s := range ss {
+			c.enabled[s] = true
+		}
+	}
+}
+
+// WithHalt sets the halt hook invoked on blocking anomalies (typically
+// machine.Halt).
+func WithHalt(fn func()) Option { return func(c *Checker) { c.haltFn = fn } }
+
+// WithEnv provides machine services for sync points and read-only DMA
+// (typically the device's machine attachment).
+func WithEnv(env interp.Env) Option { return func(c *Checker) { c.env = env } }
+
+// WithAccessControl toggles the command access table check (default on;
+// the ablation turns it off).
+func WithAccessControl(on bool) Option {
+	return func(c *Checker) { c.accessControl = on }
+}
+
+// WithBudget bounds simulated steps per round (default 1<<20).
+func WithBudget(n int) Option {
+	return func(c *Checker) {
+		if n > 0 {
+			c.budget = n
+		}
+	}
+}
+
+// New builds a checker for a specification. initial is the device control
+// structure at deployment time, cloned into the shadow device state.
+func New(spec *core.Spec, initial *interp.State, opts ...Option) *Checker {
+	c := &Checker{
+		spec:          spec,
+		mode:          ModeProtection,
+		budget:        1 << 20,
+		shadow:        spec.InitialShadow(initial),
+		enabled:       [4]bool{false, true, true, true},
+		accessControl: true,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.env == nil {
+		c.env = interp.NopEnv()
+	}
+	return c
+}
+
+// Mode returns the working mode.
+func (c *Checker) Mode() Mode { return c.mode }
+
+// Stats returns a copy of the counters.
+func (c *Checker) Stats() Stats { return c.stats }
+
+// Warnings returns anomalies raised in enhancement mode without blocking.
+func (c *Checker) Warnings() []Anomaly { return c.warnings }
+
+// ClearWarnings discards accumulated warnings (between experiments).
+func (c *Checker) ClearWarnings() { c.warnings = nil }
+
+// Shadow exposes the shadow device state for tests and diagnostics.
+func (c *Checker) Shadow() *interp.State { return c.shadow }
+
+// ResyncShadow re-initializes the shadow device state from the real
+// control structure and drops command tracking. Rollback recovery calls
+// it after restoring a machine snapshot, since the restored device state
+// no longer matches the simulation's.
+func (c *Checker) ResyncShadow(real *interp.State) {
+	copy(c.shadow.Bytes(), real.Bytes())
+	c.cmdActive = false
+	c.suppressAccess = true
+	c.needResync = false
+	c.stats.Resyncs++
+}
+
+// blockingAnomaly reports whether the anomaly stops execution in the
+// current mode.
+func (c *Checker) blockingAnomaly(s Strategy) bool {
+	if c.mode == ModeProtection {
+		return true
+	}
+	return s == StrategyParameter
+}
+
+var (
+	_ machine.Interposer     = (*Checker)(nil)
+	_ machine.PostInterposer = (*Checker)(nil)
+)
+
+// PreIO implements machine.Interposer: simulate the specification for the
+// request before the device consumes it.
+func (c *Checker) PreIO(_ machine.Device, req *interp.Request) error {
+	c.stats.Rounds++
+	req.Rewind()
+	anomaly := c.simulate(req)
+	req.Rewind()
+	if anomaly == nil {
+		return nil
+	}
+	anomaly.Device = c.spec.Device
+	anomaly.Round = uint64(c.stats.Rounds)
+	c.countAnomaly(anomaly.Strategy)
+	if c.blockingAnomaly(anomaly.Strategy) {
+		c.stats.Blocked++
+		if c.haltFn != nil {
+			c.haltFn()
+		}
+		return anomaly
+	}
+	c.stats.Warnings++
+	c.warnings = append(c.warnings, *anomaly)
+	c.needResync = true
+	return nil
+}
+
+// PostIO implements machine.PostInterposer: after warning rounds the
+// shadow state is resynchronized from the real device control structure,
+// since the simulation could not follow the unobserved path.
+func (c *Checker) PostIO(dev machine.Device, _ *interp.Request, _ *interp.Result) {
+	if !c.needResync {
+		return
+	}
+	copy(c.shadow.Bytes(), dev.State().Bytes())
+	c.cmdActive = false
+	c.suppressAccess = true
+	c.needResync = false
+	c.stats.Resyncs++
+}
+
+func (c *Checker) countAnomaly(s Strategy) {
+	switch s {
+	case StrategyParameter:
+		c.stats.ParamAnomalies++
+	case StrategyIndirectJump:
+		c.stats.IndirectAnomalies++
+	case StrategyConditionalJump:
+		c.stats.CondAnomalies++
+	}
+}
+
+func (c *Checker) anomaly(s Strategy, es *core.ESBlock, src ir.SourceRef, format string, args ...any) *Anomaly {
+	return &Anomaly{
+		Strategy: s,
+		Block:    es.Ref,
+		Src:      src,
+		Detail:   fmt.Sprintf(format, args...),
+	}
+}

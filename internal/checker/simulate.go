@@ -1,0 +1,489 @@
+package checker
+
+import (
+	"encoding/binary"
+
+	"sedspec/internal/core"
+	"sedspec/internal/interp"
+	"sedspec/internal/ir"
+)
+
+// simulate walks the ES-CFG for one I/O request against the shadow device
+// state, returning the first blocking-relevant anomaly, or nil. Anomalies
+// of disabled strategies are not raised; the simulation then behaves like
+// the device would (corrupting the shadow arena on unchecked overflows),
+// so a later enabled strategy can still catch the consequence — exactly
+// how the paper's per-strategy case studies work.
+func (c *Checker) simulate(req *interp.Request) *Anomaly {
+	c.frames = c.frames[:0]
+	c.push(c.spec.Entry)
+	steps := 0
+	if len(c.dmaShadow) > 0 {
+		clear(c.dmaShadow)
+	}
+
+	for len(c.frames) > 0 {
+		f := &c.frames[len(c.frames)-1]
+		es := c.spec.Block(f.block)
+		if es == nil {
+			// Dangling successor: a path the spec cannot follow.
+			return c.condOrStop(&core.ESBlock{}, ir.SourceRef{}, "dangling ES successor")
+		}
+
+		descended, anomaly := c.execDSOD(f, es, req, &steps)
+		if anomaly != nil {
+			return anomaly
+		}
+		if descended {
+			continue
+		}
+		if steps > c.budget {
+			return c.condOrStop(es, ir.SourceRef{}, "simulation budget exceeded (possible emulation loop)")
+		}
+
+		steps++ // the block transition itself
+		done, anomaly := c.transition(f, es)
+		if anomaly != nil {
+			return anomaly
+		}
+		if done {
+			break
+		}
+	}
+	c.stats.StepsSimulated += steps
+	return nil
+}
+
+func (c *Checker) push(block int) {
+	es := c.spec.Block(block)
+	var numTemps int
+	if es != nil {
+		numTemps = c.spec.Program().Handlers[es.Ref.Handler].NumTemps
+	}
+	depth := len(c.frames)
+	for len(c.temps) <= depth {
+		c.temps = append(c.temps, nil)
+		c.flags = append(c.flags, nil)
+	}
+	if cap(c.temps[depth]) < numTemps {
+		c.temps[depth] = make([]uint64, numTemps)
+		c.flags[depth] = make([]interp.Flags, numTemps)
+	}
+	ts := c.temps[depth][:numTemps]
+	fs := c.flags[depth][:numTemps]
+	for i := range ts {
+		ts[i] = 0
+		fs[i] = interp.Flags{}
+	}
+	c.frames = append(c.frames, simFrame{block: block, temps: ts, flags: fs})
+}
+
+// condOrStop raises a conditional-jump anomaly if the strategy is enabled;
+// otherwise it silently stops the simulation (the spec cannot follow the
+// path) and schedules a shadow resync.
+func (c *Checker) condOrStop(es *core.ESBlock, src ir.SourceRef, format string, args ...any) *Anomaly {
+	if c.enabled[StrategyConditionalJump] {
+		return c.anomaly(StrategyConditionalJump, es, src, format, args...)
+	}
+	c.frames = c.frames[:0]
+	c.needResync = true
+	return nil
+}
+
+// execDSOD runs the block's retained ops from the frame cursor. It reports
+// whether the walker descended into a callee.
+func (c *Checker) execDSOD(f *simFrame, es *core.ESBlock, req *interp.Request, steps *int) (bool, *Anomaly) {
+	prog := c.spec.Program()
+	for i := f.op; i < len(es.DSOD); i++ {
+		*steps++
+		d := &es.DSOD[i]
+		op := d.Op
+		switch op.Code {
+		case ir.OpConst:
+			f.temps[op.Dst] = op.Imm
+			f.flags[op.Dst] = interp.Flags{}
+		case ir.OpLoad:
+			f.temps[op.Dst] = c.shadow.Int(op.Field)
+			f.flags[op.Dst] = interp.Flags{}
+		case ir.OpLoadFunc:
+			f.temps[op.Dst] = c.shadow.FuncPtr(op.Field)
+			f.flags[op.Dst] = interp.Flags{}
+		case ir.OpArith:
+			v, fl, divZero := interp.ALUExec(op.ALU, f.temps[op.A], f.temps[op.B], op.Width, op.Signed)
+			if divZero {
+				if c.enabled[StrategyParameter] {
+					return false, c.anomaly(StrategyParameter, es, op.Src0, "division by zero")
+				}
+				c.frames = c.frames[:0]
+				c.needResync = true
+				return false, nil
+			}
+			f.temps[op.Dst] = v
+			f.flags[op.Dst] = fl
+		case ir.OpStore:
+			if a := c.checkIntStore(es, op, f); a != nil {
+				return false, a
+			}
+			c.shadow.SetInt(op.Field, f.temps[op.Src])
+		case ir.OpStoreFunc:
+			c.shadow.SetFuncPtr(op.Field, f.temps[op.Src])
+		case ir.OpBufLoad:
+			v, a := c.bufAccess(es, d, f, f.temps[op.Idx], 0, 0, false)
+			if a != nil {
+				return false, a
+			}
+			f.temps[op.Dst] = v
+			f.flags[op.Dst] = interp.Flags{}
+		case ir.OpBufStore:
+			if _, a := c.bufAccess(es, d, f, f.temps[op.Idx], 0, byte(f.temps[op.Src]), true); a != nil {
+				return false, a
+			}
+		case ir.OpIOToBuf:
+			if a := c.checkCopyRange(es, d, f); a != nil {
+				return false, a
+			}
+			req.Skip(int(f.temps[op.B] & 0xFFFF_FFFF))
+		case ir.OpDMAToBuf:
+			// Inbound DMA is performed against the shadow buffer (a
+			// read-only peek at guest memory before the device runs):
+			// command blocks and descriptors arriving by DMA feed
+			// control-flow decisions, so the shadow must hold the real
+			// content — and unchecked overflows must corrupt the shadow
+			// the way they corrupt the device.
+			if a := c.checkCopyRange(es, d, f); a != nil {
+				return false, a
+			}
+			if a := c.dmaToShadow(es, d, f); a != nil {
+				return false, a
+			}
+			if len(c.frames) == 0 {
+				return false, nil // simulation stopped mid-copy
+			}
+		case ir.OpDMAFromBuf:
+			// Outbound DMA is guest-visible: bounds-check only, never
+			// performed. This asymmetry is the reduction that keeps the
+			// checker cheap on read-heavy workloads.
+			if a := c.checkCopyRange(es, d, f); a != nil {
+				return false, a
+			}
+		case ir.OpDMARead:
+			var buf [8]byte
+			n := op.Width.Bytes()
+			addr := f.temps[op.A]
+			if err := c.env.DMARead(addr, buf[:n]); err != nil {
+				if c.enabled[StrategyParameter] {
+					return false, c.anomaly(StrategyParameter, es, op.Src0, "DMA read out of guest memory: %v", err)
+				}
+				c.frames = c.frames[:0]
+				c.needResync = true
+				return false, nil
+			}
+			// Overlay this round's suppressed writebacks.
+			for i := 0; i < n; i++ {
+				if v, ok := c.dmaShadow[addr+uint64(i)]; ok {
+					buf[i] = v
+				}
+			}
+			f.temps[op.Dst] = binary.LittleEndian.Uint64(buf[:])
+			if n < 8 {
+				f.temps[op.Dst] &= op.Width.Mask()
+			}
+			f.flags[op.Dst] = interp.Flags{}
+		case ir.OpDMAWrite:
+			// Suppressed guest write: journal it for this round's reads.
+			if c.dmaShadow == nil {
+				c.dmaShadow = make(map[uint64]byte)
+			}
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], f.temps[op.Src])
+			for i := 0; i < op.Width.Bytes(); i++ {
+				c.dmaShadow[f.temps[op.A]+uint64(i)] = buf[i]
+			}
+		case ir.OpIOIn:
+			f.temps[op.Dst] = req.Consume(op.Width.Bytes())
+			f.flags[op.Dst] = interp.Flags{}
+		case ir.OpIOAddr:
+			f.temps[op.Dst] = req.Addr
+			f.flags[op.Dst] = interp.Flags{}
+		case ir.OpIOLen:
+			f.temps[op.Dst] = uint64(req.Remaining())
+			f.flags[op.Dst] = interp.Flags{}
+		case ir.OpIOIsWrite:
+			if req.Write {
+				f.temps[op.Dst] = 1
+			} else {
+				f.temps[op.Dst] = 0
+			}
+			f.flags[op.Dst] = interp.Flags{}
+		case ir.OpEnvRead:
+			// Sync point: synchronize the non-derivable value with the
+			// device environment (paper §V-D).
+			f.temps[op.Dst] = c.env.ReadEnv(ir.EnvKind(op.Imm))
+			f.flags[op.Dst] = interp.Flags{}
+			c.stats.SyncPointsResolved++
+		case ir.OpCall:
+			callee := c.spec.BlockFor(ir.BlockRef{Handler: op.Handler, Block: 0})
+			if callee == core.NoBlock {
+				continue // opaque: library or unobserved callee
+			}
+			f.op = i + 1
+			c.push(callee)
+			return true, nil
+		case ir.OpCallPtr:
+			target := c.shadow.FuncPtr(op.Field)
+			if c.enabled[StrategyIndirectJump] && !c.spec.LegitimateTarget(op.Field, target) {
+				return false, c.anomaly(StrategyIndirectJump, es, op.Src0,
+					"indirect jump via %q to unauthorized target %#x",
+					prog.Fields[op.Field].Name, target)
+			}
+			if target >= uint64(len(prog.Handlers)) {
+				// Unchecked corrupted pointer: the device would crash.
+				c.frames = c.frames[:0]
+				c.needResync = true
+				return false, nil
+			}
+			callee := c.spec.BlockFor(ir.BlockRef{Handler: int(target), Block: 0})
+			if callee == core.NoBlock {
+				continue // opaque target
+			}
+			f.op = i + 1
+			c.push(callee)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// checkIntStore applies the integer-overflow half of the parameter check:
+// storing a value whose defining arithmetic overflowed for the parameter's
+// signedness, or that exceeds the field's representable range, is an
+// anomaly (paper §VI-A, UBSan-style type metadata plus flag bits).
+func (c *Checker) checkIntStore(es *core.ESBlock, op *ir.Op, f *simFrame) *Anomaly {
+	if !c.enabled[StrategyParameter] || !c.spec.Params.Contains(op.Field) {
+		return nil
+	}
+	fld := &c.spec.Program().Fields[op.Field]
+	if f.flags[op.Src].OverflowFor(fld.Signed) {
+		kind := "unsigned"
+		if fld.Signed {
+			kind = "signed"
+		}
+		return c.anomaly(StrategyParameter, es, op.Src0,
+			"%s integer overflow storing into %q", kind, fld.Name)
+	}
+	return nil
+}
+
+// bufAccess applies the buffer-overflow half of the parameter check —
+// only when the access is indexed by a device-state parameter, per the
+// paper — and otherwise mirrors the device's C semantics on the shadow
+// arena, so downstream strategies see the corruption.
+func (c *Checker) bufAccess(es *core.ESBlock, d *core.DSODOp, f *simFrame, rawIdx uint64, delta int64, v byte, write bool) (uint64, *Anomaly) {
+	op := d.Op
+	prog := c.spec.Program()
+	fld := &prog.Fields[op.Field]
+	var idx int64
+	if op.Signed {
+		idx = op.Width.SignExtend(rawIdx)
+	} else {
+		idx = int64(rawIdx & op.Width.Mask())
+	}
+	idx += delta
+	off := int64(fld.Offset) + idx
+
+	inField := idx >= 0 && idx < int64(fld.Size)
+	if !inField {
+		if c.enabled[StrategyParameter] && d.ParamIndexed {
+			return 0, c.anomaly(StrategyParameter, es, op.Src0,
+				"buffer overflow: %s[%d] outside [0,%d)", fld.Name, idx, fld.Size)
+		}
+		if off < 0 || off >= int64(prog.ArenaSize) {
+			// The device would fault past the arena; stop simulating.
+			c.frames = c.frames[:0]
+			c.needResync = true
+			return 0, nil
+		}
+	}
+	arena := c.shadow.Bytes()
+	if write {
+		arena[off] = v
+		return 0, nil
+	}
+	return uint64(arena[off]), nil
+}
+
+// dmaToShadow copies guest memory into the shadow buffer with the
+// device's C semantics (neighbour corruption inside the arena, stop at the
+// arena edge).
+func (c *Checker) dmaToShadow(es *core.ESBlock, d *core.DSODOp, f *simFrame) *Anomaly {
+	op := d.Op
+	n := int(f.temps[op.B] & 0xFFFF_FFFF)
+	addr := f.temps[op.A]
+
+	// Fast path: the whole span is inside the buffer — one bulk read into
+	// the shadow, mirroring the device's memcpy.
+	fld := &c.spec.Program().Fields[op.Field]
+	var sidx int64
+	if op.Signed {
+		sidx = op.Width.SignExtend(f.temps[op.Idx])
+	} else {
+		sidx = int64(f.temps[op.Idx] & op.Width.Mask())
+	}
+	if sidx >= 0 && n >= 0 && sidx+int64(n) <= int64(fld.Size) {
+		off := fld.Offset + int(sidx)
+		if err := c.env.DMARead(addr, c.shadow.Bytes()[off:off+n]); err != nil {
+			if c.enabled[StrategyParameter] && d.ParamIndexed {
+				return c.anomaly(StrategyParameter, es, op.Src0, "DMA source out of guest memory: %v", err)
+			}
+			c.frames = c.frames[:0]
+			c.needResync = true
+		}
+		return nil
+	}
+
+	var chunk [256]byte
+	for copied := 0; copied < n; {
+		cl := len(chunk)
+		if rem := n - copied; rem < cl {
+			cl = rem
+		}
+		if err := c.env.DMARead(addr+uint64(copied), chunk[:cl]); err != nil {
+			if c.enabled[StrategyParameter] && d.ParamIndexed {
+				return c.anomaly(StrategyParameter, es, op.Src0, "DMA source out of guest memory: %v", err)
+			}
+			c.frames = c.frames[:0]
+			c.needResync = true
+			return nil
+		}
+		for i := 0; i < cl; i++ {
+			if _, a := c.bufAccess(es, d, f, f.temps[op.Idx], int64(copied+i), chunk[i], true); a != nil {
+				return a
+			}
+			if len(c.frames) == 0 {
+				return nil // stopped: shadow copy escaped the arena
+			}
+		}
+		copied += cl
+	}
+	return nil
+}
+
+// checkCopyRange bounds-checks a bulk copy's buffer range (either
+// direction) against the buffer's size — again only when the range derives
+// from device-state parameters.
+func (c *Checker) checkCopyRange(es *core.ESBlock, d *core.DSODOp, f *simFrame) *Anomaly {
+	op := d.Op
+	if !c.enabled[StrategyParameter] || !d.ParamIndexed {
+		return nil
+	}
+	fld := &c.spec.Program().Fields[op.Field]
+	n := int64(f.temps[op.B] & 0xFFFF_FFFF)
+	var idx int64
+	if op.Signed {
+		idx = op.Width.SignExtend(f.temps[op.Idx])
+	} else {
+		idx = int64(f.temps[op.Idx] & op.Width.Mask())
+	}
+	if idx < 0 || n < 0 || idx+n > int64(fld.Size) {
+		return c.anomaly(StrategyParameter, es, op.Src0,
+			"out-of-bounds read: %s[%d..%d) outside [0,%d)", fld.Name, idx, idx+n, fld.Size)
+	}
+	return nil
+}
+
+// transition applies the block's NBTD (or unconditional successor),
+// running the conditional-jump check and the command access control.
+func (c *Checker) transition(f *simFrame, es *core.ESBlock) (bool, *Anomaly) {
+	leavingCmdEnd := es.Kind == ir.KindCmdEnd
+
+	next := core.NoBlock
+	switch {
+	case es.NBTD == nil:
+		switch {
+		case es.Halts:
+			c.frames = c.frames[:0]
+			return true, nil
+		case es.Returns:
+			c.frames = c.frames[:len(c.frames)-1]
+			if leavingCmdEnd {
+				c.cmdActive = false
+			}
+			return len(c.frames) == 0, nil
+		default:
+			next = es.Next
+			if next == core.NoBlock {
+				return true, c.condOrStop(es, ir.SourceRef{}, "successor outside specification")
+			}
+		}
+	case es.NBTD.Kind == ir.TermBranch:
+		t := es.NBTD.Term
+		taken := t.Rel.Eval(f.temps[t.A], f.temps[t.B], t.Width, t.Signed)
+		seen, tgt := es.NBTD.NotTakenSeen, es.NBTD.NotTakenNext
+		if taken {
+			seen, tgt = es.NBTD.TakenSeen, es.NBTD.TakenNext
+		}
+		if !seen || tgt == core.NoBlock {
+			arm := "not-taken"
+			if taken {
+				arm = "taken"
+			}
+			return true, c.condOrStop(es, t.Src0, "untraversed %s branch", arm)
+		}
+		next = tgt
+	case es.NBTD.Kind == ir.TermSwitch:
+		t := es.NBTD.Term
+		sel := f.temps[t.A]
+		tgt, ok := es.NBTD.CaseNext[sel]
+		if es.Kind == ir.KindCmdDecision {
+			if !ok {
+				return true, c.condOrStop(es, t.Src0, "unknown device command %#x", sel)
+			}
+			c.activeCmd = sel
+			c.cmdActive = true
+			c.suppressAccess = false
+		} else if !ok {
+			// A plain decode switch: an unseen selector that statically
+			// lands on an already-observed arm (typically the default) is
+			// legitimate traffic, not a new command.
+			staticTgt := c.spec.BlockFor(ir.BlockRef{
+				Handler: es.Ref.Handler,
+				Block:   staticSwitchTargetIdx(t, sel),
+			})
+			if staticTgt == core.NoBlock {
+				return true, c.condOrStop(es, t.Src0, "switch to untraversed arm for selector %#x", sel)
+			}
+			tgt = staticTgt
+		}
+		if tgt == core.NoBlock {
+			return true, c.condOrStop(es, t.Src0, "switch successor outside specification")
+		}
+		next = tgt
+	}
+
+	if leavingCmdEnd {
+		c.cmdActive = false
+	}
+
+	// Command access control: under an active command, only blocks in the
+	// command's access vector (or globally accessible blocks) may run.
+	nextES := c.spec.Block(next)
+	if nextES != nil && c.accessControl && c.cmdActive && !c.suppressAccess &&
+		c.enabled[StrategyConditionalJump] &&
+		!c.spec.CmdTable.Accessible(c.activeCmd, true, next) {
+		return true, c.anomaly(StrategyConditionalJump, nextES, ir.SourceRef{},
+			"block not accessible under command %#x", c.activeCmd)
+	}
+
+	f.block = next
+	f.op = 0
+	return false, nil
+}
+
+func staticSwitchTargetIdx(t *ir.Term, v uint64) int {
+	for _, cse := range t.Cases {
+		if cse.Value == v {
+			return cse.Target
+		}
+	}
+	return t.Default
+}

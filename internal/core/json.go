@@ -1,0 +1,253 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"sedspec/internal/analysis"
+	"sedspec/internal/ir"
+)
+
+// The serialized form references ops and terminators by position within
+// the device program; loading requires the same program (the "source
+// code" travels separately, as in the paper's deployment).
+
+type dsodJSON struct {
+	Ref          analysis.OpRef `json:"ref"`
+	Sync         bool           `json:"sync,omitempty"`
+	ParamIndexed bool           `json:"paramIndexed,omitempty"`
+}
+
+type caseJSON struct {
+	Value uint64 `json:"value"`
+	Next  int    `json:"next"`
+}
+
+type nbtdJSON struct {
+	Kind         ir.TermKind `json:"kind"`
+	TakenSeen    bool        `json:"takenSeen,omitempty"`
+	NotTakenSeen bool        `json:"notTakenSeen,omitempty"`
+	TakenNext    int         `json:"takenNext"`
+	NotTakenNext int         `json:"notTakenNext"`
+	Cases        []caseJSON  `json:"cases,omitempty"`
+}
+
+type blockJSON struct {
+	ID      int          `json:"id"`
+	Ref     ir.BlockRef  `json:"ref"`
+	Kind    ir.BlockKind `json:"kind"`
+	DSOD    []dsodJSON   `json:"dsod,omitempty"`
+	NBTD    *nbtdJSON    `json:"nbtd,omitempty"`
+	Next    int          `json:"next"`
+	Returns bool         `json:"returns,omitempty"`
+	Halts   bool         `json:"halts,omitempty"`
+	Visits  int          `json:"visits"`
+}
+
+type refMapJSON struct {
+	Ref ir.BlockRef `json:"ref"`
+	ID  int         `json:"id"`
+}
+
+type indirectJSON struct {
+	Field   int      `json:"field"`
+	Targets []uint64 `json:"targets"`
+}
+
+type accessJSON struct {
+	Cmd    uint64 `json:"cmd"`
+	Blocks []int  `json:"blocks"`
+}
+
+type specJSON struct {
+	Device   string           `json:"device"`
+	Entry    int              `json:"entry"`
+	Params   []analysis.Param `json:"params"`
+	Blocks   []*blockJSON     `json:"blocks"`
+	ByRef    []refMapJSON     `json:"byRef"`
+	Indirect []indirectJSON   `json:"indirect,omitempty"`
+	Access   []accessJSON     `json:"access,omitempty"`
+	Global   []int            `json:"global,omitempty"`
+	Stats    Stats            `json:"stats"`
+}
+
+// Save writes the specification as JSON.
+func (s *Spec) Save(w io.Writer) error {
+	out := specJSON{
+		Device: s.Device,
+		Entry:  s.Entry,
+		Params: s.Params.Params,
+		Stats:  s.Stats,
+	}
+	for _, b := range s.Blocks {
+		if b == nil {
+			out.Blocks = append(out.Blocks, nil)
+			continue
+		}
+		jb := &blockJSON{
+			ID: b.ID, Ref: b.Ref, Kind: b.Kind, Next: b.Next,
+			Returns: b.Returns, Halts: b.Halts, Visits: b.Visits,
+		}
+		for _, d := range b.DSOD {
+			jb.DSOD = append(jb.DSOD, dsodJSON{Ref: d.Ref, Sync: d.Sync, ParamIndexed: d.ParamIndexed})
+		}
+		if b.NBTD != nil {
+			jn := &nbtdJSON{
+				Kind:      b.NBTD.Kind,
+				TakenSeen: b.NBTD.TakenSeen, NotTakenSeen: b.NBTD.NotTakenSeen,
+				TakenNext: b.NBTD.TakenNext, NotTakenNext: b.NBTD.NotTakenNext,
+			}
+			vals := make([]uint64, 0, len(b.NBTD.CaseNext))
+			for v := range b.NBTD.CaseNext {
+				vals = append(vals, v)
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			for _, v := range vals {
+				jn.Cases = append(jn.Cases, caseJSON{Value: v, Next: b.NBTD.CaseNext[v]})
+			}
+			jb.NBTD = jn
+		}
+		out.Blocks = append(out.Blocks, jb)
+	}
+	for ref, id := range s.byRef {
+		out.ByRef = append(out.ByRef, refMapJSON{Ref: ref, ID: id})
+	}
+	sort.Slice(out.ByRef, func(i, j int) bool {
+		a, b := out.ByRef[i].Ref, out.ByRef[j].Ref
+		if a.Handler != b.Handler {
+			return a.Handler < b.Handler
+		}
+		return a.Block < b.Block
+	})
+	for field, set := range s.IndirectTargets {
+		ij := indirectJSON{Field: field}
+		for t := range set {
+			ij.Targets = append(ij.Targets, t)
+		}
+		sort.Slice(ij.Targets, func(i, j int) bool { return ij.Targets[i] < ij.Targets[j] })
+		out.Indirect = append(out.Indirect, ij)
+	}
+	sort.Slice(out.Indirect, func(i, j int) bool { return out.Indirect[i].Field < out.Indirect[j].Field })
+	for cmd, set := range s.CmdTable.Access {
+		aj := accessJSON{Cmd: cmd}
+		for b := range set {
+			aj.Blocks = append(aj.Blocks, b)
+		}
+		sort.Ints(aj.Blocks)
+		out.Access = append(out.Access, aj)
+	}
+	sort.Slice(out.Access, func(i, j int) bool { return out.Access[i].Cmd < out.Access[j].Cmd })
+	for b := range s.CmdTable.Global {
+		out.Global = append(out.Global, b)
+	}
+	sort.Ints(out.Global)
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(&out); err != nil {
+		return fmt.Errorf("core: save spec: %w", err)
+	}
+	return nil
+}
+
+// Load reads a JSON specification and rebinds it to the device program it
+// was built from.
+func Load(prog *ir.Program, r io.Reader) (*Spec, error) {
+	var in specJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: load spec: %w", err)
+	}
+	if in.Device != prog.Name {
+		return nil, fmt.Errorf("core: spec is for device %q, program is %q", in.Device, prog.Name)
+	}
+
+	s := &Spec{
+		Device:          in.Device,
+		prog:            prog,
+		Params:          analysis.NewSelection(prog, in.Params),
+		Entry:           in.Entry,
+		byRef:           make(map[ir.BlockRef]int, len(in.ByRef)),
+		IndirectTargets: make(map[int]map[uint64]bool, len(in.Indirect)),
+		CmdTable: &CmdAccessTable{
+			Access: make(map[uint64]map[int]bool, len(in.Access)),
+			Global: make(map[int]bool, len(in.Global)),
+		},
+		Stats: in.Stats,
+	}
+
+	resolveOp := func(ref analysis.OpRef) (*ir.Op, error) {
+		if ref.Handler < 0 || ref.Handler >= len(prog.Handlers) {
+			return nil, fmt.Errorf("core: load spec: handler %d out of range", ref.Handler)
+		}
+		h := &prog.Handlers[ref.Handler]
+		if ref.Block < 0 || ref.Block >= len(h.Blocks) {
+			return nil, fmt.Errorf("core: load spec: block %d out of range in %s", ref.Block, h.Name)
+		}
+		blk := &h.Blocks[ref.Block]
+		if ref.Op < 0 || ref.Op >= len(blk.Ops) {
+			return nil, fmt.Errorf("core: load spec: op %d out of range in %s/%s", ref.Op, h.Name, blk.Label)
+		}
+		return &blk.Ops[ref.Op], nil
+	}
+
+	for _, jb := range in.Blocks {
+		if jb == nil {
+			s.Blocks = append(s.Blocks, nil)
+			continue
+		}
+		b := &ESBlock{
+			ID: jb.ID, Ref: jb.Ref, Kind: jb.Kind, Next: jb.Next,
+			Returns: jb.Returns, Halts: jb.Halts, Visits: jb.Visits,
+		}
+		for _, d := range jb.DSOD {
+			op, err := resolveOp(d.Ref)
+			if err != nil {
+				return nil, err
+			}
+			b.DSOD = append(b.DSOD, DSODOp{Op: op, Ref: d.Ref, Sync: d.Sync, ParamIndexed: d.ParamIndexed})
+		}
+		if jb.NBTD != nil {
+			if jb.Ref.Handler >= len(prog.Handlers) ||
+				jb.Ref.Block >= len(prog.Handlers[jb.Ref.Handler].Blocks) {
+				return nil, fmt.Errorf("core: load spec: NBTD block ref out of range")
+			}
+			term := &prog.Handlers[jb.Ref.Handler].Blocks[jb.Ref.Block].Term
+			n := &NBTD{
+				Kind: jb.NBTD.Kind, Term: term,
+				TakenSeen: jb.NBTD.TakenSeen, NotTakenSeen: jb.NBTD.NotTakenSeen,
+				TakenNext: jb.NBTD.TakenNext, NotTakenNext: jb.NBTD.NotTakenNext,
+			}
+			if len(jb.NBTD.Cases) > 0 {
+				n.CaseNext = make(map[uint64]int, len(jb.NBTD.Cases))
+				for _, c := range jb.NBTD.Cases {
+					n.CaseNext[c.Value] = c.Next
+				}
+			}
+			b.NBTD = n
+		}
+		s.Blocks = append(s.Blocks, b)
+	}
+	for _, rm := range in.ByRef {
+		s.byRef[rm.Ref] = rm.ID
+	}
+	for _, ij := range in.Indirect {
+		set := make(map[uint64]bool, len(ij.Targets))
+		for _, t := range ij.Targets {
+			set[t] = true
+		}
+		s.IndirectTargets[ij.Field] = set
+	}
+	for _, aj := range in.Access {
+		set := make(map[int]bool, len(aj.Blocks))
+		for _, b := range aj.Blocks {
+			set[b] = true
+		}
+		s.CmdTable.Access[aj.Cmd] = set
+	}
+	for _, b := range in.Global {
+		s.CmdTable.Global[b] = true
+	}
+	return s, nil
+}

@@ -1,0 +1,104 @@
+package cvesim_test
+
+import (
+	"testing"
+
+	"sedspec/internal/checker"
+	"sedspec/internal/cvesim"
+)
+
+// TestGroundTruth verifies every PoC's exploit effect on an unprotected
+// device (except the DoS case, whose "success" is state-based).
+func TestGroundTruth(t *testing.T) {
+	for _, p := range cvesim.All() {
+		t.Run(p.CVE, func(t *testing.T) {
+			out, err := p.RunUnprotected()
+			if err != nil {
+				t.Fatalf("RunUnprotected: %v", err)
+			}
+			if !out.Succeeded {
+				t.Errorf("%s exploit did not reach the unprotected device", p.CVE)
+			}
+		})
+	}
+}
+
+// TestDetectionMatrix reproduces the per-strategy columns of Table III:
+// every expected strategy detects its PoC in isolation, and the documented
+// miss stays missed under full protection.
+func TestDetectionMatrix(t *testing.T) {
+	strategies := []checker.Strategy{
+		checker.StrategyParameter,
+		checker.StrategyIndirectJump,
+		checker.StrategyConditionalJump,
+	}
+	for _, p := range cvesim.All() {
+		p := p
+		t.Run(p.CVE, func(t *testing.T) {
+			expected := make(map[checker.Strategy]bool, len(p.Expected))
+			for _, s := range p.Expected {
+				expected[s] = true
+			}
+			for _, s := range strategies {
+				out, err := p.RunProtected(s)
+				if err != nil {
+					t.Fatalf("RunProtected(%v): %v", s, err)
+				}
+				if expected[s] && !out.Detected {
+					t.Errorf("strategy %v should detect %s", s, p.CVE)
+				}
+				if expected[s] && out.Detected && out.Anomaly.Strategy != s {
+					t.Errorf("anomaly strategy = %v, want %v", out.Anomaly.Strategy, s)
+				}
+			}
+			// Full protection: detected iff any strategy is expected.
+			out, err := p.RunProtected()
+			if err != nil {
+				t.Fatalf("RunProtected(all): %v", err)
+			}
+			if len(p.Expected) > 0 && !out.Detected {
+				t.Errorf("%s should be detected under full protection", p.CVE)
+			}
+			if len(p.Expected) == 0 {
+				if out.Detected {
+					t.Errorf("%s should be missed (documented false negative)", p.CVE)
+				}
+				if !out.Succeeded {
+					t.Errorf("%s exploit should succeed despite protection", p.CVE)
+				}
+			}
+			if len(p.Expected) > 0 && out.Detected && out.Succeeded {
+				t.Errorf("%s blocked but the exploit effect still reached the device", p.CVE)
+			}
+		})
+	}
+}
+
+// TestBenignCleanUnderProtection re-runs each PoC's training workload
+// under full protection: zero anomalies expected.
+func TestBenignCleanUnderProtection(t *testing.T) {
+	for _, p := range cvesim.All() {
+		p := p
+		t.Run(p.CVE, func(t *testing.T) {
+			n, err := p.VerifyBenign()
+			if err != nil {
+				t.Fatalf("VerifyBenign: %v", err)
+			}
+			if n != 0 {
+				t.Errorf("benign anomalies = %d, want 0", n)
+			}
+		})
+	}
+}
+
+func TestByCVE(t *testing.T) {
+	if cvesim.ByCVE("CVE-2015-3456") == nil {
+		t.Error("Venom PoC missing")
+	}
+	if cvesim.ByCVE("CVE-0000-0000") != nil {
+		t.Error("unknown CVE should return nil")
+	}
+	if len(cvesim.All()) != 9 {
+		t.Errorf("PoC count = %d, want 9 (8 case studies + the miss)", len(cvesim.All()))
+	}
+}

@@ -1,0 +1,68 @@
+// Package devutil provides the shared scaffolding for emulated device
+// models: a machine.Device implementation wrapping a device program, its
+// control structure, and a power-on reset routine.
+package devutil
+
+import (
+	"fmt"
+
+	"sedspec/internal/interp"
+	"sedspec/internal/ir"
+)
+
+// ResetFunc sets a device control structure to power-on values.
+type ResetFunc func(st *interp.State, prog *ir.Program)
+
+// Base implements machine.Device for a built device program.
+type Base struct {
+	prog  *ir.Program
+	state *interp.State
+	reset ResetFunc
+}
+
+// NewBase wraps a program and reset routine, applying the reset once.
+func NewBase(prog *ir.Program, reset ResetFunc) *Base {
+	b := &Base{prog: prog, state: interp.NewState(prog), reset: reset}
+	b.Reset()
+	return b
+}
+
+// Name implements machine.Device.
+func (b *Base) Name() string { return b.prog.Name }
+
+// Program implements machine.Device.
+func (b *Base) Program() *ir.Program { return b.prog }
+
+// State implements machine.Device.
+func (b *Base) State() *interp.State { return b.state }
+
+// Reset implements machine.Device: zero the structure and apply power-on
+// values.
+func (b *Base) Reset() {
+	b.state.Reset()
+	if b.reset != nil {
+		b.reset(b.state, b.prog)
+	}
+}
+
+// MustBuild finalizes a builder, panicking on error. Device definitions
+// are static program text: a build failure is a programming error caught
+// by any test, not a runtime condition.
+func MustBuild(b *ir.Builder) *ir.Program {
+	prog, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("devutil: device program invalid: %v", err))
+	}
+	return prog
+}
+
+// SetFunc stores a handler index into a function-pointer field by names;
+// used by reset routines to install power-on callbacks.
+func SetFunc(st *interp.State, prog *ir.Program, field, handler string) {
+	fi := prog.FieldIndex(field)
+	hi := prog.HandlerIndex(handler)
+	if fi < 0 || hi < 0 {
+		panic(fmt.Sprintf("devutil: unknown field %q or handler %q", field, handler))
+	}
+	st.SetFuncPtr(fi, uint64(hi))
+}

@@ -1,0 +1,79 @@
+package devutil_test
+
+import (
+	"testing"
+
+	"sedspec/internal/devices/devutil"
+	"sedspec/internal/interp"
+	"sedspec/internal/ir"
+)
+
+func tinyProgram(t *testing.T) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("tiny")
+	b.Int("reg", ir.W8)
+	b.Func("cb")
+	h := b.Handler("dispatch")
+	h.Block("e").Entry().Halt("return")
+	cb := b.Handler("on_irq")
+	cb.Block("e").Return("return")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestBaseLifecycle(t *testing.T) {
+	prog := tinyProgram(t)
+	resets := 0
+	base := devutil.NewBase(prog, func(st *interp.State, p *ir.Program) {
+		resets++
+		st.SetIntByName("reg", 0x42)
+		devutil.SetFunc(st, p, "cb", "on_irq")
+	})
+	if base.Name() != "tiny" || base.Program() != prog {
+		t.Error("identity accessors wrong")
+	}
+	if resets != 1 {
+		t.Errorf("NewBase should reset once, got %d", resets)
+	}
+	if v, _ := base.State().IntByName("reg"); v != 0x42 {
+		t.Errorf("power-on value not applied: %#x", v)
+	}
+	if got := base.State().FuncPtr(prog.FieldIndex("cb")); got != uint64(prog.HandlerIndex("on_irq")) {
+		t.Error("SetFunc did not install the handler")
+	}
+
+	base.State().SetIntByName("reg", 0x99)
+	base.Reset()
+	if v, _ := base.State().IntByName("reg"); v != 0x42 {
+		t.Error("Reset should restore power-on values")
+	}
+	if resets != 2 {
+		t.Errorf("resets = %d, want 2", resets)
+	}
+}
+
+func TestSetFuncPanicsOnUnknown(t *testing.T) {
+	prog := tinyProgram(t)
+	st := interp.NewState(prog)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetFunc with unknown names should panic (programming error)")
+		}
+	}()
+	devutil.SetFunc(st, prog, "ghost", "on_irq")
+}
+
+func TestMustBuildPanicsOnInvalid(t *testing.T) {
+	b := ir.NewBuilder("bad")
+	h := b.Handler("dispatch")
+	h.Block("e").Jump("nowhere", "goto nowhere")
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on an invalid program")
+		}
+	}()
+	devutil.MustBuild(b)
+}

@@ -1,0 +1,18 @@
+package devutil
+
+import (
+	"sedspec/internal/interp"
+	"sedspec/internal/machine"
+)
+
+// Port is the guest's view of a device: the subset of the facade Driver
+// that device guest-helpers need. Implemented by sedspec.Driver.
+type Port interface {
+	Out(port uint64, data []byte) (*interp.Result, error)
+	Out8(port uint64, v byte) (*interp.Result, error)
+	In(port uint64) ([]byte, *interp.Result, error)
+	MMIOWrite(addr uint64, data []byte) (*interp.Result, error)
+	MMIORead(addr uint64) ([]byte, *interp.Result, error)
+	Machine() *machine.Machine
+	Attached() *machine.Attached
+}

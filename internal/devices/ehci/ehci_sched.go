@@ -1,0 +1,220 @@
+package ehci
+
+import "sedspec/internal/ir"
+
+// buildSchedule emits asynchronous-schedule processing: walk the guest's
+// qTD chain (or resume the cached qTD when the list head is zero),
+// executing SETUP / OUT / IN stages against the USB device's
+// control-transfer state.
+func buildSchedule(b *ir.Builder, opts Options, irqCb, setupBuf, setupLen, dataBuf, setupIndex,
+	usbsts, asyncList, asyncTD, tdCount ir.FieldID, devAddr, config ir.FieldID) {
+
+	h := b.Handler("ehci_advance_async")
+	e := h.Block("entry")
+	z := e.Const(0, "0")
+	e.Store(tdCount, z, "budget = 0")
+	head := e.Load(asyncList, "td = s->asynclistaddr")
+	e.Branch(head, ir.RelEQ, z, ir.W32, false, "if (!s->asynclistaddr)", "resume", "fresh")
+
+	// Resume path: reuse the cached qTD. With CVE-2016-1568 unpatched, a
+	// doorbell unlink leaves the cache dangling and this path follows it
+	// into repurposed guest memory. Benign traffic takes the identical
+	// path with a valid cache, so the specification cannot tell them
+	// apart.
+	rs := h.Block("resume")
+	cached := rs.Load(asyncTD, "td = s->async_td /* cached qTD */")
+	zr := rs.Const(0, "0")
+	rs.Branch(cached, ir.RelEQ, zr, ir.W32, false, "if (!s->async_td)", "idle", "load_cached")
+	h.Block("idle").CmdEnd().Return("return")
+	lc := h.Block("load_cached")
+	lc.Store(asyncTD, cached, "keep cache")
+	lc.Jump("td_loop", "goto process")
+
+	fr := h.Block("fresh")
+	fr.Store(asyncTD, head, "s->async_td = s->asynclistaddr")
+	fr.Jump("td_loop", "goto process")
+
+	// --- qTD processing loop ---
+	lp := h.Block("td_loop")
+	td := lp.Load(asyncTD, "td = s->async_td")
+	token := lp.DMARead(td, ir.W32, "token = ldl(td)")
+	bo := lp.Const(TDBuffer, "4")
+	ba := lp.Arith(ir.ALUAdd, td, bo, ir.W32, false, "td + 4")
+	buf := lp.DMARead(ba, ir.W32, "bufp = ldl(td + 4)")
+	pm := lp.Const(0xFF, "0xff")
+	pid := lp.Arith(ir.ALUAnd, token, pm, ir.W32, false, "pid = token & 0xff")
+	lp.Switch(pid, "switch (pid)", "td_done",
+		ir.Case(PidSetup, "st_setup"),
+		ir.Case(PidOut, "st_out"),
+		ir.Case(PidIn, "st_in"),
+	)
+
+	// SETUP stage: latch the 8-byte setup packet and dispatch bRequest.
+	su := h.Block("st_setup")
+	zi := su.Const(0, "0")
+	eight := su.Const(8, "8")
+	su.DMAToBuf(setupBuf, zi, buf, eight, false, "usb_packet_copy(s->setup_buf, 8)")
+	six := su.Const(6, "6")
+	wl0 := su.BufLoad(setupBuf, six, ir.W32, false, "lo = s->setup_buf[6]")
+	seven := su.Const(7, "7")
+	wl1 := su.BufLoad(setupBuf, seven, ir.W32, false, "hi = s->setup_buf[7]")
+	sh8 := su.Const(8, "8")
+	hi := su.Arith(ir.ALUShl, wl1, sh8, ir.W32, false, "hi << 8")
+	wlen := su.Arith(ir.ALUOr, hi, wl0, ir.W32, false, "wLength = lo | hi << 8")
+	if opts.Fix14364 {
+		lim := su.Const(DataBufSize, "sizeof(s->data_buf)")
+		su.Branch(wlen, ir.RelGT, lim, ir.W32, true,
+			"if (s->setup_len > sizeof(s->data_buf)) /* CVE-2020-14364 fix */", "st_stall", "st_latch")
+		stl := h.Block("st_stall")
+		cur := stl.Load(usbsts, "sts")
+		eb := stl.Const(StsErr, "STS_ERR")
+		c2 := stl.Arith(ir.ALUOr, cur, eb, ir.W32, false, "sts | ERR")
+		stl.Store(usbsts, c2, "s->usbsts |= ERR /* stall */")
+		stl.Return("return")
+		la := h.Block("st_latch")
+		la.Store(setupLen, wlen, "s->setup_len = wLength")
+		zz := la.Const(0, "0")
+		la.Store(setupIndex, zz, "s->setup_index = 0")
+		la.Jump("st_dispatch", "goto dispatch")
+	} else {
+		su.Store(setupLen, wlen, "s->setup_len = wLength /* unbounded: CVE-2020-14364 */")
+		zz := su.Const(0, "0")
+		su.Store(setupIndex, zz, "s->setup_index = 0")
+		su.Jump("st_dispatch", "goto dispatch")
+	}
+
+	// bRequest dispatch: the USB device's command space.
+	dp := h.Block("st_dispatch").CmdDecision()
+	onei := dp.Const(1, "1")
+	breq := dp.BufLoad(setupBuf, onei, ir.W8, false, "bRequest = s->setup_buf[1]")
+	dp.Switch(breq, "switch (bRequest)", "rq_stall",
+		ir.Case(ReqGetStatus, "rq_getstatus"),
+		ir.Case(ReqClearFeature, "rq_clearfeat"),
+		ir.Case(ReqSetFeature, "rq_setfeat"),
+		ir.Case(ReqSetAddress, "rq_setaddr"),
+		ir.Case(ReqGetDescriptor, "rq_getdesc"),
+		ir.Case(ReqGetConfig, "rq_getconf"),
+		ir.Case(ReqSetConfig, "rq_setconf"),
+		ir.Case(ReqGetInterface, "rq_getif"),
+		ir.Case(ReqSetInterface, "rq_setif"),
+		ir.Case(ReqSetDescriptor, "rq_setdesc"),
+		ir.Case(ReqSynchFrame, "rq_synch"),
+	)
+
+	gs := h.Block("rq_getstatus")
+	o := gs.Const(1, "1")
+	zgi := gs.Const(0, "0")
+	gs.BufStore(dataBuf, zgi, o, ir.W32, false, "s->data_buf[0] = 1 /* self powered */")
+	gs.Jump("td_done", "goto done")
+
+	cf := h.Block("rq_clearfeat")
+	cf.Jump("td_done", "goto done")
+	sf := h.Block("rq_setfeat")
+	sf.Jump("td_done", "goto done")
+
+	sa := h.Block("rq_setaddr")
+	two := sa.Const(2, "2")
+	av := sa.BufLoad(setupBuf, two, ir.W8, false, "addr = s->setup_buf[2]")
+	sa.Store(devAddr, av, "s->dev_addr = addr")
+	sa.Jump("td_done", "goto done")
+
+	gd := h.Block("rq_getdesc")
+	for i, dbyte := range []uint64{18, 1, 0, 2, 0, 0, 0, 64, 0x86, 0x80} {
+		ii := gd.Const(uint64(i), "i")
+		dv := gd.Const(dbyte, "desc[i]")
+		gd.BufStore(dataBuf, ii, dv, ir.W32, false, "s->data_buf[i] = desc[i]")
+	}
+	gd.Jump("td_done", "goto done")
+
+	gc := h.Block("rq_getconf")
+	cv := gc.Load(config, "c = s->config")
+	zci := gc.Const(0, "0")
+	gc.BufStore(dataBuf, zci, cv, ir.W32, false, "s->data_buf[0] = s->config")
+	gc.Jump("td_done", "goto done")
+
+	sc := h.Block("rq_setconf")
+	two2 := sc.Const(2, "2")
+	cv2 := sc.BufLoad(setupBuf, two2, ir.W8, false, "c = s->setup_buf[2]")
+	sc.Store(config, cv2, "s->config = c")
+	sc.Jump("td_done", "goto done")
+
+	gi := h.Block("rq_getif")
+	gi.Jump("td_done", "goto done")
+	si := h.Block("rq_setif")
+	si.Jump("td_done", "goto done")
+	sd := h.Block("rq_setdesc") // rare
+	sd.Jump("td_done", "goto done")
+	sy := h.Block("rq_synch") // rare
+	sy.Jump("td_done", "goto done")
+
+	rqs := h.Block("rq_stall")
+	cur2 := rqs.Load(usbsts, "sts")
+	eb2 := rqs.Const(StsErr, "STS_ERR")
+	c4 := rqs.Arith(ir.ALUOr, cur2, eb2, ir.W32, false, "sts | ERR")
+	rqs.Store(usbsts, c4, "s->usbsts |= ERR")
+	rqs.Jump("td_done", "goto done")
+
+	// OUT data stage: host-to-device, indexed by setup_index (signed) —
+	// the CVE-2020-14364 out-of-bounds site.
+	ou := h.Block("st_out")
+	sh16 := ou.Const(16, "16")
+	n := ou.Arith(ir.ALUShr, token, sh16, ir.W32, false, "len = token >> 16")
+	idx := ou.Load(setupIndex, "i = s->setup_index")
+	ou.DMAToBuf(dataBuf, idx, buf, n, true, "usb_packet_copy(s->data_buf + s->setup_index, len)")
+	// C semantics: the copy may have overwritten setup_index itself (the
+	// first out-of-bounds instance of CVE-2020-14364), and the increment
+	// reads it back from memory.
+	idx2 := ou.Load(setupIndex, "i = s->setup_index /* re-read after copy */")
+	ni := ou.Arith(ir.ALUAdd, idx2, n, ir.W32, true, "i + len")
+	ou.Store(setupIndex, ni, "s->setup_index += len")
+	ou.Work(n, "usb data stage")
+	ou.Jump("td_done", "goto done")
+
+	// IN data stage: device-to-host.
+	in := h.Block("st_in")
+	sh16b := in.Const(16, "16")
+	n2 := in.Arith(ir.ALUShr, token, sh16b, ir.W32, false, "len = token >> 16")
+	zi2 := in.Const(0, "0")
+	in.DMAFromBuf(dataBuf, zi2, buf, n2, false, "usb_packet_copy(out, s->data_buf, len)")
+	in.Work(n2, "usb data stage")
+	in.Jump("td_done", "goto done")
+
+	// TD epilogue: status writeback, completion interrupt, next TD.
+	dn := h.Block("td_done")
+	so := dn.Const(TDStatus, "12")
+	sa2 := dn.Arith(ir.ALUAdd, td, so, ir.W32, false, "td + 12")
+	done := dn.Const(1, "QTD_DONE")
+	dn.DMAWrite(sa2, done, ir.W32, "stl(td + 12, DONE)")
+	ioc := dn.Const(TokenIOC, "IOC")
+	ib := dn.Arith(ir.ALUAnd, token, ioc, ir.W32, false, "token & IOC")
+	zd := dn.Const(0, "0")
+	dn.Branch(ib, ir.RelNE, zd, ir.W32, false, "if (token & IOC)", "td_irq", "td_next")
+
+	ti := h.Block("td_irq")
+	cur3 := ti.Load(usbsts, "sts")
+	intb := ti.Const(StsInt, "STS_INT")
+	c5 := ti.Arith(ir.ALUOr, cur3, intb, ir.W32, false, "sts | INT")
+	ti.Store(usbsts, c5, "s->usbsts |= INT")
+	ti.CallPtr(irqCb, "ehci_raise_irq(s)")
+	ti.Jump("td_next", "goto next")
+
+	nx := h.Block("td_next")
+	no := nx.Const(TDNext, "8")
+	na := nx.Arith(ir.ALUAdd, td, no, ir.W32, false, "td + 8")
+	next := nx.DMARead(na, ir.W32, "next = ldl(td + 8)")
+	zn := nx.Const(0, "0")
+	nx.Branch(next, ir.RelEQ, zn, ir.W32, false, "if (!next)", "chain_end", "advance")
+
+	ce := h.Block("chain_end").CmdEnd()
+	ce.Return("return /* keep s->async_td cached at the last qTD */")
+
+	ad := h.Block("advance")
+	ad.Store(asyncTD, next, "s->async_td = next")
+	cnt := ad.Load(tdCount, "budget")
+	oneb := ad.Const(1, "1")
+	cnt2 := ad.Arith(ir.ALUAdd, cnt, oneb, ir.W8, false, "budget + 1")
+	ad.Store(tdCount, cnt2, "budget++")
+	lim := ad.Const(tdBudget, "TD_BUDGET")
+	ad.Branch(cnt2, ir.RelGE, lim, ir.W8, false, "if (budget >= TD_BUDGET)", "budget_out", "td_loop")
+	h.Block("budget_out").CmdEnd().Return("return /* microframe budget exhausted */")
+}

@@ -1,0 +1,295 @@
+package ehci_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"sedspec"
+	"sedspec/internal/checker"
+	"sedspec/internal/devices/ehci"
+	"sedspec/internal/machine"
+	"sedspec/internal/workload"
+)
+
+func setup(t *testing.T, opts ehci.Options) (*sedspec.Machine, *sedspec.Attached, *ehci.Guest) {
+	t.Helper()
+	m := sedspec.NewMachine(machine.WithMemory(1 << 20))
+	dev := ehci.New(opts)
+	att := m.Attach(dev, machine.WithMMIO(0, ehci.RegionSize))
+	return m, att, ehci.NewGuest(sedspec.NewDriver(att))
+}
+
+func train(d *sedspec.Driver) error {
+	return workload.TrainEHCI(d, workload.TrainConfig{Light: true})
+}
+
+func TestEnumeration(t *testing.T) {
+	_, att, g := setup(t, ehci.Options{})
+	if err := g.NoDataRequest(ehci.ReqSetAddress, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := att.Dev().State().IntByName("dev_addr"); v != 7 {
+		t.Errorf("dev_addr = %d, want 7", v)
+	}
+	if err := g.NoDataRequest(ehci.ReqSetConfig, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := att.Dev().State().IntByName("config"); v != 1 {
+		t.Errorf("config = %d, want 1", v)
+	}
+}
+
+func TestGetDescriptorReturnsData(t *testing.T) {
+	m, _, g := setup(t, ehci.Options{})
+	if err := g.ControlIn(ehci.ReqGetDescriptor, 0x0100, 18); err != nil {
+		t.Fatal(err)
+	}
+	// The IN stage DMA'd the descriptor to guest memory.
+	buf := make([]byte, 4)
+	if err := m.Mem.Read(0x8100, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 18 || buf[1] != 1 {
+		t.Errorf("descriptor head = %v, want [18 1 ...]", buf)
+	}
+	if !m.IRQ.Level(0) {
+		t.Error("IOC should raise the interrupt")
+	}
+}
+
+func TestControlOutFillsDataBuf(t *testing.T) {
+	_, att, g := setup(t, ehci.Options{})
+	data := []byte{9, 8, 7, 6, 5}
+	if err := g.ControlOut(ehci.ReqClearFeature, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got := att.Dev().State().Buf(att.Dev().Program().FieldIndex("data_buf"))[:5]
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("data_buf[%d] = %d, want %d", i, got[i], data[i])
+		}
+	}
+	if v, _ := att.Dev().State().IntByName("setup_index"); v != 5 {
+		t.Errorf("setup_index = %d, want 5", v)
+	}
+}
+
+// cve14364 runs the two-instance exploit: a SETUP with oversized wLength,
+// OUT stages that walk setup_index past data_buf onto setup_index itself
+// (rewriting it to a negative value), and a final OUT that lands before
+// the buffer on the device's callback pointer.
+func cve14364(t *testing.T, g *ehci.Guest, att *sedspec.Attached, m *sedspec.Machine) error {
+	t.Helper()
+	prog := att.Dev().Program()
+	gadget := uint64(prog.HandlerIndex("host_gadget"))
+
+	// SETUP with wLength far beyond the 4096-byte buffer.
+	if err := m.Mem.Write(0x8000, []byte{0x00, ehci.ReqClearFeature, 0, 0, 0, 0, 0xFF, 0xFF}); err != nil {
+		return err
+	}
+	// First OUT fills exactly 4096 bytes; the second OUT's 8 bytes land
+	// on setup_index (4 bytes) and beyond, rewriting it to -28; after the
+	// post-copy increment (+8) it reads -20 — the offset of irq_cb
+	// relative to data_buf.
+	overwrite := make([]byte, 8)
+	binary.LittleEndian.PutUint32(overwrite, 0xFFFF_FFE4) // -28
+	if err := m.Mem.Write(0x9000, overwrite); err != nil {
+		return err
+	}
+	// Third OUT writes the gadget pointer through the negative index.
+	payload := make([]byte, 8)
+	binary.LittleEndian.PutUint64(payload, gadget)
+	if err := m.Mem.Write(0xA000, payload); err != nil {
+		return err
+	}
+	return g.Run([]ehci.TD{
+		{Pid: ehci.PidSetup, Len: 8, Buffer: 0x8000},
+		{Pid: ehci.PidOut, Len: 4096, Buffer: 0x8100},
+		{Pid: ehci.PidOut, Len: 8, Buffer: 0x9000},
+		{Pid: ehci.PidOut, Len: 8, Buffer: 0xA000},
+		// Completion with IOC: the corrupted callback fires.
+		{Pid: ehci.PidIn, Len: 4, Buffer: 0x8200, IOC: true},
+	})
+}
+
+func TestCVE14364UnprotectedHijack(t *testing.T) {
+	m, att, g := setup(t, ehci.Options{})
+	if err := cve14364(t, g, att, m); err != nil {
+		t.Fatalf("unprotected exploit errored: %v", err)
+	}
+	if v, _ := att.Dev().State().IntByName("frindex"); v != 0xBAD {
+		t.Errorf("frindex = %#x, want 0xBAD (gadget executed)", v)
+	}
+}
+
+func TestCVE14364Fix(t *testing.T) {
+	m, att, g := setup(t, ehci.Options{Fix14364: true})
+	if err := cve14364(t, g, att, m); err != nil {
+		t.Fatalf("patched device errored: %v", err)
+	}
+	if v, _ := att.Dev().State().IntByName("frindex"); v == 0xBAD {
+		t.Error("gadget executed despite fix")
+	}
+	if v, _ := att.Dev().State().IntByName("usbsts"); v&ehci.StsErr == 0 {
+		t.Error("oversized wLength should stall")
+	}
+}
+
+func learn(t *testing.T, att *sedspec.Attached) *sedspec.Spec {
+	t.Helper()
+	spec, err := sedspec.Learn(att, train)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	return spec
+}
+
+func TestBenignPassesUnderProtection(t *testing.T) {
+	m, att, _ := setup(t, ehci.Options{})
+	spec := learn(t, att)
+	chk := sedspec.Protect(att, spec)
+	if err := train(sedspec.NewDriver(att)); err != nil {
+		t.Fatalf("benign traffic blocked: %v", err)
+	}
+	if m.Halted() {
+		t.Fatal("halted on benign traffic")
+	}
+	st := chk.Stats()
+	if st.ParamAnomalies+st.IndirectAnomalies+st.CondAnomalies != 0 {
+		t.Fatalf("anomalies on benign traffic: %+v", st)
+	}
+}
+
+func TestCVE14364BlockedByParameterCheck(t *testing.T) {
+	m, att, g := setup(t, ehci.Options{})
+	spec := learn(t, att)
+	sedspec.Protect(att, spec, checker.WithStrategies(checker.StrategyParameter))
+	err := cve14364(t, g, att, m)
+	var anom *sedspec.Anomaly
+	if !errors.As(err, &anom) || anom.Strategy != checker.StrategyParameter {
+		t.Fatalf("want parameter anomaly, got %v", err)
+	}
+	if !m.Halted() {
+		t.Error("machine should halt")
+	}
+	if v, _ := att.Dev().State().IntByName("frindex"); v == 0xBAD {
+		t.Error("gadget executed despite protection")
+	}
+}
+
+func TestCVE14364CaughtByIndirectCheck(t *testing.T) {
+	// With only the indirect check, the overflow proceeds on the shadow;
+	// the corrupted callback pointer is caught at invocation.
+	m, att, g := setup(t, ehci.Options{})
+	spec := learn(t, att)
+	sedspec.Protect(att, spec, checker.WithStrategies(checker.StrategyIndirectJump))
+	err := cve14364(t, g, att, m)
+	var anom *sedspec.Anomaly
+	if !errors.As(err, &anom) || anom.Strategy != checker.StrategyIndirectJump {
+		t.Fatalf("want indirect-jump anomaly, got %v", err)
+	}
+	if !m.Halted() {
+		t.Error("machine should halt")
+	}
+}
+
+// cve1568 reuses the controller's dangling cached qTD after an unlink: the
+// guest repurposes the qTD memory, and a schedule resume makes the device
+// operate on attacker data at a stale pointer.
+func cve1568(g *ehci.Guest, m *sedspec.Machine) error {
+	// Benign-looking transfer that leaves the cache populated.
+	if err := g.ControlIn(ehci.ReqGetStatus, 0, 2); err != nil {
+		return err
+	}
+	// Unlink: the guest declares the chain memory free.
+	if err := g.Doorbell(); err != nil {
+		return err
+	}
+	// Repurpose the cached qTD memory: an IN transfer targeting an
+	// address the guest never handed to the controller.
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint32(buf[ehci.TDToken:], ehci.PidIn|64<<16)
+	binary.LittleEndian.PutUint32(buf[ehci.TDBuffer:], 0xF000) // wild target
+	if err := m.Mem.Write(0x0810, buf); err != nil {           // the cached (second) qTD
+		return err
+	}
+	// Resume: the device follows the stale pointer.
+	return g.Resume()
+}
+
+func TestCVE1568UnprotectedUAF(t *testing.T) {
+	m, _, g := setup(t, ehci.Options{})
+	// Canary at the wild target address.
+	if err := m.Mem.Write(0xF000, []byte{0xAA, 0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cve1568(g, m); err != nil {
+		t.Fatalf("exploit errored: %v", err)
+	}
+	got := make([]byte, 2)
+	if err := m.Mem.Read(0xF000, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] == 0xAA {
+		t.Error("stale-qTD transfer should have written through the wild pointer")
+	}
+}
+
+func TestCVE1568Fix(t *testing.T) {
+	m, _, g := setup(t, ehci.Options{Fix1568: true})
+	if err := m.Mem.Write(0xF000, []byte{0xAA, 0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cve1568(g, m); err != nil {
+		t.Fatalf("patched device errored: %v", err)
+	}
+	got := make([]byte, 2)
+	if err := m.Mem.Read(0xF000, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAA {
+		t.Error("fix should have dropped the cached qTD")
+	}
+}
+
+func TestCVE1568MissedBySEDSpec(t *testing.T) {
+	// The paper's reported false negative: the stale-pointer flow follows
+	// exactly the control flow of benign traffic, so no strategy fires
+	// and the exploit succeeds under full protection.
+	m, att, g := setup(t, ehci.Options{})
+	spec := learn(t, att)
+	chk := sedspec.Protect(att, spec)
+
+	if err := m.Mem.Write(0xF000, []byte{0xAA, 0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cve1568(g, m); err != nil {
+		t.Fatalf("SEDSpec unexpectedly blocked CVE-2016-1568: %v", err)
+	}
+	if m.Halted() {
+		t.Fatal("machine should not halt (known miss)")
+	}
+	st := chk.Stats()
+	if st.ParamAnomalies+st.IndirectAnomalies+st.CondAnomalies != 0 {
+		t.Fatalf("no strategy should fire: %+v", st)
+	}
+	got := make([]byte, 2)
+	if err := m.Mem.Read(0xF000, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] == 0xAA {
+		t.Error("exploit should have succeeded (the documented miss)")
+	}
+}
+
+func TestRareRequestsFlagged(t *testing.T) {
+	_, att, g := setup(t, ehci.Options{})
+	spec := learn(t, att)
+	sedspec.Protect(att, spec)
+	err := g.NoDataRequest(ehci.ReqSynchFrame, 0)
+	var anom *sedspec.Anomaly
+	if !errors.As(err, &anom) || anom.Strategy != checker.StrategyConditionalJump {
+		t.Fatalf("want conditional-jump anomaly for SYNCH_FRAME, got %v", err)
+	}
+}

@@ -1,0 +1,170 @@
+package ehci
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sedspec/internal/devices/devutil"
+)
+
+// Guest memory layout used by the driver helper.
+const (
+	guestTDBase  = 0x0800 // qTD chain area
+	guestBufBase = 0x8000 // data buffers
+)
+
+// Guest drives the controller like an EHCI host driver: build qTD chains
+// in guest memory, start the async schedule, and service interrupts.
+type Guest struct {
+	p devutil.Port
+	// Base is the MMIO base the device was attached at.
+	Base uint64
+}
+
+// NewGuest wraps a port driver.
+func NewGuest(p devutil.Port) *Guest { return &Guest{p: p} }
+
+// Write32 writes an operational register.
+func (g *Guest) Write32(off uint64, v uint32) error {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, v)
+	_, err := g.p.MMIOWrite(g.Base+off, b)
+	return err
+}
+
+// Read32 reads an operational register.
+func (g *Guest) Read32(off uint64) (uint32, error) {
+	out, _, err := g.p.MMIORead(g.Base + off)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) < 4 {
+		return 0, fmt.Errorf("ehci: short read at %#x", off)
+	}
+	return binary.LittleEndian.Uint32(out), nil
+}
+
+// TD describes one qTD to place in guest memory.
+type TD struct {
+	Pid    uint32
+	IOC    bool
+	Len    uint32
+	Buffer uint32
+}
+
+// WriteChain lays out a qTD chain at guestTDBase and returns its head.
+func (g *Guest) WriteChain(tds []TD) (uint32, error) {
+	mem := g.p.Machine().Mem
+	for i, td := range tds {
+		addr := uint64(guestTDBase + i*16)
+		token := td.Pid | td.Len<<16
+		if td.IOC {
+			token |= TokenIOC
+		}
+		next := uint32(0)
+		if i < len(tds)-1 {
+			next = uint32(guestTDBase + (i+1)*16)
+		}
+		buf := make([]byte, 16)
+		binary.LittleEndian.PutUint32(buf[TDToken:], token)
+		binary.LittleEndian.PutUint32(buf[TDBuffer:], td.Buffer)
+		binary.LittleEndian.PutUint32(buf[TDNext:], next)
+		if err := mem.Write(addr, buf); err != nil {
+			return 0, err
+		}
+	}
+	return guestTDBase, nil
+}
+
+// Run submits a chain and starts the async schedule.
+func (g *Guest) Run(tds []TD) error {
+	head, err := g.WriteChain(tds)
+	if err != nil {
+		return err
+	}
+	if err := g.Write32(RegAsyncList, head); err != nil {
+		return err
+	}
+	return g.Write32(RegUSBCmd, CmdRun)
+}
+
+// Resume re-runs the schedule from the controller's cached qTD.
+func (g *Guest) Resume() error {
+	if err := g.Write32(RegAsyncList, 0); err != nil {
+		return err
+	}
+	return g.Write32(RegUSBCmd, CmdRun)
+}
+
+// Doorbell rings the async unlink doorbell (without running).
+func (g *Guest) Doorbell() error {
+	return g.Write32(RegUSBCmd, CmdDoorbell)
+}
+
+// AckStatus clears pending status bits.
+func (g *Guest) AckStatus() error {
+	s, err := g.Read32(RegUSBSts)
+	if err != nil {
+		return err
+	}
+	return g.Write32(RegUSBSts, s)
+}
+
+// setupPacket builds the 8-byte SETUP payload.
+func setupPacket(reqType, request byte, value, index, length uint16) []byte {
+	b := make([]byte, 8)
+	b[0] = reqType
+	b[1] = request
+	binary.LittleEndian.PutUint16(b[2:], value)
+	binary.LittleEndian.PutUint16(b[4:], index)
+	binary.LittleEndian.PutUint16(b[6:], length)
+	return b
+}
+
+// ControlIn performs a SETUP + IN + status transfer (for example
+// GET_DESCRIPTOR).
+func (g *Guest) ControlIn(request byte, value, wLength uint16) error {
+	mem := g.p.Machine().Mem
+	if err := mem.Write(guestBufBase, setupPacket(0x80, request, value, 0, wLength)); err != nil {
+		return err
+	}
+	err := g.Run([]TD{
+		{Pid: PidSetup, Len: 8, Buffer: guestBufBase},
+		{Pid: PidIn, Len: uint32(wLength), Buffer: guestBufBase + 0x100, IOC: true},
+	})
+	if err != nil {
+		return err
+	}
+	return g.AckStatus()
+}
+
+// ControlOut performs a SETUP + OUT transfer carrying data to the device.
+func (g *Guest) ControlOut(request byte, value uint16, data []byte) error {
+	mem := g.p.Machine().Mem
+	if err := mem.Write(guestBufBase, setupPacket(0x00, request, value, 0, uint16(len(data)))); err != nil {
+		return err
+	}
+	if err := mem.Write(guestBufBase+0x100, data); err != nil {
+		return err
+	}
+	err := g.Run([]TD{
+		{Pid: PidSetup, Len: 8, Buffer: guestBufBase},
+		{Pid: PidOut, Len: uint32(len(data)), Buffer: guestBufBase + 0x100, IOC: true},
+	})
+	if err != nil {
+		return err
+	}
+	return g.AckStatus()
+}
+
+// NoDataRequest performs a SETUP-only transfer (SET_ADDRESS and friends).
+func (g *Guest) NoDataRequest(request byte, value uint16) error {
+	mem := g.p.Machine().Mem
+	if err := mem.Write(guestBufBase, setupPacket(0x00, request, value, 0, 0)); err != nil {
+		return err
+	}
+	if err := g.Run([]TD{{Pid: PidSetup, Len: 8, Buffer: guestBufBase, IOC: true}}); err != nil {
+		return err
+	}
+	return g.AckStatus()
+}

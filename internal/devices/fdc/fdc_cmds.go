@@ -1,0 +1,407 @@
+package fdc
+
+import "sedspec/internal/ir"
+
+// buildWriteData models fdctrl_write_data: the FIFO write path that
+// collects command and parameter bytes and kicks off execution. The Venom
+// bug lives here: the FIFO store is unmasked, and an invalid command
+// leaves data_len at zero so data_pos grows without bound on subsequent
+// writes. The upstream fix masks the index (data_pos % FD_SECTOR_LEN).
+func buildWriteData(b *ir.Builder, opts Options, fifo ir.FieldID, dataPos, dataLen, msr, curCmd ir.FieldID) {
+	h := b.Handler("fdctrl_write_data")
+
+	e := h.Block("entry")
+	v := e.IOIn(ir.W8, "value = ioread8()")
+	m := e.Load(msr, "m = s->msr")
+	dioBit := e.Const(MSRDIO, "MSR_DIO")
+	dio := e.Arith(ir.ALUAnd, m, dioBit, ir.W8, false, "m & MSR_DIO")
+	zero := e.Const(0, "0")
+	e.Branch(dio, ir.RelNE, zero, ir.W8, false,
+		"if (s->msr & MSR_DIO) /* result phase: ignore */", "ignore", "accept")
+
+	h.Block("ignore").Return("return")
+
+	a := h.Block("accept")
+	p0 := a.Load(dataPos, "p = s->data_pos")
+	az := a.Const(0, "0")
+	a.Branch(p0, ir.RelEQ, az, ir.W32, false, "if (s->data_pos == 0)", "newcmd", "store")
+
+	// First byte: identify the command and its expected byte count.
+	nc := h.Block("newcmd").CmdDecision()
+	mask := nc.Const(0x5F, "0x5f")
+	cmd := nc.Arith(ir.ALUAnd, v, mask, ir.W8, false, "cmd = value & 0x5f")
+	nc.Store(curCmd, cmd, "s->cur_cmd = cmd")
+	nc.Switch(cmd, "switch (cmd)", "invalid",
+		ir.Case(CmdSpecify, "len_specify"),
+		ir.Case(CmdSenseDrive, "len_sensedrive"),
+		ir.Case(CmdRecalibrate, "len_recal"),
+		ir.Case(CmdSenseInt, "len_senseint"),
+		ir.Case(CmdDumpReg, "len_dumpreg"),
+		ir.Case(CmdSeek, "len_seek"),
+		ir.Case(CmdVersion, "len_version"),
+		ir.Case(CmdConfigure, "len_configure"),
+		ir.Case(CmdWrite, "len_write"),
+		ir.Case(CmdRead, "len_read"),
+		ir.Case(CmdReadID, "len_readid"),
+		ir.Case(CmdFormat, "len_format"),
+	)
+
+	setLen := func(label string, n uint64, stmt string) {
+		blk := h.Block(label)
+		ln := blk.Const(n, stmt)
+		blk.Store(dataLen, ln, "s->data_len = "+stmt)
+		mm := blk.Load(msr, "m = s->msr")
+		busy := blk.Const(MSRBusy, "MSR_BUSY")
+		m2 := blk.Arith(ir.ALUOr, mm, busy, ir.W8, false, "m | MSR_BUSY")
+		blk.Store(msr, m2, "s->msr |= MSR_BUSY")
+		blk.Jump("store", "goto store")
+	}
+	setLen("len_specify", 3, "3")
+	setLen("len_sensedrive", 2, "2")
+	setLen("len_recal", 2, "2")
+	setLen("len_senseint", 1, "1")
+	setLen("len_dumpreg", 1, "1")
+	setLen("len_seek", 3, "3")
+	setLen("len_version", 1, "1")
+	setLen("len_configure", 4, "4")
+	setLen("len_write", 9, "9")
+	setLen("len_read", 9, "9")
+	setLen("len_readid", 2, "2")
+	setLen("len_format", 6, "6")
+
+	// Invalid command: data_len stays 0. The byte is still stored and
+	// data_pos still increments — the state Venom exploits.
+	inv := h.Block("invalid")
+	inv.Jump("store", "/* unknown command: data_len stays 0 */")
+
+	st := h.Block("store")
+	p := st.Load(dataPos, "p = s->data_pos")
+	idx := p
+	if opts.FixVenom {
+		lim := st.Const(FifoSize, "FD_SECTOR_LEN")
+		idx = st.Arith(ir.ALUMod, p, lim, ir.W32, false, "p % FD_SECTOR_LEN /* CVE-2015-3456 fix */")
+	}
+	st.BufStore(fifo, idx, v, ir.W32, false, "s->fifo[p] = value")
+	one := st.Const(1, "1")
+	p2 := st.Arith(ir.ALUAdd, p, one, ir.W32, false, "p + 1")
+	st.Store(dataPos, p2, "s->data_pos = p + 1")
+	l := st.Load(dataLen, "l = s->data_len")
+	lz := st.Const(0, "0")
+	st.Branch(l, ir.RelEQ, lz, ir.W32, false, "if (s->data_len == 0)", "pend", "chk_done")
+
+	h.Block("pend").Return("return /* still collecting */")
+
+	cd := h.Block("chk_done")
+	p3 := cd.Load(dataPos, "p = s->data_pos")
+	l2 := cd.Load(dataLen, "l = s->data_len")
+	cd.Branch(p3, ir.RelEQ, l2, ir.W32, false, "if (p == s->data_len)", "exec", "pend2")
+	h.Block("pend2").Return("return")
+
+	ex := h.Block("exec")
+	ex.Call("fdctrl_exec_command", "fdctrl_exec_command(s)")
+	ex.Return("return")
+}
+
+// buildReadData models fdctrl_read_data: draining result bytes from the
+// FIFO; the last byte ends the command (a command-end block).
+func buildReadData(b *ir.Builder, fifo ir.FieldID, dataPos, dataLen, msr, irqCb ir.FieldID) {
+	h := b.Handler("fdctrl_read_data")
+	_ = irqCb
+
+	e := h.Block("entry")
+	l := e.Load(dataLen, "l = s->data_len")
+	zero := e.Const(0, "0")
+	e.Branch(l, ir.RelEQ, zero, ir.W32, false, "if (s->data_len == 0)", "empty", "emit")
+
+	em := h.Block("empty")
+	z := em.Const(0, "0")
+	em.IOOut(z, ir.W8, "iowrite8(0)")
+	em.Return("return")
+
+	g := h.Block("emit")
+	p := g.Load(dataPos, "p = s->data_pos")
+	v := g.BufLoad(fifo, p, ir.W32, false, "v = s->fifo[p]")
+	g.IOOut(v, ir.W8, "iowrite8(v)")
+	one := g.Const(1, "1")
+	p2 := g.Arith(ir.ALUAdd, p, one, ir.W32, false, "p + 1")
+	g.Store(dataPos, p2, "s->data_pos = p + 1")
+	l2 := g.Load(dataLen, "l = s->data_len")
+	g.Branch(p2, ir.RelGE, l2, ir.W32, false, "if (p + 1 >= s->data_len)", "done", "more")
+
+	h.Block("more").Return("return")
+
+	d := h.Block("done").CmdEnd()
+	dz := d.Const(0, "0")
+	d.Store(dataPos, dz, "s->data_pos = 0")
+	d.Store(dataLen, dz, "s->data_len = 0")
+	rqm := d.Const(MSRRQM, "MSR_RQM")
+	d.Store(msr, rqm, "s->msr = MSR_RQM")
+	d.Return("return")
+}
+
+// buildExec models the command execution dispatch once all parameter bytes
+// have arrived: per-command parsing, DMA sector transfers, result setup,
+// and interrupt delivery.
+func buildExec(b *ir.Builder, fifo ir.FieldID, dataPos, dataLen, msr, curCmd,
+	track, head, sector, status0, dmaAddr, irqCb, dor, tdr, dsr ir.FieldID) {
+
+	h := b.Handler("fdctrl_exec_command")
+
+	e := h.Block("entry").CmdDecision()
+	c := e.Load(curCmd, "cmd = s->cur_cmd")
+	e.Switch(c, "switch (s->cur_cmd)", "x_invalid",
+		ir.Case(CmdSpecify, "x_specify"),
+		ir.Case(CmdSenseDrive, "x_sensedrive"),
+		ir.Case(CmdRecalibrate, "x_recal"),
+		ir.Case(CmdSenseInt, "x_senseint"),
+		ir.Case(CmdDumpReg, "x_dumpreg"),
+		ir.Case(CmdSeek, "x_seek"),
+		ir.Case(CmdVersion, "x_version"),
+		ir.Case(CmdConfigure, "x_configure"),
+		ir.Case(CmdWrite, "x_write"),
+		ir.Case(CmdRead, "x_read"),
+		ir.Case(CmdReadID, "x_readid"),
+		ir.Case(CmdFormat, "x_format"),
+	)
+
+	// resetPhase writes the no-result epilogue: back to command phase.
+	resetPhase := func(blk *ir.BlockBuilder) {
+		z := blk.Const(0, "0")
+		blk.Store(dataPos, z, "s->data_pos = 0")
+		blk.Store(dataLen, z, "s->data_len = 0")
+		rqm := blk.Const(MSRRQM, "MSR_RQM")
+		blk.Store(msr, rqm, "s->msr = MSR_RQM")
+	}
+	// result arms the result phase with n bytes already staged in the
+	// FIFO and signals completion.
+	result := func(blk *ir.BlockBuilder, n uint64) {
+		z := blk.Const(0, "0")
+		blk.Store(dataPos, z, "s->data_pos = 0")
+		ln := blk.Const(n, "nresults")
+		blk.Store(dataLen, ln, "s->data_len = nresults")
+		bits := blk.Const(MSRRQM|MSRDIO|MSRBusy, "MSR_RQM|MSR_DIO|MSR_BUSY")
+		blk.Store(msr, bits, "s->msr = MSR_RQM | MSR_DIO | MSR_BUSY")
+		blk.CallPtr(irqCb, "s->irq_cb(s)")
+	}
+	// stage writes one result byte into the FIFO.
+	stage := func(blk *ir.BlockBuilder, at uint64, v ir.Temp, stmt string) {
+		i := blk.Const(at, "i")
+		blk.BufStore(fifo, i, v, ir.W32, false, stmt)
+	}
+
+	sp := h.Block("x_specify").CmdEnd()
+	resetPhase(sp)
+	sp.Return("return")
+
+	sd := h.Block("x_sensedrive")
+	s0 := sd.Load(status0, "v = s->status0")
+	stage(sd, 0, s0, "s->fifo[0] = s->status0")
+	result(sd, 1)
+	sd.Return("return")
+
+	rc := h.Block("x_recal").CmdEnd()
+	z := rc.Const(0, "0")
+	rc.Store(track, z, "s->track = 0")
+	seekEnd := rc.Const(0x20, "FD_SR0_SEEK")
+	rc.Store(status0, seekEnd, "s->status0 = FD_SR0_SEEK")
+	resetPhase(rc)
+	rc.CallPtr(irqCb, "s->irq_cb(s)")
+	rc.Return("return")
+
+	si := h.Block("x_senseint")
+	v0 := si.Load(status0, "v = s->status0")
+	stage(si, 0, v0, "s->fifo[0] = s->status0")
+	tv := si.Load(track, "t = s->track")
+	stage(si, 1, tv, "s->fifo[1] = s->track")
+	result(si, 2)
+	si.Return("return")
+
+	dr := h.Block("x_dumpreg")
+	for i, f := range []ir.FieldID{dor, tdr, dsr, track, head, sector} {
+		fv := dr.Load(f, "v = reg")
+		stage(dr, uint64(i), fv, "s->fifo[i] = reg")
+	}
+	result(dr, 10)
+	dr.Return("return")
+
+	sk := h.Block("x_seek").CmdEnd()
+	i2 := sk.Const(2, "2")
+	nt := sk.BufLoad(fifo, i2, ir.W32, false, "t = s->fifo[2]")
+	sk.Store(track, nt, "s->track = t")
+	i1 := sk.Const(1, "1")
+	hb := sk.BufLoad(fifo, i1, ir.W32, false, "h = s->fifo[1]")
+	two := sk.Const(2, "2")
+	hs := sk.Arith(ir.ALUShr, hb, two, ir.W8, false, "h >> 2")
+	oneM := sk.Const(1, "1")
+	hm := sk.Arith(ir.ALUAnd, hs, oneM, ir.W8, false, "(h >> 2) & 1")
+	sk.Store(head, hm, "s->head = (h >> 2) & 1")
+	se := sk.Const(0x20, "FD_SR0_SEEK")
+	sk.Store(status0, se, "s->status0 = FD_SR0_SEEK")
+	resetPhase(sk)
+	sk.CallPtr(irqCb, "s->irq_cb(s)")
+	sk.Return("return")
+
+	vr := h.Block("x_version")
+	ver := vr.Const(0x90, "0x90")
+	stage(vr, 0, ver, "s->fifo[0] = 0x90")
+	result(vr, 1)
+	vr.Return("return")
+
+	cf := h.Block("x_configure").CmdEnd()
+	resetPhase(cf)
+	cf.Return("return")
+
+	buildTransfer(h, "x_write", true, fifo, dataPos, dataLen, msr, track, head, sector, status0, dmaAddr, irqCb, result, stage)
+	buildTransfer(h, "x_read", false, fifo, dataPos, dataLen, msr, track, head, sector, status0, dmaAddr, irqCb, result, stage)
+
+	ri := h.Block("x_readid")
+	for i, f := range []ir.FieldID{status0, track, head, sector} {
+		fv := ri.Load(f, "v = reg")
+		stage(ri, uint64(i), fv, "s->fifo[i] = reg")
+	}
+	result(ri, 7)
+	ri.Return("return")
+
+	fm := h.Block("x_format")
+	i3 := fm.Const(3, "3")
+	nsec := fm.BufLoad(fifo, i3, ir.W32, false, "n = s->fifo[3]")
+	ssz := fm.Const(SectorSize, "512")
+	bytes := fm.Arith(ir.ALUMul, nsec, ssz, ir.W32, false, "n * 512")
+	fm.Work(bytes, "format_track(s, n)")
+	fv := fm.Load(status0, "v = s->status0")
+	stage(fm, 0, fv, "s->fifo[0] = s->status0")
+	result(fm, 7)
+	fm.Return("return")
+
+	xi := h.Block("x_invalid").CmdEnd()
+	e8 := xi.Const(0x80, "FD_SR0_INVCMD")
+	xi.Store(status0, e8, "s->status0 = 0x80")
+	stage(xi, 0, e8, "s->fifo[0] = 0x80")
+	result(xi, 1)
+	xi.Return("return")
+}
+
+// buildTransfer emits a sector-transfer command body: parse CHS and EOT
+// from the parameter bytes, then loop DMA one sector per iteration.
+func buildTransfer(h *ir.HandlerBuilder, label string, write bool,
+	fifo ir.FieldID, dataPos, dataLen, msr, track, head, sector, status0, dmaAddr, irqCb ir.FieldID,
+	result func(*ir.BlockBuilder, uint64), stage func(*ir.BlockBuilder, uint64, ir.Temp, string)) {
+
+	blk := h.Block(label)
+	i2 := blk.Const(2, "2")
+	t := blk.BufLoad(fifo, i2, ir.W32, false, "t = s->fifo[2]")
+	blk.Store(track, t, "s->track = t")
+	i3 := blk.Const(3, "3")
+	hd := blk.BufLoad(fifo, i3, ir.W32, false, "h = s->fifo[3]")
+	blk.Store(head, hd, "s->head = h")
+	i4 := blk.Const(4, "4")
+	sc := blk.BufLoad(fifo, i4, ir.W32, false, "r = s->fifo[4]")
+	blk.Store(sector, sc, "s->sector = r")
+	i6 := blk.Const(6, "6")
+	eot := blk.BufLoad(fifo, i6, ir.W32, false, "eot = s->fifo[6]")
+	blk.Branch(eot, ir.RelGE, sc, ir.W8, false, "if (eot >= r)", label+"_multi", label+"_single")
+
+	multi := h.Block(label + "_multi")
+	n1 := multi.Arith(ir.ALUSub, eot, sc, ir.W8, false, "eot - r")
+	one := multi.Const(1, "1")
+	n2 := multi.Arith(ir.ALUAdd, n1, one, ir.W8, false, "eot - r + 1")
+	multi.Store(dataLen, n2, "nsect = eot - r + 1") // staged in data_len pre-loop
+	multi.Jump(label+"_loop", "goto loop")
+
+	single := h.Block(label + "_single")
+	o := single.Const(1, "1")
+	single.Store(dataLen, o, "nsect = 1")
+	single.Jump(label+"_loop", "goto loop")
+
+	loop := h.Block(label + "_loop")
+	left := loop.Load(dataLen, "left = nsect")
+	lz := loop.Const(0, "0")
+	loop.Branch(left, ir.RelGT, lz, ir.W32, false, "while (left > 0)", label+"_xfer", label+"_done")
+
+	x := h.Block(label + "_xfer")
+	// Shared-library helper on the data path: its internal branches would
+	// contaminate the control flow, so the IPT range filter excludes it
+	// (paper §IV-A).
+	x.Call("glibc_memcpy", "memcpy(...)")
+	addr := x.Load(dmaAddr, "addr = s->dma_addr")
+	zi := x.Const(0, "0")
+	sz := x.Const(SectorSize, "512")
+	if write {
+		x.DMAToBuf(fifo, zi, addr, sz, false, "dma_read(s->fifo, addr, 512)")
+	} else {
+		x.DMAFromBuf(fifo, zi, addr, sz, false, "dma_write(addr, s->fifo, 512)")
+	}
+	x.Work(sz, "fd_sector_io(s)")
+	a2 := x.Arith(ir.ALUAdd, addr, sz, ir.W32, false, "addr + 512")
+	x.Store(dmaAddr, a2, "s->dma_addr = addr + 512")
+	l2 := x.Load(dataLen, "left")
+	onex := x.Const(1, "1")
+	l3 := x.Arith(ir.ALUSub, l2, onex, ir.W32, false, "left - 1")
+	x.Store(dataLen, l3, "left = left - 1")
+	sc2 := x.Load(sector, "r = s->sector")
+	sc3 := x.Arith(ir.ALUAdd, sc2, onex, ir.W8, false, "r + 1")
+	x.Store(sector, sc3, "s->sector = r + 1")
+	x.Jump(label+"_loop", "continue")
+
+	d := h.Block(label + "_done")
+	s0 := d.Load(status0, "v = s->status0")
+	stage(d, 0, s0, "s->fifo[0] = s->status0")
+	tv := d.Load(track, "t = s->track")
+	stage(d, 1, tv, "s->fifo[1] = ...")
+	hv := d.Load(head, "h = s->head")
+	stage(d, 2, hv, "s->fifo[2] = ...")
+	sv := d.Load(sector, "r = s->sector")
+	stage(d, 3, sv, "s->fifo[3] = ...")
+	result(d, 7)
+	d.Return("return")
+}
+
+// buildHelpers emits the reset routine and the IRQ callback target.
+func buildHelpers(b *ir.Builder, fifo ir.FieldID, dataPos, dataLen, msr, status0 ir.FieldID) {
+	_ = fifo
+	h := b.Handler("fdctrl_reset_fifo")
+	e := h.Block("entry")
+	z := e.Const(0, "0")
+	e.Store(dataPos, z, "s->data_pos = 0")
+	e.Store(dataLen, z, "s->data_len = 0")
+	e.Store(status0, z, "s->status0 = 0")
+	rqm := e.Const(MSRRQM, "MSR_RQM")
+	e.Store(msr, rqm, "s->msr = MSR_RQM")
+	e.Return("return")
+
+	irq := b.Handler("fdctrl_raise_irq")
+	ib := irq.Block("entry")
+	ib.IRQRaise("qemu_set_irq(s->irq, 1)")
+	ib.Return("return")
+
+	// The pivot target an attacker reaches after corrupting irq_cb.
+	g := b.Handler("host_gadget")
+	gb := g.Block("entry")
+	pw := gb.Const(0xFF, "0xff")
+	gb.Store(status0, pw, "/* attacker-controlled execution */")
+	gb.Return("return")
+
+	// Shared-library helper: looping control flow outside the device's
+	// code range. The trace range filter drops its branches.
+	lib := b.Handler("glibc_memcpy", ir.Library())
+	le := lib.Block("entry")
+	n := le.Const(8, "n = 8 /* words */")
+	lz := le.Const(0, "0")
+	le.Branch(n, ir.RelGT, lz, ir.W32, false, "if (n > 0)", "aligned", "done")
+	la := lib.Block("aligned")
+	mask := la.Const(7, "7")
+	al := la.Arith(ir.ALUAnd, n, mask, ir.W32, false, "n & 7")
+	la.Branch(al, ir.RelEQ, lz, ir.W32, false, "if (aligned)", "wide", "tail")
+	lib.Block("wide").Return("return")
+	lib.Block("tail").Return("return")
+	lib.Block("done").Return("return")
+
+	// Kernel tracepoint: ring-filtered control flow.
+	k := b.Handler("kvm_trace_exit", ir.Kernel())
+	ke := k.Block("entry")
+	en := ke.Const(1, "tracing enabled")
+	kz := ke.Const(0, "0")
+	ke.Branch(en, ir.RelNE, kz, ir.W8, false, "if (trace_enabled)", "emit", "skip")
+	k.Block("emit").Return("return")
+	k.Block("skip").Return("return")
+}

@@ -1,0 +1,210 @@
+package fdc
+
+import (
+	"fmt"
+
+	"sedspec/internal/devices/devutil"
+)
+
+// Guest drives the controller the way a floppy driver would: program the
+// DMA address, push command bytes through the FIFO while honouring MSR
+// handshaking, and drain result bytes.
+type Guest struct {
+	p devutil.Port
+	// DMABuf is the guest-physical address used for sector transfers.
+	DMABuf uint32
+}
+
+// NewGuest wraps a port driver. The default DMA buffer sits at 0x8000.
+func NewGuest(p devutil.Port) *Guest { return &Guest{p: p, DMABuf: 0x8000} }
+
+// Reset pulses the DOR reset line, re-initializing the controller.
+func (g *Guest) Reset() error {
+	if _, err := g.p.Out8(PortDOR, 0x00); err != nil {
+		return err
+	}
+	_, err := g.p.Out8(PortDOR, 0x0C) // nreset | dma gate
+	return err
+}
+
+// MSR reads the main status register.
+func (g *Guest) MSR() (byte, error) {
+	out, _, err := g.p.In(PortMSR)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) == 0 {
+		return 0, fmt.Errorf("fdc: empty MSR read")
+	}
+	return out[0], nil
+}
+
+// Command pushes a raw command through the FIFO and drains any result
+// bytes, returning them.
+func (g *Guest) Command(bytes ...byte) ([]byte, error) {
+	for _, v := range bytes {
+		if _, err := g.p.Out8(PortFIFO, v); err != nil {
+			return nil, err
+		}
+	}
+	return g.drainResults()
+}
+
+// PushFIFO writes one raw byte to the FIFO without result handshaking.
+// Exploit PoCs use it: once the controller state is corrupted, MSR can no
+// longer be trusted to terminate a drain loop.
+func (g *Guest) PushFIFO(v byte) error {
+	_, err := g.p.Out8(PortFIFO, v)
+	return err
+}
+
+// drainResults reads result bytes while MSR signals a result phase.
+func (g *Guest) drainResults() ([]byte, error) {
+	var out []byte
+	for i := 0; i < 64; i++ {
+		m, err := g.MSR()
+		if err != nil {
+			return out, err
+		}
+		if m&MSRDIO == 0 {
+			return out, nil
+		}
+		b, _, err := g.p.In(PortFIFO)
+		if err != nil {
+			return out, err
+		}
+		if len(b) > 0 {
+			out = append(out, b[0])
+		}
+	}
+	return out, fmt.Errorf("fdc: result phase did not terminate")
+}
+
+// SetDMA programs the transfer address (the ISA-DMA stand-in ports).
+func (g *Guest) SetDMA(addr uint16) error {
+	if _, err := g.p.Out8(PortDMALo, byte(addr)); err != nil {
+		return err
+	}
+	_, err := g.p.Out8(PortDMAHi, byte(addr>>8))
+	return err
+}
+
+// Specify issues SPECIFY with typical step/head timings.
+func (g *Guest) Specify() error {
+	_, err := g.Command(CmdSpecify, 0xAF, 0x02)
+	return err
+}
+
+// Recalibrate seeks drive 0 to track zero and acknowledges the interrupt.
+func (g *Guest) Recalibrate() error {
+	if _, err := g.Command(CmdRecalibrate, 0x00); err != nil {
+		return err
+	}
+	_, err := g.SenseInt()
+	return err
+}
+
+// SenseInt issues SENSE INTERRUPT STATUS, returning (st0, track).
+func (g *Guest) SenseInt() ([]byte, error) {
+	return g.Command(CmdSenseInt)
+}
+
+// Seek moves the head and acknowledges the interrupt.
+func (g *Guest) Seek(head, track byte) error {
+	if _, err := g.Command(CmdSeek, head<<2, track); err != nil {
+		return err
+	}
+	_, err := g.SenseInt()
+	return err
+}
+
+// Version reads the controller version byte.
+func (g *Guest) Version() (byte, error) {
+	out, err := g.Command(CmdVersion)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) == 0 {
+		return 0, fmt.Errorf("fdc: no version byte")
+	}
+	return out[0], nil
+}
+
+// Configure issues CONFIGURE with implied-seek enabled.
+func (g *Guest) Configure() error {
+	_, err := g.Command(CmdConfigure, 0x00, 0x57, 0x00)
+	return err
+}
+
+// transfer issues READ or WRITE for sectors [sector, eot] on track/head,
+// having programmed the DMA address first.
+func (g *Guest) transfer(cmd, track, head, sector, eot byte) error {
+	if err := g.SetDMA(uint16(g.DMABuf)); err != nil {
+		return err
+	}
+	res, err := g.Command(cmd,
+		head<<2, // drive/head select
+		track,   // C
+		head,    // H
+		sector,  // R
+		2,       // N: 512-byte sectors
+		eot,     // EOT
+		0x1B,    // GPL
+		0xFF,    // DTL
+	)
+	if err != nil {
+		return err
+	}
+	if len(res) != 7 {
+		return fmt.Errorf("fdc: transfer returned %d result bytes, want 7", len(res))
+	}
+	return nil
+}
+
+// ReadSectors transfers sectors [sector, eot] from the medium to guest
+// memory.
+func (g *Guest) ReadSectors(track, head, sector, eot byte) error {
+	return g.transfer(CmdRead, track, head, sector, eot)
+}
+
+// WriteSectors transfers sectors [sector, eot] from guest memory to the
+// medium.
+func (g *Guest) WriteSectors(track, head, sector, eot byte) error {
+	return g.transfer(CmdWrite, track, head, sector, eot)
+}
+
+// ReadID issues the rare READ ID command.
+func (g *Guest) ReadID(head byte) error {
+	_, err := g.Command(CmdReadID, head<<2)
+	return err
+}
+
+// DumpReg issues the rare DUMPREG diagnostic command.
+func (g *Guest) DumpReg() error {
+	_, err := g.Command(CmdDumpReg)
+	return err
+}
+
+// Format issues the rare FORMAT TRACK command.
+func (g *Guest) Format(head, n, sectors byte) error {
+	_, err := g.Command(CmdFormat, head<<2, n, 0x1B, sectors, 0xF6)
+	return err
+}
+
+// SenseDrive issues SENSE DRIVE STATUS.
+func (g *Guest) SenseDrive() error {
+	_, err := g.Command(CmdSenseDrive, 0x00)
+	return err
+}
+
+// CheckMedia reads the digital input register (media-change bit).
+func (g *Guest) CheckMedia() (byte, error) {
+	out, _, err := g.p.In(PortDIR)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) == 0 {
+		return 0, fmt.Errorf("fdc: empty DIR read")
+	}
+	return out[0], nil
+}

@@ -1,0 +1,272 @@
+package pcnet
+
+import "sedspec/internal/ir"
+
+// buildCSR emits the register access protocol: RAP select, CSR read/write
+// dispatch (the adapter's command surface), BCR access, and soft reset.
+func buildCSR(b *ir.Builder, opts Options, csr0, rap, mode, rcvrl, xmtrl, rdra, tdra, rcvrc, xmtrc, iaddr, bcr20, irqCb ir.FieldID) {
+	// RAP
+	hw := b.Handler("pcnet_rap_write")
+	e := hw.Block("entry")
+	v := e.IOIn(ir.W16, "v = ioread16()")
+	mask := e.Const(0x7F, "0x7f")
+	vm := e.Arith(ir.ALUAnd, v, mask, ir.W16, false, "v & 0x7f")
+	e.Store(rap, vm, "s->rap = v & 0x7f")
+	e.Return("return")
+
+	hr := b.Handler("pcnet_rap_read")
+	er := hr.Block("entry")
+	rv := er.Load(rap, "v = s->rap")
+	er.IOOut(rv, ir.W16, "iowrite16(v)")
+	er.Return("return")
+
+	// CSR write: the adapter's command dispatch.
+	cw := b.Handler("pcnet_csr_writew")
+	ce := cw.Block("entry").CmdDecision()
+	val := ce.IOIn(ir.W16, "v = ioread16()")
+	r := ce.Load(rap, "r = s->rap")
+	ce.Switch(r, "switch (s->rap)", "w_ignore",
+		ir.Case(0, "w_csr0"),
+		ir.Case(1, "w_iaddr_lo"),
+		ir.Case(2, "w_iaddr_hi"),
+		ir.Case(15, "w_mode"),
+		ir.Case(24, "w_rdra_lo"),
+		ir.Case(25, "w_rdra_hi"),
+		ir.Case(30, "w_tdra_lo"),
+		ir.Case(31, "w_tdra_hi"),
+		ir.Case(76, "w_rcvrl"),
+		ir.Case(78, "w_xmtrl"),
+	)
+
+	// CSR0 control bits, checked in QEMU's order: STOP, INIT, STRT, TDMD,
+	// plus write-one-to-clear interrupt bits.
+	c0 := cw.Block("w_csr0")
+	stop := c0.Const(CSR0Stop, "CSR0_STOP")
+	sb := c0.Arith(ir.ALUAnd, val, stop, ir.W16, false, "v & STOP")
+	z := c0.Const(0, "0")
+	c0.Branch(sb, ir.RelNE, z, ir.W16, false, "if (v & STOP)", "c0_stop", "c0_clr")
+
+	cs := cw.Block("c0_stop").CmdEnd()
+	sv := cs.Const(CSR0Stop, "STOP")
+	cs.Store(csr0, sv, "s->csr0 = STOP")
+	cs.Return("return")
+
+	// Write-one-to-clear: IDON/TINT/RINT acknowledged by writing 1.
+	cc := cw.Block("c0_clr")
+	ackMask := cc.Const(CSR0IDON|CSR0TINT|CSR0RINT, "IDON|TINT|RINT")
+	ack := cc.Arith(ir.ALUAnd, val, ackMask, ir.W16, false, "v & (IDON|TINT|RINT)")
+	cur := cc.Load(csr0, "c = s->csr0")
+	inv := cc.Const(0xFFFF, "0xffff")
+	nack := cc.Arith(ir.ALUXor, ack, inv, ir.W16, false, "~ack")
+	c2 := cc.Arith(ir.ALUAnd, cur, nack, ir.W16, false, "c & ~ack")
+	cc.Store(csr0, c2, "s->csr0 &= ~ack")
+	initB := cc.Const(CSR0Init, "INIT")
+	ib := cc.Arith(ir.ALUAnd, val, initB, ir.W16, false, "v & INIT")
+	cc.Branch(ib, ir.RelNE, z2(cc), ir.W16, false, "if (v & INIT)", "c0_init", "c0_strt")
+
+	ci := cw.Block("c0_init")
+	ci.Call("pcnet_init", "pcnet_init(s)")
+	ci.Jump("c0_strt", "fallthrough")
+
+	cst := cw.Block("c0_strt")
+	strt := cst.Const(CSR0Strt, "STRT")
+	sb2 := cst.Arith(ir.ALUAnd, val, strt, ir.W16, false, "v & STRT")
+	cst.Branch(sb2, ir.RelNE, z2(cst), ir.W16, false, "if (v & STRT)", "c0_start", "c0_tdmd")
+
+	csa := cw.Block("c0_start")
+	cur2 := csa.Load(csr0, "c = s->csr0")
+	on := csa.Const(CSR0Strt|CSR0TXON|CSR0RXON, "STRT|TXON|RXON")
+	c3 := csa.Arith(ir.ALUOr, cur2, on, ir.W16, false, "c | STRT|TXON|RXON")
+	csa.Store(csr0, c3, "s->csr0 |= STRT|TXON|RXON")
+	csa.Jump("c0_tdmd", "fallthrough")
+
+	ct := cw.Block("c0_tdmd")
+	tdmd := ct.Const(CSR0TDMD, "TDMD")
+	tb := ct.Arith(ir.ALUAnd, val, tdmd, ir.W16, false, "v & TDMD")
+	ct.Branch(tb, ir.RelNE, z2(ct), ir.W16, false, "if (v & TDMD)", "c0_xmit", "c0_done")
+
+	cx := cw.Block("c0_xmit")
+	cx.Call("pcnet_transmit", "pcnet_transmit(s)")
+	cx.Jump("c0_done", "fallthrough")
+
+	cw.Block("c0_done").CmdEnd().Return("return")
+
+	// Address halves and plain registers.
+	lo16 := func(label, stmt string, f ir.FieldID) {
+		blk := cw.Block(label).CmdEnd()
+		curv := blk.Load(f, "cur")
+		keep := blk.Const(0xFFFF_0000, "0xffff0000")
+		kept := blk.Arith(ir.ALUAnd, curv, keep, ir.W32, false, "cur & 0xffff0000")
+		nv := blk.Arith(ir.ALUOr, kept, val, ir.W32, false, "(cur & 0xffff0000) | v")
+		blk.Store(f, nv, stmt)
+		blk.Return("return")
+	}
+	hi16 := func(label, stmt string, f ir.FieldID) {
+		blk := cw.Block(label).CmdEnd()
+		curv := blk.Load(f, "cur")
+		keep := blk.Const(0x0000_FFFF, "0xffff")
+		kept := blk.Arith(ir.ALUAnd, curv, keep, ir.W32, false, "cur & 0xffff")
+		sh := blk.Const(16, "16")
+		vs := blk.Arith(ir.ALUShl, val, sh, ir.W32, false, "v << 16")
+		nv := blk.Arith(ir.ALUOr, kept, vs, ir.W32, false, "(cur & 0xffff) | (v << 16)")
+		blk.Store(f, nv, stmt)
+		blk.Return("return")
+	}
+	lo16("w_iaddr_lo", "s->iaddr = lo(v)", iaddr)
+	hi16("w_iaddr_hi", "s->iaddr = hi(v)", iaddr)
+	lo16("w_rdra_lo", "s->rdra = lo(v)", rdra)
+	hi16("w_rdra_hi", "s->rdra = hi(v)", rdra)
+	lo16("w_tdra_lo", "s->tdra = lo(v)", tdra)
+	hi16("w_tdra_hi", "s->tdra = hi(v)", tdra)
+
+	wm := cw.Block("w_mode").CmdEnd()
+	wm.Store(mode, val, "s->mode = v")
+	wm.Return("return")
+
+	wrl := cw.Block("w_rcvrl").CmdEnd()
+	if opts.Fix7909 {
+		wrl.Branch(val, ir.RelEQ, z2(wrl), ir.W16, false,
+			"if (v == 0) /* CVE-2016-7909 fix */", "w_rcvrl_min", "w_rcvrl_set")
+		wmin := cw.Block("w_rcvrl_min")
+		onev := wmin.Const(1, "1")
+		wmin.Store(rcvrl, onev, "s->rcvrl = 1")
+		wmin.Return("return")
+		wset := cw.Block("w_rcvrl_set")
+		wset.Store(rcvrl, val, "s->rcvrl = v")
+		wset.Return("return")
+	} else {
+		wrl.Store(rcvrl, val, "s->rcvrl = v /* 0 allowed: CVE-2016-7909 */")
+		wrl.Return("return")
+	}
+
+	wxl := cw.Block("w_xmtrl").CmdEnd()
+	wxl.Store(xmtrl, val, "s->xmtrl = v")
+	wxl.Return("return")
+
+	cw.Block("w_ignore").CmdEnd().Return("return /* read-only or unmodelled CSR */")
+
+	// CSR read.
+	cr := b.Handler("pcnet_csr_readw")
+	cre := cr.Block("entry")
+	rr := cre.Load(rap, "r = s->rap")
+	cre.Switch(rr, "switch (s->rap)", "r_zero",
+		ir.Case(0, "r_csr0"),
+		ir.Case(76, "r_rcvrl"),
+		ir.Case(78, "r_xmtrl"),
+		ir.Case(88, "r_chipid_lo"),
+		ir.Case(89, "r_chipid_hi"),
+	)
+	emit := func(label string, f ir.FieldID, stmt string) {
+		blk := cr.Block(label)
+		vv := blk.Load(f, stmt)
+		blk.IOOut(vv, ir.W16, "iowrite16(v)")
+		blk.Return("return")
+	}
+	emit("r_csr0", csr0, "v = s->csr0")
+	emit("r_rcvrl", rcvrl, "v = s->rcvrl")
+	emit("r_xmtrl", xmtrl, "v = s->xmtrl")
+	emitConst := func(label string, c uint64, stmt string) {
+		blk := cr.Block(label)
+		vv := blk.Const(c, stmt)
+		blk.IOOut(vv, ir.W16, "iowrite16(v)")
+		blk.Return("return")
+	}
+	emitConst("r_chipid_lo", 0x3003, "v = 0x3003")
+	emitConst("r_chipid_hi", 0x0262, "v = 0x0262")
+	emitConst("r_zero", 0, "v = 0")
+
+	// BCR access.
+	bw := b.Handler("pcnet_bcr_writew")
+	bwe := bw.Block("entry")
+	bv := bwe.IOIn(ir.W16, "v = ioread16()")
+	br := bwe.Load(rap, "r = s->rap")
+	c20 := bwe.Const(20, "20")
+	bwe.Branch(br, ir.RelEQ, c20, ir.W16, false, "if (s->rap == 20)", "b_sw", "b_ignore")
+	bs := bw.Block("b_sw")
+	bs.Store(bcr20, bv, "s->bcr20 = v")
+	bs.Return("return")
+	bw.Block("b_ignore").Return("return")
+
+	brd := b.Handler("pcnet_bcr_readw")
+	bre := brd.Block("entry")
+	bvv := bre.Load(bcr20, "v = s->bcr20")
+	bre.IOOut(bvv, ir.W16, "iowrite16(v)")
+	bre.Return("return")
+
+	// Soft reset.
+	sr := b.Handler("pcnet_soft_reset")
+	sre := sr.Block("entry")
+	stopv := sre.Const(CSR0Stop, "STOP")
+	sre.Store(csr0, stopv, "s->csr0 = STOP")
+	zero := sre.Const(0, "0")
+	sre.Store(rcvrc, zero, "s->rcvrc = 0")
+	sre.Store(xmtrc, zero, "s->xmtrc = 0")
+	sre.IOOut(zero, ir.W16, "iowrite16(0)")
+	sre.Return("return")
+	_ = irqCb
+}
+
+// z2 materializes a zero constant in a block.
+func z2(blk *ir.BlockBuilder) ir.Temp { return blk.Const(0, "0") }
+
+// buildInit emits initialization-block processing: DMA-read the guest's
+// init block and latch mode, ring bases, ring lengths, and the station
+// address, then signal IDON.
+func buildInit(b *ir.Builder, opts Options, csr0, mode, rcvrl, xmtrl, rdra, tdra, rcvrc, xmtrc, iaddr, irqCb, aprom ir.FieldID) {
+	h := b.Handler("pcnet_init")
+	e := h.Block("entry")
+	a := e.Load(iaddr, "addr = s->iaddr")
+
+	rd16 := func(off uint64, stmt string) ir.Temp {
+		o := e.Const(off, "off")
+		ao := e.Arith(ir.ALUAdd, a, o, ir.W32, false, "addr + off")
+		return e.DMARead(ao, ir.W16, stmt)
+	}
+	rd32 := func(off uint64, stmt string) ir.Temp {
+		o := e.Const(off, "off")
+		ao := e.Arith(ir.ALUAdd, a, o, ir.W32, false, "addr + off")
+		return e.DMARead(ao, ir.W32, stmt)
+	}
+
+	m := rd16(0, "mode = ldw(initb)")
+	e.Store(mode, m, "s->mode = mode")
+	rl := rd16(2, "rlen = ldw(initb+2)")
+	if opts.Fix7909 {
+		// max(rlen, 1) in branch-free form so the fix adds no new
+		// training-sensitive arms: rlen + (rlen == 0).
+		z0 := e.Const(0, "0")
+		one := e.Const(1, "1")
+		neg := e.Arith(ir.ALUSub, z0, rl, ir.W32, false, "-rlen")
+		orv := e.Arith(ir.ALUOr, rl, neg, ir.W32, false, "rlen | -rlen")
+		sh := e.Const(31, "31")
+		nz := e.Arith(ir.ALUShr, orv, sh, ir.W32, false, "(rlen | -rlen) >> 31")
+		isZero := e.Arith(ir.ALUXor, nz, one, ir.W32, false, "rlen == 0 ? 1 : 0")
+		adj := e.Arith(ir.ALUAdd, rl, isZero, ir.W16, false, "rlen + (rlen==0) /* CVE-2016-7909 fix */")
+		e.Store(rcvrl, adj, "s->rcvrl = max(rlen, 1)")
+	} else {
+		e.Store(rcvrl, rl, "s->rcvrl = rlen /* 0 allowed: CVE-2016-7909 */")
+	}
+	tl := rd16(4, "tlen = ldw(initb+4)")
+	e.Store(xmtrl, tl, "s->xmtrl = tlen")
+	ra := rd32(8, "rdra = ldl(initb+8)")
+	e.Store(rdra, ra, "s->rdra = rdra")
+	ta := rd32(12, "tdra = ldl(initb+12)")
+	e.Store(tdra, ta, "s->tdra = tdra")
+	z := e.Const(0, "0")
+	e.Store(rcvrc, z, "s->rcvrc = 0")
+	e.Store(xmtrc, z, "s->xmtrc = 0")
+	// Latch the station address bytes.
+	for i := uint64(0); i < 6; i++ {
+		o := e.Const(16+i, "off")
+		ao := e.Arith(ir.ALUAdd, a, o, ir.W32, false, "addr + 16 + i")
+		mb := e.DMARead(ao, ir.W8, "mac[i] = ldb(initb+16+i)")
+		ix := e.Const(i, "i")
+		e.BufStore(aprom, ix, mb, ir.W8, false, "s->aprom[i] = mac[i]")
+	}
+	c := e.Load(csr0, "c = s->csr0")
+	done := e.Const(CSR0IDON|CSR0INTR, "IDON|INTR")
+	c2 := e.Arith(ir.ALUOr, c, done, ir.W16, false, "c | IDON | INTR")
+	e.Store(csr0, c2, "s->csr0 |= IDON | INTR")
+	e.CallPtr(irqCb, "pcnet_update_irq(s)")
+	e.Return("return")
+}

@@ -1,0 +1,279 @@
+package pcnet
+
+import "sedspec/internal/ir"
+
+// buildTransmit emits descriptor-ring transmission: walk owned TMDs,
+// accumulate chunks into the frame buffer at xmit_pos (the CVE-2015-7512
+// site), and on end-of-packet either loop the frame back through the
+// receive path or send it to the wire.
+func buildTransmit(b *ir.Builder, opts Options, buffer, xmitPos, csr0, mode, xmtrl, tdra, xmtrc, irqCb ir.FieldID) {
+	h := b.Handler("pcnet_transmit")
+
+	e := h.Block("entry")
+	c := e.Load(csr0, "c = s->csr0")
+	txon := e.Const(CSR0TXON, "TXON")
+	on := e.Arith(ir.ALUAnd, c, txon, ir.W16, false, "c & TXON")
+	z := e.Const(0, "0")
+	e.Branch(on, ir.RelEQ, z, ir.W16, false, "if (!(s->csr0 & TXON))", "off", "loop")
+	h.Block("off").Return("return")
+
+	l := h.Block("loop")
+	slot := l.Load(xmtrc, "slot = s->xmtrc")
+	sixteen := l.Const(16, "16")
+	off := l.Arith(ir.ALUMul, slot, sixteen, ir.W32, false, "slot * 16")
+	base := l.Load(tdra, "base = s->tdra")
+	desc := l.Arith(ir.ALUAdd, base, off, ir.W32, false, "desc = base + slot*16")
+	fo := l.Const(DescFlags, "4")
+	fa := l.Arith(ir.ALUAdd, desc, fo, ir.W32, false, "desc + 4")
+	flags := l.DMARead(fa, ir.W32, "flags = ldl(desc + 4)")
+	own := l.Const(DescOWN, "TMD_OWN")
+	ob := l.Arith(ir.ALUAnd, flags, own, ir.W32, false, "flags & OWN")
+	zl := l.Const(0, "0")
+	l.Branch(ob, ir.RelEQ, zl, ir.W32, false, "if (!(flags & OWN))", "done", "take")
+
+	h.Block("done").Return("return")
+
+	t := h.Block("take")
+	ba := t.DMARead(desc, ir.W32, "baddr = ldl(desc)")
+	lo := t.Const(DescLen, "8")
+	la := t.Arith(ir.ALUAdd, desc, lo, ir.W32, false, "desc + 8")
+	blen0 := t.DMARead(la, ir.W32, "blen = ldl(desc + 8)")
+	lm := t.Const(0xFFFF, "0xffff")
+	blen := t.Arith(ir.ALUAnd, blen0, lm, ir.W32, false, "blen & 0xffff")
+	pos := t.Load(xmitPos, "pos = s->xmit_pos")
+	if opts.Fix7512 {
+		// Upstream fix: reject chunks that would overflow the buffer
+		// (keeping room for the 4-byte FCS).
+		sum := t.Arith(ir.ALUAdd, pos, blen, ir.W32, false, "pos + blen")
+		cap4 := t.Const(BufSize-CRCSize, "sizeof(buffer) - 4")
+		t.Branch(sum, ir.RelGT, cap4, ir.W32, false,
+			"if (pos + blen > sizeof(buffer) - 4) /* CVE-2015-7512 fix */", "tx_drop", "tx_copy")
+		dr := h.Block("tx_drop")
+		zz := dr.Const(0, "0")
+		dr.Store(xmitPos, zz, "s->xmit_pos = 0 /* abort frame */")
+		dr.Jump("writeback", "goto writeback")
+	} else {
+		t.Jump("tx_copy", "/* no capacity check: CVE-2015-7512 */")
+	}
+
+	cp := h.Block("tx_copy")
+	cp.DMAToBuf(buffer, pos, ba, blen, false, "memcpy(s->buffer + pos, guest(baddr), blen)")
+	np := cp.Arith(ir.ALUAdd, pos, blen, ir.W32, false, "pos + blen")
+	cp.Store(xmitPos, np, "s->xmit_pos = pos + blen")
+	cp.Jump("writeback", "goto writeback")
+
+	wb := h.Block("writeback")
+	inv := wb.Const(0xFFFF_FFFF^uint64(DescOWN), "~OWN")
+	cleared := wb.Arith(ir.ALUAnd, flags, inv, ir.W32, false, "flags & ~OWN")
+	wb.DMAWrite(fa, cleared, ir.W32, "stl(desc + 4, flags & ~OWN)")
+	enp := wb.Const(DescENP, "TMD_ENP")
+	eb := wb.Arith(ir.ALUAnd, flags, enp, ir.W32, false, "flags & ENP")
+	zw := wb.Const(0, "0")
+	wb.Branch(eb, ir.RelNE, zw, ir.W32, false, "if (flags & ENP)", "complete", "advance")
+
+	cm := h.Block("complete")
+	md := cm.Load(mode, "m = s->mode")
+	lb := cm.Const(ModeLoop, "MODE_LOOP")
+	lbb := cm.Arith(ir.ALUAnd, md, lb, ir.W16, false, "m & LOOP")
+	zc := cm.Const(0, "0")
+	cm.Branch(lbb, ir.RelNE, zc, ir.W16, false, "if (CSR_LOOP(s))", "lo_back", "wire_tx")
+
+	lbk := h.Block("lo_back")
+	lbk.Call("pcnet_rx_deliver", "pcnet_receive(s, s->buffer, s->xmit_pos)")
+	lbk.Jump("tx_fin", "goto fin")
+
+	// Wire transmit consults the backend link state — a value derivable
+	// neither from device state nor I/O data, so the specification keeps
+	// it as a sync point (paper §V-D).
+	wt := h.Block("wire_tx")
+	lk := wt.EnvRead(ir.EnvLink, "up = qemu_get_queue(s->nic)->link_down == 0")
+	zl2 := wt.Const(0, "0")
+	wt.Branch(lk, ir.RelNE, zl2, ir.W8, false, "if (link up)", "wire_send", "wire_drop")
+	wsnd := h.Block("wire_send")
+	wp := wsnd.Load(xmitPos, "n = s->xmit_pos")
+	wsnd.Work(wp, "qemu_send_packet(s->nic, s->buffer, n)")
+	wsnd.Jump("tx_fin", "goto fin")
+	wdrp := h.Block("wire_drop")
+	wdrp.Jump("tx_fin", "goto fin /* carrier lost: frame dropped */")
+
+	fin := h.Block("tx_fin")
+	zz := fin.Const(0, "0")
+	fin.Store(xmitPos, zz, "s->xmit_pos = 0")
+	cc := fin.Load(csr0, "c = s->csr0")
+	ti := fin.Const(CSR0TINT|CSR0INTR, "TINT|INTR")
+	c2 := fin.Arith(ir.ALUOr, cc, ti, ir.W16, false, "c | TINT | INTR")
+	fin.Store(csr0, c2, "s->csr0 |= TINT | INTR")
+	fin.CallPtr(irqCb, "pcnet_update_irq(s)")
+	fin.Jump("advance", "goto advance")
+
+	adv := h.Block("advance")
+	s2 := adv.Load(xmtrc, "slot = s->xmtrc")
+	one := adv.Const(1, "1")
+	s3 := adv.Arith(ir.ALUAdd, s2, one, ir.W16, false, "slot + 1")
+	xl := adv.Load(xmtrl, "n = s->xmtrl")
+	adv.Branch(s3, ir.RelGE, xl, ir.W16, false, "if (slot + 1 >= s->xmtrl)", "wrap", "nowrap")
+	wr := h.Block("wrap")
+	zz2 := wr.Const(0, "0")
+	wr.Store(xmtrc, zz2, "s->xmtrc = 0")
+	wr.Jump("loop", "continue")
+	nw := h.Block("nowrap")
+	nw.Store(xmtrc, s3, "s->xmtrc = slot + 1")
+	nw.Jump("loop", "continue")
+}
+
+// buildReceive emits frame reception. The delivery path (FCS append, ring
+// scan, DMA to the guest) is inlined into both entry points so that the
+// frame-size value keeps its real provenance: on the wire path it is a
+// temporary derived from the backend frame length (which is why the
+// parameter check cannot see CVE-2015-7504's overflow), while on the
+// loopback path it is the device-state parameter xmit_pos.
+func buildReceive(b *ir.Builder, opts Options, buffer, csr0, rcvrl, rdra, rcvrc, irqCb, xmitPos, rxTries ir.FieldID) {
+	// Wire-side entry: frame arrives from the network backend.
+	hw := b.Handler("pcnet_receive")
+	e := hw.Block("entry")
+	c := e.Load(csr0, "c = s->csr0")
+	rxon := e.Const(CSR0RXON, "RXON")
+	on := e.Arith(ir.ALUAnd, c, rxon, ir.W16, false, "c & RXON")
+	ze := e.Const(0, "0")
+	e.Branch(on, ir.RelEQ, ze, ir.W16, false, "if (!(s->csr0 & RXON))", "rx_off", "rx_take")
+	hw.Block("rx_off").Return("return /* not receiving */")
+
+	tk := hw.Block("rx_take")
+	wsize := tk.IOLen("size = frame length")
+	zi := tk.Const(0, "0")
+	tk.IOToBuf(buffer, zi, wsize, false, "memcpy(s->buffer, buf, size)")
+	emitDeliver(hw, tk, wsize, opts, buffer, csr0, rcvrl, rdra, rcvrc, irqCb, rxTries)
+
+	// Loopback entry: the frame is already staged in the buffer by the
+	// transmit path; its length is xmit_pos.
+	hd := b.Handler("pcnet_rx_deliver")
+	de := hd.Block("entry")
+	lsize := de.Load(xmitPos, "size = s->xmit_pos")
+	emitDeliver(hd, de, lsize, opts, buffer, csr0, rcvrl, rdra, rcvrc, irqCb, rxTries)
+}
+
+// emitDeliver appends the frame-delivery blocks to a handler, starting
+// from entry: FCS append (the CVE-2015-7504 site), receive-ring scan (the
+// CVE-2016-7909 loop), and guest DMA with interrupt delivery. size is a
+// handler-scoped temp valid across the emitted blocks.
+func emitDeliver(h *ir.HandlerBuilder, entry *ir.BlockBuilder, size ir.Temp, opts Options,
+	buffer, csr0, rcvrl, rdra, rcvrc, irqCb, rxTries ir.FieldID) {
+
+	if opts.Fix7504 {
+		cap4 := entry.Const(BufSize-CRCSize, "sizeof(buffer) - 4")
+		entry.Branch(size, ir.RelGT, cap4, ir.W32, false,
+			"if (size > sizeof(buffer) - 4) /* CVE-2015-7504 fix */", "rx_drop", "rx_crc")
+		dr := h.Block("rx_drop")
+		dr.Return("return /* oversized frame dropped */")
+	} else {
+		entry.Jump("rx_crc", "/* no FCS bound: CVE-2015-7504 */")
+	}
+
+	// FCS append: 4 bytes derived from the frame tail (standing in for
+	// the attacker-groundable CRC). With size == 4096 the stores land on
+	// irq_cb.
+	crc := h.Block("rx_crc")
+	four := crc.Const(4, "4")
+	tail := crc.Arith(ir.ALUSub, size, four, ir.W32, false, "size - 4")
+	for k := uint64(0); k < CRCSize; k++ {
+		ko := crc.Const(k, "k")
+		si := crc.Arith(ir.ALUAdd, tail, ko, ir.W32, false, "size - 4 + k")
+		cv := crc.BufLoad(buffer, si, ir.W32, false, "crc[k] = s->buffer[size - 4 + k]")
+		di := crc.Arith(ir.ALUAdd, size, ko, ir.W32, false, "size + k")
+		crc.BufStore(buffer, di, cv, ir.W32, false, "s->buffer[size + k] = crc[k]")
+	}
+	// Arm the ring-scan countdown with the ring length. With RCVRL == 0
+	// the first 32-bit decrement wraps to 0xFFFFFFFF and the scan spins
+	// for ~2^32 iterations: CVE-2016-7909.
+	rl := crc.Load(rcvrl, "i = s->rcvrl")
+	crc.Store(rxTries, rl, "i = s->rcvrl")
+	crc.Jump("rx_scan", "goto scan")
+
+	sc := h.Block("rx_scan")
+	slot := sc.Load(rcvrc, "slot = s->rcvrc")
+	sixteen := sc.Const(16, "16")
+	off := sc.Arith(ir.ALUMul, slot, sixteen, ir.W32, false, "slot * 16")
+	base := sc.Load(rdra, "base = s->rdra")
+	desc := sc.Arith(ir.ALUAdd, base, off, ir.W32, false, "desc = base + slot*16")
+	fo := sc.Const(DescFlags, "4")
+	fa := sc.Arith(ir.ALUAdd, desc, fo, ir.W32, false, "desc + 4")
+	flags := sc.DMARead(fa, ir.W32, "flags = ldl(desc + 4)")
+	own := sc.Const(DescOWN, "RMD_OWN")
+	ob := sc.Arith(ir.ALUAnd, flags, own, ir.W32, false, "flags & OWN")
+	zs := sc.Const(0, "0")
+	sc.Branch(ob, ir.RelNE, zs, ir.W32, false, "if (flags & OWN)", "rx_found", "rx_next")
+
+	nx := h.Block("rx_next")
+	s2 := nx.Load(rcvrc, "slot")
+	one := nx.Const(1, "1")
+	s3 := nx.Arith(ir.ALUAdd, s2, one, ir.W16, false, "slot + 1")
+	rl2 := nx.Load(rcvrl, "n = s->rcvrl")
+	nx.Branch(s3, ir.RelGE, rl2, ir.W16, false, "if (slot + 1 >= s->rcvrl)", "rx_wrap", "rx_step")
+	wr := h.Block("rx_wrap")
+	zw := wr.Const(0, "0")
+	wr.Store(rcvrc, zw, "s->rcvrc = 0")
+	wr.Jump("rx_count", "goto count")
+	st := h.Block("rx_step")
+	st.Store(rcvrc, s3, "s->rcvrc = slot + 1")
+	st.Jump("rx_count", "goto count")
+
+	ct := h.Block("rx_count")
+	i0 := ct.Load(rxTries, "i")
+	onec := ct.Const(1, "1")
+	i1 := ct.Arith(ir.ALUSub, i0, onec, ir.W32, false, "i - 1 /* wraps when rcvrl == 0 */")
+	ct.Store(rxTries, i1, "i = i - 1")
+	zc := ct.Const(0, "0")
+	ct.Branch(i1, ir.RelNE, zc, ir.W32, false, "while (i != 0)", "rx_scan", "rx_none")
+
+	h.Block("rx_none").Return("return /* no descriptor: frame lost */")
+
+	fd := h.Block("rx_found")
+	ba := fd.DMARead(desc, ir.W32, "baddr = ldl(desc)")
+	four2 := fd.Const(CRCSize, "4")
+	tot := fd.Arith(ir.ALUAdd, size, four2, ir.W32, false, "size + 4")
+	zi2 := fd.Const(0, "0")
+	fd.DMAFromBuf(buffer, zi2, ba, tot, false, "memcpy(guest(baddr), s->buffer, size + 4)")
+	fd.Work(tot, "deliver frame")
+	inv := fd.Const(0xFFFF_FFFF^uint64(DescOWN), "~OWN")
+	cl := fd.Arith(ir.ALUAnd, flags, inv, ir.W32, false, "flags & ~OWN")
+	fd.DMAWrite(fa, cl, ir.W32, "stl(desc + 4, flags & ~OWN)")
+	so := fd.Const(DescStat, "12")
+	sa := fd.Arith(ir.ALUAdd, desc, so, ir.W32, false, "desc + 12")
+	fd.DMAWrite(sa, tot, ir.W32, "stl(desc + 12, size + 4)")
+	// Leave rcvrc at the consumed slot's successor.
+	s4 := fd.Load(rcvrc, "slot")
+	one3 := fd.Const(1, "1")
+	s5 := fd.Arith(ir.ALUAdd, s4, one3, ir.W16, false, "slot + 1")
+	rl3 := fd.Load(rcvrl, "n")
+	fd.Branch(s5, ir.RelGE, rl3, ir.W16, false, "if (slot + 1 >= s->rcvrl)", "rx_adv_wrap", "rx_adv")
+	aw := h.Block("rx_adv_wrap")
+	za := aw.Const(0, "0")
+	aw.Store(rcvrc, za, "s->rcvrc = 0")
+	aw.Jump("rx_intr", "goto intr")
+	ad := h.Block("rx_adv")
+	ad.Store(rcvrc, s5, "s->rcvrc = slot + 1")
+	ad.Jump("rx_intr", "goto intr")
+
+	in := h.Block("rx_intr")
+	cc := in.Load(csr0, "c = s->csr0")
+	ri := in.Const(CSR0RINT|CSR0INTR, "RINT|INTR")
+	c2 := in.Arith(ir.ALUOr, cc, ri, ir.W16, false, "c | RINT | INTR")
+	in.Store(csr0, c2, "s->csr0 |= RINT | INTR")
+	in.CallPtr(irqCb, "pcnet_update_irq(s)")
+	in.Return("return")
+}
+
+// buildHelpers emits the interrupt callback target and the attacker
+// gadget.
+func buildHelpers(b *ir.Builder, csr0 ir.FieldID) {
+	irq := b.Handler("pcnet_update_irq")
+	e := irq.Block("entry")
+	e.IRQRaise("qemu_set_irq(s->irq, 1)")
+	e.Return("return")
+
+	g := b.Handler("host_gadget")
+	gb := g.Block("entry")
+	pw := gb.Const(0xFFFF, "0xffff")
+	gb.Store(csr0, pw, "/* attacker-controlled execution */")
+	gb.Return("return")
+}

@@ -1,0 +1,216 @@
+package scsi
+
+import (
+	"fmt"
+
+	"sedspec/internal/devices/devutil"
+)
+
+// Guest drives the controller the way an ESP SCSI driver would: CDBs
+// pushed through the TI FIFO (or DMA), ESP commands, interrupt
+// acknowledgement, and FIFO draining for data-in responses.
+type Guest struct {
+	p devutil.Port
+	// DMABuf is the guest address used for data transfers and DMA-select
+	// command blocks.
+	DMABuf uint32
+}
+
+// NewGuest wraps a port driver.
+func NewGuest(p devutil.Port) *Guest { return &Guest{p: p, DMABuf: 0x6_0000} }
+
+// Cmd issues a raw ESP command.
+func (g *Guest) Cmd(v byte) error {
+	_, err := g.p.Out8(PortCmd, v)
+	return err
+}
+
+// PushFIFO writes one byte into the TI FIFO.
+func (g *Guest) PushFIFO(v byte) error {
+	_, err := g.p.Out8(PortFIFO, v)
+	return err
+}
+
+// Flush clears the TI FIFO.
+func (g *Guest) Flush() error { return g.Cmd(ESPFlush) }
+
+// Reset issues a device reset.
+func (g *Guest) Reset() error { return g.Cmd(ESPReset) }
+
+// AckIntr reads (and thereby clears) the interrupt register.
+func (g *Guest) AckIntr() (byte, error) {
+	out, _, err := g.p.In(PortIntr)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) == 0 {
+		return 0, fmt.Errorf("scsi: empty INTR read")
+	}
+	return out[0], nil
+}
+
+// Status reads the status register.
+func (g *Guest) Status() (byte, error) {
+	out, _, err := g.p.In(PortStatus)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) == 0 {
+		return 0, fmt.Errorf("scsi: empty STATUS read")
+	}
+	return out[0], nil
+}
+
+// SetTC programs the 16-bit transfer count, as a real driver must before
+// any DMA operation.
+func (g *Guest) SetTC(n uint16) error {
+	if _, err := g.p.Out8(PortTCLo, byte(n)); err != nil {
+		return err
+	}
+	_, err := g.p.Out8(PortTCMid, byte(n>>8))
+	return err
+}
+
+// SetDMA programs the 24-bit DMA address.
+func (g *Guest) SetDMA(addr uint32) error {
+	for i, port := range []uint64{PortDMALo, PortDMAMid, PortDMAHi} {
+		if _, err := g.p.Out8(port, byte(addr>>(8*i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Select pushes an identify message plus CDB through the FIFO and issues
+// SELECT-with-ATN, then acknowledges the completion interrupt.
+func (g *Guest) Select(cdb ...byte) error {
+	if err := g.Flush(); err != nil {
+		return err
+	}
+	if err := g.PushFIFO(0x80); err != nil { // identify message
+		return err
+	}
+	for _, v := range cdb {
+		if err := g.PushFIFO(v); err != nil {
+			return err
+		}
+	}
+	if err := g.Cmd(ESPSelATN); err != nil {
+		return err
+	}
+	_, err := g.AckIntr()
+	return err
+}
+
+// DrainFIFO pops up to n response bytes.
+func (g *Guest) DrainFIFO(n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		b, _, err := g.p.In(PortFIFO)
+		if err != nil {
+			return out, err
+		}
+		if len(b) > 0 {
+			out = append(out, b[0])
+		}
+	}
+	return out, nil
+}
+
+// TestUnitReady issues TEST UNIT READY.
+func (g *Guest) TestUnitReady() error { return g.Select(ScsiTestUnitReady, 0, 0, 0, 0, 0) }
+
+// Inquiry issues INQUIRY and drains the response.
+func (g *Guest) Inquiry() ([]byte, error) {
+	if err := g.Select(ScsiInquiry, 0, 0, 0, 36, 0); err != nil {
+		return nil, err
+	}
+	return g.DrainFIFO(16)
+}
+
+// RequestSense issues REQUEST SENSE and drains the response.
+func (g *Guest) RequestSense() ([]byte, error) {
+	if err := g.Select(ScsiRequestSense, 0, 0, 0, 18, 0); err != nil {
+		return nil, err
+	}
+	return g.DrainFIFO(8)
+}
+
+// ModeSense issues MODE SENSE(6).
+func (g *Guest) ModeSense() error {
+	return g.Select(ScsiModeSense, 0, 0x3F, 0, 12, 0)
+}
+
+// ReadCapacity issues READ CAPACITY(10).
+func (g *Guest) ReadCapacity() error {
+	return g.Select(ScsiReadCapacity, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+}
+
+// ReportLuns issues REPORT LUNS.
+func (g *Guest) ReportLuns() error {
+	return g.Select(ScsiReportLuns, 0, 0, 0, 0, 0, 0, 0, 16, 0)
+}
+
+// rw issues READ(10) or WRITE(10) for blocks at lba.
+func (g *Guest) rw(op byte, lba uint32, blocks byte) error {
+	if err := g.SetDMA(g.DMABuf); err != nil {
+		return err
+	}
+	// CDB layout after the identify byte: [1]=op [2]=flags [3..6]=lba
+	// [7]=group [8]=blocks [9]=control.
+	return g.Select(op, 0,
+		byte(lba>>24), byte(lba>>16), byte(lba>>8), byte(lba),
+		0, blocks, 0)
+}
+
+// Read10 transfers blocks from the disk to guest memory.
+func (g *Guest) Read10(lba uint32, blocks byte) error {
+	return g.rw(ScsiRead10, lba, blocks)
+}
+
+// Write10 transfers blocks from guest memory to the disk.
+func (g *Guest) Write10(lba uint32, blocks byte) error {
+	return g.rw(ScsiWrite10, lba, blocks)
+}
+
+// DMASelect places a command block (length header, identify message, CDB)
+// in guest memory and issues the DMA-select ESP command.
+func (g *Guest) DMASelect(cdb []byte) error {
+	mem := g.p.Machine().Mem
+	blk := append([]byte{byte(len(cdb) + 1), 0x80}, cdb...)
+	if err := mem.Write(uint64(g.DMABuf), blk); err != nil {
+		return err
+	}
+	if err := g.SetTC(uint16(len(blk))); err != nil {
+		return err
+	}
+	if err := g.SetDMA(g.DMABuf); err != nil {
+		return err
+	}
+	if err := g.Cmd(ESPDMASel); err != nil {
+		return err
+	}
+	_, err := g.AckIntr()
+	return err
+}
+
+// XferInfo issues TRANSFER INFO (phase acknowledge).
+func (g *Guest) XferInfo() error {
+	if err := g.Cmd(ESPXferInfo); err != nil {
+		return err
+	}
+	_, err := g.AckIntr()
+	return err
+}
+
+// SelNATN issues the rare SELECT-without-ATN command.
+func (g *Guest) SelNATN() error {
+	if err := g.Cmd(ESPSelNATN); err != nil {
+		return err
+	}
+	_, err := g.AckIntr()
+	return err
+}
+
+// SetATN issues the rare SET-ATN command.
+func (g *Guest) SetATN() error { return g.Cmd(ESPSetATN) }

@@ -1,0 +1,284 @@
+package scsi
+
+import "sedspec/internal/ir"
+
+// buildESPCommands emits the ESP command register dispatch and the two
+// selection paths that assemble a CDB into cmdbuf: from the TI FIFO
+// (SELATN) and from guest memory via DMA (DMA-select, the CVE-2015-5158
+// site).
+func buildESPCommands(b *ir.Builder, opts Options, tiBuf, tiWptr, tiRptr, cmdBuf, phase,
+	sense, status, intr, seq, copyI, dmaAddr, irqCb ir.FieldID) {
+
+	h := b.Handler("esp_do_command")
+	e := h.Block("entry").CmdDecision()
+	v := e.IOIn(ir.W8, "cmd = val")
+	e.Switch(v, "switch (cmd)", "c_unknown",
+		ir.Case(ESPNop, "c_nop"),
+		ir.Case(ESPFlush, "c_flush"),
+		ir.Case(ESPReset, "c_reset"),
+		ir.Case(ESPXferInfo, "c_xfer"),
+		ir.Case(ESPMsgAcc, "c_msgacc"),
+		ir.Case(ESPSelATN, "c_selatn"),
+		ir.Case(ESPSelNATN, "c_selnatn"),
+		ir.Case(ESPSetATN, "c_setatn"),
+		ir.Case(ESPDMASel, "c_dmasel"),
+	)
+
+	np := h.Block("c_nop").CmdEnd()
+	np.Return("return")
+
+	fl := h.Block("c_flush").CmdEnd()
+	z := fl.Const(0, "0")
+	fl.Store(tiWptr, z, "s->ti_wptr = 0")
+	fl.Store(tiRptr, z, "s->ti_rptr = 0")
+	fl.Return("return")
+
+	rs := h.Block("c_reset").CmdEnd()
+	zr := rs.Const(0, "0")
+	rs.Store(tiWptr, zr, "s->ti_wptr = 0")
+	rs.Store(tiRptr, zr, "s->ti_rptr = 0")
+	rs.Store(phase, zr, "s->phase = 0")
+	rs.Store(sense, zr, "s->sense = 0")
+	rs.Store(status, zr, "s->status = 0")
+	rs.Store(seq, zr, "s->seq = 0")
+	rs.Return("return")
+
+	// TRANSFER INFO: acknowledge the current phase and interrupt.
+	xf := h.Block("c_xfer").CmdEnd()
+	sq := xf.Const(0x04, "SEQ_CD")
+	xf.Store(seq, sq, "s->seq = SEQ_CD")
+	ib := xf.Const(0x18, "INTR_BS | INTR_FC")
+	xf.Store(intr, ib, "s->intr = INTR_BS | INTR_FC")
+	xf.CallPtr(irqCb, "esp_raise_irq(s)")
+	xf.Return("return")
+
+	ma := h.Block("c_msgacc").CmdEnd()
+	mi := ma.Const(0x20, "INTR_DC")
+	ma.Store(intr, mi, "s->intr = INTR_DC")
+	ma.CallPtr(irqCb, "esp_raise_irq(s)")
+	ma.Return("return")
+
+	// SELECT with ATN: copy the CDB from the TI FIFO into cmdbuf. The
+	// copy is bounded by ti_wptr — which CVE-2016-4439 lets an attacker
+	// corrupt.
+	sa := h.Block("c_selatn")
+	za := sa.Const(0, "0")
+	sa.Store(copyI, za, "i = 0")
+	sa.Jump("sel_copy", "goto copy")
+
+	cl := h.Block("sel_copy")
+	i := cl.Load(copyI, "i")
+	n := cl.Load(tiWptr, "len = s->ti_wptr")
+	cl.Branch(i, ir.RelGE, n, ir.W8, false, "while (i < len)", "sel_parse", "sel_byte")
+	cb := h.Block("sel_byte")
+	i2 := cb.Load(copyI, "i")
+	bv := cb.BufLoad(tiBuf, i2, ir.W8, false, "v = s->ti_buf[i]")
+	cb.BufStore(cmdBuf, i2, bv, ir.W8, false, "s->cmdbuf[i] = v")
+	one := cb.Const(1, "1")
+	i3 := cb.Arith(ir.ALUAdd, i2, one, ir.W8, false, "i + 1")
+	cb.Store(copyI, i3, "i++")
+	cb.Jump("sel_copy", "continue")
+
+	sp := h.Block("sel_parse")
+	sp.Call("scsi_do_cdb", "scsi_req_new(s->cmdbuf)")
+	sp.Return("return")
+
+	// SELECT without ATN (rare in training): same copy, different
+	// sequencing.
+	sn := h.Block("c_selnatn")
+	zn := sn.Const(0, "0")
+	sn.Store(copyI, zn, "i = 0")
+	sq2 := sn.Const(0x02, "SEQ_SELNATN")
+	sn.Store(seq, sq2, "s->seq = SEQ_SELNATN")
+	sn.Jump("sel_copy", "goto copy")
+
+	st := h.Block("c_setatn").CmdEnd()
+	av := st.Const(0x08, "ATN")
+	st.Store(seq, av, "s->seq |= ATN")
+	st.Return("return")
+
+	// DMA select: the command block arrives via DMA. Its length comes
+	// from the transfer header in guest memory — a temporary with no
+	// relation to device-state parameters, so the parameter check cannot
+	// bound it (CVE-2015-5158).
+	ds := h.Block("c_dmasel")
+	addr := ds.Load(dmaAddr, "addr = s->dma_addr")
+	hdr := ds.DMARead(addr, ir.W8, "cmdlen = ldub(addr) /* message header */")
+	if opts.Fix5158 {
+		lim := ds.Const(CmdBufSize, "sizeof(s->cmdbuf)")
+		ds.Branch(hdr, ir.RelGT, lim, ir.W8, false,
+			"if (cmdlen > sizeof(s->cmdbuf)) /* CVE-2015-5158 fix */", "dma_bad", "dma_copy")
+		db := h.Block("dma_bad")
+		bs := db.Const(0x80, "SENSE_ILLEGAL")
+		db.Store(sense, bs, "s->sense = ILLEGAL_REQUEST")
+		db.Return("return")
+	} else {
+		ds.Jump("dma_copy", "/* no length check: CVE-2015-5158 */")
+	}
+	dc := h.Block("dma_copy")
+	addr2 := dc.Load(dmaAddr, "addr")
+	one2 := dc.Const(1, "1")
+	src := dc.Arith(ir.ALUAdd, addr2, one2, ir.W32, false, "addr + 1")
+	zi := dc.Const(0, "0")
+	dc.DMAToBuf(cmdBuf, zi, src, hdr, false, "memcpy(s->cmdbuf, buf, cmdlen)")
+	dc.Call("scsi_do_cdb", "scsi_req_new(s->cmdbuf)")
+	dc.Return("return")
+
+	un := h.Block("c_unknown").CmdEnd()
+	uv := un.Const(0x40, "INTR_ILL")
+	un.Store(intr, uv, "s->intr = INTR_ILL")
+	un.Return("return")
+}
+
+// buildSCSICommands emits CDB parsing and the SCSI command set: the opcode
+// switch is a second command-decision point, and corrupted command blocks
+// land in its untrained arms.
+func buildSCSICommands(b *ir.Builder, tiBuf, tiWptr, tiRptr, cmdBuf, phase, sense,
+	status, intr, copyI, lba, xferBlocks, dmaAddr, dataBuf, irqCb ir.FieldID) {
+
+	h := b.Handler("scsi_do_cdb")
+	e := h.Block("entry").CmdDecision()
+	one := e.Const(1, "1")
+	op := e.BufLoad(cmdBuf, one, ir.W8, false, "opcode = s->cmdbuf[1]")
+	e.Switch(op, "switch (opcode)", "s_unknown",
+		ir.Case(ScsiTestUnitReady, "s_tur"),
+		ir.Case(ScsiRequestSense, "s_sense"),
+		ir.Case(ScsiInquiry, "s_inquiry"),
+		ir.Case(ScsiModeSense, "s_modesense"),
+		ir.Case(ScsiReadCapacity, "s_readcap"),
+		ir.Case(ScsiRead10, "s_read10"),
+		ir.Case(ScsiWrite10, "s_write10"),
+		ir.Case(ScsiReportLuns, "s_reportluns"),
+	)
+
+	finish := func(blk *ir.BlockBuilder, ph uint64) {
+		pv := blk.Const(ph, "phase")
+		blk.Store(phase, pv, "s->phase = phase")
+		gd := blk.Const(0, "GOOD")
+		blk.Store(status, gd, "s->status = GOOD")
+		iv := blk.Const(0x18, "INTR_BS | INTR_FC")
+		blk.Store(intr, iv, "s->intr = INTR_BS | INTR_FC")
+		blk.CallPtr(irqCb, "esp_raise_irq(s)")
+	}
+
+	// fillTI stages n response bytes (from a recognizable pattern) into
+	// the TI FIFO for the guest to drain.
+	fillTI := func(blk *ir.BlockBuilder, n uint64, seed uint64) {
+		z := blk.Const(0, "0")
+		blk.Store(tiRptr, z, "s->ti_rptr = 0")
+		for k := uint64(0); k < n; k++ {
+			ki := blk.Const(k, "k")
+			kv := blk.Const(seed+k, "data[k]")
+			blk.BufStore(tiBuf, ki, kv, ir.W8, false, "s->ti_buf[k] = data[k]")
+		}
+		nv := blk.Const(n, "n")
+		blk.Store(tiWptr, nv, "s->ti_wptr = n")
+	}
+
+	tu := h.Block("s_tur").CmdEnd()
+	finish(tu, 0)
+	tu.Return("return")
+
+	se := h.Block("s_sense").CmdEnd()
+	fillTI(se, 8, 0x70)
+	sv := se.Load(sense, "v = s->sense")
+	zi := se.Const(2, "2")
+	se.BufStore(tiBuf, zi, sv, ir.W8, false, "s->ti_buf[2] = s->sense")
+	zc := se.Const(0, "0")
+	se.Store(sense, zc, "s->sense = 0")
+	finish(se, 1)
+	se.Return("return")
+
+	iq := h.Block("s_inquiry").CmdEnd()
+	fillTI(iq, 16, 0x30)
+	finish(iq, 1)
+	iq.Return("return")
+
+	ms := h.Block("s_modesense").CmdEnd()
+	fillTI(ms, 12, 0x50)
+	finish(ms, 1)
+	ms.Return("return")
+
+	rc := h.Block("s_readcap").CmdEnd()
+	fillTI(rc, 8, 0x10)
+	finish(rc, 1)
+	rc.Return("return")
+
+	rl := h.Block("s_reportluns").CmdEnd()
+	fillTI(rl, 16, 0x00)
+	finish(rl, 1)
+	rl.Return("return")
+
+	// READ(10)/WRITE(10): parse LBA and block count from the CDB, then
+	// loop block transfers between the medium and the guest DMA address.
+	parse := func(blk *ir.BlockBuilder) {
+		var acc ir.Temp
+		for k := uint64(0); k < 4; k++ {
+			ki := blk.Const(3+k, "3+k")
+			bv := blk.BufLoad(cmdBuf, ki, ir.W8, false, "lba byte")
+			if k == 0 {
+				acc = bv
+				continue
+			}
+			eight := blk.Const(8, "8")
+			sh := blk.Arith(ir.ALUShl, acc, eight, ir.W32, false, "lba << 8")
+			acc = blk.Arith(ir.ALUOr, sh, bv, ir.W32, false, "lba | byte")
+		}
+		blk.Store(lba, acc, "s->lba = be32(cmdbuf + 3)")
+		ni := blk.Const(8, "8")
+		nb := blk.BufLoad(cmdBuf, ni, ir.W8, false, "blocks = s->cmdbuf[8]")
+		blk.Store(xferBlocks, nb, "s->xfer_blocks = blocks")
+	}
+
+	xfer := func(label string, write bool) {
+		blk := h.Block(label)
+		parse(blk)
+		blk.Jump(label+"_loop", "goto loop")
+
+		lp := h.Block(label + "_loop")
+		left := lp.Load(xferBlocks, "left = s->xfer_blocks")
+		z := lp.Const(0, "0")
+		lp.Branch(left, ir.RelGT, z, ir.W16, false, "while (left > 0)", label+"_blk", label+"_done")
+
+		bb := h.Block(label + "_blk")
+		addr := bb.Load(dmaAddr, "addr = s->dma_addr")
+		bs := bb.Const(BlockSize, "512")
+		z2 := bb.Const(0, "0")
+		if write {
+			bb.DMAToBuf(dataBuf, z2, addr, bs, false, "dma_memory_read(addr, s->databuf, 512)")
+		} else {
+			bb.DMAFromBuf(dataBuf, z2, addr, bs, false, "dma_memory_write(addr, s->databuf, 512)")
+		}
+		bb.Work(bs, "scsi_disk_emulate_io(s)")
+		a2 := bb.Arith(ir.ALUAdd, addr, bs, ir.W32, false, "addr + 512")
+		bb.Store(dmaAddr, a2, "s->dma_addr = addr + 512")
+		l2 := bb.Load(xferBlocks, "left")
+		one2 := bb.Const(1, "1")
+		l3 := bb.Arith(ir.ALUSub, l2, one2, ir.W16, false, "left - 1")
+		bb.Store(xferBlocks, l3, "s->xfer_blocks = left - 1")
+		lb := bb.Load(lba, "lba")
+		lb2 := bb.Arith(ir.ALUAdd, lb, one2, ir.W32, false, "lba + 1")
+		bb.Store(lba, lb2, "s->lba = lba + 1")
+		bb.Jump(label+"_loop", "continue")
+
+		dn := h.Block(label + "_done").CmdEnd()
+		finish(dn, 3)
+		dn.Return("return")
+	}
+	xfer("s_read10", false)
+	xfer("s_write10", true)
+
+	un := h.Block("s_unknown").CmdEnd()
+	bad := un.Const(0x20, "ILLEGAL_OPCODE")
+	un.Store(sense, bad, "s->sense = ILLEGAL_OPCODE")
+	ck := un.Const(0x02, "CHECK_CONDITION")
+	un.Store(status, ck, "s->status = CHECK_CONDITION")
+	zp := un.Const(0, "0")
+	un.Store(phase, zp, "s->phase = 0")
+	ivv := un.Const(0x18, "INTR_BS | INTR_FC")
+	un.Store(intr, ivv, "s->intr = INTR_BS | INTR_FC")
+	un.CallPtr(irqCb, "esp_raise_irq(s)")
+	un.Return("return")
+	_ = tiWptr
+	_ = copyI
+}

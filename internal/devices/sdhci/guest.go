@@ -1,0 +1,188 @@
+package sdhci
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sedspec/internal/devices/devutil"
+)
+
+// Guest drives the controller like an SD host driver: card bring-up
+// (CMD0/2/3/7), transfer parameter programming, and SDMA multi-block
+// transfers resumed at DMA boundaries.
+type Guest struct {
+	p devutil.Port
+	// Base is the MMIO base the device was attached at.
+	Base uint64
+	// DMABuf is the guest address used for transfers.
+	DMABuf uint32
+}
+
+// NewGuest wraps a port driver.
+func NewGuest(p devutil.Port) *Guest { return &Guest{p: p, DMABuf: 0x4_0000} }
+
+// Write16 writes a 16-bit register.
+func (g *Guest) Write16(off uint64, v uint16) error {
+	b := make([]byte, 2)
+	binary.LittleEndian.PutUint16(b, v)
+	_, err := g.p.MMIOWrite(g.Base+off, b)
+	return err
+}
+
+// Write32 writes a 32-bit register.
+func (g *Guest) Write32(off uint64, v uint32) error {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, v)
+	_, err := g.p.MMIOWrite(g.Base+off, b)
+	return err
+}
+
+// Read16 reads a 16-bit register.
+func (g *Guest) Read16(off uint64) (uint16, error) {
+	out, _, err := g.p.MMIORead(g.Base + off)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) < 2 {
+		return 0, fmt.Errorf("sdhci: short read at %#x", off)
+	}
+	return binary.LittleEndian.Uint16(out), nil
+}
+
+// Read32 reads a 32-bit register.
+func (g *Guest) Read32(off uint64) (uint32, error) {
+	out, _, err := g.p.MMIORead(g.Base + off)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) < 4 {
+		return 0, fmt.Errorf("sdhci: short read at %#x", off)
+	}
+	return binary.LittleEndian.Uint32(out), nil
+}
+
+// Command issues an SD command with an argument.
+func (g *Guest) Command(index uint8, arg uint32) error {
+	if err := g.Write32(RegArg, arg); err != nil {
+		return err
+	}
+	return g.Write16(RegCmd, uint16(index)<<8)
+}
+
+// InitCard runs the bring-up sequence.
+func (g *Guest) InitCard() error {
+	for _, c := range []struct {
+		idx uint8
+		arg uint32
+	}{
+		{CmdGoIdle, 0},
+		{CmdSendIfCond, 0x1AA},
+		{CmdAllSendCID, 0},
+		{CmdSendRelAddr, 0},
+		{CmdSelectCard, 0x45670000},
+		{CmdSendCSD, 0x45670000},
+	} {
+		if err := g.Command(c.idx, c.arg); err != nil {
+			return err
+		}
+		if err := g.AckAll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AckAll clears non-DMA interrupt status bits.
+func (g *Guest) AckAll() error {
+	s, err := g.Read16(RegNorIntSts)
+	if err != nil {
+		return err
+	}
+	return g.Write16(RegNorIntSts, s&^uint16(IntDMABoundary))
+}
+
+// ResumeDMA acknowledges a DMA boundary, resuming the transfer engine.
+func (g *Guest) ResumeDMA() error {
+	return g.Write16(RegNorIntSts, IntDMABoundary)
+}
+
+// Transfer runs a multi-block transfer of blocks x blksize bytes,
+// resuming boundaries until completion. write selects the direction.
+func (g *Guest) Transfer(write bool, blksize, blocks uint16) error {
+	if err := g.Write32(RegSDMA, g.DMABuf); err != nil {
+		return err
+	}
+	if err := g.Write16(RegBlkSize, blksize); err != nil {
+		return err
+	}
+	if err := g.Write16(RegBlkCnt, blocks); err != nil {
+		return err
+	}
+	cmd := uint8(CmdReadMulti)
+	if write {
+		cmd = CmdWriteMulti
+	}
+	if err := g.Command(cmd, 0); err != nil {
+		return err
+	}
+	// Pump boundaries until the transfer completes.
+	for i := 0; i < 4*int(blocks)*int(blksize)/chunkSize+16; i++ {
+		s, err := g.Read16(RegNorIntSts)
+		if err != nil {
+			return err
+		}
+		if s&IntXferComplete != 0 {
+			return g.AckAll()
+		}
+		if s&IntDMABoundary != 0 {
+			if err := g.ResumeDMA(); err != nil {
+				return err
+			}
+			continue
+		}
+		return fmt.Errorf("sdhci: transfer stalled (status %#x)", s)
+	}
+	return fmt.Errorf("sdhci: transfer did not complete")
+}
+
+// SingleBlock runs CMD17/CMD24.
+func (g *Guest) SingleBlock(write bool) error {
+	if err := g.Write32(RegSDMA, g.DMABuf); err != nil {
+		return err
+	}
+	cmd := uint8(CmdReadSingle)
+	if write {
+		cmd = CmdWriteSingle
+	}
+	if err := g.Command(cmd, 0); err != nil {
+		return err
+	}
+	return g.AckAll()
+}
+
+// Status issues CMD13.
+func (g *Guest) Status() (uint32, error) {
+	if err := g.Command(CmdSendStatus, 0x45670000); err != nil {
+		return 0, err
+	}
+	if err := g.AckAll(); err != nil {
+		return 0, err
+	}
+	return g.Read32(RegResp0)
+}
+
+// SetBlockLen issues CMD16.
+func (g *Guest) SetBlockLen(n uint32) error {
+	if err := g.Command(CmdSetBlockLen, n); err != nil {
+		return err
+	}
+	return g.AckAll()
+}
+
+// GenCmd issues the rare CMD56.
+func (g *Guest) GenCmd() error {
+	if err := g.Command(CmdGenCmd, 0); err != nil {
+		return err
+	}
+	return g.AckAll()
+}

@@ -1,0 +1,244 @@
+package sdhci
+
+import "sedspec/internal/ir"
+
+// buildCommands emits the SD command dispatch: the CMD register write
+// carries the command index in its high byte; the switch is the device's
+// command-decision point.
+func buildCommands(b *ir.Builder, fifo, dataCount, irqCb, blksize, blkcnt, arg, cmdReg,
+	resp0, prnsts, norintsts, sdma, rca, selected, blocklen, xferWrite ir.FieldID) {
+
+	h := b.Handler("sdhci_send_command")
+	e := h.Block("entry").CmdDecision()
+	v := e.IOIn(ir.W16, "v = lduw(val)")
+	e.Store(cmdReg, v, "s->cmd_reg = v")
+	eight := e.Const(8, "8")
+	idx := e.Arith(ir.ALUShr, v, eight, ir.W16, false, "cmd = v >> 8")
+	e.Switch(idx, "switch (cmd)", "c_illegal",
+		ir.Case(CmdGoIdle, "c_goidle"),
+		ir.Case(CmdAllSendCID, "c_cid"),
+		ir.Case(CmdSendRelAddr, "c_rca"),
+		ir.Case(CmdSelectCard, "c_select"),
+		ir.Case(CmdSendIfCond, "c_ifcond"),
+		ir.Case(CmdSendCSD, "c_csd"),
+		ir.Case(CmdSendStatus, "c_status"),
+		ir.Case(CmdSetBlockLen, "c_blocklen"),
+		ir.Case(CmdReadSingle, "c_read1"),
+		ir.Case(CmdReadMulti, "c_readn"),
+		ir.Case(CmdWriteSingle, "c_write1"),
+		ir.Case(CmdWriteMulti, "c_writen"),
+		ir.Case(CmdGenCmd, "c_gen"),
+	)
+
+	// done stamps command completion: response, status bit, interrupt.
+	done := func(blk *ir.BlockBuilder, resp uint64) {
+		rv := blk.Const(resp, "resp")
+		blk.Store(resp0, rv, "s->resp0 = resp")
+		cur := blk.Load(norintsts, "c = s->norintsts")
+		cc := blk.Const(IntCmdComplete, "INT_CMD_COMPLETE")
+		c2 := blk.Arith(ir.ALUOr, cur, cc, ir.W16, false, "c | INT_CMD_COMPLETE")
+		blk.Store(norintsts, c2, "s->norintsts |= INT_CMD_COMPLETE")
+		blk.CallPtr(irqCb, "sdhci_update_irq(s)")
+	}
+
+	gi := h.Block("c_goidle").CmdEnd()
+	z := gi.Const(0, "0")
+	gi.Store(dataCount, z, "s->data_count = 0")
+	gi.Store(blkcnt, z, "s->blkcnt = 0")
+	gi.Store(prnsts, z, "s->prnsts = 0")
+	gi.Store(selected, z, "deselect")
+	done(gi, 0)
+	gi.Return("return")
+
+	ci := h.Block("c_cid").CmdEnd()
+	done(ci, 0xDEAD_CAFE)
+	ci.Return("return")
+
+	cr := h.Block("c_rca").CmdEnd()
+	r := cr.Const(0x4567, "0x4567")
+	cr.Store(rca, r, "s->rca = 0x4567")
+	done(cr, 0x4567_0000)
+	cr.Return("return")
+
+	cs := h.Block("c_select").CmdEnd()
+	one := cs.Const(1, "1")
+	cs.Store(selected, one, "s->selected = 1")
+	done(cs, 0x0700)
+	cs.Return("return")
+
+	cf := h.Block("c_ifcond").CmdEnd()
+	a := cf.Load(arg, "a = s->argument")
+	mask := cf.Const(0xFFF, "0xfff")
+	echo := cf.Arith(ir.ALUAnd, a, mask, ir.W32, false, "a & 0xfff")
+	cf.Store(resp0, echo, "s->resp0 = a & 0xfff")
+	cur := cf.Load(norintsts, "c")
+	cc := cf.Const(IntCmdComplete, "INT_CMD_COMPLETE")
+	c2 := cf.Arith(ir.ALUOr, cur, cc, ir.W16, false, "c | INT_CMD_COMPLETE")
+	cf.Store(norintsts, c2, "s->norintsts |= INT_CMD_COMPLETE")
+	cf.CallPtr(irqCb, "sdhci_update_irq(s)")
+	cf.Return("return")
+
+	cd := h.Block("c_csd").CmdEnd()
+	done(cd, 0x0123_4567)
+	cd.Return("return")
+
+	ct := h.Block("c_status").CmdEnd()
+	sel := ct.Load(selected, "sel = s->selected")
+	nine := ct.Const(9, "9")
+	stv := ct.Arith(ir.ALUShl, sel, nine, ir.W32, false, "sel << 9")
+	ct.Store(resp0, stv, "s->resp0 = state")
+	cur2 := ct.Load(norintsts, "c")
+	cc2 := ct.Const(IntCmdComplete, "INT_CMD_COMPLETE")
+	c3 := ct.Arith(ir.ALUOr, cur2, cc2, ir.W16, false, "c | INT_CMD_COMPLETE")
+	ct.Store(norintsts, c3, "s->norintsts |= INT_CMD_COMPLETE")
+	ct.CallPtr(irqCb, "sdhci_update_irq(s)")
+	ct.Return("return")
+
+	cb := h.Block("c_blocklen").CmdEnd()
+	a2 := cb.Load(arg, "a = s->argument")
+	cb.Store(blocklen, a2, "s->blocklen = a")
+	done(cb, 0x0900)
+	cb.Return("return")
+
+	// Single-block transfers complete synchronously.
+	c1 := h.Block("c_read1").CmdEnd()
+	addr := c1.Load(sdma, "addr = s->sdmasysad")
+	bs := c1.Load(blksize, "n = s->blksize")
+	zi := c1.Const(0, "0")
+	c1.DMAFromBuf(fifo, zi, addr, bs, false, "dma_memory_write(addr, s->fifo_buffer, n)")
+	c1.Work(bs, "sd_read_block(s)")
+	done(c1, 0x0900)
+	c1.Return("return")
+
+	w1 := h.Block("c_write1").CmdEnd()
+	addr2 := w1.Load(sdma, "addr = s->sdmasysad")
+	bs2 := w1.Load(blksize, "n = s->blksize")
+	zi2 := w1.Const(0, "0")
+	w1.DMAToBuf(fifo, zi2, addr2, bs2, false, "dma_memory_read(addr, s->fifo_buffer, n)")
+	w1.Work(bs2, "sd_write_block(s)")
+	done(w1, 0x0900)
+	w1.Return("return")
+
+	// Multi-block transfers arm the incremental engine and run the first
+	// burst; the guest resumes at each DMA boundary.
+	startMulti := func(label string, write uint64) {
+		blk := h.Block(label)
+		act := blk.Const(PrnTransferActive, "TRANSFER_ACTIVE")
+		blk.Store(prnsts, act, "s->prnsts |= TRANSFER_ACTIVE")
+		wv := blk.Const(write, "direction")
+		blk.Store(xferWrite, wv, "s->xfer_write = dir")
+		zz := blk.Const(0, "0")
+		blk.Store(dataCount, zz, "s->data_count = 0")
+		done(blk, 0x0900)
+		blk.Call("sdhci_sdma_transfer", "sdhci_sdma_transfer_multi_blocks(s)")
+		blk.Return("return")
+	}
+	startMulti("c_readn", 0)
+	startMulti("c_writen", 1)
+
+	cg := h.Block("c_gen").CmdEnd()
+	done(cg, 0x0900)
+	cg.Return("return")
+
+	il := h.Block("c_illegal").CmdEnd()
+	bad := il.Const(0xFFFF_FFFF, "ILLEGAL")
+	il.Store(resp0, bad, "s->resp0 = ILLEGAL")
+	il.Return("return")
+}
+
+// buildTransferEngine emits the incremental SDMA engine: one chunk per
+// invocation, re-evaluating the remaining count. The (blksize -
+// data_count) expression is the CVE-2021-3409 underflow site.
+func buildTransferEngine(b *ir.Builder, fifo, dataCount, spaceLeft, irqCb, blksize,
+	blkcnt, prnsts, norintsts, sdma, xferWrite ir.FieldID) {
+
+	h := b.Handler("sdhci_sdma_transfer")
+	e := h.Block("entry")
+	ps := e.Load(prnsts, "p = s->prnsts")
+	act := e.Const(PrnTransferActive, "TRANSFER_ACTIVE")
+	ab := e.Arith(ir.ALUAnd, ps, act, ir.W16, false, "p & TRANSFER_ACTIVE")
+	z := e.Const(0, "0")
+	e.Branch(ab, ir.RelEQ, z, ir.W16, false, "if (!TRANSFERRING_DATA(s))", "idle", "step")
+	h.Block("idle").Return("return")
+
+	st := h.Block("step")
+	bs := st.Load(blksize, "blk_size = s->blksize")
+	dc := st.Load(dataCount, "count = s->data_count")
+	rem := st.Arith(ir.ALUSub, bs, dc, ir.W16, false,
+		"n = blk_size - s->data_count /* CVE-2021-3409 underflow */")
+	st.Store(spaceLeft, rem, "s->space_left = n")
+	chunk := st.Const(chunkSize, "boundary_chunk")
+	st.Branch(rem, ir.RelLE, chunk, ir.W16, false, "if (n <= boundary_chunk)", "finish_block", "burst")
+
+	// Partial burst: move chunkSize bytes and pause at the boundary.
+	bu := h.Block("burst")
+	addr := bu.Load(sdma, "addr = s->sdmasysad")
+	dc2 := bu.Load(dataCount, "count")
+	ch := bu.Const(chunkSize, "chunk")
+	dir := bu.Load(xferWrite, "dir = s->xfer_write")
+	one := bu.Const(1, "1")
+	bu.Branch(dir, ir.RelEQ, one, ir.W8, false, "if (write)", "burst_w", "burst_r")
+	bw := h.Block("burst_w")
+	bw.DMAToBuf(fifo, dc2, addr, ch, false, "dma_memory_read(addr, fifo + count, chunk)")
+	bw.Jump("burst_done", "goto done")
+	br := h.Block("burst_r")
+	br.DMAFromBuf(fifo, dc2, addr, ch, false, "dma_memory_write(addr, fifo + count, chunk)")
+	br.Jump("burst_done", "goto done")
+	bd := h.Block("burst_done")
+	bd.Work(ch, "sd transfer chunk")
+	a2 := bd.Arith(ir.ALUAdd, addr, ch, ir.W32, false, "addr + chunk")
+	bd.Store(sdma, a2, "s->sdmasysad = addr + chunk")
+	nc := bd.Arith(ir.ALUAdd, dc2, ch, ir.W16, false, "count + chunk")
+	bd.Store(dataCount, nc, "s->data_count = count + chunk")
+	cur := bd.Load(norintsts, "c")
+	dmab := bd.Const(IntDMABoundary, "INT_DMA")
+	c2 := bd.Arith(ir.ALUOr, cur, dmab, ir.W16, false, "c | INT_DMA")
+	bd.Store(norintsts, c2, "s->norintsts |= INT_DMA /* pause at boundary */")
+	bd.CallPtr(irqCb, "sdhci_update_irq(s)")
+	bd.Return("return")
+
+	// Final burst of the block: move the remainder and close the block.
+	fb := h.Block("finish_block")
+	addr3 := fb.Load(sdma, "addr = s->sdmasysad")
+	dc3 := fb.Load(dataCount, "count")
+	rem2 := fb.Load(spaceLeft, "n = s->space_left")
+	dir2 := fb.Load(xferWrite, "dir")
+	one2 := fb.Const(1, "1")
+	fb.Branch(dir2, ir.RelEQ, one2, ir.W8, false, "if (write)", "fin_w", "fin_r")
+	fw := h.Block("fin_w")
+	fw.DMAToBuf(fifo, dc3, addr3, rem2, false, "dma_memory_read(addr, fifo + count, n)")
+	fw.Jump("fin_done", "goto done")
+	fr := h.Block("fin_r")
+	fr.DMAFromBuf(fifo, dc3, addr3, rem2, false, "dma_memory_write(addr, fifo + count, n)")
+	fr.Jump("fin_done", "goto done")
+	fd := h.Block("fin_done")
+	fd.Work(rem2, "sd transfer tail")
+	a4 := fd.Arith(ir.ALUAdd, addr3, rem2, ir.W32, false, "addr + n")
+	fd.Store(sdma, a4, "s->sdmasysad = addr + n")
+	zz := fd.Const(0, "0")
+	fd.Store(dataCount, zz, "s->data_count = 0")
+	bc := fd.Load(blkcnt, "blocks = s->blkcnt")
+	one3 := fd.Const(1, "1")
+	bc2 := fd.Arith(ir.ALUSub, bc, one3, ir.W16, false, "blocks - 1")
+	fd.Store(blkcnt, bc2, "s->blkcnt = blocks - 1")
+	fd.Branch(bc2, ir.RelEQ, zz, ir.W16, false, "if (s->blkcnt == 0)", "complete", "pause")
+
+	// More blocks: pause at the block boundary, guest resumes.
+	pa := h.Block("pause")
+	cur2 := pa.Load(norintsts, "c")
+	dmab2 := pa.Const(IntDMABoundary, "INT_DMA")
+	c3 := pa.Arith(ir.ALUOr, cur2, dmab2, ir.W16, false, "c | INT_DMA")
+	pa.Store(norintsts, c3, "s->norintsts |= INT_DMA")
+	pa.CallPtr(irqCb, "sdhci_update_irq(s)")
+	pa.Return("return")
+
+	cm := h.Block("complete").CmdEnd()
+	zc := cm.Const(0, "0")
+	cm.Store(prnsts, zc, "s->prnsts &= ~TRANSFER_ACTIVE")
+	cur3 := cm.Load(norintsts, "c")
+	xc := cm.Const(IntXferComplete, "INT_XFER_COMPLETE")
+	c4 := cm.Arith(ir.ALUOr, cur3, xc, ir.W16, false, "c | INT_XFER_COMPLETE")
+	cm.Store(norintsts, c4, "s->norintsts |= INT_XFER_COMPLETE")
+	cm.CallPtr(irqCb, "sdhci_update_irq(s)")
+	cm.Return("return")
+}

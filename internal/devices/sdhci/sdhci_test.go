@@ -1,0 +1,217 @@
+package sdhci_test
+
+import (
+	"errors"
+	"testing"
+
+	"sedspec"
+	"sedspec/internal/checker"
+	"sedspec/internal/devices/sdhci"
+	"sedspec/internal/interp"
+	"sedspec/internal/machine"
+	"sedspec/internal/workload"
+)
+
+func setup(t *testing.T, opts sdhci.Options) (*sedspec.Machine, *sedspec.Attached, *sdhci.Guest) {
+	t.Helper()
+	m := sedspec.NewMachine(machine.WithMemory(1 << 20))
+	dev := sdhci.New(opts)
+	att := m.Attach(dev, machine.WithMMIO(0, sdhci.RegionSize))
+	return m, att, sdhci.NewGuest(sedspec.NewDriver(att))
+}
+
+func train(d *sedspec.Driver) error {
+	return workload.TrainSDHCI(d, workload.TrainConfig{Light: true})
+}
+
+func TestCardBringUp(t *testing.T) {
+	_, _, g := setup(t, sdhci.Options{})
+	if err := g.InitCard(); err != nil {
+		t.Fatalf("InitCard: %v", err)
+	}
+	st, err := g.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != 1<<9 {
+		t.Errorf("status = %#x, want selected-state bit", st)
+	}
+}
+
+func TestMultiBlockTransferMovesData(t *testing.T) {
+	m, _, g := setup(t, sdhci.Options{})
+	if err := g.InitCard(); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 512)
+	for i := range want {
+		want[i] = byte(i * 11)
+	}
+	if err := m.Mem.Write(uint64(g.DMABuf), want); err != nil {
+		t.Fatal(err)
+	}
+	// Write one block in (guest -> fifo), then read it back out.
+	if err := g.Transfer(true, 512, 1); err != nil {
+		t.Fatalf("write transfer: %v", err)
+	}
+	g.DMABuf = 0x5_0000
+	if err := g.Transfer(false, 512, 1); err != nil {
+		t.Fatalf("read transfer: %v", err)
+	}
+	got := make([]byte, 512)
+	if err := m.Mem.Read(0x5_0000, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTransferCompletionInterrupt(t *testing.T) {
+	m, _, g := setup(t, sdhci.Options{})
+	if err := g.InitCard(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Transfer(false, 512, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IRQ.Level(0) {
+		t.Error("transfer should raise the interrupt line")
+	}
+}
+
+// cve3409 starts a multi-block write, then shrinks BLKSIZE mid-transfer so
+// the remaining-bytes expression underflows.
+func cve3409(g *sdhci.Guest) error {
+	if err := g.Write32(sdhci.RegSDMA, g.DMABuf); err != nil {
+		return err
+	}
+	if err := g.Write16(sdhci.RegBlkSize, 512); err != nil {
+		return err
+	}
+	if err := g.Write16(sdhci.RegBlkCnt, 4); err != nil {
+		return err
+	}
+	if err := g.Command(sdhci.CmdWriteMulti, 0); err != nil {
+		return err
+	}
+	// One burst has moved (data_count = 128). Shrink the block size.
+	if err := g.Write16(sdhci.RegBlkSize, 64); err != nil {
+		return err
+	}
+	return g.ResumeDMA()
+}
+
+func TestCVE3409UnprotectedCorrupts(t *testing.T) {
+	_, att, g := setup(t, sdhci.Options{})
+	if err := g.InitCard(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cve3409(g); err != nil {
+		t.Fatalf("exploit errored early: %v", err)
+	}
+	// The underflowed remainder was latched: space_left is huge.
+	if v, _ := att.Dev().State().IntByName("space_left"); v < 0xFF00 {
+		t.Errorf("space_left = %#x, want underflowed value", v)
+	}
+	// Driving more bursts walks the copy past the FIFO: the burst at
+	// offset 512 clobbers the rest of the SDHCIState structure and
+	// finally escapes it — the crash the CVE advisory describes.
+	var crashed bool
+	for i := 0; i < 6 && !crashed; i++ {
+		res, err := att.DispatchDirect(interp.NewWrite(interp.SpaceMMIO, sdhci.RegNorIntSts,
+			[]byte{sdhci.IntDMABoundary, 0}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Fault != nil {
+			if res.Fault.Kind != interp.FaultArenaEscape {
+				t.Fatalf("fault = %v, want arena-escape", res.Fault)
+			}
+			crashed = true
+		}
+	}
+	if !crashed {
+		t.Error("exploit should have crashed the unprotected device")
+	}
+}
+
+func TestCVE3409Fix(t *testing.T) {
+	_, att, g := setup(t, sdhci.Options{Fix3409: true})
+	if err := g.InitCard(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cve3409(g); err != nil {
+		t.Fatalf("patched device errored: %v", err)
+	}
+	// The mid-transfer BLKSIZE write was ignored.
+	if v, _ := att.Dev().State().IntByName("blksize"); v != 512 {
+		t.Errorf("blksize = %d, want 512 (locked)", v)
+	}
+	if v, _ := att.Dev().State().IntByName("space_left"); v >= 0xFF00 {
+		t.Errorf("space_left = %#x underflowed despite fix", v)
+	}
+}
+
+func learn(t *testing.T, att *sedspec.Attached) *sedspec.Spec {
+	t.Helper()
+	spec, err := sedspec.Learn(att, train)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	return spec
+}
+
+func TestBenignPassesUnderProtection(t *testing.T) {
+	m, att, _ := setup(t, sdhci.Options{})
+	spec := learn(t, att)
+	chk := sedspec.Protect(att, spec)
+	if err := train(sedspec.NewDriver(att)); err != nil {
+		t.Fatalf("benign traffic blocked: %v", err)
+	}
+	if m.Halted() {
+		t.Fatal("halted on benign traffic")
+	}
+	st := chk.Stats()
+	if st.ParamAnomalies+st.IndirectAnomalies+st.CondAnomalies != 0 {
+		t.Fatalf("anomalies on benign traffic: %+v", st)
+	}
+}
+
+func TestCVE3409BlockedByParameterCheck(t *testing.T) {
+	m, att, g := setup(t, sdhci.Options{})
+	spec := learn(t, att)
+	sedspec.Protect(att, spec, checker.WithStrategies(checker.StrategyParameter))
+
+	if err := g.InitCard(); err != nil {
+		t.Fatal(err)
+	}
+	err := cve3409(g)
+	var anom *sedspec.Anomaly
+	if !errors.As(err, &anom) {
+		t.Fatalf("want blocking anomaly, got %v", err)
+	}
+	if anom.Strategy != checker.StrategyParameter {
+		t.Errorf("strategy = %v, want parameter-check (unsigned underflow)", anom.Strategy)
+	}
+	if !m.Halted() {
+		t.Error("machine should halt")
+	}
+	// The device never latched the underflow.
+	if v, _ := att.Dev().State().IntByName("space_left"); v >= 0xFF00 {
+		t.Error("underflow reached the device despite protection")
+	}
+}
+
+func TestRareCommandFlagged(t *testing.T) {
+	_, att, g := setup(t, sdhci.Options{})
+	spec := learn(t, att)
+	sedspec.Protect(att, spec)
+	err := g.GenCmd()
+	var anom *sedspec.Anomaly
+	if !errors.As(err, &anom) || anom.Strategy != checker.StrategyConditionalJump {
+		t.Fatalf("want conditional-jump anomaly for CMD56, got %v", err)
+	}
+}

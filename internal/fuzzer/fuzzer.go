@@ -1,0 +1,77 @@
+// Package fuzzer provides the coverage instrumentation and random I/O
+// drivers behind the paper's effective-coverage metric (§VII-B1): fuzzing
+// approximates the set of code paths reachable by legitimate behaviour,
+// against which the execution specification's coverage is measured. It
+// also hammers devices with raw random I/O as a robustness harness.
+package fuzzer
+
+import (
+	"sedspec/internal/interp"
+	"sedspec/internal/ir"
+	"sedspec/internal/machine"
+	"sedspec/internal/simclock"
+)
+
+// coverObserver records distinct executed blocks.
+type coverObserver struct {
+	set map[ir.BlockRef]bool
+}
+
+func (o *coverObserver) Observe(ev interp.ObsEvent) {
+	if ev.IndirectField >= 0 {
+		return
+	}
+	o.set[ev.Block] = true
+}
+
+// Blocks runs drive with block-coverage instrumentation installed on the
+// device and returns the set of device-region blocks executed.
+func Blocks(att *machine.Attached, drive func() error) (map[ir.BlockRef]bool, error) {
+	obs := &coverObserver{set: make(map[ir.BlockRef]bool)}
+	in := att.Interp()
+	in.SetObserver(obs)
+	defer in.SetObserver(nil)
+	err := drive()
+
+	prog := att.Dev().Program()
+	out := make(map[ir.BlockRef]bool, len(obs.set))
+	for ref := range obs.set {
+		if prog.Handlers[ref.Handler].Region == ir.RegionDevice {
+			out[ref] = true
+		}
+	}
+	return out, err
+}
+
+// Hammer throws n random raw I/O requests at the device: random offsets in
+// the window, random read/write, random payload sizes. Device faults are
+// expected and counted; the harness asserts only that the emulator itself
+// stays sound. Returns (completed, faulted).
+func Hammer(att *machine.Attached, space interp.Space, winBase, winSize uint64, seed uint64, n int) (int, int) {
+	rng := simclock.NewRand(seed)
+	completed, faulted := 0, 0
+	att.Interp().SetStepBudget(100_000)
+	for i := 0; i < n; i++ {
+		addr := winBase + uint64(rng.Intn(int(winSize)))
+		var req *interp.Request
+		if rng.Bool(0.6) {
+			payload := make([]byte, rng.Intn(9))
+			for j := range payload {
+				payload[j] = byte(rng.Uint64())
+			}
+			req = interp.NewWrite(space, addr, payload)
+		} else {
+			req = interp.NewRead(space, addr)
+		}
+		res, err := att.DispatchDirect(req)
+		if err != nil {
+			continue // machine halted or blocked
+		}
+		completed++
+		if res.Fault != nil {
+			faulted++
+			att.Dev().Reset() // crash-restart, like respawning QEMU
+		}
+	}
+	return completed, faulted
+}

@@ -1,0 +1,129 @@
+package interp
+
+import "sedspec/internal/ir"
+
+// Flags mirrors the arithmetic flag bits the parameter check strategy
+// consults (paper §VI-A): carry for unsigned wrap, overflow for signed
+// wrap, plus zero and sign.
+type Flags struct {
+	Carry    bool `json:"carry"`
+	Overflow bool `json:"overflow"`
+	Zero     bool `json:"zero"`
+	Sign     bool `json:"sign"`
+}
+
+// OverflowFor reports whether the flags indicate an overflow for a value of
+// the given signedness, which is exactly the parameter check's integer
+// overflow test.
+func (f Flags) OverflowFor(signed bool) bool {
+	if signed {
+		return f.Overflow
+	}
+	return f.Carry
+}
+
+// ALUExec evaluates a binary ALU operation at the given width, returning
+// the truncated result and the resulting flags. It is shared between the
+// interpreter (real device execution) and the ES-Checker (specification
+// simulation) so both observe identical flag semantics. divZero reports a
+// division or modulo by zero; the result is then zero and flags are clear,
+// and the caller decides how to fault.
+func ALUExec(alu ir.ALU, a, b uint64, w ir.Width, signed bool) (res uint64, fl Flags, divZero bool) {
+	mask := w.Mask()
+	a &= mask
+	b &= mask
+	bits := uint(w.Bits())
+
+	switch alu {
+	case ir.ALUAdd:
+		full := a + b
+		res = full & mask
+		fl.Carry = full > mask || (w == ir.W64 && full < a)
+		sa, sb, sr := w.SignExtend(a), w.SignExtend(b), w.SignExtend(res)
+		fl.Overflow = (sa >= 0) == (sb >= 0) && (sr >= 0) != (sa >= 0)
+	case ir.ALUSub:
+		res = (a - b) & mask
+		fl.Carry = a < b
+		sa, sb, sr := w.SignExtend(a), w.SignExtend(b), w.SignExtend(res)
+		fl.Overflow = (sa >= 0) != (sb >= 0) && (sr >= 0) != (sa >= 0)
+	case ir.ALUMul:
+		hi, lo := mul64(a, b)
+		res = lo & mask
+		fl.Carry = hi != 0 || lo > mask
+		if signed {
+			sa, sb := w.SignExtend(a), w.SignExtend(b)
+			prod := sa * sb
+			fl.Overflow = (sa != 0 && prod/sa != sb) ||
+				prod > w.MaxSigned() || prod < w.MinSigned()
+		} else {
+			fl.Overflow = fl.Carry
+		}
+	case ir.ALUDiv:
+		if b == 0 {
+			return 0, Flags{}, true
+		}
+		if signed {
+			res = uint64(w.SignExtend(a)/w.SignExtend(b)) & mask
+		} else {
+			res = (a / b) & mask
+		}
+	case ir.ALUMod:
+		if b == 0 {
+			return 0, Flags{}, true
+		}
+		if signed {
+			res = uint64(w.SignExtend(a)%w.SignExtend(b)) & mask
+		} else {
+			res = (a % b) & mask
+		}
+	case ir.ALUAnd:
+		res = a & b
+	case ir.ALUOr:
+		res = a | b
+	case ir.ALUXor:
+		res = a ^ b
+	case ir.ALUShl:
+		sh := b & 63
+		if sh >= uint64(bits) {
+			res = 0
+			fl.Carry = a != 0
+		} else {
+			full := a << sh
+			res = full & mask
+			fl.Carry = full>>bits != 0 || (w == ir.W64 && sh > 0 && a>>(64-sh) != 0)
+		}
+	case ir.ALUShr:
+		sh := b & 63
+		if signed {
+			if sh >= uint64(bits) {
+				sh = uint64(bits) - 1
+			}
+			res = uint64(w.SignExtend(a)>>sh) & mask
+		} else if sh >= uint64(bits) {
+			res = 0
+		} else {
+			res = (a >> sh) & mask
+		}
+	}
+
+	fl.Zero = res == 0
+	fl.Sign = res&(uint64(1)<<(bits-1)) != 0
+	return res, fl, false
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const half = 32
+	const lower = (uint64(1) << half) - 1
+	aLo, aHi := a&lower, a>>half
+	bLo, bHi := b&lower, b>>half
+	t := aLo * bLo
+	lo = t & lower
+	c := t >> half
+	t = aHi*bLo + c
+	c = t >> half
+	t2 := aLo*bHi + (t & lower)
+	lo |= (t2 & lower) << half
+	hi = aHi*bHi + c + (t2 >> half)
+	return hi, lo
+}

@@ -1,0 +1,212 @@
+package interp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sedspec/internal/ir"
+)
+
+func TestALUAddOverflowFlags(t *testing.T) {
+	tests := []struct {
+		name         string
+		a, b         uint64
+		w            ir.Width
+		wantVal      uint64
+		wantCarry    bool
+		wantOverflow bool
+	}{
+		{"no wrap", 1, 2, ir.W8, 3, false, false},
+		{"unsigned wrap", 0xFF, 1, ir.W8, 0, true, false},
+		{"signed wrap", 0x7F, 1, ir.W8, 0x80, false, true},
+		{"both wrap", 0xFF, 0x81, ir.W8, 0x80, true, false},
+		{"neg+neg signed wrap", 0x80, 0x80, ir.W8, 0, true, true},
+		{"w16 unsigned wrap", 0xFFFF, 2, ir.W16, 1, true, false},
+		{"w32 signed wrap", 0x7FFF_FFFF, 1, ir.W32, 0x8000_0000, false, true},
+		{"w64 unsigned wrap", ^uint64(0), 1, ir.W64, 0, true, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v, fl, dz := ALUExec(ir.ALUAdd, tt.a, tt.b, tt.w, false)
+			if dz {
+				t.Fatal("unexpected divZero")
+			}
+			if v != tt.wantVal {
+				t.Errorf("val = %#x, want %#x", v, tt.wantVal)
+			}
+			if fl.Carry != tt.wantCarry {
+				t.Errorf("carry = %v, want %v", fl.Carry, tt.wantCarry)
+			}
+			if fl.Overflow != tt.wantOverflow {
+				t.Errorf("overflow = %v, want %v", fl.Overflow, tt.wantOverflow)
+			}
+		})
+	}
+}
+
+func TestALUSubFlags(t *testing.T) {
+	// 0 - 1 at W8: unsigned borrow (carry), result 0xFF.
+	v, fl, _ := ALUExec(ir.ALUSub, 0, 1, ir.W8, false)
+	if v != 0xFF || !fl.Carry {
+		t.Errorf("0-1: val=%#x carry=%v, want 0xFF true", v, fl.Carry)
+	}
+	// (-128) - 1 at W8 signed: overflow.
+	_, fl, _ = ALUExec(ir.ALUSub, 0x80, 1, ir.W8, true)
+	if !fl.Overflow {
+		t.Error("(-128)-1 should set overflow")
+	}
+	// CVE-2021-3409 shape: blksize - data_count underflows unsigned.
+	v, fl, _ = ALUExec(ir.ALUSub, 100, 200, ir.W16, false)
+	if !fl.Carry {
+		t.Error("100-200 unsigned should set carry (underflow)")
+	}
+	if v != 0xFF9C { // 100-200 wrapped at 16 bits
+		t.Errorf("val = %#x, want 0xff9c", v)
+	}
+}
+
+func TestALUMulFlags(t *testing.T) {
+	_, fl, _ := ALUExec(ir.ALUMul, 16, 16, ir.W8, false)
+	if !fl.Carry {
+		t.Error("16*16 at W8 should carry")
+	}
+	v, fl, _ := ALUExec(ir.ALUMul, 5, 5, ir.W8, false)
+	if v != 25 || fl.Carry {
+		t.Errorf("5*5 = %d carry=%v", v, fl.Carry)
+	}
+	// W64 big product.
+	_, fl, _ = ALUExec(ir.ALUMul, 1<<33, 1<<33, ir.W64, false)
+	if !fl.Carry {
+		t.Error("2^66 product should carry at W64")
+	}
+}
+
+func TestALUDivModByZero(t *testing.T) {
+	for _, alu := range []ir.ALU{ir.ALUDiv, ir.ALUMod} {
+		_, _, dz := ALUExec(alu, 5, 0, ir.W32, false)
+		if !dz {
+			t.Errorf("%v by zero should report divZero", alu)
+		}
+	}
+	v, _, dz := ALUExec(ir.ALUDiv, 7, 2, ir.W32, false)
+	if dz || v != 3 {
+		t.Errorf("7/2 = %d dz=%v", v, dz)
+	}
+	// Signed division: -7 / 2 = -3 (truncation toward zero).
+	v, _, _ = ALUExec(ir.ALUDiv, uint64(0xFFFF_FFF9), 2, ir.W32, true)
+	if ir.W32.SignExtend(v) != -3 {
+		t.Errorf("-7/2 signed = %d, want -3", ir.W32.SignExtend(v))
+	}
+}
+
+func TestALUShifts(t *testing.T) {
+	v, fl, _ := ALUExec(ir.ALUShl, 0x80, 1, ir.W8, false)
+	if v != 0 || !fl.Carry {
+		t.Errorf("0x80<<1 = %#x carry=%v, want 0 true", v, fl.Carry)
+	}
+	v, _, _ = ALUExec(ir.ALUShr, 0x80, 7, ir.W8, false)
+	if v != 1 {
+		t.Errorf("0x80>>7 = %d, want 1", v)
+	}
+	// Arithmetic shift preserves sign.
+	v, _, _ = ALUExec(ir.ALUShr, 0x80, 7, ir.W8, true)
+	if v != 0xFF {
+		t.Errorf("sar(0x80,7) = %#x, want 0xFF", v)
+	}
+	// Oversized shift counts.
+	v, _, _ = ALUExec(ir.ALUShl, 1, 200, ir.W8, false)
+	if v != 0 {
+		t.Errorf("1<<200 = %d, want 0", v)
+	}
+}
+
+func TestALUBitwiseNoFlagsButZeroSign(t *testing.T) {
+	v, fl, _ := ALUExec(ir.ALUAnd, 0xF0, 0x0F, ir.W8, false)
+	if v != 0 || !fl.Zero {
+		t.Errorf("AND: v=%#x zero=%v", v, fl.Zero)
+	}
+	v, fl, _ = ALUExec(ir.ALUOr, 0x80, 0x01, ir.W8, false)
+	if v != 0x81 || !fl.Sign {
+		t.Errorf("OR: v=%#x sign=%v", v, fl.Sign)
+	}
+	v, _, _ = ALUExec(ir.ALUXor, 0xFF, 0x0F, ir.W8, false)
+	if v != 0xF0 {
+		t.Errorf("XOR: v=%#x", v)
+	}
+}
+
+// TestALUAddMatchesNativeProperty cross-checks width-truncated ALU results
+// against native Go arithmetic.
+func TestALUAddMatchesNativeProperty(t *testing.T) {
+	prop := func(a, b uint64) bool {
+		for _, w := range []ir.Width{ir.W8, ir.W16, ir.W32, ir.W64} {
+			v, fl, _ := ALUExec(ir.ALUAdd, a, b, w, false)
+			if v != (a+b)&w.Mask() {
+				return false
+			}
+			// Carry iff true sum exceeds the mask.
+			am, bm := a&w.Mask(), b&w.Mask()
+			var wantCarry bool
+			if w == ir.W64 {
+				wantCarry = am+bm < am
+			} else {
+				wantCarry = am+bm > w.Mask()
+			}
+			if fl.Carry != wantCarry {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestALUSignedOverflowProperty: signed overflow iff the mathematically
+// exact sum falls outside the representable range.
+func TestALUSignedOverflowProperty(t *testing.T) {
+	prop := func(a, b uint64) bool {
+		for _, w := range []ir.Width{ir.W8, ir.W16, ir.W32} {
+			_, fl, _ := ALUExec(ir.ALUAdd, a, b, w, true)
+			exact := w.SignExtend(a) + w.SignExtend(b)
+			want := exact > w.MaxSigned() || exact < w.MinSigned()
+			if fl.Overflow != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverflowFor(t *testing.T) {
+	fl := Flags{Carry: true}
+	if !fl.OverflowFor(false) || fl.OverflowFor(true) {
+		t.Error("carry should flag unsigned overflow only")
+	}
+	fl = Flags{Overflow: true}
+	if fl.OverflowFor(false) || !fl.OverflowFor(true) {
+		t.Error("overflow should flag signed overflow only")
+	}
+}
+
+func TestMul64(t *testing.T) {
+	tests := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{^uint64(0), 2, 1, ^uint64(0) - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{^uint64(0), ^uint64(0), ^uint64(0) - 1, 1},
+	}
+	for _, tt := range tests {
+		hi, lo := mul64(tt.a, tt.b)
+		if hi != tt.hi || lo != tt.lo {
+			t.Errorf("mul64(%#x,%#x) = %#x,%#x want %#x,%#x", tt.a, tt.b, hi, lo, tt.hi, tt.lo)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package interp
+
+import (
+	"fmt"
+
+	"sedspec/internal/ir"
+)
+
+// FaultKind classifies execution faults. Faults on an unprotected device
+// stand in for the real-world consequence of exploitation: a crash, a hung
+// vCPU thread, or arbitrary code execution in the hypervisor.
+type FaultKind uint8
+
+const (
+	// FaultArenaEscape is a buffer access beyond the control structure —
+	// the simulated equivalent of heap corruption outside the device
+	// struct (potential VM escape).
+	FaultArenaEscape FaultKind = iota + 1
+	// FaultBadCallTarget is an indirect call through a corrupted function
+	// pointer that resolves to no legitimate handler.
+	FaultBadCallTarget
+	// FaultDivZero is a division or modulo by zero.
+	FaultDivZero
+	// FaultStepBudget means the step budget was exhausted — the simulated
+	// equivalent of an emulation infinite loop (denial of service).
+	FaultStepBudget
+	// FaultStackOverflow is runaway handler recursion.
+	FaultStackOverflow
+	// FaultDMA is a DMA access outside guest memory.
+	FaultDMA
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultArenaEscape:
+		return "arena-escape"
+	case FaultBadCallTarget:
+		return "bad-call-target"
+	case FaultDivZero:
+		return "div-zero"
+	case FaultStepBudget:
+		return "step-budget"
+	case FaultStackOverflow:
+		return "stack-overflow"
+	case FaultDMA:
+		return "dma"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
+// Fault describes an execution fault.
+type Fault struct {
+	Kind   FaultKind
+	Block  ir.BlockRef
+	Src    ir.SourceRef
+	Detail string
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("interp: %s fault at %s (%s)", f.Kind, f.Src, f.Detail)
+}
+
+// Result summarizes one dispatched I/O interaction.
+type Result struct {
+	// Output is the response payload produced via OpIOOut.
+	Output []byte
+	// Fault is non-nil if execution faulted.
+	Fault *Fault
+	// Steps is the number of ops plus terminators executed.
+	Steps int
+	// Blocks is the number of basic blocks executed.
+	Blocks int
+	// Corruptions counts out-of-bounds buffer accesses that stayed inside
+	// the arena (silent neighbouring-field corruption). This is ground
+	// truth for the evaluation; real C code has no such counter.
+	Corruptions int
+	// WorkBytes is the total emulation work requested via OpWork.
+	WorkBytes int
+}

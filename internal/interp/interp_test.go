@@ -1,0 +1,459 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sedspec/internal/ir"
+)
+
+// testEnv records machine-service calls and backs DMA with a flat page.
+type testEnv struct {
+	mem       []byte
+	irqRaised int
+	irqLower  int
+	work      int
+	dmaErr    error
+}
+
+func newTestEnv(size int) *testEnv { return &testEnv{mem: make([]byte, size)} }
+
+func (e *testEnv) DMARead(addr uint64, buf []byte) error {
+	if e.dmaErr != nil {
+		return e.dmaErr
+	}
+	if addr+uint64(len(buf)) > uint64(len(e.mem)) {
+		return errors.New("dma read out of range")
+	}
+	copy(buf, e.mem[addr:])
+	return nil
+}
+
+func (e *testEnv) DMAWrite(addr uint64, buf []byte) error {
+	if e.dmaErr != nil {
+		return e.dmaErr
+	}
+	if addr+uint64(len(buf)) > uint64(len(e.mem)) {
+		return errors.New("dma write out of range")
+	}
+	copy(e.mem[addr:], buf)
+	return nil
+}
+
+func (e *testEnv) RaiseIRQ()                 { e.irqRaised++ }
+func (e *testEnv) LowerIRQ()                 { e.irqLower++ }
+func (e *testEnv) Work(n int)                { e.work += n }
+func (e *testEnv) ReadEnv(ir.EnvKind) uint64 { return 1 }
+
+// buildCounter builds a device with a register write port and a buffer port
+// with a deliberately missing bounds check (a miniature Venom).
+func buildCounter(t testing.TB, bounded bool) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("counter")
+	fifo := b.Buf("fifo", 8)
+	pos := b.Int("pos", ir.W16)
+	guard := b.Int("guard", ir.W32) // the field an overflow clobbers
+
+	h := b.Handler("dispatch")
+	e := h.Block("entry").Entry()
+	addr := e.IOAddr("addr = req->addr")
+	e.Switch(addr, "switch (addr)", "out", ir.Case(0, "push"))
+
+	p := h.Block("push")
+	v := p.IOIn(ir.W8, "v = ioread8()")
+	pv := p.Load(pos, "p = s->pos")
+	if bounded {
+		lim := p.Const(8, "8")
+		p.Branch(pv, ir.RelGE, lim, ir.W16, false, "if (p >= 8)", "out", "store")
+		st := h.Block("store")
+		st.BufStore(fifo, pv, v, ir.W16, false, "s->fifo[p] = v")
+		one := st.Const(1, "1")
+		p2 := st.Arith(ir.ALUAdd, pv, one, ir.W16, false, "p + 1")
+		st.Store(pos, p2, "s->pos = p + 1")
+		st.Jump("out", "goto out")
+	} else {
+		p.BufStore(fifo, pv, v, ir.W16, false, "s->fifo[p] = v")
+		one := p.Const(1, "1")
+		p2 := p.Arith(ir.ALUAdd, pv, one, ir.W16, false, "p + 1")
+		p.Store(pos, p2, "s->pos = p + 1")
+		p.Jump("out", "goto out")
+	}
+
+	h.Block("out").Exit().Halt("return")
+	_ = guard
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return prog
+}
+
+func push(t testing.TB, in *Interp, v byte) *Result {
+	t.Helper()
+	res := in.Dispatch(NewWrite(SpacePIO, 0, []byte{v}))
+	if res.Fault != nil {
+		t.Fatalf("unexpected fault: %v", res.Fault)
+	}
+	return res
+}
+
+func TestBasicStoreAndLoad(t *testing.T) {
+	prog := buildCounter(t, true)
+	st := NewState(prog)
+	in := New(prog, st, nil)
+
+	push(t, in, 0xAB)
+	if got := st.Buf(prog.FieldIndex("fifo"))[0]; got != 0xAB {
+		t.Errorf("fifo[0] = %#x, want 0xAB", got)
+	}
+	if got, _ := st.IntByName("pos"); got != 1 {
+		t.Errorf("pos = %d, want 1", got)
+	}
+}
+
+func TestBoundedDeviceStopsAtLimit(t *testing.T) {
+	prog := buildCounter(t, true)
+	st := NewState(prog)
+	in := New(prog, st, nil)
+	for i := 0; i < 20; i++ {
+		push(t, in, byte(i))
+	}
+	if got, _ := st.IntByName("pos"); got != 8 {
+		t.Errorf("pos = %d, want 8 (bounds check)", got)
+	}
+	if got, _ := st.IntByName("guard"); got != 0 {
+		t.Errorf("guard corrupted: %#x", got)
+	}
+}
+
+func TestUnboundedDeviceCorruptsNeighbour(t *testing.T) {
+	prog := buildCounter(t, false)
+	st := NewState(prog)
+	in := New(prog, st, nil)
+	var corruptions int
+	for i := 0; i < 12; i++ {
+		res := in.Dispatch(NewWrite(SpacePIO, 0, []byte{0xEE}))
+		if res.Fault != nil {
+			t.Fatalf("fault at push %d: %v", i, res.Fault)
+		}
+		corruptions += res.Corruptions
+	}
+	// Pushes 8..11 write past fifo: 8,9 clobber pos itself, 10,11 land in
+	// guard. All are silent corruption inside the arena, like C.
+	if corruptions == 0 {
+		t.Fatal("expected arena corruptions, got none")
+	}
+	if got, _ := st.IntByName("guard"); got == 0 {
+		t.Error("guard should have been corrupted by the overflow")
+	}
+}
+
+func TestArenaEscapeFaults(t *testing.T) {
+	prog := buildCounter(t, false)
+	st := NewState(prog)
+	in := New(prog, st, nil)
+	// Force pos far past the arena, then push once.
+	st.SetIntByName("pos", 1000)
+	res := in.Dispatch(NewWrite(SpacePIO, 0, []byte{1}))
+	if res.Fault == nil || res.Fault.Kind != FaultArenaEscape {
+		t.Fatalf("fault = %v, want arena-escape", res.Fault)
+	}
+}
+
+func TestUnknownPortFallsToDefault(t *testing.T) {
+	prog := buildCounter(t, true)
+	in := New(prog, NewState(prog), nil)
+	res := in.Dispatch(NewWrite(SpacePIO, 99, []byte{1}))
+	if res.Fault != nil {
+		t.Fatalf("fault: %v", res.Fault)
+	}
+	if got, _ := in.State().IntByName("pos"); got != 0 {
+		t.Error("default arm should not store")
+	}
+}
+
+// buildLooper builds a device whose handler loops until a register reaches
+// a bound; with the bug enabled the bound is never reached (CVE-2016-7909
+// style infinite loop).
+func buildLooper(t testing.TB, buggy bool) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("looper")
+	cnt := b.Int("cnt", ir.W32)
+	h := b.Handler("dispatch")
+	e := h.Block("entry").Entry()
+	e.Jump("loop", "while (...)")
+	l := h.Block("loop")
+	c := l.Load(cnt, "c = s->cnt")
+	var c2 ir.Temp
+	if buggy {
+		zero := l.Const(0, "0")
+		c2 = l.Arith(ir.ALUAdd, c, zero, ir.W32, false, "c += 0 /* bug */")
+	} else {
+		one := l.Const(1, "1")
+		c2 = l.Arith(ir.ALUAdd, c, one, ir.W32, false, "c += 1")
+	}
+	l.Store(cnt, c2, "s->cnt = c")
+	lim := l.Const(100, "100")
+	l.Branch(c2, ir.RelLT, lim, ir.W32, false, "if (c < 100)", "loop", "out")
+	h.Block("out").Exit().Halt("return")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return prog
+}
+
+func TestStepBudgetCatchesInfiniteLoop(t *testing.T) {
+	prog := buildLooper(t, true)
+	in := New(prog, NewState(prog), nil)
+	in.SetStepBudget(10_000)
+	res := in.Dispatch(NewWrite(SpacePIO, 0, nil))
+	if res.Fault == nil || res.Fault.Kind != FaultStepBudget {
+		t.Fatalf("fault = %v, want step-budget", res.Fault)
+	}
+}
+
+func TestFiniteLoopCompletes(t *testing.T) {
+	prog := buildLooper(t, false)
+	in := New(prog, NewState(prog), nil)
+	res := in.Dispatch(NewWrite(SpacePIO, 0, nil))
+	if res.Fault != nil {
+		t.Fatalf("fault: %v", res.Fault)
+	}
+	if got, _ := in.State().IntByName("cnt"); got != 100 {
+		t.Errorf("cnt = %d, want 100", got)
+	}
+}
+
+// buildCaller builds a device with a function-pointer callback and a
+// "gadget" handler standing in for attacker-reachable code.
+func buildCaller(t testing.TB) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("caller")
+	cb := b.Func("cb")
+	pwned := b.Int("pwned", ir.W8)
+
+	h := b.Handler("dispatch")
+	e := h.Block("entry").Entry()
+	init := e.FuncValue("legit_cb", "s->cb = legit_cb")
+	e.StoreFunc(cb, init, "s->cb = legit_cb")
+	e.CallPtr(cb, "s->cb()")
+	e.Halt("return")
+
+	lh := b.Handler("legit_cb")
+	lb := lh.Block("body")
+	lb.IRQRaise("raise irq")
+	lb.Return("return")
+
+	gh := b.Handler("gadget")
+	gb := gh.Block("body")
+	one := gb.Const(1, "1")
+	gb.Store(pwned, one, "pwned = 1")
+	gb.Return("return")
+
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return prog
+}
+
+func TestIndirectCallLegitimate(t *testing.T) {
+	prog := buildCaller(t)
+	env := newTestEnv(0)
+	in := New(prog, NewState(prog), env)
+	res := in.Dispatch(NewWrite(SpacePIO, 0, nil))
+	if res.Fault != nil {
+		t.Fatalf("fault: %v", res.Fault)
+	}
+	if env.irqRaised != 1 {
+		t.Errorf("irqRaised = %d, want 1", env.irqRaised)
+	}
+}
+
+func TestIndirectCallHijackedToGadget(t *testing.T) {
+	prog := buildCaller(t)
+	st := NewState(prog)
+	in := New(prog, st, nil)
+	// An "exploit" pre-corrupts the function pointer to the gadget. The
+	// dispatch handler re-initializes it, so instead run a program variant:
+	// here we directly exercise the interpreter by corrupting between
+	// entry ops — simplest is to point it at the gadget and call that
+	// handler index directly through a tampered dispatch.
+	gadget := prog.HandlerIndex("gadget")
+	st.SetFuncPtr(prog.FieldIndex("cb"), uint64(gadget))
+	res := in.Run(gadget, NewWrite(SpacePIO, 0, nil))
+	if res.Fault != nil {
+		t.Fatalf("fault: %v", res.Fault)
+	}
+	if got, _ := st.IntByName("pwned"); got != 1 {
+		t.Error("gadget should set pwned")
+	}
+}
+
+func TestIndirectCallCorruptPointerFaults(t *testing.T) {
+	b := ir.NewBuilder("corrupt")
+	cb := b.Func("cb")
+	h := b.Handler("dispatch")
+	e := h.Block("entry").Entry()
+	e.CallPtr(cb, "s->cb()") // cb is zero-initialized → handler 0 = self
+	e.Halt("return")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	st := NewState(prog)
+	st.SetFuncPtr(prog.FieldIndex("cb"), 0xDEADBEEF)
+	in := New(prog, st, nil)
+	res := in.Dispatch(NewWrite(SpacePIO, 0, nil))
+	if res.Fault == nil || res.Fault.Kind != FaultBadCallTarget {
+		t.Fatalf("fault = %v, want bad-call-target", res.Fault)
+	}
+}
+
+func TestRecursionFaultsStackOverflow(t *testing.T) {
+	b := ir.NewBuilder("recurse")
+	h := b.Handler("dispatch")
+	e := h.Block("entry").Entry()
+	e.Call("dispatch", "dispatch()")
+	e.Halt("return")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	in := New(prog, NewState(prog), nil)
+	res := in.Dispatch(NewWrite(SpacePIO, 0, nil))
+	if res.Fault == nil || res.Fault.Kind != FaultStackOverflow {
+		t.Fatalf("fault = %v, want stack-overflow", res.Fault)
+	}
+}
+
+func TestDMARoundTrip(t *testing.T) {
+	b := ir.NewBuilder("dma")
+	buf := b.Buf("buf", 64)
+	h := b.Handler("dispatch")
+	e := h.Block("entry").Entry()
+	addr := e.Const(0x100, "addr = 0x100")
+	idx := e.Const(0, "idx = 0")
+	n := e.Const(32, "n = 32")
+	e.DMAToBuf(buf, idx, addr, n, false, "dma_read(buf, 32)")
+	addr2 := e.Const(0x200, "addr2 = 0x200")
+	e.DMAFromBuf(buf, idx, addr2, n, false, "dma_write(buf, 32)")
+	e.Halt("return")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	env := newTestEnv(0x1000)
+	for i := 0; i < 32; i++ {
+		env.mem[0x100+i] = byte(i * 3)
+	}
+	in := New(prog, NewState(prog), env)
+	res := in.Dispatch(NewWrite(SpacePIO, 0, nil))
+	if res.Fault != nil {
+		t.Fatalf("fault: %v", res.Fault)
+	}
+	for i := 0; i < 32; i++ {
+		if env.mem[0x200+i] != byte(i*3) {
+			t.Fatalf("mem[0x200+%d] = %d, want %d", i, env.mem[0x200+i], byte(i*3))
+		}
+	}
+}
+
+func TestDMAOutOfRangeFaults(t *testing.T) {
+	b := ir.NewBuilder("dmabad")
+	h := b.Handler("dispatch")
+	e := h.Block("entry").Entry()
+	addr := e.Const(1<<40, "addr = huge")
+	v := e.DMARead(addr, ir.W32, "v = dma_read4(addr)")
+	e.IOOut(v, ir.W32, "iowrite(v)")
+	e.Halt("return")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	in := New(prog, NewState(prog), newTestEnv(0x1000))
+	res := in.Dispatch(NewRead(SpacePIO, 0))
+	if res.Fault == nil || res.Fault.Kind != FaultDMA {
+		t.Fatalf("fault = %v, want dma", res.Fault)
+	}
+}
+
+func TestIOOutProducesResponse(t *testing.T) {
+	b := ir.NewBuilder("echo")
+	h := b.Handler("dispatch")
+	e := h.Block("entry").Entry()
+	v := e.Const(0xCAFE, "v = 0xCAFE")
+	e.IOOut(v, ir.W16, "iowrite16(v)")
+	e.Halt("return")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	in := New(prog, NewState(prog), nil)
+	res := in.Dispatch(NewRead(SpacePIO, 0))
+	if res.Fault != nil {
+		t.Fatalf("fault: %v", res.Fault)
+	}
+	if len(res.Output) != 2 || res.Output[0] != 0xFE || res.Output[1] != 0xCA {
+		t.Errorf("Output = %x, want fe ca", res.Output)
+	}
+}
+
+func TestWorkAccountsBytes(t *testing.T) {
+	b := ir.NewBuilder("worker")
+	h := b.Handler("dispatch")
+	e := h.Block("entry").Entry()
+	n := e.Const(512, "n = 512")
+	e.Work(n, "emulate_medium(512)")
+	e.Halt("return")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	env := newTestEnv(0)
+	in := New(prog, NewState(prog), env)
+	res := in.Dispatch(NewWrite(SpacePIO, 0, nil))
+	if res.WorkBytes != 512 || env.work != 512 {
+		t.Errorf("work = %d/%d, want 512/512", res.WorkBytes, env.work)
+	}
+}
+
+func TestStateCloneIndependent(t *testing.T) {
+	prog := buildCounter(t, true)
+	st := NewState(prog)
+	st.SetIntByName("pos", 5)
+	c := st.Clone()
+	st.SetIntByName("pos", 7)
+	if got, _ := c.IntByName("pos"); got != 5 {
+		t.Errorf("clone pos = %d, want 5", got)
+	}
+}
+
+func TestStateFieldRoundTripProperty(t *testing.T) {
+	prog := buildCounter(t, true)
+	st := NewState(prog)
+	fi := prog.FieldIndex("pos") // W16 field
+	prop := func(v uint64) bool {
+		st.SetInt(fi, v)
+		return st.Int(fi) == v&0xFFFF
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequestConsumeZeroPadded(t *testing.T) {
+	r := NewWrite(SpacePIO, 0, []byte{0x11, 0x22})
+	if v := r.Consume(4); v != 0x2211 {
+		t.Errorf("consume(4) = %#x, want 0x2211", v)
+	}
+	if v := r.Consume(1); v != 0 {
+		t.Errorf("exhausted consume = %#x, want 0", v)
+	}
+	r.Rewind()
+	if v := r.Consume(1); v != 0x11 {
+		t.Errorf("after Rewind consume = %#x, want 0x11", v)
+	}
+}

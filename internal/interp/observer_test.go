@@ -1,0 +1,234 @@
+package interp
+
+import (
+	"testing"
+
+	"sedspec/internal/ir"
+)
+
+// collectObs gathers all observation events.
+type collectObs struct {
+	events []ObsEvent
+}
+
+func (c *collectObs) Observe(ev ObsEvent) {
+	if len(ev.Fields) > 0 {
+		ev.Fields = append([]FieldVal(nil), ev.Fields...)
+	}
+	c.events = append(c.events, ev)
+}
+
+// buildObserved builds a device with a command switch, a conditional, and
+// an indirect call, to pin down the observation event stream.
+func buildObserved(t *testing.T) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("observed")
+	mode := b.Int("mode", ir.W8, ir.HWRegister())
+	cb := b.Func("cb")
+
+	h := b.Handler("dispatch")
+	e := h.Block("entry").Entry()
+	fv := e.FuncValue("cbh", "s->cb = cbh")
+	e.StoreFunc(cb, fv, "s->cb = cbh")
+	v := e.IOIn(ir.W8, "v = ioread8()")
+	e.Store(mode, v, "s->mode = v")
+	m := e.Load(mode, "m = s->mode")
+	e.Switch(m, "switch (m)", "out",
+		ir.Case(0x20, "one"), ir.Case(5, "one2")) // cmd decision shape
+	o := h.Block("one")
+	ten := o.Const(10, "10")
+	o.Branch(v, ir.RelGT, ten, ir.W8, false, "if (v > 10)", "big", "out")
+	o2 := h.Block("one2")
+	o2.Jump("one", "goto one")
+	bg := h.Block("big")
+	bg.CallPtr(cb, "s->cb()")
+	bg.Jump("out", "goto out")
+	h.Block("out").Exit().Halt("return")
+
+	cbh := b.Handler("cbh")
+	cbb := cbh.Block("body")
+	cbb.IRQRaise("irq")
+	cbb.Return("return")
+
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestObserverEventStream(t *testing.T) {
+	prog := buildObserved(t)
+	st := NewState(prog)
+	in := New(prog, st, nil)
+	obs := &collectObs{}
+	in.SetObserver(obs)
+	in.SetWatch([]int{prog.FieldIndex("mode")})
+
+	if res := in.Dispatch(NewWrite(SpacePIO, 0, []byte{0x20})); res.Fault != nil {
+		t.Fatal(res.Fault)
+	}
+
+	// Expected: entry (switch), indirect-call event, "one" (branch,
+	// taken), "big" (jump), callee body (return), "out" (halt).
+	var kinds []string
+	for _, ev := range obs.events {
+		switch {
+		case ev.IndirectField >= 0:
+			kinds = append(kinds, "icall")
+		case ev.Term == ir.TermSwitch:
+			kinds = append(kinds, "switch")
+		case ev.Term == ir.TermBranch:
+			kinds = append(kinds, "branch")
+		case ev.Term == ir.TermJump:
+			kinds = append(kinds, "jump")
+		case ev.Term == ir.TermReturn:
+			kinds = append(kinds, "return")
+		case ev.Term == ir.TermHalt:
+			kinds = append(kinds, "halt")
+		}
+	}
+	want := []string{"switch", "branch", "icall", "return", "jump", "halt"}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("event %d = %s, want %s (%v)", i, kinds[i], want[i], kinds)
+		}
+	}
+
+}
+
+func TestObserverSwitchSelectorAndBranchArm(t *testing.T) {
+	prog := buildObserved(t)
+	st := NewState(prog)
+	in := New(prog, st, nil)
+	obs := &collectObs{}
+	in.SetObserver(obs)
+	in.SetWatch([]int{prog.FieldIndex("mode")})
+
+	// Selector 5 takes the case arm; v=5 <= 10 takes the not-taken arm.
+	if res := in.Dispatch(NewWrite(SpacePIO, 0, []byte{5})); res.Fault != nil {
+		t.Fatal(res.Fault)
+	}
+	var sw, br *ObsEvent
+	for i := range obs.events {
+		ev := &obs.events[i]
+		switch ev.Term {
+		case ir.TermSwitch:
+			sw = ev
+		case ir.TermBranch:
+			br = ev
+		}
+	}
+	if sw == nil || br == nil {
+		t.Fatal("missing switch/branch events")
+	}
+	if sw.CmdValue != 5 {
+		t.Errorf("switch selector = %d, want 5", sw.CmdValue)
+	}
+	if br.Taken {
+		t.Error("branch should be not-taken for v=5")
+	}
+	// Watched field captured at decision points with the post-op value.
+	if len(sw.Fields) != 1 || sw.Fields[0].Value != 5 {
+		t.Errorf("switch event fields = %+v, want mode=5", sw.Fields)
+	}
+}
+
+func TestObserverDisabledCostsNothing(t *testing.T) {
+	prog := buildObserved(t)
+	in := New(prog, NewState(prog), nil)
+	// No observer: dispatch must not emit (nothing to assert beyond no
+	// panic and a clean run).
+	if res := in.Dispatch(NewWrite(SpacePIO, 0, []byte{1})); res.Fault != nil {
+		t.Fatal(res.Fault)
+	}
+}
+
+func TestIOToBufFastAndSlowPaths(t *testing.T) {
+	b := ir.NewBuilder("iocopy")
+	buf := b.Buf("buf", 16)
+	b.Int("tail", ir.W32) // absorbs overflow corruption
+	h := b.Handler("dispatch")
+	e := h.Block("entry").Entry()
+	idx := e.IOIn(ir.W8, "idx = ioread8()")
+	n := e.IOIn(ir.W8, "n = ioread8()")
+	e.IOToBuf(buf, idx, n, false, "copy payload")
+	e.Halt("return")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(prog)
+	in := New(prog, st, nil)
+
+	// Fast path: fully in bounds.
+	payload := append([]byte{2, 4}, []byte("ABCD")...)
+	res := in.Dispatch(NewWrite(SpacePIO, 0, payload))
+	if res.Fault != nil {
+		t.Fatal(res.Fault)
+	}
+	if got := string(st.Buf(prog.FieldIndex("buf"))[2:6]); got != "ABCD" {
+		t.Errorf("buf[2:6] = %q, want ABCD", got)
+	}
+	if res.Corruptions != 0 {
+		t.Error("in-bounds copy must not corrupt")
+	}
+	// Fast path zero-fills when the payload is shorter than n.
+	st.Reset()
+	res = in.Dispatch(NewWrite(SpacePIO, 0, []byte{0, 8, 'x'}))
+	if res.Fault != nil {
+		t.Fatal(res.Fault)
+	}
+	bb := st.Buf(prog.FieldIndex("buf"))
+	if bb[0] != 'x' || bb[1] != 0 || bb[7] != 0 {
+		t.Errorf("short payload not zero-padded: %v", bb[:8])
+	}
+
+	// Slow path: straddles the buffer end, corrupting the arena tail.
+	st.Reset()
+	res = in.Dispatch(NewWrite(SpacePIO, 0, []byte{15, 2, 0x7, 0x8}))
+	if res.Fault != nil {
+		t.Fatal(res.Fault)
+	}
+	if res.Corruptions != 1 {
+		t.Errorf("corruptions = %d, want 1 (one byte past the buffer)", res.Corruptions)
+	}
+	if v, _ := st.IntByName("tail"); byte(v) != 0x8 {
+		t.Errorf("tail low byte = %#x, want the spilled 0x8", byte(v))
+	}
+}
+
+func TestDMABulkFastPathMatchesSlowSemantics(t *testing.T) {
+	b := ir.NewBuilder("dmacopy")
+	buf := b.Buf("buf", 64)
+	h := b.Handler("dispatch")
+	e := h.Block("entry").Entry()
+	idx := e.IOIn(ir.W8, "idx")
+	n := e.IOIn(ir.W8, "n")
+	addr := e.Const(0x40, "addr")
+	e.DMAToBuf(buf, idx, addr, n, false, "dma in")
+	dst := e.Const(0x100, "dst")
+	e.DMAFromBuf(buf, idx, dst, n, false, "dma out")
+	e.Halt("return")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newTestEnv(0x1000)
+	for i := 0; i < 32; i++ {
+		env.mem[0x40+i] = byte(0x30 + i)
+	}
+	st := NewState(prog)
+	in := New(prog, st, env)
+	if res := in.Dispatch(NewWrite(SpacePIO, 0, []byte{4, 32})); res.Fault != nil {
+		t.Fatal(res.Fault)
+	}
+	for i := 0; i < 32; i++ {
+		if env.mem[0x100+i] != byte(0x30+i) {
+			t.Fatalf("round trip byte %d = %d", i, env.mem[0x100+i])
+		}
+	}
+}

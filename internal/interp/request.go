@@ -1,0 +1,117 @@
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Space distinguishes port-mapped from memory-mapped I/O.
+type Space uint8
+
+const (
+	// SpacePIO is port-mapped I/O.
+	SpacePIO Space = iota + 1
+	// SpaceMMIO is memory-mapped I/O.
+	SpaceMMIO
+)
+
+func (s Space) String() string {
+	switch s {
+	case SpacePIO:
+		return "pio"
+	case SpaceMMIO:
+		return "mmio"
+	default:
+		return fmt.Sprintf("Space(%d)", uint8(s))
+	}
+}
+
+// Request is one I/O interaction from the guest: a port or MMIO access with
+// an optional payload (for writes) and a response buffer (for reads).
+type Request struct {
+	Space Space
+	Addr  uint64
+	Write bool
+	// Data is the payload for writes; empty for reads.
+	Data []byte
+
+	pos int
+	out []byte
+}
+
+// NewWrite constructs a guest write request.
+func NewWrite(space Space, addr uint64, data []byte) *Request {
+	return &Request{Space: space, Addr: addr, Write: true, Data: data}
+}
+
+// NewRead constructs a guest read request.
+func NewRead(space Space, addr uint64) *Request {
+	return &Request{Space: space, Addr: addr}
+}
+
+// Consume reads the next n payload bytes little-endian; exhausted payload
+// yields zeros, as a device reading an undriven bus would see. The
+// ES-Checker uses it to simulate payload reads before the device consumes
+// the request (the request is rewound in between).
+func (r *Request) Consume(n int) uint64 {
+	var buf [8]byte
+	for i := 0; i < n; i++ {
+		if r.pos < len(r.Data) {
+			buf[i] = r.Data[r.pos]
+			r.pos++
+		}
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// ConsumeInto copies up to len(dst) payload bytes into dst, advancing the
+// cursor, and returns the count copied.
+func (r *Request) ConsumeInto(dst []byte) int {
+	n := copy(dst, r.Data[r.pos:])
+	r.pos += n
+	return n
+}
+
+// Skip advances the payload cursor by n bytes without reading them. The
+// ES-Checker uses it to mirror bulk payload copies it bounds-checks but
+// does not perform.
+func (r *Request) Skip(n int) {
+	r.pos += n
+	if r.pos > len(r.Data) {
+		r.pos = len(r.Data)
+	}
+}
+
+// Remaining reports unread payload bytes.
+func (r *Request) Remaining() int {
+	if r.pos >= len(r.Data) {
+		return 0
+	}
+	return len(r.Data) - r.pos
+}
+
+// emit appends n bytes of v little-endian to the response.
+func (r *Request) emit(v uint64, n int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	r.out = append(r.out, buf[:n]...)
+}
+
+// Response returns the bytes the device produced for a read.
+func (r *Request) Response() []byte { return r.out }
+
+// Rewind resets payload consumption and clears the response so the same
+// request can be re-dispatched (the ES-Checker simulates the specification
+// on the request before the device consumes it).
+func (r *Request) Rewind() {
+	r.pos = 0
+	r.out = nil
+}
+
+func (r *Request) String() string {
+	dir := "read"
+	if r.Write {
+		dir = "write"
+	}
+	return fmt.Sprintf("%s %s 0x%x len=%d", r.Space, dir, r.Addr, len(r.Data))
+}

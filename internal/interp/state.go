@@ -1,0 +1,151 @@
+// Package interp executes device programs written in the internal/ir
+// instruction set.
+//
+// The interpreter is the stand-in for QEMU's C device code paths: it runs a
+// device's handlers against an arena-backed control structure, keeps x86ish
+// arithmetic flags for overflow detection, emits processor-trace events for
+// the trace module, and emits observation events for the device-state
+// change log. Out-of-bounds buffer accesses inside the arena silently
+// corrupt neighbouring fields — exactly the C behaviour the CVE exploits in
+// the paper rely on — while accesses escaping the arena fault, standing in
+// for a hypervisor crash or compromise.
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sedspec/internal/ir"
+)
+
+// State is the device control structure: the program's fields laid out in a
+// flat byte arena like a C struct.
+type State struct {
+	prog  *ir.Program
+	arena []byte
+}
+
+// NewState allocates a zeroed control structure for the program.
+func NewState(p *ir.Program) *State {
+	return &State{prog: p, arena: make([]byte, p.ArenaSize)}
+}
+
+// Program returns the program this state belongs to.
+func (s *State) Program() *ir.Program { return s.prog }
+
+// Reset zeroes the control structure.
+func (s *State) Reset() {
+	for i := range s.arena {
+		s.arena[i] = 0
+	}
+}
+
+// Bytes exposes the raw arena. Callers must treat it as read-only.
+func (s *State) Bytes() []byte { return s.arena }
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	c := &State{prog: s.prog, arena: make([]byte, len(s.arena))}
+	copy(c.arena, s.arena)
+	return c
+}
+
+func (s *State) field(fi int) *ir.Field { return &s.prog.Fields[fi] }
+
+// Int reads an integer field's raw value (zero-extended).
+func (s *State) Int(fi int) uint64 {
+	f := s.field(fi)
+	return readLE(s.arena[f.Offset:f.Offset+f.ByteSize], f.Width)
+}
+
+// SetInt writes an integer field, truncating to the field width.
+func (s *State) SetInt(fi int, v uint64) {
+	f := s.field(fi)
+	writeLE(s.arena[f.Offset:f.Offset+f.ByteSize], f.Width, v)
+}
+
+// IntByName reads an integer field by name; ok is false if absent.
+func (s *State) IntByName(name string) (uint64, bool) {
+	fi := s.prog.FieldIndex(name)
+	if fi < 0 || s.prog.Fields[fi].Kind != ir.FieldInt {
+		return 0, false
+	}
+	return s.Int(fi), true
+}
+
+// SetIntByName writes an integer field by name; ok is false if absent.
+func (s *State) SetIntByName(name string, v uint64) bool {
+	fi := s.prog.FieldIndex(name)
+	if fi < 0 || s.prog.Fields[fi].Kind != ir.FieldInt {
+		return false
+	}
+	s.SetInt(fi, v)
+	return true
+}
+
+// FuncPtr reads a function-pointer field's raw value.
+func (s *State) FuncPtr(fi int) uint64 {
+	f := s.field(fi)
+	return binary.LittleEndian.Uint64(s.arena[f.Offset : f.Offset+8])
+}
+
+// SetFuncPtr writes a function-pointer field.
+func (s *State) SetFuncPtr(fi int, v uint64) {
+	f := s.field(fi)
+	binary.LittleEndian.PutUint64(s.arena[f.Offset:f.Offset+8], v)
+}
+
+// Buf returns a view of a buffer field's bytes.
+func (s *State) Buf(fi int) []byte {
+	f := s.field(fi)
+	return s.arena[f.Offset : f.Offset+f.Size]
+}
+
+// FieldValue reads any field's representative value: raw integer for int
+// and func fields, length for buffers. Used by observation snapshots.
+func (s *State) FieldValue(fi int) uint64 {
+	f := s.field(fi)
+	switch f.Kind {
+	case ir.FieldInt:
+		return s.Int(fi)
+	case ir.FieldFunc:
+		return s.FuncPtr(fi)
+	case ir.FieldBuf:
+		return uint64(f.Size)
+	default:
+		return 0
+	}
+}
+
+// String summarizes the state for diagnostics.
+func (s *State) String() string {
+	return fmt.Sprintf("state(%s, %dB)", s.prog.Name, len(s.arena))
+}
+
+func readLE(b []byte, w ir.Width) uint64 {
+	switch w {
+	case ir.W8:
+		return uint64(b[0])
+	case ir.W16:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case ir.W32:
+		return uint64(binary.LittleEndian.Uint32(b))
+	case ir.W64:
+		return binary.LittleEndian.Uint64(b)
+	default:
+		return 0
+	}
+}
+
+func writeLE(b []byte, w ir.Width, v uint64) {
+	switch w {
+	case ir.W8:
+		b[0] = byte(v)
+	case ir.W16:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case ir.W32:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	case ir.W64:
+		binary.LittleEndian.PutUint64(b, v)
+	}
+}

@@ -1,0 +1,483 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Temp identifies a handler-local temporary (virtual register).
+type Temp int
+
+// FieldID identifies a control-structure field within a program.
+type FieldID int
+
+// Builder constructs a Program. All errors are accumulated and returned
+// from Build so device definitions stay linear and declarative.
+type Builder struct {
+	p    *Program
+	line int
+	errs []error
+
+	handlers []*HandlerBuilder
+	dispatch string
+	// callFixups resolve OpCall targets named before declaration.
+	callFixups []callFixup
+}
+
+type callFixup struct {
+	handler, block, op int
+	name               string
+	// toImm writes the resolved handler index into the op's Imm (used by
+	// FuncValue) instead of its Handler slot (used by Call).
+	toImm bool
+}
+
+// NewBuilder returns a builder for a program with the given device name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		p: &Program{
+			Name:       name,
+			fieldIdx:   make(map[string]int),
+			handlerIdx: make(map[string]int),
+		},
+		line: 1,
+	}
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+func (b *Builder) src(text string) SourceRef {
+	s := SourceRef{Line: b.line, Text: text}
+	b.line++
+	return s
+}
+
+// FieldOpt configures a field declaration.
+type FieldOpt func(*Field)
+
+// HWRegister marks the field as mirroring a physical device register
+// (selection Rule 1).
+func HWRegister() FieldOpt { return func(f *Field) { f.HWRegister = true } }
+
+// Signed marks an integer field as signed.
+func Signed() FieldOpt { return func(f *Field) { f.Signed = true } }
+
+func (b *Builder) addField(f Field) FieldID {
+	if _, dup := b.p.fieldIdx[f.Name]; dup {
+		b.errf("ir: duplicate field %q", f.Name)
+		return FieldID(len(b.p.Fields) - 1)
+	}
+	b.p.fieldIdx[f.Name] = len(b.p.Fields)
+	b.p.Fields = append(b.p.Fields, f)
+	return FieldID(len(b.p.Fields) - 1)
+}
+
+// Int declares an integer control-structure field.
+func (b *Builder) Int(name string, w Width, opts ...FieldOpt) FieldID {
+	f := Field{Name: name, Kind: FieldInt, Width: w}
+	for _, o := range opts {
+		o(&f)
+	}
+	return b.addField(f)
+}
+
+// Buf declares a fixed-length byte buffer field.
+func (b *Builder) Buf(name string, size int) FieldID {
+	if size <= 0 {
+		b.errf("ir: buffer %q has non-positive size %d", name, size)
+		size = 1
+	}
+	return b.addField(Field{Name: name, Kind: FieldBuf, Size: size})
+}
+
+// Func declares a function-pointer field.
+func (b *Builder) Func(name string) FieldID {
+	return b.addField(Field{Name: name, Kind: FieldFunc})
+}
+
+// HandlerOpt configures a handler declaration.
+type HandlerOpt func(*Handler)
+
+// Library places the handler in shared-library address space, outside the
+// trace filter's device code range.
+func Library() HandlerOpt { return func(h *Handler) { h.Region = RegionLibrary } }
+
+// Kernel places the handler in kernel address space, excluded by the trace
+// module's ring filter.
+func Kernel() HandlerOpt { return func(h *Handler) { h.Region = RegionKernel } }
+
+// Handler starts a new handler. The first handler marked via
+// Builder.Dispatch (or, absent that, the first handler declared) becomes
+// the I/O dispatch entry.
+func (b *Builder) Handler(name string, opts ...HandlerOpt) *HandlerBuilder {
+	if _, dup := b.p.handlerIdx[name]; dup {
+		b.errf("ir: duplicate handler %q", name)
+	}
+	idx := len(b.handlers)
+	h := Handler{Name: name, Index: idx}
+	for _, o := range opts {
+		o(&h)
+	}
+	b.p.handlerIdx[name] = idx
+	hb := &HandlerBuilder{b: b, h: h, labels: make(map[string]int)}
+	b.handlers = append(b.handlers, hb)
+	return hb
+}
+
+// Dispatch names the handler invoked for every I/O request.
+func (b *Builder) Dispatch(name string) { b.dispatch = name }
+
+// Build resolves labels and call targets, lays out the control structure,
+// assigns synthetic addresses, validates, and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	for _, hb := range b.handlers {
+		hb.resolve()
+		b.p.Handlers = append(b.p.Handlers, hb.h)
+	}
+	for _, fx := range b.callFixups {
+		idx, ok := b.p.handlerIdx[fx.name]
+		if !ok {
+			b.errf("ir: call to unknown handler %q", fx.name)
+			continue
+		}
+		op := &b.p.Handlers[fx.handler].Blocks[fx.block].Ops[fx.op]
+		if fx.toImm {
+			op.Imm = uint64(idx)
+		} else {
+			op.Handler = idx
+		}
+	}
+	if b.dispatch != "" {
+		idx, ok := b.p.handlerIdx[b.dispatch]
+		if !ok {
+			b.errf("ir: dispatch handler %q not declared", b.dispatch)
+		}
+		b.p.DispatchHandler = idx
+	}
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
+	b.p.finalize()
+	if err := b.p.Validate(); err != nil {
+		return nil, err
+	}
+	return b.p, nil
+}
+
+// HandlerBuilder accumulates a handler's blocks.
+type HandlerBuilder struct {
+	b      *Builder
+	h      Handler
+	labels map[string]int
+	// pending terminator targets by label, resolved at Build.
+	fixups []termFixup
+}
+
+type termFixup struct {
+	block int
+	// slot selects which target to patch: 0=Target/Taken, 1=NotTaken,
+	// 2..=case index+2, -1=Default.
+	slot  int
+	label string
+}
+
+func (hb *HandlerBuilder) newTemp() Temp {
+	t := Temp(hb.h.NumTemps)
+	hb.h.NumTemps++
+	return t
+}
+
+// Block starts a new basic block with the given label.
+func (hb *HandlerBuilder) Block(label string) *BlockBuilder {
+	if _, dup := hb.labels[label]; dup {
+		hb.b.errf("ir: handler %q: duplicate block label %q", hb.h.Name, label)
+	}
+	idx := len(hb.h.Blocks)
+	hb.labels[label] = idx
+	hb.h.Blocks = append(hb.h.Blocks, Block{Label: label})
+	return &BlockBuilder{hb: hb, idx: idx}
+}
+
+func (hb *HandlerBuilder) resolve() {
+	for _, fx := range hb.fixups {
+		idx, ok := hb.labels[fx.label]
+		if !ok {
+			hb.b.errf("ir: handler %q: unknown block label %q", hb.h.Name, fx.label)
+			continue
+		}
+		t := &hb.h.Blocks[fx.block].Term
+		switch {
+		case fx.slot == 0:
+			if t.Kind == TermBranch {
+				t.Taken = idx
+			} else {
+				t.Target = idx
+			}
+		case fx.slot == 1:
+			t.NotTaken = idx
+		case fx.slot == -1:
+			t.Default = idx
+		default:
+			t.Cases[fx.slot-2].Target = idx
+		}
+	}
+}
+
+// BlockBuilder appends ops and the terminator to one block.
+type BlockBuilder struct {
+	hb  *HandlerBuilder
+	idx int
+}
+
+func (bb *BlockBuilder) block() *Block { return &bb.hb.h.Blocks[bb.idx] }
+
+func (bb *BlockBuilder) add(op Op) { bb.block().Ops = append(bb.block().Ops, op) }
+
+// Entry marks the block as the I/O entry block.
+func (bb *BlockBuilder) Entry() *BlockBuilder { bb.block().Kind = KindEntry; return bb }
+
+// Exit marks the block as an exit block.
+func (bb *BlockBuilder) Exit() *BlockBuilder { bb.block().Kind = KindExit; return bb }
+
+// CmdDecision marks the block as a command-decision block.
+func (bb *BlockBuilder) CmdDecision() *BlockBuilder { bb.block().Kind = KindCmdDecision; return bb }
+
+// CmdEnd marks the block as a command-end block.
+func (bb *BlockBuilder) CmdEnd() *BlockBuilder { bb.block().Kind = KindCmdEnd; return bb }
+
+// Const loads an immediate.
+func (bb *BlockBuilder) Const(v uint64, text string) Temp {
+	t := bb.hb.newTemp()
+	bb.add(Op{Code: OpConst, Dst: int(t), Imm: v, Src0: bb.hb.b.src(text)})
+	return t
+}
+
+// Load reads an integer field.
+func (bb *BlockBuilder) Load(f FieldID, text string) Temp {
+	t := bb.hb.newTemp()
+	bb.add(Op{Code: OpLoad, Dst: int(t), Field: int(f), Src0: bb.hb.b.src(text)})
+	return t
+}
+
+// Store writes an integer field.
+func (bb *BlockBuilder) Store(f FieldID, src Temp, text string) {
+	bb.add(Op{Code: OpStore, Field: int(f), Src: int(src), Src0: bb.hb.b.src(text)})
+}
+
+// LoadFunc reads a function-pointer field's raw value.
+func (bb *BlockBuilder) LoadFunc(f FieldID, text string) Temp {
+	t := bb.hb.newTemp()
+	bb.add(Op{Code: OpLoadFunc, Dst: int(t), Field: int(f), Src0: bb.hb.b.src(text)})
+	return t
+}
+
+// StoreFunc writes a function-pointer field.
+func (bb *BlockBuilder) StoreFunc(f FieldID, src Temp, text string) {
+	bb.add(Op{Code: OpStoreFunc, Field: int(f), Src: int(src), Src0: bb.hb.b.src(text)})
+}
+
+// FuncValue materializes a handler's index for storing into a
+// function-pointer field.
+func (bb *BlockBuilder) FuncValue(handler string, text string) Temp {
+	t := bb.hb.newTemp()
+	bb.add(Op{Code: OpConst, Dst: int(t), Src0: bb.hb.b.src(text)})
+	bb.hb.b.callFixups = append(bb.hb.b.callFixups, callFixup{
+		handler: bb.hb.h.Index, block: bb.idx, op: len(bb.block().Ops) - 1,
+		name: handler, toImm: true,
+	})
+	return t
+}
+
+// Arith computes a binary ALU op at the given width.
+func (bb *BlockBuilder) Arith(alu ALU, a, b Temp, w Width, signed bool, text string) Temp {
+	t := bb.hb.newTemp()
+	bb.add(Op{
+		Code: OpArith, Dst: int(t), A: int(a), B: int(b),
+		ALU: alu, Width: w, Signed: signed, Src0: bb.hb.b.src(text),
+	})
+	return t
+}
+
+// BufLoad reads one byte of a buffer field at the given index temp.
+func (bb *BlockBuilder) BufLoad(f FieldID, idx Temp, w Width, signed bool, text string) Temp {
+	t := bb.hb.newTemp()
+	bb.add(Op{
+		Code: OpBufLoad, Dst: int(t), Field: int(f), Idx: int(idx),
+		Width: w, Signed: signed, Src0: bb.hb.b.src(text),
+	})
+	return t
+}
+
+// BufStore writes one byte of a buffer field at the given index temp.
+func (bb *BlockBuilder) BufStore(f FieldID, idx, src Temp, w Width, signed bool, text string) {
+	bb.add(Op{
+		Code: OpBufStore, Field: int(f), Idx: int(idx), Src: int(src),
+		Width: w, Signed: signed, Src0: bb.hb.b.src(text),
+	})
+}
+
+// IOIn consumes the next unit of request payload.
+func (bb *BlockBuilder) IOIn(w Width, text string) Temp {
+	t := bb.hb.newTemp()
+	bb.add(Op{Code: OpIOIn, Dst: int(t), Width: w, Src0: bb.hb.b.src(text)})
+	return t
+}
+
+// IOOut appends a unit to the response payload.
+func (bb *BlockBuilder) IOOut(src Temp, w Width, text string) {
+	bb.add(Op{Code: OpIOOut, Src: int(src), Width: w, Src0: bb.hb.b.src(text)})
+}
+
+// IOAddr yields the request's port or memory address.
+func (bb *BlockBuilder) IOAddr(text string) Temp {
+	t := bb.hb.newTemp()
+	bb.add(Op{Code: OpIOAddr, Dst: int(t), Src0: bb.hb.b.src(text)})
+	return t
+}
+
+// IOLen yields the remaining request payload length.
+func (bb *BlockBuilder) IOLen(text string) Temp {
+	t := bb.hb.newTemp()
+	bb.add(Op{Code: OpIOLen, Dst: int(t), Src0: bb.hb.b.src(text)})
+	return t
+}
+
+// IOIsWrite yields 1 for guest writes and 0 for reads.
+func (bb *BlockBuilder) IOIsWrite(text string) Temp {
+	t := bb.hb.newTemp()
+	bb.add(Op{Code: OpIOIsWrite, Dst: int(t), Src0: bb.hb.b.src(text)})
+	return t
+}
+
+// DMARead reads a unit of guest memory at the address temp.
+func (bb *BlockBuilder) DMARead(addr Temp, w Width, text string) Temp {
+	t := bb.hb.newTemp()
+	bb.add(Op{Code: OpDMARead, Dst: int(t), A: int(addr), Width: w, Src0: bb.hb.b.src(text)})
+	return t
+}
+
+// DMAWrite writes a unit to guest memory at the address temp.
+func (bb *BlockBuilder) DMAWrite(addr, src Temp, w Width, text string) {
+	bb.add(Op{Code: OpDMAWrite, A: int(addr), Src: int(src), Width: w, Src0: bb.hb.b.src(text)})
+}
+
+// DMAToBuf copies n bytes of guest memory into a buffer field at idx.
+func (bb *BlockBuilder) DMAToBuf(f FieldID, idx, addr, n Temp, signed bool, text string) {
+	bb.add(Op{
+		Code: OpDMAToBuf, Field: int(f), Idx: int(idx), A: int(addr), B: int(n),
+		Width: W32, Signed: signed, Src0: bb.hb.b.src(text),
+	})
+}
+
+// DMAFromBuf copies n bytes from a buffer field at idx to guest memory.
+func (bb *BlockBuilder) DMAFromBuf(f FieldID, idx, addr, n Temp, signed bool, text string) {
+	bb.add(Op{
+		Code: OpDMAFromBuf, Field: int(f), Idx: int(idx), A: int(addr), B: int(n),
+		Width: W32, Signed: signed, Src0: bb.hb.b.src(text),
+	})
+}
+
+// IOToBuf copies n request-payload bytes into a buffer field at idx.
+func (bb *BlockBuilder) IOToBuf(f FieldID, idx, n Temp, signed bool, text string) {
+	bb.add(Op{
+		Code: OpIOToBuf, Field: int(f), Idx: int(idx), B: int(n),
+		Width: W32, Signed: signed, Src0: bb.hb.b.src(text),
+	})
+}
+
+// IRQRaise raises the device interrupt line.
+func (bb *BlockBuilder) IRQRaise(text string) {
+	bb.add(Op{Code: OpIRQRaise, Src0: bb.hb.b.src(text)})
+}
+
+// IRQLower lowers the device interrupt line.
+func (bb *BlockBuilder) IRQLower(text string) {
+	bb.add(Op{Code: OpIRQLower, Src0: bb.hb.b.src(text)})
+}
+
+// Call invokes another handler directly.
+func (bb *BlockBuilder) Call(handler string, text string) {
+	bb.add(Op{Code: OpCall, Handler: -1, Src0: bb.hb.b.src(text)})
+	bb.hb.b.callFixups = append(bb.hb.b.callFixups, callFixup{
+		handler: bb.hb.h.Index, block: bb.idx, op: len(bb.block().Ops) - 1, name: handler,
+	})
+}
+
+// CallPtr invokes the handler stored in a function-pointer field.
+func (bb *BlockBuilder) CallPtr(f FieldID, text string) {
+	bb.add(Op{Code: OpCallPtr, Field: int(f), Src0: bb.hb.b.src(text)})
+}
+
+// Work models emulation work proportional to the byte count in src.
+func (bb *BlockBuilder) Work(src Temp, text string) {
+	bb.add(Op{Code: OpWork, Src: int(src), Src0: bb.hb.b.src(text)})
+}
+
+// EnvRead reads an environment value (link status, media presence, ...)
+// that is derivable neither from device state nor from I/O data.
+func (bb *BlockBuilder) EnvRead(kind EnvKind, text string) Temp {
+	t := bb.hb.newTemp()
+	bb.add(Op{Code: OpEnvRead, Dst: int(t), Imm: uint64(kind), Src0: bb.hb.b.src(text)})
+	return t
+}
+
+func (bb *BlockBuilder) setTerm(t Term) {
+	blk := bb.block()
+	if blk.Term.Kind != 0 {
+		bb.hb.b.errf("ir: handler %q block %q: terminator already set", bb.hb.h.Name, blk.Label)
+		return
+	}
+	blk.Term = t
+}
+
+// Jump ends the block with an unconditional jump to label.
+func (bb *BlockBuilder) Jump(label, text string) {
+	bb.setTerm(Term{Kind: TermJump, Src0: bb.hb.b.src(text)})
+	bb.hb.fixups = append(bb.hb.fixups, termFixup{block: bb.idx, slot: 0, label: label})
+}
+
+// Branch ends the block with a conditional branch.
+func (bb *BlockBuilder) Branch(a Temp, rel Rel, b Temp, w Width, signed bool, text, taken, notTaken string) {
+	bb.setTerm(Term{
+		Kind: TermBranch, A: int(a), B: int(b), Rel: rel,
+		Width: w, Signed: signed, Src0: bb.hb.b.src(text),
+	})
+	bb.hb.fixups = append(bb.hb.fixups,
+		termFixup{block: bb.idx, slot: 0, label: taken},
+		termFixup{block: bb.idx, slot: 1, label: notTaken},
+	)
+}
+
+// SwitchArm is one case of a Switch terminator.
+type SwitchArm struct {
+	Value uint64
+	Label string
+}
+
+// Case constructs a SwitchArm.
+func Case(v uint64, label string) SwitchArm { return SwitchArm{Value: v, Label: label} }
+
+// Switch ends the block with a multi-way dispatch on the selector temp.
+func (bb *BlockBuilder) Switch(sel Temp, text, defLabel string, arms ...SwitchArm) {
+	cases := make([]SwitchCase, len(arms))
+	for i, a := range arms {
+		cases[i] = SwitchCase{Value: a.Value}
+	}
+	bb.setTerm(Term{Kind: TermSwitch, A: int(sel), Cases: cases, Src0: bb.hb.b.src(text)})
+	bb.hb.fixups = append(bb.hb.fixups, termFixup{block: bb.idx, slot: -1, label: defLabel})
+	for i, a := range arms {
+		bb.hb.fixups = append(bb.hb.fixups, termFixup{block: bb.idx, slot: i + 2, label: a.Label})
+	}
+}
+
+// Return ends the block by returning from the handler.
+func (bb *BlockBuilder) Return(text string) {
+	bb.setTerm(Term{Kind: TermReturn, Src0: bb.hb.b.src(text)})
+}
+
+// Halt ends the block and the I/O round.
+func (bb *BlockBuilder) Halt(text string) {
+	bb.setTerm(Term{Kind: TermHalt, Src0: bb.hb.b.src(text)})
+}

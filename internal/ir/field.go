@@ -1,0 +1,177 @@
+// Package ir defines the device-program intermediate representation that
+// emulated devices in this repository are written in.
+//
+// The original SEDSpec prototype analyses and instruments QEMU's C device
+// code. Reproducing that in Go requires a substrate whose control flow can
+// be traced, whose "source statements" can be statically analysed, and
+// whose device control structure behaves like a C struct (buffer overflows
+// corrupt adjacent fields). This IR provides all three:
+//
+//   - Devices are programs of handlers; handlers are basic blocks of typed
+//     ops ending in a terminator (jump, conditional branch, command switch,
+//     return, halt).
+//   - Every op and terminator carries a synthesized source statement with a
+//     line number, standing in for the C source that SEDSpec's ES-CFG
+//     constructor extracts statements from.
+//   - The device control structure is a flat byte arena laid out like a C
+//     struct, so an out-of-bounds buffer write really does clobber the
+//     neighbouring field (for example a function pointer), exactly as in
+//     the CVE exploits the paper evaluates.
+package ir
+
+import "fmt"
+
+// Width is the storage width of an integer field or operation.
+type Width uint8
+
+// Supported integer widths.
+const (
+	W8 Width = iota + 1
+	W16
+	W32
+	W64
+)
+
+// Bytes returns the storage size in bytes.
+func (w Width) Bytes() int {
+	switch w {
+	case W8:
+		return 1
+	case W16:
+		return 2
+	case W32:
+		return 4
+	case W64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Bits returns the width in bits.
+func (w Width) Bits() int { return w.Bytes() * 8 }
+
+// Mask returns the value mask for the width.
+func (w Width) Mask() uint64 {
+	if w == W64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w.Bits()) - 1
+}
+
+// MaxUnsigned returns the largest unsigned value representable at the width.
+func (w Width) MaxUnsigned() uint64 { return w.Mask() }
+
+// MaxSigned returns the largest signed value representable at the width.
+func (w Width) MaxSigned() int64 { return int64(w.Mask() >> 1) }
+
+// MinSigned returns the smallest signed value representable at the width.
+func (w Width) MinSigned() int64 { return -int64(w.Mask()>>1) - 1 }
+
+// SignExtend interprets v (truncated to the width) as a signed value.
+func (w Width) SignExtend(v uint64) int64 {
+	v &= w.Mask()
+	signBit := uint64(1) << (w.Bits() - 1)
+	if w != W64 && v&signBit != 0 {
+		return int64(v | ^w.Mask())
+	}
+	return int64(v)
+}
+
+func (w Width) String() string {
+	switch w {
+	case W8:
+		return "u8"
+	case W16:
+		return "u16"
+	case W32:
+		return "u32"
+	case W64:
+		return "u64"
+	default:
+		return fmt.Sprintf("Width(%d)", uint8(w))
+	}
+}
+
+// FieldKind distinguishes the three control-structure member kinds the
+// paper's parameter-selection rules care about (Table I).
+type FieldKind uint8
+
+const (
+	// FieldInt is an integer member (registers, counters, indices, ...).
+	FieldInt FieldKind = iota + 1
+	// FieldBuf is a fixed-length byte buffer (FIFOs, frame buffers, ...).
+	FieldBuf
+	// FieldFunc is a function pointer (IRQ handlers, completion callbacks).
+	FieldFunc
+)
+
+func (k FieldKind) String() string {
+	switch k {
+	case FieldInt:
+		return "int"
+	case FieldBuf:
+		return "buf"
+	case FieldFunc:
+		return "func"
+	default:
+		return fmt.Sprintf("FieldKind(%d)", uint8(k))
+	}
+}
+
+// Field describes one member of the device control structure.
+//
+// Fields are laid out in declaration order in a flat arena (see
+// Program.Finalize), mirroring a C struct. Offset and ByteSize are filled
+// in during layout.
+type Field struct {
+	Name   string
+	Kind   FieldKind
+	Width  Width // FieldInt only
+	Signed bool  // FieldInt only
+	Size   int   // FieldBuf only: length in bytes
+
+	// HWRegister marks a field that mirrors a physical device register
+	// (paper Rule 1: such variables always join the device state).
+	HWRegister bool
+
+	// Offset and ByteSize are the arena layout, assigned by Finalize.
+	Offset   int
+	ByteSize int
+}
+
+// funcPtrSize is the storage size of a FieldFunc member, matching a 64-bit
+// C function pointer.
+const funcPtrSize = 8
+
+func (f *Field) storageSize() int {
+	switch f.Kind {
+	case FieldInt:
+		return f.Width.Bytes()
+	case FieldBuf:
+		return f.Size
+	case FieldFunc:
+		return funcPtrSize
+	default:
+		return 0
+	}
+}
+
+// CType renders the field as the C declaration it stands in for, used in
+// diagnostics and specification dumps.
+func (f *Field) CType() string {
+	switch f.Kind {
+	case FieldInt:
+		sign := "u"
+		if f.Signed {
+			sign = ""
+		}
+		return fmt.Sprintf("%sint%d_t %s", sign, f.Width.Bits(), f.Name)
+	case FieldBuf:
+		return fmt.Sprintf("uint8_t %s[%d]", f.Name, f.Size)
+	case FieldFunc:
+		return fmt.Sprintf("void (*%s)(void)", f.Name)
+	default:
+		return f.Name
+	}
+}

@@ -1,0 +1,262 @@
+package ir
+
+import "fmt"
+
+// SourceRef ties an op or terminator back to a synthesized source
+// statement. SEDSpec's ES-CFG construction extracts statements from device
+// source code; in this reproduction every IR element carries the pseudo-C
+// statement it stands in for.
+type SourceRef struct {
+	Line int    `json:"line"`
+	Text string `json:"text"`
+}
+
+func (s SourceRef) String() string { return fmt.Sprintf("L%d: %s", s.Line, s.Text) }
+
+// OpCode enumerates the op kinds a basic block may contain.
+type OpCode uint8
+
+const (
+	// OpConst sets T[Dst] = Imm.
+	OpConst OpCode = iota + 1
+	// OpLoad sets T[Dst] = value of integer field Field.
+	OpLoad
+	// OpStore writes T[Src] into integer field Field (truncated to the
+	// field's width).
+	OpStore
+	// OpLoadFunc sets T[Dst] = raw value of function-pointer field Field.
+	OpLoadFunc
+	// OpStoreFunc writes T[Src] into function-pointer field Field.
+	OpStoreFunc
+	// OpArith sets T[Dst] = T[A] <ALU> T[B] at the given width, updating
+	// the flag register (overflow, carry, zero, sign).
+	OpArith
+	// OpBufLoad sets T[Dst] = arena byte at Field.Offset + index(T[Idx]).
+	// The index is interpreted per Signed/Width, so negative indices reach
+	// below the buffer, as in C.
+	OpBufLoad
+	// OpBufStore writes the low byte of T[Src] at Field.Offset +
+	// index(T[Idx]). Out-of-bounds writes corrupt neighbouring fields while
+	// inside the arena and fault beyond it.
+	OpBufStore
+	// OpIOIn reads the next Width-sized unit from the I/O request payload
+	// into T[Dst]. Reading past the payload yields zero.
+	OpIOIn
+	// OpIOOut appends T[Src] as a Width-sized unit to the I/O response.
+	OpIOOut
+	// OpIOAddr sets T[Dst] = the request's port or memory address.
+	OpIOAddr
+	// OpIOLen sets T[Dst] = remaining request payload length in bytes.
+	OpIOLen
+	// OpIOIsWrite sets T[Dst] = 1 for guest writes, 0 for reads.
+	OpIOIsWrite
+	// OpDMARead reads Width bytes of guest memory at address T[A] into
+	// T[Dst].
+	OpDMARead
+	// OpDMAWrite writes T[Src] (Width bytes) to guest memory at address
+	// T[A].
+	OpDMAWrite
+	// OpDMAToBuf copies T[B] bytes of guest memory from address T[A] into
+	// buffer field Field starting at index T[Idx]. Subject to the same
+	// arena-overflow semantics as OpBufStore.
+	OpDMAToBuf
+	// OpDMAFromBuf copies T[B] bytes from buffer field Field starting at
+	// index T[Idx] to guest memory at address T[A].
+	OpDMAFromBuf
+	// OpIRQRaise raises the device's interrupt line.
+	OpIRQRaise
+	// OpIRQLower lowers the device's interrupt line.
+	OpIRQLower
+	// OpCall invokes handler Handler directly and resumes at the next op.
+	OpCall
+	// OpCallPtr invokes the handler whose index is stored in
+	// function-pointer field Field. This is the indirect jump that the
+	// trace module records as a TIP packet and that the indirect-jump
+	// check strategy guards.
+	OpCallPtr
+	// OpWork models emulation work proportional to T[Src] bytes (checksum
+	// loops, medium access latency). It advances the virtual clock and
+	// burns deterministic CPU so performance benchmarks have a realistic
+	// baseline.
+	OpWork
+	// OpIOToBuf copies T[B] bytes of the I/O request payload into buffer
+	// field Field starting at index T[Idx], with the same arena-overflow
+	// semantics as OpBufStore. Network devices use it to take a frame
+	// from the backend.
+	OpIOToBuf
+	// OpEnvRead sets T[Dst] = an environment value (Imm selects the
+	// EnvKind): link status, media presence, and similar values that are
+	// derivable neither from the device state nor from the I/O data. A
+	// branch depending on one forces the ES-CFG constructor to insert a
+	// sync point (paper §V-D).
+	OpEnvRead
+)
+
+// EnvKind selects what OpEnvRead reads.
+type EnvKind uint8
+
+const (
+	// EnvLink is the network link status (0 down, 1 up).
+	EnvLink EnvKind = iota + 1
+	// EnvMedia is media presence (disk inserted, USB attached).
+	EnvMedia
+	// EnvTurn is a per-round token (alternating scheduling decisions).
+	EnvTurn
+)
+
+func (k EnvKind) String() string {
+	switch k {
+	case EnvLink:
+		return "link"
+	case EnvMedia:
+		return "media"
+	case EnvTurn:
+		return "turn"
+	default:
+		return fmt.Sprintf("EnvKind(%d)", uint8(k))
+	}
+}
+
+var opNames = map[OpCode]string{
+	OpConst:      "const",
+	OpLoad:       "load",
+	OpStore:      "store",
+	OpLoadFunc:   "loadfunc",
+	OpStoreFunc:  "storefunc",
+	OpArith:      "arith",
+	OpBufLoad:    "bufload",
+	OpBufStore:   "bufstore",
+	OpIOIn:       "ioin",
+	OpIOOut:      "ioout",
+	OpIOAddr:     "ioaddr",
+	OpIOLen:      "iolen",
+	OpIOIsWrite:  "ioiswrite",
+	OpDMARead:    "dmaread",
+	OpDMAWrite:   "dmawrite",
+	OpDMAToBuf:   "dmatobuf",
+	OpDMAFromBuf: "dmafrombuf",
+	OpIRQRaise:   "irqraise",
+	OpIRQLower:   "irqlower",
+	OpCall:       "call",
+	OpCallPtr:    "callptr",
+	OpWork:       "work",
+	OpIOToBuf:    "iotobuf",
+	OpEnvRead:    "envread",
+}
+
+func (o OpCode) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("OpCode(%d)", uint8(o))
+}
+
+// ALU enumerates arithmetic/logic operations for OpArith.
+type ALU uint8
+
+// ALU operations.
+const (
+	ALUAdd ALU = iota + 1
+	ALUSub
+	ALUMul
+	ALUDiv
+	ALUMod
+	ALUAnd
+	ALUOr
+	ALUXor
+	ALUShl
+	ALUShr
+)
+
+var aluNames = map[ALU]string{
+	ALUAdd: "+", ALUSub: "-", ALUMul: "*", ALUDiv: "/", ALUMod: "%",
+	ALUAnd: "&", ALUOr: "|", ALUXor: "^", ALUShl: "<<", ALUShr: ">>",
+}
+
+func (a ALU) String() string {
+	if s, ok := aluNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("ALU(%d)", uint8(a))
+}
+
+// Op is one instruction inside a basic block. Operand meaning depends on
+// Code; unused operands are zero.
+type Op struct {
+	Code OpCode
+
+	Dst int // destination temp
+	A   int // first source temp (or address temp for DMA)
+	B   int // second source temp (or length temp for DMA copies)
+	Src int // value source temp for stores/outputs
+	Idx int // index temp for buffer ops
+
+	Imm    uint64 // OpConst immediate
+	Field  int    // field index for loads/stores/buffer ops/indirect calls
+	Width  Width  // operation width
+	Signed bool   // signed interpretation (arith overflow, buffer index)
+	ALU    ALU    // OpArith operation
+
+	Handler int // OpCall target handler index
+
+	Src0 SourceRef // synthesized source statement
+}
+
+// WritesField reports whether the op writes device control structure state,
+// and which field. These are the statements the ES-CFG constructor turns
+// into Device State Operation Data (DSOD).
+func (o *Op) WritesField() (int, bool) {
+	switch o.Code {
+	case OpStore, OpStoreFunc, OpBufStore, OpDMAToBuf, OpIOToBuf:
+		return o.Field, true
+	default:
+		return -1, false
+	}
+}
+
+// ReadsField reports whether the op reads device control structure state,
+// and which field.
+func (o *Op) ReadsField() (int, bool) {
+	switch o.Code {
+	case OpLoad, OpLoadFunc, OpBufLoad, OpDMAFromBuf, OpCallPtr:
+		return o.Field, true
+	default:
+		return -1, false
+	}
+}
+
+// usesTemps appends the temps read by the op to dst and returns it.
+func (o *Op) usesTemps(dst []int) []int {
+	switch o.Code {
+	case OpStore, OpStoreFunc, OpIOOut:
+		dst = append(dst, o.Src)
+	case OpArith:
+		dst = append(dst, o.A, o.B)
+	case OpBufLoad:
+		dst = append(dst, o.Idx)
+	case OpBufStore:
+		dst = append(dst, o.Idx, o.Src)
+	case OpDMARead:
+		dst = append(dst, o.A)
+	case OpDMAWrite:
+		dst = append(dst, o.A, o.Src)
+	case OpDMAToBuf, OpDMAFromBuf:
+		dst = append(dst, o.A, o.B, o.Idx)
+	case OpIOToBuf:
+		dst = append(dst, o.B, o.Idx)
+	case OpWork:
+		dst = append(dst, o.Src)
+	}
+	return dst
+}
+
+// defsTemp reports the temp the op defines, or -1.
+func (o *Op) defsTemp() int {
+	switch o.Code {
+	case OpConst, OpLoad, OpLoadFunc, OpArith, OpBufLoad, OpIOIn,
+		OpIOAddr, OpIOLen, OpIOIsWrite, OpDMARead, OpEnvRead:
+		return o.Dst
+	default:
+		return -1
+	}
+}

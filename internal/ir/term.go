@@ -1,0 +1,158 @@
+package ir
+
+import "fmt"
+
+// TermKind enumerates block terminators.
+type TermKind uint8
+
+const (
+	// TermJump unconditionally continues at Target.
+	TermJump TermKind = iota + 1
+	// TermBranch compares T[A] Rel T[B] and continues at Taken or NotTaken.
+	// This is the conditional jump the trace module records as a TNT bit
+	// and the conditional-jump check strategy guards.
+	TermBranch
+	// TermSwitch dispatches on T[A] through Cases with a Default target.
+	// Blocks ending in a switch are command-decision blocks when flagged
+	// via BlockKind.
+	TermSwitch
+	// TermReturn returns from the current handler (or ends the I/O round
+	// when the dispatch frame returns).
+	TermReturn
+	// TermHalt ends the I/O round immediately; the block is an exit block.
+	TermHalt
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case TermJump:
+		return "jump"
+	case TermBranch:
+		return "branch"
+	case TermSwitch:
+		return "switch"
+	case TermReturn:
+		return "return"
+	case TermHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Rel is the comparison relation of a conditional branch.
+type Rel uint8
+
+// Branch relations.
+const (
+	RelEQ Rel = iota + 1
+	RelNE
+	RelLT
+	RelLE
+	RelGT
+	RelGE
+)
+
+var relNames = map[Rel]string{
+	RelEQ: "==", RelNE: "!=", RelLT: "<", RelLE: "<=", RelGT: ">", RelGE: ">=",
+}
+
+func (r Rel) String() string {
+	if s, ok := relNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("Rel(%d)", uint8(r))
+}
+
+// Eval applies the relation to two raw values at the given width and
+// signedness.
+func (r Rel) Eval(a, b uint64, w Width, signed bool) bool {
+	if signed {
+		sa, sb := w.SignExtend(a), w.SignExtend(b)
+		switch r {
+		case RelEQ:
+			return sa == sb
+		case RelNE:
+			return sa != sb
+		case RelLT:
+			return sa < sb
+		case RelLE:
+			return sa <= sb
+		case RelGT:
+			return sa > sb
+		case RelGE:
+			return sa >= sb
+		}
+		return false
+	}
+	ua, ub := a&w.Mask(), b&w.Mask()
+	switch r {
+	case RelEQ:
+		return ua == ub
+	case RelNE:
+		return ua != ub
+	case RelLT:
+		return ua < ub
+	case RelLE:
+		return ua <= ub
+	case RelGT:
+		return ua > ub
+	case RelGE:
+		return ua >= ub
+	}
+	return false
+}
+
+// SwitchCase is one arm of a TermSwitch.
+type SwitchCase struct {
+	Value  uint64
+	Target int
+}
+
+// Term is a block terminator. Target fields hold block indices within the
+// enclosing handler (resolved from labels at Finalize time).
+type Term struct {
+	Kind TermKind
+
+	Target int // TermJump
+
+	A, B     int // TermBranch operand temps; TermSwitch selector in A
+	Rel      Rel // TermBranch relation
+	Width    Width
+	Signed   bool
+	Taken    int // TermBranch taken target
+	NotTaken int // TermBranch fall-through target
+
+	Cases   []SwitchCase // TermSwitch arms, ordered
+	Default int          // TermSwitch default target
+
+	Src0 SourceRef
+}
+
+// Successors appends the terminator's possible successor block indices to
+// dst and returns it. Return/halt have none.
+func (t *Term) Successors(dst []int) []int {
+	switch t.Kind {
+	case TermJump:
+		dst = append(dst, t.Target)
+	case TermBranch:
+		dst = append(dst, t.Taken, t.NotTaken)
+	case TermSwitch:
+		for _, c := range t.Cases {
+			dst = append(dst, c.Target)
+		}
+		dst = append(dst, t.Default)
+	}
+	return dst
+}
+
+// usesTemps appends the temps the terminator reads to dst and returns it.
+func (t *Term) usesTemps(dst []int) []int {
+	switch t.Kind {
+	case TermBranch:
+		dst = append(dst, t.A, t.B)
+	case TermSwitch:
+		dst = append(dst, t.A)
+	}
+	return dst
+}

@@ -1,0 +1,264 @@
+// Package itccfg constructs the Indirect Targets Connected Control Flow
+// Graph (ITC-CFG) from decoded processor-trace runs, following FlowGuard's
+// approach as used by SEDSpec's data-collection phase.
+//
+// The graph's nodes are basic blocks observed executing; its edges are the
+// traversed control-flow transfers, with indirect transfers (switch
+// dispatch, function-pointer calls, returns) connected to the concrete
+// targets recorded in TIP packets.
+package itccfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sedspec/internal/ir"
+	"sedspec/internal/trace"
+)
+
+// Node is one observed basic block.
+type Node struct {
+	Ref ir.BlockRef
+	// Count is how many times the block was entered across all runs.
+	Count int
+}
+
+// EdgeKey identifies an edge by endpoints and kind.
+type EdgeKey struct {
+	From ir.BlockRef
+	To   ir.BlockRef
+	Kind trace.EdgeKind
+}
+
+// Edge is one observed control-flow transfer.
+type Edge struct {
+	EdgeKey
+	Count int
+}
+
+// Graph is the merged ITC-CFG over any number of runs.
+type Graph struct {
+	prog  *ir.Program
+	nodes map[ir.BlockRef]*Node
+	edges map[EdgeKey]*Edge
+	runs  int
+}
+
+// New returns an empty graph for the program.
+func New(p *ir.Program) *Graph {
+	return &Graph{
+		prog:  p,
+		nodes: make(map[ir.BlockRef]*Node),
+		edges: make(map[EdgeKey]*Edge),
+	}
+}
+
+// Program returns the underlying device program.
+func (g *Graph) Program() *ir.Program { return g.prog }
+
+// Runs reports how many runs have been merged in.
+func (g *Graph) Runs() int { return g.runs }
+
+// NumNodes reports the number of distinct observed blocks.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges reports the number of distinct observed edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddRun merges one decoded run into the graph.
+func (g *Graph) AddRun(run trace.Run) {
+	g.runs++
+	g.touch(run.Start)
+	for _, s := range run.Steps {
+		if !s.HasNext {
+			continue
+		}
+		g.touch(s.Next)
+		key := EdgeKey{From: s.Block, To: s.Next, Kind: s.Kind}
+		e := g.edges[key]
+		if e == nil {
+			e = &Edge{EdgeKey: key}
+			g.edges[key] = e
+		}
+		e.Count++
+	}
+}
+
+func (g *Graph) touch(ref ir.BlockRef) {
+	n := g.nodes[ref]
+	if n == nil {
+		n = &Node{Ref: ref}
+		g.nodes[ref] = n
+	}
+	n.Count++
+}
+
+// HasNode reports whether the block was ever observed.
+func (g *Graph) HasNode(ref ir.BlockRef) bool { return g.nodes[ref] != nil }
+
+// HasEdge reports whether the exact edge was observed.
+func (g *Graph) HasEdge(from, to ir.BlockRef, kind trace.EdgeKind) bool {
+	return g.edges[EdgeKey{From: from, To: to, Kind: kind}] != nil
+}
+
+// Nodes returns the observed blocks in deterministic order.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessRef(out[i].Ref, out[j].Ref) })
+	return out
+}
+
+// Edges returns the observed edges in deterministic order.
+func (g *Graph) Edges() []*Edge {
+	out := make([]*Edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return lessRef(out[i].From, out[j].From)
+		}
+		if out[i].To != out[j].To {
+			return lessRef(out[i].To, out[j].To)
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// OutEdges returns the observed edges leaving a block, in deterministic
+// order.
+func (g *Graph) OutEdges(from ir.BlockRef) []*Edge {
+	var out []*Edge
+	for _, e := range g.edges {
+		if e.From == from {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].To != out[j].To {
+			return lessRef(out[i].To, out[j].To)
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// CondBlocks returns observed blocks ending in a conditional branch, with
+// which arms were seen. The CFG analyzer scans these for device-state
+// parameter extraction, and the ES-CFG constructor uses the arm coverage
+// for the conditional-jump check.
+func (g *Graph) CondBlocks() []CondBlock {
+	var out []CondBlock
+	for ref := range g.nodes {
+		b := g.prog.Block(ref)
+		if b.Term.Kind != ir.TermBranch {
+			continue
+		}
+		cb := CondBlock{Ref: ref}
+		for _, e := range g.edges {
+			if e.From != ref {
+				continue
+			}
+			switch e.Kind {
+			case trace.EdgeTaken:
+				cb.SeenTaken = true
+			case trace.EdgeNotTaken:
+				cb.SeenNotTaken = true
+			}
+		}
+		out = append(out, cb)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessRef(out[i].Ref, out[j].Ref) })
+	return out
+}
+
+// CondBlock summarizes conditional-arm coverage for one block.
+type CondBlock struct {
+	Ref          ir.BlockRef
+	SeenTaken    bool
+	SeenNotTaken bool
+}
+
+// IndirectSites returns, for each block with observed indirect transfers
+// (switch or function-pointer call), the set of observed targets —
+// the "indirect targets connected" part of the ITC-CFG.
+func (g *Graph) IndirectSites() map[ir.BlockRef][]ir.BlockRef {
+	sites := make(map[ir.BlockRef][]ir.BlockRef)
+	for _, e := range g.edges {
+		if e.Kind != trace.EdgeSwitch && e.Kind != trace.EdgeIndirectCall {
+			continue
+		}
+		sites[e.From] = append(sites[e.From], e.To)
+	}
+	for from := range sites {
+		ts := sites[from]
+		sort.Slice(ts, func(i, j int) bool { return lessRef(ts[i], ts[j]) })
+		sites[from] = dedupRefs(ts)
+	}
+	return sites
+}
+
+// BlockCoverage returns the fraction of the program's device-region blocks
+// observed in the graph. The fuzzer uses this for the effective-coverage
+// metric (Table III).
+func (g *Graph) BlockCoverage() float64 {
+	total := 0
+	for hi := range g.prog.Handlers {
+		if g.prog.Handlers[hi].Region != ir.RegionDevice {
+			continue
+		}
+		total += len(g.prog.Handlers[hi].Blocks)
+	}
+	if total == 0 {
+		return 0
+	}
+	covered := 0
+	for ref := range g.nodes {
+		if g.prog.Handlers[ref.Handler].Region == ir.RegionDevice {
+			covered++
+		}
+	}
+	return float64(covered) / float64(total)
+}
+
+// Dot renders the graph in Graphviz format for inspection tooling.
+func (g *Graph) Dot() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", g.prog.Name)
+	for _, n := range g.Nodes() {
+		b := g.prog.Block(n.Ref)
+		h := g.prog.Handlers[n.Ref.Handler]
+		fmt.Fprintf(&sb, "  %q [label=\"%s/%s\\nx%d\"];\n",
+			refID(n.Ref), h.Name, b.Label, n.Count)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "  %q -> %q [label=\"%s x%d\"];\n",
+			refID(e.From), refID(e.To), e.Kind, e.Count)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func refID(r ir.BlockRef) string { return fmt.Sprintf("h%db%d", r.Handler, r.Block) }
+
+func lessRef(a, b ir.BlockRef) bool {
+	if a.Handler != b.Handler {
+		return a.Handler < b.Handler
+	}
+	return a.Block < b.Block
+}
+
+func dedupRefs(in []ir.BlockRef) []ir.BlockRef {
+	out := in[:0]
+	for i, r := range in {
+		if i == 0 || r != in[i-1] {
+			out = append(out, r)
+		}
+	}
+	return out
+}

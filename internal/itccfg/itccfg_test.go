@@ -1,0 +1,204 @@
+package itccfg
+
+import (
+	"strings"
+	"testing"
+
+	"sedspec/internal/interp"
+	"sedspec/internal/ir"
+	"sedspec/internal/trace"
+)
+
+// buildBranchy builds a device with one conditional whose taken arm only
+// fires for large inputs, a switch over two commands, and an indirect call.
+func buildBranchy(t testing.TB) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("branchy")
+	lvl := b.Int("lvl", ir.W8, ir.HWRegister())
+	cb := b.Func("cb")
+
+	h := b.Handler("dispatch")
+	e := h.Block("entry").Entry()
+	fv := e.FuncValue("on_high", "s->cb = on_high")
+	e.StoreFunc(cb, fv, "s->cb = on_high")
+	addr := e.IOAddr("addr")
+	e.Switch(addr, "switch (addr)", "out",
+		ir.Case(0, "set"),
+		ir.Case(1, "check"),
+	)
+
+	s := h.Block("set")
+	v := s.IOIn(ir.W8, "v = ioread8()")
+	s.Store(lvl, v, "s->lvl = v")
+	s.Jump("out", "goto out")
+
+	c := h.Block("check").CmdDecision()
+	lv := c.Load(lvl, "l = s->lvl")
+	hi := c.Const(200, "200")
+	c.Branch(lv, ir.RelGT, hi, ir.W8, false, "if (l > 200)", "high", "out")
+
+	hb := h.Block("high")
+	hb.CallPtr(cb, "s->cb()")
+	hb.Jump("out", "goto out")
+
+	h.Block("out").Exit().Halt("return")
+
+	oh := b.Handler("on_high")
+	ohb := oh.Block("body")
+	ohb.IRQRaise("irq")
+	ohb.Return("return")
+
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return prog
+}
+
+func collect(t testing.TB, prog *ir.Program, reqs []*interp.Request) *Graph {
+	t.Helper()
+	st := interp.NewState(prog)
+	in := interp.New(prog, st, nil)
+	col := trace.NewCollector(trace.DeviceConfig(prog))
+	in.SetTracer(col)
+	for _, r := range reqs {
+		if res := in.Dispatch(r); res.Fault != nil {
+			t.Fatalf("fault: %v", res.Fault)
+		}
+	}
+	runs, err := trace.Decode(prog, col.Packets())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	g := New(prog)
+	for _, r := range runs {
+		g.AddRun(r)
+	}
+	return g
+}
+
+func TestGraphMergesRuns(t *testing.T) {
+	prog := buildBranchy(t)
+	g := collect(t, prog, []*interp.Request{
+		interp.NewWrite(interp.SpacePIO, 0, []byte{10}),
+		interp.NewWrite(interp.SpacePIO, 1, nil),
+		interp.NewWrite(interp.SpacePIO, 0, []byte{20}),
+		interp.NewWrite(interp.SpacePIO, 1, nil),
+	})
+	if g.Runs() != 4 {
+		t.Errorf("Runs = %d, want 4", g.Runs())
+	}
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		t.Fatal("empty graph")
+	}
+	entry := ir.BlockRef{Handler: 0, Block: 0}
+	if !g.HasNode(entry) {
+		t.Error("entry node missing")
+	}
+	// With only small lvl values the "high" block is never reached.
+	high := ir.BlockRef{Handler: 0, Block: 3}
+	if g.HasNode(high) {
+		t.Error("high block should be unobserved")
+	}
+}
+
+func TestCondBlocksArmCoverage(t *testing.T) {
+	prog := buildBranchy(t)
+	// Only not-taken observed (lvl small).
+	g := collect(t, prog, []*interp.Request{
+		interp.NewWrite(interp.SpacePIO, 0, []byte{10}),
+		interp.NewWrite(interp.SpacePIO, 1, nil),
+	})
+	cbs := g.CondBlocks()
+	if len(cbs) != 1 {
+		t.Fatalf("CondBlocks = %d, want 1", len(cbs))
+	}
+	if cbs[0].SeenTaken || !cbs[0].SeenNotTaken {
+		t.Errorf("arm coverage = %+v, want not-taken only", cbs[0])
+	}
+
+	// Now cover both arms.
+	g2 := collect(t, prog, []*interp.Request{
+		interp.NewWrite(interp.SpacePIO, 0, []byte{10}),
+		interp.NewWrite(interp.SpacePIO, 1, nil),
+		interp.NewWrite(interp.SpacePIO, 0, []byte{250}),
+		interp.NewWrite(interp.SpacePIO, 1, nil),
+	})
+	cbs2 := g2.CondBlocks()
+	if len(cbs2) != 1 || !cbs2[0].SeenTaken || !cbs2[0].SeenNotTaken {
+		t.Errorf("arm coverage = %+v, want both", cbs2)
+	}
+}
+
+func TestIndirectSites(t *testing.T) {
+	prog := buildBranchy(t)
+	g := collect(t, prog, []*interp.Request{
+		interp.NewWrite(interp.SpacePIO, 0, []byte{250}),
+		interp.NewWrite(interp.SpacePIO, 1, nil),
+	})
+	sites := g.IndirectSites()
+	// The entry switch and the "high" indirect call are both sites.
+	if len(sites) != 2 {
+		t.Fatalf("sites = %d, want 2: %v", len(sites), sites)
+	}
+	high := ir.BlockRef{Handler: 0, Block: 3}
+	targets, ok := sites[high]
+	if !ok || len(targets) != 1 {
+		t.Fatalf("high-site targets = %v", targets)
+	}
+	if targets[0] != (ir.BlockRef{Handler: prog.HandlerIndex("on_high"), Block: 0}) {
+		t.Errorf("icall target = %v", targets[0])
+	}
+}
+
+func TestBlockCoverageGrows(t *testing.T) {
+	prog := buildBranchy(t)
+	partial := collect(t, prog, []*interp.Request{
+		interp.NewWrite(interp.SpacePIO, 0, []byte{10}),
+	})
+	full := collect(t, prog, []*interp.Request{
+		interp.NewWrite(interp.SpacePIO, 0, []byte{250}),
+		interp.NewWrite(interp.SpacePIO, 1, nil),
+	})
+	pc, fc := partial.BlockCoverage(), full.BlockCoverage()
+	if pc <= 0 || pc >= 1 {
+		t.Errorf("partial coverage = %f, want in (0,1)", pc)
+	}
+	if fc <= pc {
+		t.Errorf("coverage should grow: %f -> %f", pc, fc)
+	}
+}
+
+func TestEdgeCountsAccumulate(t *testing.T) {
+	prog := buildBranchy(t)
+	reqs := make([]*interp.Request, 0, 6)
+	for i := 0; i < 3; i++ {
+		reqs = append(reqs,
+			interp.NewWrite(interp.SpacePIO, 0, []byte{10}),
+			interp.NewWrite(interp.SpacePIO, 1, nil))
+	}
+	g := collect(t, prog, reqs)
+	check := ir.BlockRef{Handler: 0, Block: 2}
+	out := ir.BlockRef{Handler: 0, Block: 4}
+	if !g.HasEdge(check, out, trace.EdgeNotTaken) {
+		t.Fatal("missing not-taken edge")
+	}
+	for _, e := range g.OutEdges(check) {
+		if e.To == out && e.Count != 3 {
+			t.Errorf("edge count = %d, want 3", e.Count)
+		}
+	}
+}
+
+func TestDotRendering(t *testing.T) {
+	prog := buildBranchy(t)
+	g := collect(t, prog, []*interp.Request{
+		interp.NewWrite(interp.SpacePIO, 0, []byte{10}),
+	})
+	dot := g.Dot()
+	for _, want := range []string{"digraph", "dispatch/entry", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot output missing %q", want)
+		}
+	}
+}

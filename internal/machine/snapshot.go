@@ -1,0 +1,56 @@
+package machine
+
+import (
+	"fmt"
+	"time"
+)
+
+// Snapshot captures the machine's restorable state: guest memory, every
+// attached device's control structure, and the virtual clock. The paper's
+// discussion (§VIII) names rollback to a pre-exploitation point as the
+// natural next step beyond halting; Snapshot/Restore provide it.
+type Snapshot struct {
+	mem     []byte
+	devices [][]byte
+	clock   time.Duration
+}
+
+// Snapshot captures the current machine state.
+func (m *Machine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		mem:   append([]byte(nil), m.Mem.data...),
+		clock: m.Clock.Now(),
+	}
+	for _, a := range m.devices {
+		s.devices = append(s.devices, append([]byte(nil), a.dev.State().Bytes()...))
+	}
+	return s
+}
+
+// Restore rolls the machine back to the snapshot and clears a halt. It
+// fails if the device set changed since the snapshot was taken.
+func (m *Machine) Restore(s *Snapshot) error {
+	if len(s.devices) != len(m.devices) {
+		return fmt.Errorf("machine: snapshot has %d devices, machine has %d",
+			len(s.devices), len(m.devices))
+	}
+	if len(s.mem) != len(m.Mem.data) {
+		return fmt.Errorf("machine: snapshot memory size %d != %d", len(s.mem), len(m.Mem.data))
+	}
+	for i, a := range m.devices {
+		if len(s.devices[i]) != len(a.dev.State().Bytes()) {
+			return fmt.Errorf("machine: device %d control structure size changed", i)
+		}
+	}
+	copy(m.Mem.data, s.mem)
+	for i, a := range m.devices {
+		copy(a.dev.State().Bytes(), s.devices[i])
+	}
+	// The clock cannot rewind (monotonic virtual time); account the
+	// restore as elapsed time instead.
+	if d := s.clock - m.Clock.Now(); d > 0 {
+		m.Clock.Advance(d)
+	}
+	m.halted = false
+	return nil
+}

@@ -1,0 +1,324 @@
+package nioh
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sedspec/internal/devices/ehci"
+	"sedspec/internal/devices/fdc"
+	"sedspec/internal/devices/pcnet"
+	"sedspec/internal/devices/scsi"
+	"sedspec/internal/machine"
+)
+
+// The models below are what Nioh's approach demands: a human reads the
+// device datasheet and writes down the legal protocol as states and
+// transitions. Compare with SEDSpec, which derives the equivalent (and
+// finer-grained) specification automatically from traces — the paper's
+// scalability argument. SpecLines approximates the per-device manual
+// effort.
+
+// le16 decodes the first two payload bytes.
+func le16(d []byte) uint16 {
+	if len(d) < 2 {
+		if len(d) == 1 {
+			return uint16(d[0])
+		}
+		return 0
+	}
+	return binary.LittleEndian.Uint16(d)
+}
+
+// le32 decodes the first four payload bytes.
+func le32(d []byte) uint32 {
+	var b [4]byte
+	copy(b[:], d)
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// wr matches a write to one port.
+func wr(port uint64) func(Req, machine.Device) bool {
+	return func(r Req, _ machine.Device) bool { return r.Write && r.Addr == port }
+}
+
+// rd matches a read of one port.
+func rd(port uint64) func(Req, machine.Device) bool {
+	return func(r Req, _ machine.Device) bool { return !r.Write && r.Addr == port }
+}
+
+// to returns a constant successor.
+func to(s State) func(Req, machine.Device) State {
+	return func(Req, machine.Device) State { return s }
+}
+
+// FDC returns the hand-written 82078 protocol model: the three-phase
+// command protocol with per-command parameter and result byte counts taken
+// from the datasheet's command table.
+func FDC() *FSM {
+	// cmd -> (parameter bytes after the command byte, result bytes).
+	type shape struct{ params, results int }
+	table := map[byte]shape{
+		fdc.CmdSpecify:     {2, 0},
+		fdc.CmdSenseDrive:  {1, 1},
+		fdc.CmdRecalibrate: {1, 0},
+		fdc.CmdSenseInt:    {0, 2},
+		fdc.CmdDumpReg:     {0, 10},
+		fdc.CmdSeek:        {2, 2 /* via following SENSE INT */},
+		fdc.CmdVersion:     {0, 1},
+		fdc.CmdConfigure:   {3, 0},
+		fdc.CmdWrite:       {8, 7},
+		fdc.CmdRead:        {8, 7},
+		fdc.CmdReadID:      {1, 7},
+		fdc.CmdFormat:      {5, 7},
+	}
+	// SEEK's results actually arrive through SENSE INTERRUPT; model SEEK
+	// as no-result.
+	table[fdc.CmdSeek] = shape{2, 0}
+
+	pState := func(k, n int) State {
+		if k > 0 {
+			return State(fmt.Sprintf("param%d.res%d", k, n))
+		}
+		if n > 0 {
+			return State(fmt.Sprintf("res%d", n))
+		}
+		return "idle"
+	}
+
+	f := &FSM{Device: "fdc", Start: "idle", SpecLines: 130}
+	// Register traffic legal in every state.
+	for _, p := range []uint64{fdc.PortSRA, fdc.PortSRB, fdc.PortDOR, fdc.PortTDR, fdc.PortMSR, fdc.PortDIR} {
+		f.Rules = append(f.Rules, Transition{From: Any, Match: rd(p)})
+	}
+	for _, p := range []uint64{fdc.PortTDR, fdc.PortMSR /* DSR */, fdc.PortDIR /* CCR */, fdc.PortDMALo, fdc.PortDMAHi} {
+		f.Rules = append(f.Rules, Transition{From: Any, Match: wr(p)})
+	}
+	// DOR writes reset the protocol.
+	f.Rules = append(f.Rules, Transition{From: Any, Match: wr(fdc.PortDOR), To: to("idle")})
+
+	// Command byte in idle: only datasheet commands are legal.
+	f.Rules = append(f.Rules, Transition{
+		From: "idle",
+		Match: func(r Req, _ machine.Device) bool {
+			if !r.Write || r.Addr != fdc.PortFIFO {
+				return false
+			}
+			_, ok := table[cmdByte(r)&0x5F]
+			return ok
+		},
+		To: func(r Req, _ machine.Device) State {
+			s := table[cmdByte(r)&0x5F]
+			return pState(s.params, s.results)
+		},
+	})
+	// Parameter and result phases: exact counts from the datasheet.
+	for k := 1; k <= 8; k++ {
+		for n := 0; n <= 10; n++ {
+			k, n := k, n
+			f.Rules = append(f.Rules, Transition{
+				From:  pState(k, n),
+				Match: wr(fdc.PortFIFO),
+				To:    func(Req, machine.Device) State { return pState(k-1, n) },
+			})
+		}
+	}
+	for n := 1; n <= 10; n++ {
+		n := n
+		f.Rules = append(f.Rules, Transition{
+			From:  pState(0, n),
+			Match: rd(fdc.PortFIFO),
+			To:    func(Req, machine.Device) State { return pState(0, n-1) },
+		})
+	}
+	return f
+}
+
+// SCSI returns the hand-written 53C9X model: the TI FIFO holds at most 16
+// bytes, selection requires a loaded FIFO, and a DMA selection's transfer
+// count may not exceed the command buffer.
+func SCSI() *FSM {
+	fState := func(k int) State { return State(fmt.Sprintf("fifo%d", k)) }
+	f := &FSM{Device: "scsi", Start: fState(0), SpecLines: 95}
+
+	for _, p := range []uint64{scsi.PortStatus, scsi.PortIntr, scsi.PortSeq, scsi.PortTCLo, scsi.PortTCMid} {
+		f.Rules = append(f.Rules, Transition{From: Any, Match: rd(p)})
+	}
+	for _, p := range []uint64{scsi.PortStatus /* dest id */, scsi.PortDMALo, scsi.PortDMAMid, scsi.PortDMAHi} {
+		f.Rules = append(f.Rules, Transition{From: Any, Match: wr(p)})
+	}
+
+	// Transfer-count writes: values beyond the command buffer capacity
+	// poison the state; a DMA selection from there is illegal.
+	tcSmall := func(r Req, _ machine.Device) bool {
+		return r.Write && (r.Addr == scsi.PortTCLo || r.Addr == scsi.PortTCMid) &&
+			cmdByte(r) <= scsi.CmdBufSize+2
+	}
+	tcBig := func(r Req, _ machine.Device) bool {
+		return r.Write && (r.Addr == scsi.PortTCLo || r.Addr == scsi.PortTCMid) &&
+			cmdByte(r) > scsi.CmdBufSize+2
+	}
+	f.Rules = append(f.Rules,
+		Transition{From: Any, Match: tcSmall},
+		Transition{From: Any, Match: tcBig, To: to("tc-invalid")},
+		Transition{From: "tc-invalid", Match: tcSmall, To: to("fifo0")},
+	)
+
+	// FIFO writes: bounded at 16 per the datasheet. No rule exists for a
+	// write in fifo16 — that request is illegal (CVE-2016-4439's shape).
+	for k := 0; k < scsi.TIBufSize; k++ {
+		k := k
+		f.Rules = append(f.Rules, Transition{
+			From:  fState(k),
+			Match: wr(scsi.PortFIFO),
+			To:    func(Req, machine.Device) State { return fState(k + 1) },
+		})
+	}
+
+	// ESP commands.
+	espCmd := func(c byte) func(Req, machine.Device) bool {
+		return func(r Req, _ machine.Device) bool {
+			return r.Write && r.Addr == scsi.PortCmd && cmdByte(r) == c
+		}
+	}
+	for k := 0; k <= scsi.TIBufSize; k++ {
+		from := fState(k)
+		f.Rules = append(f.Rules,
+			Transition{From: from, Match: espCmd(scsi.ESPNop)},
+			Transition{From: from, Match: espCmd(scsi.ESPFlush), To: to("fifo0")},
+			Transition{From: from, Match: espCmd(scsi.ESPReset), To: to("fifo0")},
+			Transition{From: from, Match: espCmd(scsi.ESPXferInfo)},
+			Transition{From: from, Match: espCmd(scsi.ESPMsgAcc)},
+			Transition{From: from, Match: espCmd(scsi.ESPSetATN)},
+		)
+		if k >= 2 { // selection needs identify + opcode at minimum
+			f.Rules = append(f.Rules,
+				Transition{From: from, Match: espCmd(scsi.ESPSelATN), To: to("drain")},
+				Transition{From: from, Match: espCmd(scsi.ESPSelNATN), To: to("drain")},
+			)
+		}
+		// DMA selection takes the CDB from memory; legal whenever the
+		// transfer count is sane (the poisoned state has no such rule).
+		f.Rules = append(f.Rules,
+			Transition{From: from, Match: espCmd(scsi.ESPDMASel), To: to("drain")})
+	}
+	// Response drain: FIFO reads, then any flush/reset returns to empty.
+	f.Rules = append(f.Rules,
+		Transition{From: "drain", Match: rd(scsi.PortFIFO)},
+		Transition{From: "drain", Match: espCmd(scsi.ESPFlush), To: to("fifo0")},
+		Transition{From: "drain", Match: espCmd(scsi.ESPReset), To: to("fifo0")},
+		Transition{From: "drain", Match: espCmd(scsi.ESPXferInfo)},
+		Transition{From: "drain", Match: espCmd(scsi.ESPMsgAcc)},
+		Transition{From: "drain", Match: espCmd(scsi.ESPNop)},
+		Transition{From: "drain", Match: tcSmall},
+		Transition{From: "drain", Match: espCmd(scsi.ESPDMASel)},
+	)
+	return f
+}
+
+// PCNet returns the hand-written Am79C970A register-protocol model: the
+// receive ring length programmed through CSR76 must be at least 1.
+func PCNet() *FSM {
+	f := &FSM{Device: "pcnet", Start: "rap-other", SpecLines: 70}
+
+	// Reads, BCR access, APROM, reset, and the data-plane wire port are
+	// not modelled (which is exactly why Nioh misses the data-plane
+	// CVEs).
+	f.Rules = append(f.Rules,
+		Transition{From: Any, Match: func(r Req, _ machine.Device) bool { return !r.Write }},
+		Transition{From: Any, Match: wr(pcnet.PortBDP)},
+		Transition{From: Any, Match: wr(pcnet.PortWire)},
+	)
+
+	// RAP selects the CSR the next RDP access hits.
+	f.Rules = append(f.Rules, Transition{
+		From:  Any,
+		Match: wr(pcnet.PortRAP),
+		To: func(r Req, _ machine.Device) State {
+			if le16(r.Data)&0x7F == 76 {
+				return "rap76"
+			}
+			return "rap-other"
+		},
+	})
+	// CSR76 (receive ring length): zero is illegal per the datasheet —
+	// no rule matches it (CVE-2016-7909's shape).
+	f.Rules = append(f.Rules, Transition{
+		From: "rap76",
+		Match: func(r Req, _ machine.Device) bool {
+			return r.Write && r.Addr == pcnet.PortRDP && le16(r.Data) >= 1
+		},
+	})
+	f.Rules = append(f.Rules, Transition{From: "rap-other", Match: wr(pcnet.PortRDP)})
+	return f
+}
+
+// EHCI returns the hand-written async-schedule model: after the unlink
+// doorbell, resuming the schedule without programming a new list head is
+// illegal — the rule that catches CVE-2016-1568's stale-pointer reuse,
+// which SEDSpec's trace-derived specification cannot distinguish from a
+// benign resume.
+func EHCI() *FSM {
+	f := &FSM{Device: "ehci", Start: "stopped", SpecLines: 60}
+
+	// Reads and status/interrupt/port writes are stateless.
+	f.Rules = append(f.Rules,
+		Transition{From: Any, Match: func(r Req, _ machine.Device) bool { return !r.Write }},
+		Transition{From: Any, Match: wr(ehci.RegUSBSts)},
+		Transition{From: Any, Match: wr(ehci.RegUSBIntr)},
+		Transition{From: Any, Match: wr(ehci.RegPortSC)},
+	)
+
+	// Programming a (nonzero) list head arms the schedule; writing zero
+	// keeps the current state (drivers clear it before a resume).
+	f.Rules = append(f.Rules,
+		Transition{From: Any, Match: func(r Req, _ machine.Device) bool {
+			return r.Write && r.Addr == ehci.RegAsyncList && le32(r.Data) != 0
+		}, To: to("armed")},
+		Transition{From: Any, Match: func(r Req, _ machine.Device) bool {
+			return r.Write && r.Addr == ehci.RegAsyncList && le32(r.Data) == 0
+		}},
+	)
+
+	usbcmd := func(pred func(v uint32, dev machine.Device) bool) func(Req, machine.Device) bool {
+		return func(r Req, dev machine.Device) bool {
+			return r.Write && r.Addr == ehci.RegUSBCmd && pred(le32(r.Data), dev)
+		}
+	}
+	listAddr := func(dev machine.Device) uint64 {
+		v, _ := dev.State().IntByName("asynclistaddr")
+		return v
+	}
+
+	// The unlink doorbell invalidates any cached schedule work.
+	f.Rules = append(f.Rules, Transition{
+		From:  Any,
+		Match: usbcmd(func(v uint32, _ machine.Device) bool { return v&ehci.CmdDoorbell != 0 }),
+		To:    to("unlinked"),
+	})
+	// Run with a programmed list head (re)schedules.
+	f.Rules = append(f.Rules, Transition{
+		From: Any,
+		Match: usbcmd(func(v uint32, dev machine.Device) bool {
+			return v&ehci.CmdRun != 0 && listAddr(dev) != 0
+		}),
+		To: to("scheduled"),
+	})
+	// Run with a cleared list head resumes cached work: legal only while
+	// scheduled. There is deliberately no such rule for "unlinked" or
+	// "stopped" — that request is the CVE-2016-1568 reuse.
+	f.Rules = append(f.Rules, Transition{
+		From: "scheduled",
+		Match: usbcmd(func(v uint32, dev machine.Device) bool {
+			return v&ehci.CmdRun != 0 && listAddr(dev) == 0
+		}),
+	})
+	// A USBCMD write with neither run nor doorbell is a plain config
+	// update.
+	f.Rules = append(f.Rules, Transition{
+		From: Any,
+		Match: usbcmd(func(v uint32, _ machine.Device) bool {
+			return v&(ehci.CmdRun|ehci.CmdDoorbell) == 0
+		}),
+	})
+	return f
+}

@@ -1,0 +1,234 @@
+package nioh_test
+
+import (
+	"errors"
+	"testing"
+
+	"sedspec"
+	"sedspec/internal/devices/ehci"
+	"sedspec/internal/devices/fdc"
+	"sedspec/internal/devices/pcnet"
+	"sedspec/internal/devices/scsi"
+	"sedspec/internal/machine"
+	"sedspec/internal/nioh"
+	"sedspec/internal/workload"
+)
+
+var light = workload.TrainConfig{Light: true}
+
+func attach(t *testing.T, dev machine.Device, opts ...machine.AttachOption) (*machine.Machine, *machine.Attached) {
+	t.Helper()
+	m := machine.New(machine.WithMemory(1 << 20))
+	return m, m.Attach(dev, opts...)
+}
+
+// TestBenignTrafficLegalUnderModels: the hand-written models must accept
+// the full benign workload of each device.
+func TestBenignTrafficLegalUnderModels(t *testing.T) {
+	t.Run("fdc", func(t *testing.T) {
+		m, att := attach(t, fdc.New(fdc.Options{}), machine.WithPIO(0, fdc.PortCount))
+		chk := nioh.Protect(att, nioh.FDC())
+		if err := workload.TrainFDC(sedspec.NewDriver(att), light); err != nil {
+			t.Fatalf("benign traffic illegal under the FDC model: %v", err)
+		}
+		if chk.Violations != 0 || m.Halted() {
+			t.Fatalf("violations = %d", chk.Violations)
+		}
+	})
+	t.Run("scsi", func(t *testing.T) {
+		m, att := attach(t, scsi.New(scsi.Options{}), machine.WithPIO(0, scsi.PortCount))
+		chk := nioh.Protect(att, nioh.SCSI())
+		if err := workload.TrainSCSI(sedspec.NewDriver(att), light); err != nil {
+			t.Fatalf("benign traffic illegal under the SCSI model: %v", err)
+		}
+		if chk.Violations != 0 || m.Halted() {
+			t.Fatalf("violations = %d", chk.Violations)
+		}
+	})
+	t.Run("pcnet", func(t *testing.T) {
+		m, att := attach(t, pcnet.New(pcnet.Options{}), machine.WithPIO(0, pcnet.PortCount))
+		chk := nioh.Protect(att, nioh.PCNet())
+		if err := workload.TrainPCNet(sedspec.NewDriver(att), light); err != nil {
+			t.Fatalf("benign traffic illegal under the PCNet model: %v", err)
+		}
+		if chk.Violations != 0 || m.Halted() {
+			t.Fatalf("violations = %d", chk.Violations)
+		}
+	})
+	t.Run("ehci", func(t *testing.T) {
+		m, att := attach(t, ehci.New(ehci.Options{}), machine.WithMMIO(0, ehci.RegionSize))
+		chk := nioh.Protect(att, nioh.EHCI())
+		if err := workload.TrainEHCI(sedspec.NewDriver(att), light); err != nil {
+			t.Fatalf("benign traffic illegal under the EHCI model: %v", err)
+		}
+		if chk.Violations != 0 || m.Halted() {
+			t.Fatalf("violations = %d", chk.Violations)
+		}
+	})
+}
+
+// TestNiohRareCommandsLegal: the datasheet knows the rare commands, so the
+// manual model has no false positives on them — the flip side of its
+// manual cost.
+func TestNiohRareCommandsLegal(t *testing.T) {
+	_, att := attach(t, fdc.New(fdc.Options{}), machine.WithPIO(0, fdc.PortCount))
+	chk := nioh.Protect(att, nioh.FDC())
+	g := fdc.NewGuest(sedspec.NewDriver(att))
+	if err := g.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.DumpReg(); err != nil {
+		t.Fatalf("DUMPREG is legal per the datasheet: %v", err)
+	}
+	if err := g.ReadID(0); err != nil {
+		t.Fatalf("READ ID is legal per the datasheet: %v", err)
+	}
+	if chk.Violations != 0 {
+		t.Fatalf("violations = %d, want 0", chk.Violations)
+	}
+}
+
+func wantViolation(t *testing.T, err error) *nioh.Violation {
+	t.Helper()
+	var v *nioh.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("err = %v, want nioh.Violation", err)
+	}
+	return v
+}
+
+// The five CVEs of the Nioh paper's evaluation, replayed against the
+// manual models.
+
+func TestNiohDetectsVenom(t *testing.T) {
+	m, att := attach(t, fdc.New(fdc.Options{}), machine.WithPIO(0, fdc.PortCount))
+	nioh.Protect(att, nioh.FDC())
+	g := fdc.NewGuest(sedspec.NewDriver(att))
+	if err := g.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	// The invalid command byte is not in the datasheet's command table.
+	err := g.PushFIFO(0x77)
+	wantViolation(t, err)
+	if !m.Halted() {
+		t.Error("machine should halt")
+	}
+}
+
+func TestNiohDetects4439(t *testing.T) {
+	m, att := attach(t, scsi.New(scsi.Options{}), machine.WithPIO(0, scsi.PortCount))
+	nioh.Protect(att, nioh.SCSI())
+	g := scsi.NewGuest(sedspec.NewDriver(att))
+	var err error
+	for i := 0; i < 20 && err == nil; i++ {
+		err = g.PushFIFO(0x41)
+	}
+	v := wantViolation(t, err)
+	if v.State != "fifo16" {
+		t.Errorf("violation in state %q, want fifo16 (capacity)", v.State)
+	}
+	if !m.Halted() {
+		t.Error("machine should halt")
+	}
+}
+
+func TestNiohDetects5158(t *testing.T) {
+	m, att := attach(t, scsi.New(scsi.Options{}), machine.WithPIO(0, scsi.PortCount))
+	nioh.Protect(att, nioh.SCSI())
+	g := scsi.NewGuest(sedspec.NewDriver(att))
+	// An honest driver programs the transfer count; the oversized count
+	// poisons the model and the DMA selection is rejected.
+	blk := make([]byte, 200)
+	err := g.DMASelect(blk)
+	wantViolation(t, err)
+	if !m.Halted() {
+		t.Error("machine should halt")
+	}
+}
+
+func TestNiohDetects7909(t *testing.T) {
+	m, att := attach(t, pcnet.New(pcnet.Options{}), machine.WithPIO(0, pcnet.PortCount))
+	nioh.Protect(att, nioh.PCNet())
+	g := pcnet.NewGuest(sedspec.NewDriver(att))
+	// Programming a zero receive-ring length through CSR76 is illegal per
+	// the datasheet.
+	err := g.WriteCSR(76, 0)
+	wantViolation(t, err)
+	if !m.Halted() {
+		t.Error("machine should halt")
+	}
+	// Nonzero lengths are fine.
+	m.Resume()
+	if err := g.WriteCSR(76, 4); err != nil {
+		t.Fatalf("legal ring length rejected: %v", err)
+	}
+}
+
+func TestNiohDetects1568(t *testing.T) {
+	// The case SEDSpec misses: the human author encoded "no resume after
+	// unlink" explicitly, so the stale-qTD reuse is an illegal transition.
+	m, att := attach(t, ehci.New(ehci.Options{}), machine.WithMMIO(0, ehci.RegionSize))
+	nioh.Protect(att, nioh.EHCI())
+	g := ehci.NewGuest(sedspec.NewDriver(att))
+
+	if err := g.ControlIn(ehci.ReqGetStatus, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Benign resume while scheduled is legal.
+	if err := g.Resume(); err != nil {
+		t.Fatalf("benign resume rejected: %v", err)
+	}
+	if err := g.Doorbell(); err != nil {
+		t.Fatal(err)
+	}
+	// Resume after unlink: the UAF reuse.
+	err := g.Resume()
+	wantViolation(t, err)
+	if !m.Halted() {
+		t.Error("machine should halt")
+	}
+}
+
+// TestNiohMissesDataPlaneCVEs: the request-level model cannot see
+// data-plane exploitation — the frames and descriptors that carry
+// CVE-2015-7504/7512 — while SEDSpec's execution-level specification can.
+func TestNiohMissesDataPlaneCVEs(t *testing.T) {
+	m, att := attach(t, pcnet.New(pcnet.Options{}), machine.WithPIO(0, pcnet.PortCount))
+	nioh.Protect(att, nioh.PCNet())
+	g := pcnet.NewGuest(sedspec.NewDriver(att))
+	g.RxLen = 2
+	if err := g.Setup(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ProvideRx(0); err != nil {
+		t.Fatal(err)
+	}
+	// CVE-2015-7504's oversized frame sails through the request filter,
+	// and the hijack succeeds.
+	prog := att.Dev().Program()
+	gadget := prog.HandlerIndex("host_gadget")
+	f := make([]byte, pcnet.BufSize)
+	f[pcnet.BufSize-4] = byte(gadget)
+	if err := g.InjectWireFrame(f); err != nil {
+		t.Fatalf("nioh unexpectedly blocked the data-plane exploit: %v", err)
+	}
+	if v, _ := att.Dev().State().IntByName("csr0"); v != 0xFFFF {
+		t.Error("exploit should have succeeded under the Nioh model")
+	}
+	if m.Halted() {
+		t.Error("machine should not halt")
+	}
+}
+
+func TestModelSpecLinesReported(t *testing.T) {
+	total := 0
+	for _, f := range []*nioh.FSM{nioh.FDC(), nioh.SCSI(), nioh.PCNet(), nioh.EHCI()} {
+		if f.SpecLines == 0 {
+			t.Errorf("%s model has no effort metric", f.Device)
+		}
+		total += f.SpecLines
+	}
+	if total == 0 {
+		t.Fatal("no manual effort recorded")
+	}
+}

@@ -1,0 +1,110 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatal("new clock should start at zero")
+	}
+	c.Advance(90 * time.Minute)
+	if c.Hours() != 1 {
+		t.Errorf("Hours = %d, want 1", c.Hours())
+	}
+	c.AdvanceMicros(30 * 60 * 1e6)
+	if c.Hours() != 2 {
+		t.Errorf("Hours = %d, want 2", c.Hours())
+	}
+}
+
+func TestClockIgnoresRewind(t *testing.T) {
+	c := New()
+	c.Advance(time.Hour)
+	c.Advance(-time.Hour)
+	c.AdvanceMicros(-5)
+	if c.Now() != time.Hour {
+		t.Errorf("Now = %v, want 1h (negative advances ignored)", c.Now())
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(99), NewRand(99)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give the same sequence")
+		}
+	}
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Error("different seeds should diverge immediately (statistically)")
+	}
+}
+
+func TestRandZeroSeedRemapped(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed must not produce a stuck zero state")
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestFloat64RangeProperty(t *testing.T) {
+	r := NewRand(7)
+	prop := func(uint8) bool {
+		f := r.Float64()
+		return f >= 0 && f < 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnInRangeProperty(t *testing.T) {
+	r := NewRand(11)
+	prop := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoolRoughlyCalibrated(t *testing.T) {
+	r := NewRand(13)
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	ratio := float64(hits) / n
+	if ratio < 0.20 || ratio > 0.30 {
+		t.Errorf("Bool(0.25) hit ratio = %.3f, want ~0.25", ratio)
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := NewRand(17)
+	xs := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Pick(r, xs)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("Pick over 100 draws covered %d of 3 values", len(seen))
+	}
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"sedspec/internal/interp"
+	"sedspec/internal/ir"
+)
+
+// Config selects the collector's filters, mirroring the IPT configuration
+// the paper's IPT module programs (paper §IV-A).
+type Config struct {
+	// FilterStart/FilterEnd restrict collection to branch sources in
+	// [FilterStart, FilterEnd) — the emulated device's code range. Zero
+	// values disable the range filter.
+	FilterStart uint64
+	FilterEnd   uint64
+	// SuppressKernel drops events whose source is kernel-space code.
+	SuppressKernel bool
+}
+
+// DeviceConfig returns the standard configuration for a device program:
+// range-filtered to the device's code and kernel-suppressed.
+func DeviceConfig(p *ir.Program) Config {
+	return Config{
+		FilterStart:    ir.DeviceBase,
+		FilterEnd:      p.DeviceCodeEnd,
+		SuppressKernel: true,
+	}
+}
+
+// Collector buffers trace packets. It implements interp.Tracer and is
+// installed on a device's interpreter during the data-collection phase.
+type Collector struct {
+	cfg     Config
+	packets []Packet
+	tntBuf  []bool
+	stats   Stats
+}
+
+var _ interp.Tracer = (*Collector)(nil)
+
+// NewCollector returns a collector with the given filter configuration.
+func NewCollector(cfg Config) *Collector {
+	return &Collector{cfg: cfg, tntBuf: make([]bool, 0, tntCapacity)}
+}
+
+// Packets returns the collected packet stream.
+func (c *Collector) Packets() []Packet { return c.packets }
+
+// Stats returns collection statistics.
+func (c *Collector) Stats() Stats { return c.stats }
+
+// Reset clears the packet buffer and statistics.
+func (c *Collector) Reset() {
+	c.packets = c.packets[:0]
+	c.tntBuf = c.tntBuf[:0]
+	c.stats = Stats{}
+}
+
+// pass applies the configured filters to a branch source address.
+func (c *Collector) pass(from uint64) bool {
+	c.stats.Events++
+	if c.cfg.SuppressKernel && from >= ir.KernelBase {
+		c.stats.FilteredKernel++
+		return false
+	}
+	if c.cfg.FilterEnd != 0 && (from < c.cfg.FilterStart || from >= c.cfg.FilterEnd) {
+		c.stats.FilteredRange++
+		return false
+	}
+	return true
+}
+
+func (c *Collector) emit(p Packet) {
+	c.packets = append(c.packets, p)
+	c.stats.Packets++
+}
+
+func (c *Collector) flushTNT() {
+	if len(c.tntBuf) == 0 {
+		return
+	}
+	bits := make([]bool, len(c.tntBuf))
+	copy(bits, c.tntBuf)
+	c.emit(Packet{Kind: PktTNT, Bits: bits})
+	c.tntBuf = c.tntBuf[:0]
+}
+
+// TraceStart implements interp.Tracer.
+func (c *Collector) TraceStart(addr uint64) {
+	c.emit(Packet{Kind: PktPGE, Addr: addr})
+}
+
+// TraceEnd implements interp.Tracer.
+func (c *Collector) TraceEnd(addr uint64) {
+	c.flushTNT()
+	c.emit(Packet{Kind: PktPGD, Addr: addr})
+}
+
+// TraceBranch implements interp.Tracer.
+func (c *Collector) TraceBranch(from uint64, taken bool) {
+	if !c.pass(from) {
+		return
+	}
+	c.tntBuf = append(c.tntBuf, taken)
+	if len(c.tntBuf) == tntCapacity {
+		c.flushTNT()
+	}
+}
+
+// TraceIndirect implements interp.Tracer.
+func (c *Collector) TraceIndirect(from, target uint64) {
+	if !c.pass(from) {
+		return
+	}
+	// TNT bits must stay ordered relative to TIPs for the decoder.
+	c.flushTNT()
+	c.emit(Packet{Kind: PktTIP, Addr: target})
+}

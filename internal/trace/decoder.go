@@ -1,0 +1,307 @@
+package trace
+
+import (
+	"fmt"
+
+	"sedspec/internal/ir"
+)
+
+// EdgeKind classifies a traversed control-flow edge.
+type EdgeKind uint8
+
+const (
+	// EdgeJump is an unconditional jump.
+	EdgeJump EdgeKind = iota + 1
+	// EdgeTaken is a conditional branch's taken arm.
+	EdgeTaken
+	// EdgeNotTaken is a conditional branch's fall-through arm.
+	EdgeNotTaken
+	// EdgeSwitch is a switch-table dispatch (indirect).
+	EdgeSwitch
+	// EdgeCall is a direct call into a traced handler.
+	EdgeCall
+	// EdgeIndirectCall is a call through a function pointer (indirect).
+	EdgeIndirectCall
+	// EdgeReturn is a return to the caller.
+	EdgeReturn
+	// EdgeHalt ends the I/O round.
+	EdgeHalt
+	// EdgeOpaque is a call that left the traced region; execution resumes
+	// after the call site with no visibility into the callee.
+	EdgeOpaque
+)
+
+var edgeNames = map[EdgeKind]string{
+	EdgeJump: "jump", EdgeTaken: "taken", EdgeNotTaken: "not-taken",
+	EdgeSwitch: "switch", EdgeCall: "call", EdgeIndirectCall: "icall",
+	EdgeReturn: "return", EdgeHalt: "halt", EdgeOpaque: "opaque",
+}
+
+func (k EdgeKind) String() string {
+	if s, ok := edgeNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("EdgeKind(%d)", uint8(k))
+}
+
+// Indirect reports whether the edge came from an indirect transfer (TIP).
+func (k EdgeKind) Indirect() bool {
+	return k == EdgeSwitch || k == EdgeIndirectCall || k == EdgeReturn
+}
+
+// Step is one traversed edge in a decoded run.
+type Step struct {
+	Block   ir.BlockRef
+	Kind    EdgeKind
+	Next    ir.BlockRef
+	HasNext bool
+}
+
+// Run is the decoded control flow of one I/O interaction (PGE..PGD).
+type Run struct {
+	Start ir.BlockRef
+	Steps []Step
+}
+
+// DecodeError reports a packet/program mismatch at a packet offset.
+type DecodeError struct {
+	Offset int
+	Reason string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("trace: decode error at packet %d: %s", e.Offset, e.Reason)
+}
+
+// Decode reconstructs the executed device-region control flow from a packet
+// stream, walking the static program exactly as an IPT decoder walks the
+// binary: one TNT bit per conditional branch, one TIP per indirect
+// transfer, calls out of the traced region treated as opaque.
+func Decode(p *ir.Program, packets []Packet) ([]Run, error) {
+	d := &decoder{prog: p, packets: packets}
+	var runs []Run
+	for d.pos < len(d.packets) {
+		pk := d.packets[d.pos]
+		if pk.Kind != PktPGE {
+			return nil, d.errf("expected PGE, got %s", pk)
+		}
+		d.pos++
+		run, err := d.decodeRun(pk.Addr)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	return runs, nil
+}
+
+type decoder struct {
+	prog    *ir.Program
+	packets []Packet
+	pos     int
+	// tntBits holds bits from the TNT packet being consumed.
+	tntBits []bool
+}
+
+func (d *decoder) errf(format string, args ...any) error {
+	return &DecodeError{Offset: d.pos, Reason: fmt.Sprintf(format, args...)}
+}
+
+// deviceRange reports whether addr lies in the device code region.
+func (d *decoder) deviceRange(addr uint64) bool {
+	return addr >= ir.DeviceBase && addr < d.prog.DeviceCodeEnd
+}
+
+// nextTNT consumes one branch bit.
+func (d *decoder) nextTNT() (bool, error) {
+	for len(d.tntBits) == 0 {
+		if d.pos >= len(d.packets) {
+			return false, d.errf("packet stream exhausted awaiting TNT")
+		}
+		pk := d.packets[d.pos]
+		if pk.Kind != PktTNT {
+			return false, d.errf("expected TNT, got %s", pk)
+		}
+		d.tntBits = pk.Bits
+		d.pos++
+	}
+	b := d.tntBits[0]
+	d.tntBits = d.tntBits[1:]
+	return b, nil
+}
+
+// nextTIP consumes one TIP packet. Pending TNT bits indicate a desync.
+func (d *decoder) nextTIP() (uint64, error) {
+	if len(d.tntBits) != 0 {
+		return 0, d.errf("pending TNT bits when TIP expected")
+	}
+	if d.pos >= len(d.packets) {
+		return 0, d.errf("packet stream exhausted awaiting TIP")
+	}
+	pk := d.packets[d.pos]
+	if pk.Kind != PktTIP {
+		return 0, d.errf("expected TIP, got %s", pk)
+	}
+	d.pos++
+	return pk.Addr, nil
+}
+
+type decodeFrame struct {
+	ref ir.BlockRef
+	op  int
+}
+
+func (d *decoder) decodeRun(startAddr uint64) (Run, error) {
+	start, ok := d.prog.BlockAt(startAddr)
+	if !ok {
+		return Run{}, d.errf("PGE address %#x resolves to no block", startAddr)
+	}
+	run := Run{Start: start}
+	frames := []decodeFrame{{ref: start}}
+
+	for len(frames) > 0 {
+		f := &frames[len(frames)-1]
+		b := d.prog.Block(f.ref)
+		h := &d.prog.Handlers[f.ref.Handler]
+
+		advanced, err := d.walkOps(&run, &frames, f, b)
+		if err != nil {
+			return Run{}, err
+		}
+		if advanced {
+			continue // descended into a callee
+		}
+
+		done, err := d.walkTerm(&run, &frames, f, b, h)
+		if err != nil {
+			return Run{}, err
+		}
+		if done {
+			break
+		}
+	}
+
+	// The run must close with PGD (TNT buffer already flushed by the
+	// collector before PGD).
+	if len(d.tntBits) != 0 {
+		d.tntBits = nil
+		return Run{}, d.errf("unconsumed TNT bits at end of run")
+	}
+	if d.pos >= len(d.packets) || d.packets[d.pos].Kind != PktPGD {
+		return Run{}, d.errf("expected PGD at end of run")
+	}
+	d.pos++
+	return run, nil
+}
+
+// walkOps scans the current block's ops from the frame's op cursor,
+// handling call sites. It reports whether the walker descended into a
+// callee (the caller frame's cursor has been advanced).
+func (d *decoder) walkOps(run *Run, frames *[]decodeFrame, f *decodeFrame, b *ir.Block) (bool, error) {
+	for i := f.op; i < len(b.Ops); i++ {
+		op := &b.Ops[i]
+		switch op.Code {
+		case ir.OpCall:
+			callee := &d.prog.Handlers[op.Handler]
+			calleeAddr := callee.Blocks[0].Addr
+			if !d.deviceRange(calleeAddr) {
+				run.Steps = append(run.Steps, Step{Block: f.ref, Kind: EdgeOpaque})
+				continue
+			}
+			f.op = i + 1
+			next := ir.BlockRef{Handler: op.Handler, Block: 0}
+			run.Steps = append(run.Steps, Step{Block: f.ref, Kind: EdgeCall, Next: next, HasNext: true})
+			*frames = append(*frames, decodeFrame{ref: next})
+			return true, nil
+		case ir.OpCallPtr:
+			target, err := d.nextTIP()
+			if err != nil {
+				return false, err
+			}
+			if target == 0 || !d.deviceRange(target) {
+				run.Steps = append(run.Steps, Step{Block: f.ref, Kind: EdgeOpaque})
+				continue
+			}
+			ref, ok := d.prog.BlockAt(target)
+			if !ok {
+				return false, d.errf("TIP %#x resolves to no block", target)
+			}
+			f.op = i + 1
+			run.Steps = append(run.Steps, Step{Block: f.ref, Kind: EdgeIndirectCall, Next: ref, HasNext: true})
+			*frames = append(*frames, decodeFrame{ref: ref})
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// walkTerm resolves the block terminator. It reports whether the run is
+// complete.
+func (d *decoder) walkTerm(run *Run, frames *[]decodeFrame, f *decodeFrame, b *ir.Block, h *ir.Handler) (bool, error) {
+	t := &b.Term
+	inHandler := func(blockIdx int) ir.BlockRef {
+		return ir.BlockRef{Handler: f.ref.Handler, Block: blockIdx}
+	}
+	switch t.Kind {
+	case ir.TermJump:
+		next := inHandler(t.Target)
+		run.Steps = append(run.Steps, Step{Block: f.ref, Kind: EdgeJump, Next: next, HasNext: true})
+		f.ref, f.op = next, 0
+	case ir.TermBranch:
+		taken, err := d.nextTNT()
+		if err != nil {
+			return false, err
+		}
+		kind, tgt := EdgeNotTaken, t.NotTaken
+		if taken {
+			kind, tgt = EdgeTaken, t.Taken
+		}
+		next := inHandler(tgt)
+		run.Steps = append(run.Steps, Step{Block: f.ref, Kind: kind, Next: next, HasNext: true})
+		f.ref, f.op = next, 0
+	case ir.TermSwitch:
+		target, err := d.nextTIP()
+		if err != nil {
+			return false, err
+		}
+		ref, ok := d.prog.BlockAt(target)
+		if !ok || ref.Handler != f.ref.Handler {
+			return false, d.errf("switch TIP %#x resolves to no block in handler %s", target, h.Name)
+		}
+		run.Steps = append(run.Steps, Step{Block: f.ref, Kind: EdgeSwitch, Next: ref, HasNext: true})
+		f.ref, f.op = ref, 0
+	case ir.TermReturn:
+		target, err := d.nextTIP()
+		if err != nil {
+			return false, err
+		}
+		*frames = (*frames)[:len(*frames)-1]
+		if len(*frames) == 0 {
+			if target != 0 {
+				return false, d.errf("top-level return TIP %#x, want 0", target)
+			}
+			run.Steps = append(run.Steps, Step{Block: f.ref, Kind: EdgeReturn})
+			return true, nil
+		}
+		caller := &(*frames)[len(*frames)-1]
+		callerBlock := d.prog.Block(caller.ref)
+		if want := callerBlock.OpAddr(caller.op); target != want {
+			return false, d.errf("return TIP %#x, want resume at %#x", target, want)
+		}
+		run.Steps = append(run.Steps, Step{Block: f.ref, Kind: EdgeReturn, Next: caller.ref, HasNext: true})
+	case ir.TermHalt:
+		target, err := d.nextTIP()
+		if err != nil {
+			return false, err
+		}
+		if target != 0 {
+			return false, d.errf("halt TIP %#x, want 0", target)
+		}
+		run.Steps = append(run.Steps, Step{Block: f.ref, Kind: EdgeHalt})
+		*frames = (*frames)[:0]
+		return true, nil
+	default:
+		return false, d.errf("block %s/%s has invalid terminator", h.Name, b.Label)
+	}
+	return false, nil
+}

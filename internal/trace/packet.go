@@ -1,0 +1,93 @@
+// Package trace is the software stand-in for Intel Processor Trace (IPT)
+// used by SEDSpec's data-collection phase (paper §IV-A).
+//
+// The collector receives branch events from the interpreter and encodes
+// them as IPT-style packets: PGE/PGD at trace enable/disable (I/O entry and
+// exit), TNT bits for conditional branches (packed several to a packet, as
+// hardware does), and TIP packets carrying the target of indirect
+// transfers (switch dispatch, indirect calls, returns). The paper's three
+// filters are reproduced: an address-range filter restricted to the
+// device's code region, suppression of kernel-space control flow, and
+// trace start/stop at the I/O boundary.
+//
+// The decoder reconstructs the executed control flow the way a real IPT
+// decoder does: it walks the static program from the PGE address, consumes
+// one TNT bit per conditional branch and one TIP per indirect transfer,
+// and treats calls leaving the filtered region as opaque.
+package trace
+
+import "fmt"
+
+// PacketKind enumerates the packet types the collector emits.
+type PacketKind uint8
+
+const (
+	// PktPGE marks trace enable (Packet Generation Enable) with the IP at
+	// which tracing began.
+	PktPGE PacketKind = iota + 1
+	// PktPGD marks trace disable.
+	PktPGD
+	// PktTNT carries up to 6 Taken/Not-taken bits for conditional
+	// branches, oldest first.
+	PktTNT
+	// PktTIP carries the target IP of an indirect transfer. A target of
+	// zero means the transfer left the traceable region.
+	PktTIP
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case PktPGE:
+		return "PGE"
+	case PktPGD:
+		return "PGD"
+	case PktTNT:
+		return "TNT"
+	case PktTIP:
+		return "TIP"
+	default:
+		return fmt.Sprintf("PacketKind(%d)", uint8(k))
+	}
+}
+
+// tntCapacity is the number of branch bits a TNT packet holds. Hardware
+// short TNT packets hold 6.
+const tntCapacity = 6
+
+// Packet is one trace packet.
+type Packet struct {
+	Kind PacketKind
+	// Addr is the IP for PGE/PGD/TIP packets.
+	Addr uint64
+	// Bits holds TNT branch outcomes, oldest first (len <= tntCapacity).
+	Bits []bool
+}
+
+func (p Packet) String() string {
+	switch p.Kind {
+	case PktTNT:
+		s := make([]byte, len(p.Bits))
+		for i, b := range p.Bits {
+			if b {
+				s[i] = 'T'
+			} else {
+				s[i] = 'N'
+			}
+		}
+		return fmt.Sprintf("TNT[%s]", s)
+	default:
+		return fmt.Sprintf("%s(%#x)", p.Kind, p.Addr)
+	}
+}
+
+// Stats counts collector activity, used by the filter ablation.
+type Stats struct {
+	// Packets is the number of packets emitted.
+	Packets int
+	// Events is the number of raw trace events received.
+	Events int
+	// FilteredRange counts events dropped by the address-range filter.
+	FilteredRange int
+	// FilteredKernel counts events dropped by the ring filter.
+	FilteredKernel int
+}

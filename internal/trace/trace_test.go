@@ -1,0 +1,354 @@
+package trace
+
+import (
+	"testing"
+
+	"sedspec/internal/interp"
+	"sedspec/internal/ir"
+)
+
+// buildTraced constructs a device exercising every packet-generating
+// construct: a switch (TIP), a loop with a conditional branch (TNT), a
+// direct call to a device handler, a direct call to a library helper
+// (opaque), a kernel call (suppressed), and an indirect call through a
+// function pointer (TIP).
+func buildTraced(t testing.TB) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("traced")
+	cnt := b.Int("cnt", ir.W32)
+	cb := b.Func("cb")
+
+	h := b.Handler("dispatch")
+	e := h.Block("entry").Entry()
+	fv := e.FuncValue("tick", "s->cb = tick")
+	e.StoreFunc(cb, fv, "s->cb = tick")
+	addr := e.IOAddr("addr = req->addr")
+	e.Switch(addr, "switch (addr)", "out",
+		ir.Case(0, "loop"),
+		ir.Case(1, "callout"),
+	)
+
+	l := h.Block("loop")
+	c := l.Load(cnt, "c = s->cnt")
+	one := l.Const(1, "1")
+	c2 := l.Arith(ir.ALUAdd, c, one, ir.W32, false, "c+1")
+	l.Store(cnt, c2, "s->cnt = c+1")
+	lim := l.Const(3, "3")
+	l.Branch(c2, ir.RelLT, lim, ir.W32, false, "if (c < 3)", "loop", "out")
+
+	co := h.Block("callout")
+	co.Call("helper_dev", "helper_dev()")
+	co.Call("helper_lib", "memcpy()")
+	co.Call("helper_kern", "copy_from_user()")
+	co.CallPtr(cb, "s->cb()")
+	co.Jump("out", "goto out")
+
+	h.Block("out").Exit().Halt("return")
+
+	hd := b.Handler("helper_dev")
+	hdb := hd.Block("body")
+	z := hdb.Const(0, "0")
+	hdb.Store(cnt, z, "s->cnt = 0")
+	hdb.Return("return")
+
+	hl := b.Handler("helper_lib", ir.Library())
+	hlb := hl.Block("body")
+	x := hlb.Const(5, "x=5")
+	y := hlb.Const(5, "y=5")
+	hlb.Branch(x, ir.RelEQ, y, ir.W8, false, "if (x==y)", "t", "f")
+	hl.Block("t").Return("return")
+	hl.Block("f").Return("return")
+
+	hk := b.Handler("helper_kern", ir.Kernel())
+	hkb := hk.Block("body")
+	kx := hkb.Const(5, "x=5")
+	ky := hkb.Const(5, "y=5")
+	hkb.Branch(kx, ir.RelEQ, ky, ir.W8, false, "if (x==y)", "t", "f")
+	hk.Block("t").Return("return")
+	hk.Block("f").Return("return")
+
+	tick := b.Handler("tick")
+	tb := tick.Block("body")
+	tb.IRQRaise("raise irq")
+	tb.Return("return")
+
+	b.Dispatch("dispatch")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return prog
+}
+
+func runTraced(t testing.TB, prog *ir.Program, port uint64) []Packet {
+	t.Helper()
+	st := interp.NewState(prog)
+	in := interp.New(prog, st, nil)
+	col := NewCollector(DeviceConfig(prog))
+	in.SetTracer(col)
+	res := in.Dispatch(interp.NewWrite(interp.SpacePIO, port, nil))
+	if res.Fault != nil {
+		t.Fatalf("fault: %v", res.Fault)
+	}
+	return col.Packets()
+}
+
+func TestCollectorPacketShape(t *testing.T) {
+	prog := buildTraced(t)
+	pkts := runTraced(t, prog, 0) // loop path: switch TIP + 3 TNT bits + halt TIP
+
+	if pkts[0].Kind != PktPGE {
+		t.Fatalf("first packet = %v, want PGE", pkts[0])
+	}
+	if pkts[len(pkts)-1].Kind != PktPGD {
+		t.Fatalf("last packet = %v, want PGD", pkts[len(pkts)-1])
+	}
+	var tips, tntBits int
+	for _, p := range pkts {
+		switch p.Kind {
+		case PktTIP:
+			tips++
+		case PktTNT:
+			tntBits += len(p.Bits)
+		}
+	}
+	// One switch TIP + one halt TIP; loop runs 3 times: T,T,N.
+	if tips != 2 {
+		t.Errorf("TIP count = %d, want 2", tips)
+	}
+	if tntBits != 3 {
+		t.Errorf("TNT bits = %d, want 3", tntBits)
+	}
+}
+
+func TestCollectorFiltersLibraryAndKernel(t *testing.T) {
+	prog := buildTraced(t)
+	st := interp.NewState(prog)
+	in := interp.New(prog, st, nil)
+	col := NewCollector(DeviceConfig(prog))
+	in.SetTracer(col)
+	res := in.Dispatch(interp.NewWrite(interp.SpacePIO, 1, nil))
+	if res.Fault != nil {
+		t.Fatalf("fault: %v", res.Fault)
+	}
+	stats := col.Stats()
+	if stats.FilteredKernel == 0 {
+		t.Error("kernel events should have been filtered")
+	}
+	if stats.FilteredRange == 0 {
+		t.Error("library events should have been range-filtered")
+	}
+	// No packet may carry a library or kernel source branch: all TIP
+	// targets must be device-range or zero, all packets device-derived.
+	for _, p := range col.Packets() {
+		if p.Kind == PktTIP && p.Addr != 0 && (p.Addr < ir.DeviceBase || p.Addr >= ir.LibraryBase) {
+			t.Errorf("TIP target %#x outside device region", p.Addr)
+		}
+	}
+}
+
+func TestCollectorUnfilteredSeesEverything(t *testing.T) {
+	prog := buildTraced(t)
+	st := interp.NewState(prog)
+	in := interp.New(prog, st, nil)
+	filtered := NewCollector(DeviceConfig(prog))
+	in.SetTracer(filtered)
+	if res := in.Dispatch(interp.NewWrite(interp.SpacePIO, 1, nil)); res.Fault != nil {
+		t.Fatal(res.Fault)
+	}
+
+	st2 := interp.NewState(prog)
+	in2 := interp.New(prog, st2, nil)
+	open := NewCollector(Config{})
+	in2.SetTracer(open)
+	if res := in2.Dispatch(interp.NewWrite(interp.SpacePIO, 1, nil)); res.Fault != nil {
+		t.Fatal(res.Fault)
+	}
+
+	if open.Stats().Packets <= filtered.Stats().Packets {
+		t.Errorf("unfiltered packets (%d) should exceed filtered (%d)",
+			open.Stats().Packets, filtered.Stats().Packets)
+	}
+}
+
+func TestDecodeLoopPath(t *testing.T) {
+	prog := buildTraced(t)
+	pkts := runTraced(t, prog, 0)
+	runs, err := Decode(prog, pkts)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(runs))
+	}
+	run := runs[0]
+	entry := ir.BlockRef{Handler: 0, Block: 0}
+	if run.Start != entry {
+		t.Errorf("Start = %v, want entry", run.Start)
+	}
+	// Expected edges: switch(entry->loop), taken, taken, not-taken, halt.
+	wantKinds := []EdgeKind{EdgeSwitch, EdgeTaken, EdgeTaken, EdgeNotTaken, EdgeHalt}
+	if len(run.Steps) != len(wantKinds) {
+		t.Fatalf("steps = %d, want %d: %+v", len(run.Steps), len(wantKinds), run.Steps)
+	}
+	for i, want := range wantKinds {
+		if run.Steps[i].Kind != want {
+			t.Errorf("step %d kind = %v, want %v", i, run.Steps[i].Kind, want)
+		}
+	}
+}
+
+func TestDecodeCallPath(t *testing.T) {
+	prog := buildTraced(t)
+	pkts := runTraced(t, prog, 1)
+	runs, err := Decode(prog, pkts)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	run := runs[0]
+	// Expected: switch(entry->callout), call(helper_dev), return,
+	// opaque(lib), opaque(kern), icall(tick), return, jump(out), halt.
+	wantKinds := []EdgeKind{
+		EdgeSwitch, EdgeCall, EdgeReturn, EdgeOpaque, EdgeOpaque,
+		EdgeIndirectCall, EdgeReturn, EdgeJump, EdgeHalt,
+	}
+	if len(run.Steps) != len(wantKinds) {
+		t.Fatalf("steps = %d, want %d: %+v", len(run.Steps), len(wantKinds), run.Steps)
+	}
+	for i, want := range wantKinds {
+		if run.Steps[i].Kind != want {
+			t.Errorf("step %d kind = %v, want %v", i, run.Steps[i].Kind, want)
+		}
+	}
+	// The indirect call's target must be the tick handler's entry.
+	tickEntry := ir.BlockRef{Handler: prog.HandlerIndex("tick"), Block: 0}
+	if run.Steps[5].Next != tickEntry {
+		t.Errorf("icall target = %v, want %v", run.Steps[5].Next, tickEntry)
+	}
+}
+
+func TestDecodeMultipleRuns(t *testing.T) {
+	prog := buildTraced(t)
+	st := interp.NewState(prog)
+	in := interp.New(prog, st, nil)
+	col := NewCollector(DeviceConfig(prog))
+	in.SetTracer(col)
+	for i := 0; i < 5; i++ {
+		if res := in.Dispatch(interp.NewWrite(interp.SpacePIO, uint64(i%2), nil)); res.Fault != nil {
+			t.Fatal(res.Fault)
+		}
+	}
+	runs, err := Decode(prog, col.Packets())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(runs) != 5 {
+		t.Errorf("runs = %d, want 5", len(runs))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	prog := buildTraced(t)
+	good := runTraced(t, prog, 0)
+
+	tests := []struct {
+		name string
+		mut  func([]Packet) []Packet
+	}{
+		{"missing PGE", func(p []Packet) []Packet { return p[1:] }},
+		{"missing PGD", func(p []Packet) []Packet { return p[:len(p)-1] }},
+		{"truncated", func(p []Packet) []Packet { return p[:2] }},
+		{"bogus TIP target", func(p []Packet) []Packet {
+			out := append([]Packet(nil), p...)
+			for i := range out {
+				if out[i].Kind == PktTIP && out[i].Addr != 0 {
+					out[i].Addr = 0xdeadbeef
+					break
+				}
+			}
+			return out
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(prog, tt.mut(good)); err == nil {
+				t.Error("Decode succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestTNTPacking(t *testing.T) {
+	// A long loop should pack TNT bits 6 per packet.
+	b := ir.NewBuilder("longloop")
+	cnt := b.Int("cnt", ir.W32)
+	h := b.Handler("dispatch")
+	e := h.Block("entry").Entry()
+	e.Jump("loop", "loop:")
+	l := h.Block("loop")
+	c := l.Load(cnt, "c")
+	one := l.Const(1, "1")
+	c2 := l.Arith(ir.ALUAdd, c, one, ir.W32, false, "c+1")
+	l.Store(cnt, c2, "cnt")
+	lim := l.Const(20, "20")
+	l.Branch(c2, ir.RelLT, lim, ir.W32, false, "if (c<20)", "loop", "out")
+	h.Block("out").Exit().Halt("return")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := interp.NewState(prog)
+	in := interp.New(prog, st, nil)
+	col := NewCollector(DeviceConfig(prog))
+	in.SetTracer(col)
+	if res := in.Dispatch(interp.NewWrite(interp.SpacePIO, 0, nil)); res.Fault != nil {
+		t.Fatal(res.Fault)
+	}
+	var tntPkts, bits int
+	for _, p := range col.Packets() {
+		if p.Kind == PktTNT {
+			tntPkts++
+			bits += len(p.Bits)
+			if len(p.Bits) > 6 {
+				t.Errorf("TNT packet with %d bits", len(p.Bits))
+			}
+		}
+	}
+	if bits != 20 {
+		t.Errorf("bits = %d, want 20", bits)
+	}
+	if tntPkts != 4 { // 6+6+6+2
+		t.Errorf("TNT packets = %d, want 4", tntPkts)
+	}
+	// And the decode must reproduce 19 taken + 1 not-taken.
+	runs, err := Decode(prog, col.Packets())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	var taken, notTaken int
+	for _, s := range runs[0].Steps {
+		switch s.Kind {
+		case EdgeTaken:
+			taken++
+		case EdgeNotTaken:
+			notTaken++
+		}
+	}
+	if taken != 19 || notTaken != 1 {
+		t.Errorf("taken/not = %d/%d, want 19/1", taken, notTaken)
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	prog := buildTraced(t)
+	col := NewCollector(DeviceConfig(prog))
+	col.TraceStart(ir.DeviceBase)
+	col.TraceEnd(ir.DeviceBase)
+	if len(col.Packets()) == 0 {
+		t.Fatal("no packets")
+	}
+	col.Reset()
+	if len(col.Packets()) != 0 || col.Stats().Packets != 0 {
+		t.Error("Reset should clear packets and stats")
+	}
+}

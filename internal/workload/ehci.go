@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"fmt"
+
+	"sedspec/internal/devices/devutil"
+	"sedspec/internal/devices/ehci"
+	"sedspec/internal/simclock"
+)
+
+// TrainEHCI drives the host controller through USB enumeration and
+// control/bulk-style transfers across the environment sweep, including the
+// cached-qTD resume path and the unlink doorbell — the flows the
+// CVE-2016-1568 exploit later reuses. The rare SET_DESCRIPTOR and
+// SYNCH_FRAME requests are excluded.
+func TrainEHCI(p devutil.Port, cfg TrainConfig) error {
+	g := ehci.NewGuest(p)
+	rng := cfg.rng()
+	rounds := 6
+	if cfg.Light {
+		rounds = 3
+	}
+
+	for i := 0; i < rounds; i++ {
+		// Enumeration.
+		if err := g.NoDataRequest(ehci.ReqSetAddress, uint16(1+i)); err != nil {
+			return fmt.Errorf("workload: ehci set-address: %w", err)
+		}
+		if err := g.ControlIn(ehci.ReqGetDescriptor, 0x0100, 18); err != nil {
+			return err
+		}
+		if err := g.NoDataRequest(ehci.ReqSetConfig, 1); err != nil {
+			return err
+		}
+		if err := g.ControlIn(ehci.ReqGetConfig, 0, 1); err != nil {
+			return err
+		}
+		if err := g.ControlIn(ehci.ReqGetStatus, 0, 2); err != nil {
+			return err
+		}
+		if err := g.NoDataRequest(ehci.ReqClearFeature, 0); err != nil {
+			return err
+		}
+		if err := g.NoDataRequest(ehci.ReqSetFeature, 1); err != nil {
+			return err
+		}
+		if err := g.NoDataRequest(ehci.ReqGetInterface, 0); err != nil {
+			return err
+		}
+		if err := g.NoDataRequest(ehci.ReqSetInterface, 0); err != nil {
+			return err
+		}
+
+		// Register sweep.
+		if _, err := g.Read32(ehci.RegUSBSts); err != nil {
+			return err
+		}
+		if _, err := g.Read32(ehci.RegPortSC); err != nil {
+			return err
+		}
+		if _, err := g.Read32(0x50); err != nil { // unmodelled register arm
+			return err
+		}
+		if err := g.Write32(ehci.RegUSBIntr, 0x3F); err != nil {
+			return err
+		}
+		if err := g.Write32(ehci.RegPortSC, 0x1000); err != nil {
+			return err
+		}
+
+		// Data transfers of varying sizes (USB-storage-style).
+		n := uint16(64 + rng.Intn(3200))
+		data := make([]byte, n)
+		for j := range data {
+			data[j] = byte(rng.Uint64())
+		}
+		if err := g.ControlOut(ehci.ReqClearFeature, 0, data); err != nil {
+			return err
+		}
+		if err := g.ControlIn(ehci.ReqGetDescriptor, 0x0200, n); err != nil {
+			return err
+		}
+
+		// The resume path: re-run the cached last qTD (an interrupt
+		// endpoint poll), then unlink with the doorbell.
+		if err := g.Resume(); err != nil {
+			return err
+		}
+		if err := g.AckStatus(); err != nil {
+			return err
+		}
+		if err := g.Doorbell(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EHCIOp issues one random benign operation.
+func EHCIOp(g *ehci.Guest, rng *simclock.Rand) error {
+	switch rng.Intn(5) {
+	case 0:
+		return g.ControlIn(ehci.ReqGetDescriptor, 0x0100, 18)
+	case 1:
+		n := 64 + rng.Intn(1024)
+		return g.ControlOut(ehci.ReqClearFeature, 0, make([]byte, n))
+	case 2:
+		return g.ControlIn(ehci.ReqGetStatus, 0, 2)
+	case 3:
+		_, err := g.Read32(ehci.RegUSBSts)
+		return err
+	default:
+		// Resume only after an IN transfer: re-running a cached OUT qTD
+		// would accumulate setup_index like a buggy driver.
+		if err := g.ControlIn(ehci.ReqGetStatus, 0, 2); err != nil {
+			return err
+		}
+		return g.Resume()
+	}
+}
+
+// EHCIRareOp issues a legitimate-but-untrained request.
+func EHCIRareOp(g *ehci.Guest, rng *simclock.Rand) error {
+	if rng.Bool(0.5) {
+		return g.NoDataRequest(ehci.ReqSetDescriptor, 0)
+	}
+	return g.NoDataRequest(ehci.ReqSynchFrame, 0)
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"fmt"
+
+	"sedspec/internal/devices/devutil"
+	"sedspec/internal/devices/fdc"
+	"sedspec/internal/simclock"
+)
+
+// TrainFDC drives the floppy controller through its benign behaviour
+// envelope: reset and timing setup, seeks and recalibrations across the
+// environment sweep, single- and multi-sector reads and writes (covering
+// both the multi-sector and degenerate EOT arms), status polling, and
+// media checks. Rare diagnostic commands (READ ID, FORMAT, DUMPREG) are
+// excluded — they are the false-positive tail of Table II.
+func TrainFDC(p devutil.Port, cfg TrainConfig) error {
+	g := fdc.NewGuest(p)
+	rng := cfg.rng()
+	envs := StorageEnvs()
+	if cfg.Light {
+		envs = envs[:2]
+	}
+
+	for ei, env := range envs {
+		if err := g.Reset(); err != nil {
+			return fmt.Errorf("workload: fdc reset (env %d): %w", ei, err)
+		}
+		if _, err := g.SenseInt(); err != nil {
+			return err
+		}
+		if err := g.Specify(); err != nil {
+			return err
+		}
+		if err := g.Configure(); err != nil {
+			return err
+		}
+		if err := g.Recalibrate(); err != nil {
+			return err
+		}
+		if _, err := g.Version(); err != nil {
+			return err
+		}
+		if err := g.SenseDrive(); err != nil {
+			return err
+		}
+		if _, err := g.CheckMedia(); err != nil {
+			return err
+		}
+		// Eject and re-insert the medium so the disk-change arm (a sync
+		// point at runtime) is part of the specification.
+		p.Attached().SetMedia(false)
+		if _, err := g.CheckMedia(); err != nil {
+			return err
+		}
+		p.Attached().SetMedia(true)
+
+		// Track span scales with partition size; run length with cache.
+		tracks := 2 + env.PartitionMiB/32
+		runs := 2 + env.CacheKiB/128
+		if cfg.Light {
+			tracks, runs = 2, 2
+		}
+		for t := 0; t < tracks; t++ {
+			head := byte(t % 2)
+			if err := g.Seek(head, byte(t)); err != nil {
+				return err
+			}
+			for r := 0; r < runs; r++ {
+				sector := byte(1 + rng.Intn(9))
+				span := byte(rng.Intn(4))
+				eot := sector + span
+				if err := g.WriteSectors(byte(t), head, sector, eot); err != nil {
+					return err
+				}
+				if err := g.ReadSectors(byte(t), head, sector, eot); err != nil {
+					return err
+				}
+			}
+			// Cover the degenerate EOT < sector arm the firmware treats
+			// as a single-sector transfer.
+			if err := g.ReadSectors(byte(t), head, 5, 2); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FDCOp issues one random benign operation, used by the interaction modes.
+func FDCOp(g *fdc.Guest, rng *simclock.Rand) error {
+	switch rng.Intn(6) {
+	case 0:
+		return g.Seek(byte(rng.Intn(2)), byte(rng.Intn(40)))
+	case 1:
+		s := byte(1 + rng.Intn(9))
+		return g.ReadSectors(byte(rng.Intn(40)), byte(rng.Intn(2)), s, s+byte(rng.Intn(3)))
+	case 2:
+		s := byte(1 + rng.Intn(9))
+		return g.WriteSectors(byte(rng.Intn(40)), byte(rng.Intn(2)), s, s+byte(rng.Intn(3)))
+	case 3:
+		_, err := g.SenseInt()
+		return err
+	case 4:
+		_, err := g.CheckMedia()
+		return err
+	default:
+		return g.SenseDrive()
+	}
+}
+
+// FDCRareOp issues one legitimate-but-rare operation (absent from
+// training): the Table II false-positive source.
+func FDCRareOp(g *fdc.Guest, rng *simclock.Rand) error {
+	switch rng.Intn(3) {
+	case 0:
+		return g.ReadID(byte(rng.Intn(2)))
+	case 1:
+		return g.DumpReg()
+	default:
+		return g.Format(0, 2, 9)
+	}
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"fmt"
+
+	"sedspec/internal/devices/devutil"
+	"sedspec/internal/devices/pcnet"
+	"sedspec/internal/simclock"
+)
+
+// frame builds a deterministic Ethernet-ish frame of n bytes.
+func frame(rng *simclock.Rand, n int) []byte {
+	f := make([]byte, n)
+	for i := range f {
+		f[i] = byte(rng.Uint64())
+	}
+	return f
+}
+
+// TrainPCNet drives the adapter through its benign envelope across the
+// network environment sweep: register and PROM access, initialization with
+// varying ring sizes, wire and loopback transmit paths (single- and
+// multi-chunk), receive with descriptor scanning (hit, advance, wrap, and
+// exhausted arms), and interrupt acknowledgement.
+func TrainPCNet(p devutil.Port, cfg TrainConfig) error {
+	g := pcnet.NewGuest(p)
+	rng := cfg.rng()
+	envs := NetworkEnvs()
+	if cfg.Light {
+		envs = envs[:3]
+	}
+
+	for ei, env := range envs {
+		if err := g.SoftReset(); err != nil {
+			return fmt.Errorf("workload: pcnet reset (env %d): %w", ei, err)
+		}
+		if _, err := g.ReadMAC(); err != nil {
+			return err
+		}
+		if _, err := g.ReadCSR(88); err != nil { // chip id
+			return err
+		}
+		if _, err := g.ReadCSR(89); err != nil {
+			return err
+		}
+		if _, err := g.ReadCSR(7); err != nil { // unmodelled CSR: zero arm
+			return err
+		}
+		if err := g.WriteBCR(20, 2); err != nil { // SWSTYLE
+			return err
+		}
+		if _, err := g.ReadBCR(20); err != nil {
+			return err
+		}
+		if err := g.WriteCSR(4, 0x0915); err != nil { // unmodelled CSR write arm
+			return err
+		}
+
+		g.MAC = env.MAC
+		g.RxLen = uint16(1 + ei%4)
+		g.TxLen = uint16(2 + ei%3)
+		mode := uint16(0)
+		if ei%2 == 1 {
+			mode = pcnet.ModeLoop
+		}
+		if err := g.Setup(mode); err != nil {
+			return err
+		}
+		if _, err := g.ReadCSR(76); err != nil {
+			return err
+		}
+		if _, err := g.ReadCSR(78); err != nil {
+			return err
+		}
+
+		maxFrame := 1514
+		if env.JumboFrames {
+			maxFrame = 3800
+		}
+
+		// Transmit: single-chunk and chained frames.
+		for i := 0; i < 4; i++ {
+			n := 64 + rng.Intn(maxFrame-64)
+			if err := g.Transmit(frame(rng, n)); err != nil {
+				return err
+			}
+			if err := g.AckInterrupts(); err != nil {
+				return err
+			}
+		}
+		// Pull the cable for one frame so the carrier-lost arm (a sync
+		// point at runtime) is part of the specification.
+		p.Attached().SetLink(false)
+		if err := g.Transmit(frame(rng, 128)); err != nil {
+			return err
+		}
+		p.Attached().SetLink(true)
+		if err := g.AckInterrupts(); err != nil {
+			return err
+		}
+		half := frame(rng, 600)
+		if err := g.Transmit(half[:300], half[300:]); err != nil {
+			return err
+		}
+		if err := g.AckInterrupts(); err != nil {
+			return err
+		}
+
+		// Receive: descriptor at cursor owned (immediate hit).
+		if err := g.ProvideRx(0); err != nil {
+			return err
+		}
+		if err := g.InjectWireFrame(frame(rng, 64+rng.Intn(1400))); err != nil {
+			return err
+		}
+		if err := g.AckInterrupts(); err != nil {
+			return err
+		}
+		if _, _, err := g.RxStatus(0); err != nil {
+			return err
+		}
+
+		if g.RxLen >= 2 {
+			// Cursor slot not owned, a later slot owned: trains the
+			// advance and countdown arms.
+			if err := g.ClearRx(1 % g.RxLen); err != nil {
+				return err
+			}
+			if err := g.ProvideRx((1 + 1) % g.RxLen); err != nil {
+				return err
+			}
+			if err := g.InjectWireFrame(frame(rng, 128)); err != nil {
+				return err
+			}
+			if err := g.AckInterrupts(); err != nil {
+				return err
+			}
+		}
+
+		// No descriptors at all: the frame-lost arm.
+		for s := uint16(0); s < g.RxLen; s++ {
+			if err := g.ClearRx(s); err != nil {
+				return err
+			}
+		}
+		if err := g.InjectWireFrame(frame(rng, 256)); err != nil {
+			return err
+		}
+
+		// Inject while stopped: the RXON-off arm.
+		if err := g.WriteCSR(0, pcnet.CSR0Stop); err != nil {
+			return err
+		}
+		if err := g.InjectWireFrame(frame(rng, 64)); err != nil {
+			return err
+		}
+		// Transmit poll while stopped: the TXON-off arm.
+		if err := g.WriteCSR(0, pcnet.CSR0TDMD); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PCNetOp issues one random benign operation for the interaction modes.
+// The guest must have been set up (rings programmed, started).
+func PCNetOp(g *pcnet.Guest, rng *simclock.Rand) error {
+	switch rng.Intn(5) {
+	case 0:
+		return g.Transmit(frame(rng, 64+rng.Intn(1400)))
+	case 1:
+		slot := uint16(rng.Intn(int(g.RxLen)))
+		if err := g.ProvideRx(slot); err != nil {
+			return err
+		}
+		return g.InjectWireFrame(frame(rng, 64+rng.Intn(1400)))
+	case 2:
+		_, err := g.ReadCSR(0)
+		return err
+	case 3:
+		return g.AckInterrupts()
+	default:
+		_, err := g.ReadCSR(uint16(rng.Intn(4) * 26)) // 0, 26, 52, 78
+		return err
+	}
+}
+
+// PCNetRareOp issues a legitimate-but-untrained operation: BCR writes to
+// registers the training sweep never touches, or ring reconfiguration
+// mid-flight via CSR76 writes.
+func PCNetRareOp(g *pcnet.Guest, rng *simclock.Rand) error {
+	if rng.Bool(0.5) {
+		// CSR76 rewrite: trained only through the init block path.
+		return g.WriteCSR(76, uint16(1+rng.Intn(4)))
+	}
+	return g.WriteCSR(15, pcnet.ModeLoop) // mode rewrite outside init
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+
+	"sedspec/internal/devices/devutil"
+	"sedspec/internal/devices/scsi"
+	"sedspec/internal/simclock"
+)
+
+// TrainSCSI drives the controller through its benign envelope: bus resets,
+// discovery commands, FIFO- and DMA-selected CDBs, and block transfers
+// across the storage environment sweep. The rare ESP commands
+// (SELECT-without-ATN, SET-ATN) are excluded.
+func TrainSCSI(p devutil.Port, cfg TrainConfig) error {
+	g := scsi.NewGuest(p)
+	rng := cfg.rng()
+	envs := StorageEnvs()
+	if cfg.Light {
+		envs = envs[:2]
+	}
+
+	for ei, env := range envs {
+		if err := g.Reset(); err != nil {
+			return fmt.Errorf("workload: scsi reset (env %d): %w", ei, err)
+		}
+		if err := g.Cmd(scsi.ESPNop); err != nil {
+			return err
+		}
+		if err := g.TestUnitReady(); err != nil {
+			return err
+		}
+		if _, err := g.Inquiry(); err != nil {
+			return err
+		}
+		if _, err := g.RequestSense(); err != nil {
+			return err
+		}
+		if err := g.ModeSense(); err != nil {
+			return err
+		}
+		if err := g.ReadCapacity(); err != nil {
+			return err
+		}
+		if err := g.ReportLuns(); err != nil {
+			return err
+		}
+		if err := g.XferInfo(); err != nil {
+			return err
+		}
+		if err := g.Cmd(scsi.ESPMsgAcc); err != nil {
+			return err
+		}
+		if _, err := g.AckIntr(); err != nil {
+			return err
+		}
+		if _, err := g.Status(); err != nil {
+			return err
+		}
+		// DMA-selected command so the DMA path is in the specification.
+		if err := g.DMASelect([]byte{scsi.ScsiTestUnitReady, 0, 0, 0, 0, 0}); err != nil {
+			return err
+		}
+
+		runs := 2 + env.PartitionMiB/64
+		if cfg.Light {
+			runs = 2
+		}
+		for r := 0; r < runs; r++ {
+			lba := uint32(rng.Intn(1 << 16))
+			blocks := byte(1 + rng.Intn(4))
+			if err := g.Write10(lba, blocks); err != nil {
+				return err
+			}
+			if err := g.Read10(lba, blocks); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SCSIOp issues one random benign operation.
+func SCSIOp(g *scsi.Guest, rng *simclock.Rand) error {
+	switch rng.Intn(6) {
+	case 0:
+		return g.Read10(uint32(rng.Intn(1<<16)), byte(1+rng.Intn(4)))
+	case 1:
+		return g.Write10(uint32(rng.Intn(1<<16)), byte(1+rng.Intn(4)))
+	case 2:
+		return g.TestUnitReady()
+	case 3:
+		_, err := g.Inquiry()
+		return err
+	case 4:
+		_, err := g.Status()
+		return err
+	default:
+		_, err := g.RequestSense()
+		return err
+	}
+}
+
+// SCSIRareOp issues a legitimate-but-untrained ESP command.
+func SCSIRareOp(g *scsi.Guest, rng *simclock.Rand) error {
+	if rng.Bool(0.5) {
+		return g.SetATN()
+	}
+	return g.SelNATN()
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"fmt"
+
+	"sedspec/internal/devices/devutil"
+	"sedspec/internal/devices/sdhci"
+	"sedspec/internal/simclock"
+)
+
+// TrainSDHCI drives the SD host controller through card bring-up and
+// single- and multi-block transfers across the storage environment sweep.
+// The rare CMD56 (GEN_CMD) is excluded from training.
+func TrainSDHCI(p devutil.Port, cfg TrainConfig) error {
+	g := sdhci.NewGuest(p)
+	envs := StorageEnvs()
+	if cfg.Light {
+		envs = envs[:2]
+	}
+	rng := cfg.rng()
+
+	for ei, env := range envs {
+		if err := g.InitCard(); err != nil {
+			return fmt.Errorf("workload: sdhci init (env %d): %w", ei, err)
+		}
+		if _, err := g.Status(); err != nil {
+			return err
+		}
+		if err := g.SetBlockLen(512); err != nil {
+			return err
+		}
+		if _, err := g.Read16(sdhci.RegPrnSts); err != nil {
+			return err
+		}
+		if _, err := g.Read16(sdhci.RegBlkSize); err != nil {
+			return err
+		}
+		if _, err := g.Read32(0x50); err != nil { // unmodelled register arm
+			return err
+		}
+
+		runs := 2 + env.CacheKiB/256
+		if cfg.Light {
+			runs = 2
+		}
+		for r := 0; r < runs; r++ {
+			if err := g.SingleBlock(r%2 == 0); err != nil {
+				return err
+			}
+			blocks := uint16(1 + rng.Intn(4))
+			if err := g.Transfer(r%2 == 1, 512, blocks); err != nil {
+				return err
+			}
+		}
+		// Exercise a non-512 block size so the engine's remainder paths
+		// see more than one divisor.
+		if err := g.Transfer(false, 256, 2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SDHCIOp issues one random benign operation.
+func SDHCIOp(g *sdhci.Guest, rng *simclock.Rand) error {
+	switch rng.Intn(4) {
+	case 0:
+		return g.SingleBlock(rng.Bool(0.5))
+	case 1:
+		return g.Transfer(rng.Bool(0.5), 512, uint16(1+rng.Intn(3)))
+	case 2:
+		_, err := g.Status()
+		return err
+	default:
+		_, err := g.Read16(sdhci.RegPrnSts)
+		return err
+	}
+}
+
+// SDHCIRareOp issues the legitimate-but-untrained CMD56.
+func SDHCIRareOp(g *sdhci.Guest, _ *simclock.Rand) error {
+	return g.GenCmd()
+}

@@ -1,0 +1,220 @@
+// Package sedspec reproduces "SEDSpec: Securing Emulated Devices by
+// Enforcing Execution Specification" (DSN 2024): it automatically derives
+// an execution specification (ES-CFG) for an emulated device from traces of
+// benign I/O interactions and enforces it at runtime with three check
+// strategies, detecting vulnerability exploitation before the device
+// executes the offending I/O.
+//
+// The workflow mirrors the paper's three phases:
+//
+//  1. Data collection: run benign training samples against the device with
+//     the software processor-trace module attached, build the ITC-CFG, and
+//     select device-state parameters (Learn does this internally).
+//  2. Execution specification construction: replay the training samples
+//     with observation points installed and construct the ES-CFG from the
+//     device-state-change log.
+//  3. Runtime protection: attach an ES-Checker to the device's I/O path
+//     (Protect), simulating the specification for each interaction and
+//     blocking or warning on violations.
+//
+// A minimal session:
+//
+//	m := sedspec.NewMachine()
+//	dev := fdc.New()
+//	att := m.Attach(dev, machine.WithPIO(fdc.PortBase, fdc.PortCount))
+//	spec, err := sedspec.Learn(att, func(d *sedspec.Driver) error {
+//	    return workload.Train(d, ...)
+//	})
+//	chk := sedspec.Protect(att, spec, checker.WithMode(checker.ModeProtection))
+package sedspec
+
+import (
+	"fmt"
+
+	"sedspec/internal/analysis"
+	"sedspec/internal/checker"
+	"sedspec/internal/core"
+	"sedspec/internal/interp"
+	"sedspec/internal/itccfg"
+	"sedspec/internal/machine"
+	"sedspec/internal/trace"
+)
+
+// Re-exported handles so that example programs only import the facade and
+// the packages they construct devices from.
+type (
+	// Machine is the hypervisor substrate hosting emulated devices.
+	Machine = machine.Machine
+	// Attached is a device plugged into a machine.
+	Attached = machine.Attached
+	// Spec is a device execution specification (ES-CFG).
+	Spec = core.Spec
+	// Checker is the runtime-protection proxy.
+	Checker = checker.Checker
+	// Selection is the device state chosen by the CFG analyzer.
+	Selection = analysis.Selection
+	// Anomaly is a detected specification violation.
+	Anomaly = checker.Anomaly
+)
+
+// NewMachine creates a machine with default guest memory.
+func NewMachine(opts ...machine.Option) *Machine { return machine.New(opts...) }
+
+// Driver issues guest I/O against one device during training or workloads.
+// It dispatches directly to the device (bypassing bus routing), bracketing
+// each interaction with the recorder when one is installed.
+type Driver struct {
+	att *machine.Attached
+	rec *analysis.Recorder
+}
+
+// NewDriver returns a plain driver (no recording) for workloads.
+func NewDriver(att *machine.Attached) *Driver { return &Driver{att: att} }
+
+// Attached returns the underlying attachment.
+func (d *Driver) Attached() *machine.Attached { return d.att }
+
+// Machine returns the hosting machine (guest memory, clock, IRQs).
+func (d *Driver) Machine() *machine.Machine { return d.att.Machine() }
+
+func (d *Driver) dispatch(req *interp.Request) (*interp.Result, error) {
+	if d.rec != nil {
+		d.rec.Begin(req)
+	}
+	res, err := d.att.DispatchDirect(req)
+	if d.rec != nil {
+		d.rec.End(res)
+	}
+	return res, err
+}
+
+// Out issues a port write.
+func (d *Driver) Out(port uint64, data []byte) (*interp.Result, error) {
+	return d.dispatch(interp.NewWrite(interp.SpacePIO, port, data))
+}
+
+// Out8 issues a one-byte port write.
+func (d *Driver) Out8(port uint64, v byte) (*interp.Result, error) {
+	return d.Out(port, []byte{v})
+}
+
+// In issues a port read and returns the device's response bytes.
+func (d *Driver) In(port uint64) ([]byte, *interp.Result, error) {
+	req := interp.NewRead(interp.SpacePIO, port)
+	res, err := d.dispatch(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Output, res, nil
+}
+
+// MMIOWrite issues a memory-mapped write.
+func (d *Driver) MMIOWrite(addr uint64, data []byte) (*interp.Result, error) {
+	return d.dispatch(interp.NewWrite(interp.SpaceMMIO, addr, data))
+}
+
+// MMIORead issues a memory-mapped read.
+func (d *Driver) MMIORead(addr uint64) ([]byte, *interp.Result, error) {
+	req := interp.NewRead(interp.SpaceMMIO, addr)
+	res, err := d.dispatch(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Output, res, nil
+}
+
+// TrainFunc issues benign training I/O through the driver. Learn invokes
+// it twice (trace pass, then observation pass), so it must be
+// deterministic: seed any randomness inside the function.
+type TrainFunc func(d *Driver) error
+
+// LearnResult carries the artifacts of specification construction.
+type LearnResult struct {
+	Spec   *core.Spec
+	Params *analysis.Selection
+	Graph  *itccfg.Graph
+	Log    *analysis.Log
+	Trace  trace.Stats
+}
+
+// Learn runs the paper's phases 1 and 2 for an attached device: trace the
+// training samples, build the ITC-CFG, select device-state parameters,
+// re-run the samples with observation points, and construct the execution
+// specification. The device is reset before each pass and after learning.
+func Learn(att *machine.Attached, train TrainFunc) (*core.Spec, error) {
+	r, err := LearnFull(att, train)
+	if err != nil {
+		return nil, err
+	}
+	return r.Spec, nil
+}
+
+// LearnFull is Learn, returning all intermediate artifacts.
+func LearnFull(att *machine.Attached, train TrainFunc) (*LearnResult, error) {
+	dev := att.Dev()
+	prog := dev.Program()
+	in := att.Interp()
+
+	// Phase 1a: processor-trace collection under training samples.
+	dev.Reset()
+	col := trace.NewCollector(trace.DeviceConfig(prog))
+	in.SetTracer(col)
+	err := train(&Driver{att: att})
+	in.SetTracer(nil)
+	if err != nil {
+		return nil, fmt.Errorf("sedspec: trace pass: %w", err)
+	}
+
+	// Phase 1b: ITC-CFG construction and parameter selection.
+	runs, err := trace.Decode(prog, col.Packets())
+	if err != nil {
+		return nil, fmt.Errorf("sedspec: decode trace: %w", err)
+	}
+	graph := itccfg.New(prog)
+	for _, run := range runs {
+		graph.AddRun(run)
+	}
+	params := analysis.SelectParams(graph)
+
+	// Phase 1c: observation run producing the device-state-change log.
+	dev.Reset()
+	rec := analysis.NewRecorder(prog.Name)
+	in.SetObserver(rec)
+	in.SetWatch(params.WatchList())
+	err = train(&Driver{att: att, rec: rec})
+	in.SetObserver(nil)
+	in.SetWatch(nil)
+	if err != nil {
+		return nil, fmt.Errorf("sedspec: observation pass: %w", err)
+	}
+
+	// Phase 2: ES-CFG construction.
+	spec, err := core.Build(prog, params, rec.Log())
+	if err != nil {
+		return nil, fmt.Errorf("sedspec: build spec: %w", err)
+	}
+	dev.Reset()
+	return &LearnResult{
+		Spec:   spec,
+		Params: params,
+		Graph:  graph,
+		Log:    rec.Log(),
+		Trace:  col.Stats(),
+	}, nil
+}
+
+// Protect attaches an ES-Checker enforcing the specification to the
+// device's I/O path (the paper's phase 3). The checker's shadow device
+// state is initialized from the device control structure's current values.
+func Protect(att *machine.Attached, spec *core.Spec, opts ...checker.Option) *checker.Checker {
+	base := []checker.Option{
+		checker.WithEnv(att),
+		checker.WithHalt(att.Machine().Halt),
+	}
+	chk := checker.New(spec, att.Dev().State(), append(base, opts...)...)
+	att.AddInterposer(chk)
+	return chk
+}
+
+// Unprotect removes all interposers (the checker) from the device.
+func Unprotect(att *machine.Attached) { att.ClearInterposers() }

@@ -1,0 +1,377 @@
+package sedspec_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sedspec"
+	"sedspec/internal/analysis"
+	"sedspec/internal/checker"
+	"sedspec/internal/devices/testdev"
+	"sedspec/internal/machine"
+)
+
+// setup attaches a fresh testdev to a machine.
+func setup(t *testing.T, opts testdev.Options) (*sedspec.Machine, *sedspec.Attached) {
+	t.Helper()
+	m := sedspec.NewMachine()
+	dev := testdev.New(opts)
+	att := m.Attach(dev, machine.WithPIO(testdev.PortCmd, testdev.PortCount))
+	return m, att
+}
+
+// benignTrain exercises the device's normal command set: reset, bounded
+// writes, reads, status polls, and the environment port — but never the
+// rare diagnostic command.
+func benignTrain(d *sedspec.Driver) error {
+	for _, n := range []byte{1, 4, 8, 16} {
+		if _, err := d.Out8(testdev.PortCmd, testdev.CmdReset); err != nil {
+			return err
+		}
+		if _, err := d.Out(testdev.PortCmd, []byte{testdev.CmdWriteBegin, n}); err != nil {
+			return err
+		}
+		for i := byte(0); i < n; i++ {
+			if _, err := d.Out8(testdev.PortData, i*3); err != nil {
+				return err
+			}
+		}
+		if _, err := d.Out8(testdev.PortCmd, testdev.CmdRead); err != nil {
+			return err
+		}
+		if _, err := d.Out8(testdev.PortCmd, testdev.CmdStatus); err != nil {
+			return err
+		}
+		if _, err := d.Out8(testdev.PortEnv, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func learn(t *testing.T, att *sedspec.Attached) *sedspec.LearnResult {
+	t.Helper()
+	r, err := sedspec.LearnFull(att, benignTrain)
+	if err != nil {
+		t.Fatalf("LearnFull: %v", err)
+	}
+	return r
+}
+
+func TestLearnBuildsSpec(t *testing.T) {
+	_, att := setup(t, testdev.Options{})
+	r := learn(t, att)
+	s := r.Spec
+
+	if s.Stats.TrainingRounds == 0 || s.Stats.ESBlocks == 0 {
+		t.Fatalf("empty spec: %+v", s.Stats)
+	}
+	if s.Stats.DroppedOps == 0 {
+		t.Error("slicing should drop some ops (work, IRQ, output)")
+	}
+	if s.Stats.SyncPoints == 0 {
+		t.Error("the env branch should produce a sync point")
+	}
+	// Training used reset, write-begin, read, and status (never diag).
+	if s.Stats.Commands != 4 {
+		t.Errorf("commands learned = %d, want 4", s.Stats.Commands)
+	}
+	if s.Stats.IndirectTargets != 1 {
+		t.Errorf("indirect targets = %d, want 1 (testdev_complete)", s.Stats.IndirectTargets)
+	}
+}
+
+func TestParamSelectionClasses(t *testing.T) {
+	_, att := setup(t, testdev.Options{})
+	r := learn(t, att)
+	prog := att.Dev().Program()
+
+	wantClass := map[string]analysis.ParamClass{
+		"fifo":     analysis.ClassBuffer,
+		"data_pos": analysis.ClassIndex,
+		"data_len": analysis.ClassIndex,
+		"irq_cb":   analysis.ClassFuncPtr,
+		"cmd":      analysis.ClassRegister,
+	}
+	for name, want := range wantClass {
+		p := r.Params.ParamFor(prog.FieldIndex(name))
+		if p == nil {
+			t.Errorf("param %q not selected", name)
+			continue
+		}
+		if p.Class != want {
+			t.Errorf("param %q class = %v, want %v", name, p.Class, want)
+		}
+	}
+	// status never influences control flow: Rule 1 must not select it.
+	if r.Params.Contains(prog.FieldIndex("status")) {
+		t.Error("status should not be selected (does not influence control flow)")
+	}
+}
+
+func TestBenignTrafficPassesChecker(t *testing.T) {
+	m, att := setup(t, testdev.Options{})
+	spec := learn(t, att).Spec
+	chk := sedspec.Protect(att, spec)
+
+	d := sedspec.NewDriver(att)
+	if err := benignTrain(d); err != nil {
+		t.Fatalf("benign traffic blocked: %v", err)
+	}
+	if m.Halted() {
+		t.Fatal("machine halted on benign traffic")
+	}
+	st := chk.Stats()
+	if st.ParamAnomalies+st.IndirectAnomalies+st.CondAnomalies != 0 {
+		t.Fatalf("anomalies on benign traffic: %+v", st)
+	}
+	if st.SyncPointsResolved == 0 {
+		t.Error("sync points should have been resolved during env-port rounds")
+	}
+}
+
+// venomExploit drives the Venom-style overflow: declare a transfer, then
+// push more bytes than the FIFO holds.
+func venomExploit(d *sedspec.Driver, n int) error {
+	if _, err := d.Out(testdev.PortCmd, []byte{testdev.CmdWriteBegin, 16}); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := d.Out8(testdev.PortData, 0x41); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestVenomBlockedByParameterCheck(t *testing.T) {
+	m, att := setup(t, testdev.Options{})
+	spec := learn(t, att).Spec
+	chk := sedspec.Protect(att, spec, checker.WithStrategies(checker.StrategyParameter))
+
+	d := sedspec.NewDriver(att)
+	err := venomExploit(d, 32)
+	if err == nil {
+		t.Fatal("exploit was not blocked")
+	}
+	var anom *sedspec.Anomaly
+	if !errors.As(err, &anom) {
+		t.Fatalf("error %v does not wrap an Anomaly", err)
+	}
+	if anom.Strategy != checker.StrategyParameter {
+		t.Errorf("strategy = %v, want parameter-check", anom.Strategy)
+	}
+	if !m.Halted() {
+		t.Error("protection mode should halt the machine")
+	}
+	// The device's control structure must be untouched past the FIFO: the
+	// block happened before the 17th byte reached the device.
+	if got, _ := att.Dev().State().IntByName("data_pos"); got != 16 {
+		t.Errorf("data_pos = %d, want 16 (exploit stopped at capacity)", got)
+	}
+	if chk.Stats().ParamAnomalies == 0 {
+		t.Error("parameter anomaly not counted")
+	}
+}
+
+func TestUnprotectedVenomCorruptsDevice(t *testing.T) {
+	_, att := setup(t, testdev.Options{})
+	d := sedspec.NewDriver(att)
+	if err := venomExploit(d, 28); err != nil {
+		t.Fatalf("unprotected exploit failed: %v", err)
+	}
+	// Unprotected, the 28 writes walked past the FIFO through
+	// data_pos/data_len and into irq_cb.
+	prog := att.Dev().Program()
+	if got := att.Dev().State().FuncPtr(prog.FieldIndex("irq_cb")); got == uint64(prog.HandlerIndex("testdev_complete")) {
+		t.Error("irq_cb should have been corrupted on the unprotected device")
+	}
+}
+
+// hijackExploit overflows the FIFO to overwrite irq_cb with the gadget
+// handler's index, then triggers the completion callback via CmdRead.
+func hijackExploit(d *sedspec.Driver, gadget uint64) error {
+	if _, err := d.Out(testdev.PortCmd, []byte{testdev.CmdWriteBegin, 16}); err != nil {
+		return err
+	}
+	payload := make([]byte, 28)
+	for i := 0; i < 18; i++ {
+		payload[i] = 0x41
+	}
+	// Bytes 18..19 land on data_len: keep it sane so the later read
+	// command doesn't crash before the hijacked callback fires.
+	payload[18] = 16
+	// Bytes 20..27 overwrite the 8-byte function pointer little-endian.
+	payload[20] = byte(gadget)
+	for _, v := range payload {
+		if _, err := d.Out8(testdev.PortData, v); err != nil {
+			return err
+		}
+	}
+	_, err := d.Out8(testdev.PortCmd, testdev.CmdRead)
+	return err
+}
+
+func TestHijackCaughtByIndirectJumpCheck(t *testing.T) {
+	m, att := setup(t, testdev.Options{})
+	spec := learn(t, att).Spec
+	// Parameter check off: the overflow proceeds (shadow mirrors the
+	// corruption); the indirect check must catch the pivot at call time.
+	chk := sedspec.Protect(att, spec, checker.WithStrategies(checker.StrategyIndirectJump))
+
+	prog := att.Dev().Program()
+	gadget := uint64(prog.HandlerIndex("host_gadget"))
+	err := hijackExploit(sedspec.NewDriver(att), gadget)
+	if err == nil {
+		t.Fatal("hijack was not blocked")
+	}
+	var anom *sedspec.Anomaly
+	if !errors.As(err, &anom) {
+		t.Fatalf("error %v does not wrap an Anomaly", err)
+	}
+	if anom.Strategy != checker.StrategyIndirectJump {
+		t.Errorf("strategy = %v, want indirect-jump-check", anom.Strategy)
+	}
+	if !m.Halted() {
+		t.Error("machine should be halted")
+	}
+	// The gadget must never have run on the real device.
+	if got, _ := att.Dev().State().IntByName("status"); got == 0xFF {
+		t.Error("gadget executed despite protection")
+	}
+	_ = chk
+}
+
+func TestUnprotectedHijackExecutesGadget(t *testing.T) {
+	_, att := setup(t, testdev.Options{})
+	prog := att.Dev().Program()
+	gadget := uint64(prog.HandlerIndex("host_gadget"))
+	if err := hijackExploit(sedspec.NewDriver(att), gadget); err != nil {
+		t.Fatalf("unprotected hijack failed: %v", err)
+	}
+	if got, _ := att.Dev().State().IntByName("status"); got != 0xFF {
+		t.Errorf("status = %#x, want 0xFF (gadget executed)", got)
+	}
+}
+
+func TestPatchedDeviceOverflowHitsConditionalCheck(t *testing.T) {
+	// On the patched device the overflow path is a branch arm never taken
+	// in training; the conditional-jump check flags it.
+	m, att := setup(t, testdev.Options{FixVenom: true})
+	spec := learn(t, att).Spec
+	sedspec.Protect(att, spec, checker.WithStrategies(checker.StrategyConditionalJump))
+
+	d := sedspec.NewDriver(att)
+	err := venomExploit(d, 17) // 17th byte takes the patched bail-out arm
+	if err == nil {
+		t.Fatal("overflow attempt was not flagged")
+	}
+	var anom *sedspec.Anomaly
+	if !errors.As(err, &anom) {
+		t.Fatalf("error %v does not wrap an Anomaly", err)
+	}
+	if anom.Strategy != checker.StrategyConditionalJump {
+		t.Errorf("strategy = %v, want conditional-jump-check", anom.Strategy)
+	}
+	if !m.Halted() {
+		t.Error("machine should be halted")
+	}
+}
+
+func TestRareCommandIsFalsePositive(t *testing.T) {
+	// CmdDiag is legitimate but absent from training: the conditional
+	// check flags it — the paper's false-positive mechanism (§VII-B1).
+	_, att := setup(t, testdev.Options{})
+	spec := learn(t, att).Spec
+	sedspec.Protect(att, spec)
+
+	d := sedspec.NewDriver(att)
+	_, err := d.Out8(testdev.PortCmd, testdev.CmdDiag)
+	if err == nil {
+		t.Fatal("rare command should violate the specification")
+	}
+	var anom *sedspec.Anomaly
+	if !errors.As(err, &anom) || anom.Strategy != checker.StrategyConditionalJump {
+		t.Errorf("want conditional-jump anomaly, got %v", err)
+	}
+}
+
+func TestEnhancementModeWarnsAndContinues(t *testing.T) {
+	m, att := setup(t, testdev.Options{})
+	spec := learn(t, att).Spec
+	chk := sedspec.Protect(att, spec, checker.WithMode(checker.ModeEnhancement))
+
+	d := sedspec.NewDriver(att)
+	// The rare command now warns instead of blocking.
+	if _, err := d.Out8(testdev.PortCmd, testdev.CmdDiag); err != nil {
+		t.Fatalf("enhancement mode blocked a conditional anomaly: %v", err)
+	}
+	if m.Halted() {
+		t.Fatal("machine halted in enhancement mode")
+	}
+	if len(chk.Warnings()) != 1 {
+		t.Fatalf("warnings = %d, want 1", len(chk.Warnings()))
+	}
+	if chk.Stats().Resyncs != 1 {
+		t.Errorf("resyncs = %d, want 1", chk.Stats().Resyncs)
+	}
+	// Subsequent benign traffic still passes.
+	if err := benignTrain(d); err != nil {
+		t.Fatalf("benign traffic after warning blocked: %v", err)
+	}
+	// Parameter anomalies still block in enhancement mode.
+	err := venomExploit(d, 32)
+	var anom *sedspec.Anomaly
+	if !errors.As(err, &anom) || anom.Strategy != checker.StrategyParameter {
+		t.Fatalf("want blocking parameter anomaly, got %v", err)
+	}
+	if !m.Halted() {
+		t.Error("parameter anomaly should halt even in enhancement mode")
+	}
+}
+
+func TestShadowStateTracksDevice(t *testing.T) {
+	_, att := setup(t, testdev.Options{})
+	spec := learn(t, att).Spec
+	chk := sedspec.Protect(att, spec)
+
+	d := sedspec.NewDriver(att)
+	if err := benignTrain(d); err != nil {
+		t.Fatalf("benign: %v", err)
+	}
+	shadow := chk.Shadow()
+	real := att.Dev().State()
+	for _, name := range []string{"data_pos", "data_len", "status", "cmd"} {
+		sv, _ := shadow.IntByName(name)
+		rv, _ := real.IntByName(name)
+		if sv != rv {
+			t.Errorf("shadow %s = %d, device %s = %d", name, sv, name, rv)
+		}
+	}
+}
+
+func TestSpecDotAndString(t *testing.T) {
+	_, att := setup(t, testdev.Options{})
+	spec := learn(t, att).Spec
+	if s := spec.String(); len(s) == 0 {
+		t.Error("empty String()")
+	}
+	dot := spec.Dot()
+	if len(dot) == 0 {
+		t.Error("empty Dot()")
+	}
+}
+
+func TestLearnIsDeterministic(t *testing.T) {
+	_, att1 := setup(t, testdev.Options{})
+	_, att2 := setup(t, testdev.Options{})
+	s1 := learn(t, att1).Spec
+	s2 := learn(t, att2).Spec
+	if fmt.Sprintf("%+v", s1.Stats) != fmt.Sprintf("%+v", s2.Stats) {
+		t.Errorf("stats differ:\n%+v\n%+v", s1.Stats, s2.Stats)
+	}
+	if s1.Dot() != s2.Dot() {
+		t.Error("ES-CFG structure differs between identical learns")
+	}
+}

@@ -1,0 +1,73 @@
+package sedspec_test
+
+import (
+	"testing"
+
+	"sedspec"
+	"sedspec/internal/devices/testdev"
+	"sedspec/internal/simclock"
+)
+
+// TestShadowConsistencyProperty drives long random benign traffic under
+// protection and asserts the central soundness invariant of the checker:
+// after every clean round, the shadow device state agrees with the real
+// control structure on every selected parameter. Divergence here is what
+// would eventually cause false positives or negatives.
+func TestShadowConsistencyProperty(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			_, att := setup(t, testdev.Options{})
+			r, err := sedspec.LearnFull(att, benignTrain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chk := sedspec.Protect(att, r.Spec)
+			d := sedspec.NewDriver(att)
+			rng := simclock.NewRand(seed)
+
+			ops := []func() error{
+				func() error { _, err := d.Out8(testdev.PortCmd, testdev.CmdReset); return err },
+				func() error {
+					n := byte(1 + rng.Intn(16))
+					if _, err := d.Out(testdev.PortCmd, []byte{testdev.CmdWriteBegin, n}); err != nil {
+						return err
+					}
+					for i := byte(0); i < n; i++ {
+						if _, err := d.Out8(testdev.PortData, byte(rng.Uint64())); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+				func() error { _, err := d.Out8(testdev.PortCmd, testdev.CmdRead); return err },
+				func() error { _, err := d.Out8(testdev.PortCmd, testdev.CmdStatus); return err },
+				func() error { _, err := d.Out8(testdev.PortEnv, 0); return err },
+			}
+
+			prog := att.Dev().Program()
+			for i := 0; i < 400; i++ {
+				if err := ops[rng.Intn(len(ops))](); err != nil {
+					t.Fatalf("seed %d op %d: %v", seed, i, err)
+				}
+				for _, p := range r.Params.Params {
+					sv := chk.Shadow().FieldValue(p.Field)
+					rv := att.Dev().State().FieldValue(p.Field)
+					if sv != rv {
+						t.Fatalf("seed %d op %d: shadow %s = %#x, device = %#x",
+							seed, i, p.Name, sv, rv)
+					}
+				}
+			}
+			// The FIFO contents must agree too (the checker mirrors
+			// buffer writes).
+			sb := chk.Shadow().Buf(prog.FieldIndex("fifo"))
+			rb := att.Dev().State().Buf(prog.FieldIndex("fifo"))
+			for i := range sb {
+				if sb[i] != rb[i] {
+					t.Fatalf("seed %d: shadow fifo[%d] = %#x, device = %#x", seed, i, sb[i], rb[i])
+				}
+			}
+		})
+	}
+}
