@@ -1,0 +1,52 @@
+// Micro-benchmarks of the per-I/O ES-Checker cost: a benign request
+// stream is captured once per device and then replayed straight into the
+// checker (no device, no machine dispatch in the timed region), once
+// against the sealed fast path and once against the pre-seal reference
+// engine. Run with:
+//
+//	go test -bench=BenchmarkCheckerPerIO -benchmem
+package sedspec_test
+
+import (
+	"testing"
+
+	"sedspec/internal/bench"
+	"sedspec/internal/checker"
+)
+
+func BenchmarkCheckerPerIO(b *testing.B) {
+	for _, t := range bench.Targets(true) {
+		b.Run(t.Name, func(b *testing.B) {
+			r, err := bench.NewCheckerReplay(t, 60)
+			if err != nil {
+				b.Fatal(err)
+			}
+			engines := []struct {
+				name string
+				opts []checker.Option
+			}{
+				{"sealed", nil},
+				{"unsealed", []checker.Option{checker.WithReferenceSimulation()}},
+			}
+			for _, eng := range engines {
+				b.Run(eng.name, func(b *testing.B) {
+					chk := r.NewChecker(eng.opts...)
+					// One warm-up cycle grows the frame/temp stacks so the
+					// timed region measures steady state.
+					for i := 0; i < len(r.Reqs); i++ {
+						if err := r.Step(chk, i); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := r.Step(chk, i); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}

@@ -3,8 +3,12 @@
 //
 // Usage:
 //
-//	sedbench [-experiment all|table1|table2|table3|fig34|fig5|comparison|ablation]
-//	         [-full] [-frames N] [-mib N]
+//	sedbench [-experiment all|table1|table2|table3|fig34|fig5|comparison|ablation|checker]
+//	         [-full] [-frames N] [-mib N] [-checker-iters N] [-checker-out FILE]
+//
+// The checker experiment measures per-I/O ES-Checker overhead (sealed
+// fast path vs the pre-seal reference engine) and writes the rows as JSON
+// to -checker-out (default BENCH_checker.json).
 //
 // With -full, Table II runs the paper's 10/20/30 virtual hours (slow);
 // otherwise a scaled-down 2/4/6-hour study with a proportionally raised
@@ -24,15 +28,17 @@ func main() {
 	full := flag.Bool("full", false, "run Table II at the paper's full 10/20/30 hours")
 	frames := flag.Int("frames", 600, "frames per Figure 5 bandwidth series")
 	mib := flag.Int("mib", 8, "MiB per Figure 3/4 data point")
+	checkerIters := flag.Int("checker-iters", 1_000_000, "timed replay rounds per engine for the checker experiment")
+	checkerOut := flag.String("checker-out", "BENCH_checker.json", "output file for the checker experiment's JSON rows")
 	flag.Parse()
 
-	if err := run(*experiment, *full, *frames, *mib); err != nil {
+	if err := run(*experiment, *full, *frames, *mib, *checkerIters, *checkerOut); err != nil {
 		fmt.Fprintln(os.Stderr, "sedbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, full bool, frames, mib int) error {
+func run(experiment string, full bool, frames, mib, checkerIters int, checkerOut string) error {
 	w := os.Stdout
 	want := func(name string) bool { return experiment == "all" || experiment == name }
 
@@ -120,6 +126,32 @@ func run(experiment string, full bool, frames, mib int) error {
 			return err
 		}
 		bench.WriteComparison(w, rows)
+		fmt.Fprintln(w)
+	}
+
+	if want("checker") {
+		var rows []*bench.CheckerBenchRow
+		for _, t := range bench.Targets(true) {
+			row, err := bench.CheckerOverhead(t, 60, checkerIters)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "checker %-6s baseline %8.1f ns/op  sealed %8.1f ns/op  -%5.1f%%  %.3f allocs/op\n",
+				t.Name, row.BaselineNsPerOp, row.SealedNsPerOp, row.SpeedupPct, row.SealedAllocsPerOp)
+		}
+		f, err := os.Create(checkerOut)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteCheckerJSON(f, rows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", checkerOut)
 		fmt.Fprintln(w)
 	}
 

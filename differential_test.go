@@ -1,0 +1,151 @@
+// Differential test pinning the sealed fast-path simulation to the
+// reference map-walking engine: across all nine CVE case studies, in both
+// protection and enhancement modes, the two engines must produce the same
+// anomaly stream, the same warning stream, and the same counters. This is
+// the correctness argument for the sealed lowering — any divergence in
+// transition semantics, access control, or DSOD execution shows up here.
+package sedspec_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sedspec"
+	"sedspec/internal/checker"
+	"sedspec/internal/cvesim"
+	"sedspec/internal/machine"
+)
+
+// diffRun is everything observable from one protected exploit replay.
+type diffRun struct {
+	anomaly  *checker.Anomaly
+	stats    checker.Stats
+	warnings []checker.Anomaly
+	err      string
+}
+
+// replayPoC learns a spec from the PoC's training routine, protects the
+// device with the requested engine and mode, replays the exploit, and
+// captures the full observable checker state.
+func replayPoC(t *testing.T, p *cvesim.PoC, mode checker.Mode, reference bool) diffRun {
+	t.Helper()
+	m := machine.New(machine.WithMemory(1 << 20))
+	dev, aopts := p.Build()
+	att := m.Attach(dev, aopts...)
+	spec, err := sedspec.Learn(att, p.Train)
+	if err != nil {
+		t.Fatalf("learn: %v", err)
+	}
+	opts := []checker.Option{checker.WithMode(mode), checker.WithBudget(200_000)}
+	if reference {
+		opts = append(opts, checker.WithReferenceSimulation())
+	}
+	chk := sedspec.Protect(att, spec, opts...)
+
+	err = p.Exploit(sedspec.NewDriver(att), m)
+	var run diffRun
+	var anom *checker.Anomaly
+	switch {
+	case errors.As(err, &anom):
+		run.anomaly = anom
+	case err == nil, errors.Is(err, machine.ErrBlocked), errors.Is(err, machine.ErrHalted):
+		// Exploit ran to completion or was stopped by the machine; either
+		// way the checker state below is the observable outcome.
+	default:
+		run.err = err.Error()
+	}
+	run.stats = chk.Stats()
+	run.warnings = chk.Warnings()
+	return run
+}
+
+func describeAnomaly(a *checker.Anomaly) string {
+	if a == nil {
+		return "<none>"
+	}
+	return fmt.Sprintf("{%s %s block=%v round=%d %q}", a.Strategy, a.Device, a.Block, a.Round, a.Detail)
+}
+
+func sameAnomaly(a, b *checker.Anomaly) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.Strategy == b.Strategy && a.Device == b.Device &&
+		a.Block == b.Block && a.Src == b.Src &&
+		a.Detail == b.Detail && a.Round == b.Round
+}
+
+// TestSealedReferenceDifferential replays every case study under both
+// engines and requires bit-identical observable behaviour.
+func TestSealedReferenceDifferential(t *testing.T) {
+	for _, p := range cvesim.All() {
+		for _, mode := range []checker.Mode{checker.ModeProtection, checker.ModeEnhancement} {
+			t.Run(fmt.Sprintf("%s/%s", p.CVE, mode), func(t *testing.T) {
+				sealed := replayPoC(t, p, mode, false)
+				ref := replayPoC(t, p, mode, true)
+
+				if !sameAnomaly(sealed.anomaly, ref.anomaly) {
+					t.Errorf("blocking anomaly diverges:\n  sealed:    %s\n  reference: %s",
+						describeAnomaly(sealed.anomaly), describeAnomaly(ref.anomaly))
+				}
+				if sealed.err != ref.err {
+					t.Errorf("exploit error diverges: sealed %q, reference %q", sealed.err, ref.err)
+				}
+				if sealed.stats != ref.stats {
+					t.Errorf("stats diverge:\n  sealed:    %+v\n  reference: %+v",
+						sealed.stats, ref.stats)
+				}
+				if len(sealed.warnings) != len(ref.warnings) {
+					t.Fatalf("warning streams diverge: sealed %d, reference %d",
+						len(sealed.warnings), len(ref.warnings))
+				}
+				for i := range sealed.warnings {
+					if !sameAnomaly(&sealed.warnings[i], &ref.warnings[i]) {
+						t.Errorf("warning %d diverges:\n  sealed:    %s\n  reference: %s",
+							i, describeAnomaly(&sealed.warnings[i]), describeAnomaly(&ref.warnings[i]))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSealedReferenceDifferentialBenign replays each training routine
+// under protection with both engines: both must stay silent and count the
+// same simulation work.
+func TestSealedReferenceDifferentialBenign(t *testing.T) {
+	for _, p := range cvesim.All() {
+		t.Run(p.CVE, func(t *testing.T) {
+			run := func(reference bool) checker.Stats {
+				m := machine.New(machine.WithMemory(1 << 20))
+				dev, aopts := p.Build()
+				att := m.Attach(dev, aopts...)
+				spec, err := sedspec.Learn(att, p.Train)
+				if err != nil {
+					t.Fatalf("learn: %v", err)
+				}
+				opts := []checker.Option{checker.WithBudget(200_000)}
+				if reference {
+					opts = append(opts, checker.WithReferenceSimulation())
+				}
+				chk := sedspec.Protect(att, spec, opts...)
+				if err := p.Train(sedspec.NewDriver(att)); err != nil {
+					t.Fatalf("benign replay: %v", err)
+				}
+				_ = m
+				return chk.Stats()
+			}
+			sealed, ref := run(false), run(true)
+			if sealed != ref {
+				t.Errorf("benign stats diverge:\n  sealed:    %+v\n  reference: %+v", sealed, ref)
+			}
+			if sealed.ParamAnomalies+sealed.IndirectAnomalies+sealed.CondAnomalies != 0 {
+				t.Errorf("benign replay raised anomalies: %+v", sealed)
+			}
+		})
+	}
+}

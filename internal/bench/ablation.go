@@ -17,8 +17,8 @@ type AblationReductionRow struct {
 	Device           string
 	BlocksReduced    int
 	BlocksUnreduced  int
-	StepsReduced     int
-	StepsUnreduced   int
+	StepsReduced     uint64
+	StepsUnreduced   uint64
 	MergedBranches   int
 	CompressedBlocks int
 	SyncPoints       int
@@ -30,7 +30,7 @@ type AblationReductionRow struct {
 func AblationReduction(t *Target, opsPerRun int) (*AblationReductionRow, error) {
 	row := &AblationReductionRow{Device: t.Name}
 
-	run := func(opts core.BuildOpts) (int, int, error) {
+	run := func(opts core.BuildOpts) (int, uint64, error) {
 		_, att := t.setup()
 		r, err := sedspec.LearnFull(att, t.Train)
 		if err != nil {
@@ -122,8 +122,8 @@ func AblationFilters(t *Target) (*AblationFilterRow, error) {
 
 // AblationAccessSteps measures checker simulation effort with the command
 // access table check on and off (the table's runtime cost).
-func AblationAccessSteps(t *Target, opsPerRun int) (withAC, withoutAC int, err error) {
-	run := func(on bool) (int, error) {
+func AblationAccessSteps(t *Target, opsPerRun int) (withAC, withoutAC uint64, err error) {
+	run := func(on bool) (uint64, error) {
 		_, att := t.setup()
 		spec, err := t.learn(att)
 		if err != nil {

@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"sedspec"
+	"sedspec/internal/checker"
+	"sedspec/internal/core"
+	"sedspec/internal/interp"
+	"sedspec/internal/machine"
+	"sedspec/internal/simclock"
+)
+
+// reqRecorder is an interposer that deep-copies the benign request stream
+// flowing into a device so it can later be replayed straight into a
+// checker, without the device or machine in the loop.
+type reqRecorder struct {
+	reqs []*interp.Request
+}
+
+func (r *reqRecorder) PreIO(_ machine.Device, req *interp.Request) error {
+	cl := &interp.Request{Space: req.Space, Addr: req.Addr, Write: req.Write}
+	if len(req.Data) > 0 {
+		cl.Data = append([]byte(nil), req.Data...)
+	}
+	r.reqs = append(r.reqs, cl)
+	return nil
+}
+
+// CheckerReplay is a captured benign I/O stream plus everything needed to
+// replay it through a fresh ES-Checker: the learned spec, the device
+// control structure snapshot taken at capture start, and the machine
+// attachment (kept alive so DMA sync points read the same guest memory
+// the capture saw).
+type CheckerReplay struct {
+	Target *Target
+	Spec   *core.Spec
+	Reqs   []*interp.Request
+
+	att   *machine.Attached
+	start *interp.State
+}
+
+// NewCheckerReplay learns the target's spec, brings the device up, and
+// records the request stream of ops benign session operations. The
+// captured stream is validated by replaying it through both engines for
+// two full cycles: a clean capture raises zero anomalies, which is what
+// makes cyclic replay a faithful per-I/O overhead probe.
+func NewCheckerReplay(t *Target, ops int) (*CheckerReplay, error) {
+	_, att := t.setup()
+	spec, err := t.learn(att)
+	if err != nil {
+		return nil, err
+	}
+	d := sedspec.NewDriver(att)
+	sess := t.NewSession(d, simclock.NewRand(7))
+	if sess.Prepare != nil {
+		if err := sess.Prepare(); err != nil {
+			return nil, fmt.Errorf("bench: prepare %s: %w", t.Name, err)
+		}
+	}
+	start := att.Dev().State().Clone()
+
+	rec := &reqRecorder{}
+	att.AddInterposer(rec)
+	for i := 0; i < ops; i++ {
+		if err := sess.Op(); err != nil {
+			return nil, fmt.Errorf("bench: capture %s op %d: %w", t.Name, i, err)
+		}
+	}
+	att.ClearInterposers()
+	if len(rec.reqs) == 0 {
+		return nil, fmt.Errorf("bench: capture %s: empty request stream", t.Name)
+	}
+
+	r := &CheckerReplay{Target: t, Spec: spec, Reqs: rec.reqs, att: att, start: start}
+	for _, reference := range []bool{false, true} {
+		if err := r.validate(reference); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// NewChecker builds a detached checker over the captured spec, wired to
+// the capture machine's environment.
+func (r *CheckerReplay) NewChecker(opts ...checker.Option) *checker.Checker {
+	opts = append([]checker.Option{checker.WithEnv(r.att)}, opts...)
+	return checker.New(r.Spec, r.start, opts...)
+}
+
+// Step replays request i (cyclically) through chk. At each wrap of the
+// captured stream the shadow is resynchronized to the capture-start
+// snapshot, so the simulation always sees the control-structure state the
+// stream was recorded against.
+func (r *CheckerReplay) Step(chk *checker.Checker, i int) error {
+	j := i % len(r.Reqs)
+	if j == 0 {
+		chk.ResyncShadow(r.start)
+	}
+	return chk.PreIO(nil, r.Reqs[j])
+}
+
+// validate replays two full cycles and fails on any anomaly.
+func (r *CheckerReplay) validate(reference bool) error {
+	var opts []checker.Option
+	if reference {
+		opts = append(opts, checker.WithReferenceSimulation())
+	}
+	chk := r.NewChecker(opts...)
+	for i := 0; i < 2*len(r.Reqs); i++ {
+		if err := r.Step(chk, i); err != nil {
+			return fmt.Errorf("bench: %s replay (reference=%v) request %d: %w",
+				r.Target.Name, reference, i%len(r.Reqs), err)
+		}
+	}
+	if st := chk.Stats(); st.ParamAnomalies+st.IndirectAnomalies+st.CondAnomalies != 0 {
+		return fmt.Errorf("bench: %s replay (reference=%v): captured stream raised anomalies: %+v",
+			r.Target.Name, reference, st)
+	}
+	return nil
+}
+
+// CheckerBenchRow is one device's per-I/O checker overhead measurement:
+// the pre-seal baseline (reference map-walking engine) against the sealed
+// fast path, plus the fast path's steady-state heap traffic.
+type CheckerBenchRow struct {
+	Device            string  `json:"device"`
+	Requests          int     `json:"requests"`           // captured stream length
+	Iters             int     `json:"iters"`              // timed replay rounds per engine
+	BaselineNsPerOp   float64 `json:"baseline_ns_per_op"` // reference engine
+	SealedNsPerOp     float64 `json:"sealed_ns_per_op"`
+	SpeedupPct        float64 `json:"speedup_pct"` // (baseline-sealed)/baseline
+	SealedAllocsPerOp float64 `json:"sealed_allocs_per_op"`
+}
+
+// timeChunk replays [from, from+n) rounds through a warmed checker,
+// returning elapsed wall time and the heap allocation count delta.
+func (r *CheckerReplay) timeChunk(chk *checker.Checker, from, n int) (time.Duration, uint64, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	for i := from; i < from+n; i++ {
+		if err := r.Step(chk, i); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	return elapsed, after.Mallocs - before.Mallocs, nil
+}
+
+// checkerBenchChunks is how many alternating chunks the timed iterations
+// are split into per engine. Pairing short baseline and sealed chunks
+// back to back makes scheduler and frequency noise hit both engines
+// alike, which keeps the reported delta stable on busy machines — the
+// per-engine minimum of independent long runs does not.
+const checkerBenchChunks = 32
+
+// CheckerOverhead captures a benign stream for the target and measures
+// per-I/O simulation cost under both engines. Both checkers are warmed
+// for a full cycle (growing frame and temp stacks to steady state), then
+// iters rounds per engine are timed as checkerBenchChunks interleaved
+// baseline/sealed chunk pairs whose times are summed per engine.
+func CheckerOverhead(t *Target, ops, iters int) (*CheckerBenchRow, error) {
+	r, err := NewCheckerReplay(t, ops)
+	if err != nil {
+		return nil, err
+	}
+	chkBase := r.NewChecker(checker.WithReferenceSimulation())
+	chkSealed := r.NewChecker()
+	for i := 0; i < len(r.Reqs); i++ {
+		if err := r.Step(chkBase, i); err != nil {
+			return nil, err
+		}
+		if err := r.Step(chkSealed, i); err != nil {
+			return nil, err
+		}
+	}
+
+	if iters < 1 {
+		iters = 1 // a zero would divide the per-op averages into NaN
+	}
+	chunk := iters / checkerBenchChunks
+	if chunk < 1 {
+		chunk = 1
+	}
+	var baseNs, sealedNs time.Duration
+	var sealedMallocs uint64
+	done := 0
+	runtime.GC()
+	for done < iters {
+		n := chunk
+		if iters-done < n {
+			n = iters - done
+		}
+		b, _, err := r.timeChunk(chkBase, done, n)
+		if err != nil {
+			return nil, err
+		}
+		s, m, err := r.timeChunk(chkSealed, done, n)
+		if err != nil {
+			return nil, err
+		}
+		baseNs += b
+		sealedNs += s
+		sealedMallocs += m
+		done += n
+	}
+
+	base := float64(baseNs.Nanoseconds()) / float64(iters)
+	sealed := float64(sealedNs.Nanoseconds()) / float64(iters)
+	allocs := float64(sealedMallocs) / float64(iters)
+	return &CheckerBenchRow{
+		Device:            t.Name,
+		Requests:          len(r.Reqs),
+		Iters:             iters,
+		BaselineNsPerOp:   base,
+		SealedNsPerOp:     sealed,
+		SpeedupPct:        100 * (base - sealed) / base,
+		SealedAllocsPerOp: allocs,
+	}, nil
+}
+
+// WriteCheckerJSON emits the measurement rows as indented JSON
+// (BENCH_checker.json).
+func WriteCheckerJSON(w io.Writer, rows []*CheckerBenchRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Benchmark string             `json:"benchmark"`
+		Rows      []*CheckerBenchRow `json:"rows"`
+	}{Benchmark: "checker_per_io", Rows: rows})
+}

@@ -128,17 +128,19 @@ func (a *Anomaly) Error() string {
 		a.Strategy, a.Device, a.Src, a.Detail)
 }
 
-// Stats counts checker activity.
+// Stats counts checker activity. All counters are uint64: round counts are
+// unbounded over a deployment's lifetime, and Anomaly.Round is stamped
+// straight from Rounds without conversion.
 type Stats struct {
-	Rounds             int
-	ParamAnomalies     int
-	IndirectAnomalies  int
-	CondAnomalies      int
-	Blocked            int
-	Warnings           int
-	Resyncs            int
-	StepsSimulated     int
-	SyncPointsResolved int
+	Rounds             uint64
+	ParamAnomalies     uint64
+	IndirectAnomalies  uint64
+	CondAnomalies      uint64
+	Blocked            uint64
+	Warnings           uint64
+	Resyncs            uint64
+	StepsSimulated     uint64
+	SyncPointsResolved uint64
 }
 
 // Checker is the ES-Checker proxy. It implements machine.Interposer (and
@@ -146,6 +148,11 @@ type Stats struct {
 // the device dispatch path it guards.
 type Checker struct {
 	spec *core.Spec
+	// sealed is the dense runtime form the simulation runs against; nil
+	// only under WithReferenceSimulation.
+	sealed *core.SealedSpec
+	// prog caches spec.Program() for the hot path.
+	prog *ir.Program
 	mode Mode
 	// enabled strategies, indexed by Strategy (all on by default). An
 	// array rather than a map: it is consulted on the simulation's hot
@@ -167,18 +174,46 @@ type Checker struct {
 	suppressAccess bool
 
 	needResync bool
+	useRef     bool
 	warnings   []Anomaly
 	stats      Stats
 
 	frames []simFrame
 	temps  [][]uint64
 	flags  [][]interp.Flags
+	// tempArena/flagArena back the sealed engine's frame banks: one flat
+	// bump allocation per arena, so a push is an arena extension plus a
+	// memclr and nested frames' banks sit adjacent in cache. The reference
+	// engine keeps the pre-seal per-depth slices above.
+	tempArena []uint64
+	flagArena []interp.Flags
 
 	// dmaShadow journals guest-memory writes the simulation suppresses
 	// (descriptor writebacks), overlaid on subsequent reads within the
 	// same round so loops that terminate via writeback terminate in the
-	// simulation too. It never reaches real guest memory.
+	// simulation too. It never reaches real guest memory. The reference
+	// engine uses the map; the sealed engine uses dmaLog, an append-only
+	// journal scanned linearly on overlay — a round writes back at most a
+	// few descriptor words, where a scan beats hashing.
 	dmaShadow map[uint64]byte
+	dmaLog    []dmaWrite
+	// entryTemps is the temp-bank size of the entry block's handler,
+	// resolved once at construction for the per-round entry push.
+	entryTemps int
+	// dmaBuf is the word-sized scratch buffer for OpDMARead. It lives on
+	// the checker (not the stack) because slices passed through the
+	// interp.Env interface escape, and a stack buffer would cost one heap
+	// allocation per DMA-read op.
+	dmaBuf [8]byte
+}
+
+// dmaWrite is one suppressed guest-memory byte write in the sealed
+// engine's per-round journal. Overlay scans apply entries in append
+// order, so a later write to the same address wins, matching the map's
+// last-write semantics.
+type dmaWrite struct {
+	addr uint64
+	val  byte
 }
 
 type simFrame struct {
@@ -186,6 +221,9 @@ type simFrame struct {
 	op    int
 	temps []uint64
 	flags []interp.Flags
+	// off is the frame's start offset in the sealed engine's arenas; the
+	// pop trims the arenas back to it. Unused by the reference engine.
+	off int
 }
 
 // Option configures a Checker.
@@ -227,11 +265,22 @@ func WithBudget(n int) Option {
 	}
 }
 
+// WithReferenceSimulation makes the checker simulate against the mutable
+// Spec's map-based structures instead of the sealed form. This is the
+// pre-seal baseline engine, kept for differential testing and overhead
+// accounting; production deployments use the (default) sealed fast path.
+func WithReferenceSimulation() Option {
+	return func(c *Checker) { c.useRef = true }
+}
+
 // New builds a checker for a specification. initial is the device control
-// structure at deployment time, cloned into the shadow device state.
+// structure at deployment time, cloned into the shadow device state. The
+// specification is sealed (lowered to its dense runtime form) here, at
+// deployment: later mutation of spec does not affect the checker.
 func New(spec *core.Spec, initial *interp.State, opts ...Option) *Checker {
 	c := &Checker{
 		spec:          spec,
+		prog:          spec.Program(),
 		mode:          ModeProtection,
 		budget:        1 << 20,
 		shadow:        spec.InitialShadow(initial),
@@ -240,6 +289,12 @@ func New(spec *core.Spec, initial *interp.State, opts ...Option) *Checker {
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if !c.useRef {
+		c.sealed = spec.Seal()
+	}
+	if es := spec.Block(spec.Entry); es != nil {
+		c.entryTemps = c.prog.Handlers[es.Ref.Handler].NumTemps
 	}
 	if c.env == nil {
 		c.env = interp.NopEnv()
@@ -253,11 +308,21 @@ func (c *Checker) Mode() Mode { return c.mode }
 // Stats returns a copy of the counters.
 func (c *Checker) Stats() Stats { return c.stats }
 
-// Warnings returns anomalies raised in enhancement mode without blocking.
-func (c *Checker) Warnings() []Anomaly { return c.warnings }
+// Warnings returns a copy of the anomalies raised in enhancement mode
+// without blocking. Returning a copy keeps callers from mutating checker
+// state through the slice.
+func (c *Checker) Warnings() []Anomaly {
+	if len(c.warnings) == 0 {
+		return nil
+	}
+	out := make([]Anomaly, len(c.warnings))
+	copy(out, c.warnings)
+	return out
+}
 
-// ClearWarnings discards accumulated warnings (between experiments).
-func (c *Checker) ClearWarnings() { c.warnings = nil }
+// ClearWarnings discards accumulated warnings (between experiments),
+// keeping the slice's capacity so later rounds do not re-allocate.
+func (c *Checker) ClearWarnings() { c.warnings = c.warnings[:0] }
 
 // Shadow exposes the shadow device state for tests and diagnostics.
 func (c *Checker) Shadow() *interp.State { return c.shadow }
@@ -299,7 +364,7 @@ func (c *Checker) PreIO(_ machine.Device, req *interp.Request) error {
 		return nil
 	}
 	anomaly.Device = c.spec.Device
-	anomaly.Round = uint64(c.stats.Rounds)
+	anomaly.Round = c.stats.Rounds
 	c.countAnomaly(anomaly.Strategy)
 	if c.blockingAnomaly(anomaly.Strategy) {
 		c.stats.Blocked++
@@ -339,10 +404,10 @@ func (c *Checker) countAnomaly(s Strategy) {
 	}
 }
 
-func (c *Checker) anomaly(s Strategy, es *core.ESBlock, src ir.SourceRef, format string, args ...any) *Anomaly {
+func (c *Checker) anomaly(s Strategy, ref ir.BlockRef, src ir.SourceRef, format string, args ...any) *Anomaly {
 	return &Anomaly{
 		Strategy: s,
-		Block:    es.Ref,
+		Block:    ref,
 		Src:      src,
 		Detail:   fmt.Sprintf(format, args...),
 	}

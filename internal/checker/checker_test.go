@@ -188,6 +188,153 @@ func TestShadowDivergenceRecovery(t *testing.T) {
 	_ = m
 }
 
+func TestWarningsReturnsCopy(t *testing.T) {
+	m, att := setup(t)
+	spec := learn(t, att)
+	chk := sedspec.Protect(att, spec, checker.WithMode(checker.ModeEnhancement))
+	d := sedspec.NewDriver(att)
+	if _, err := d.Out8(testdev.PortCmd, testdev.CmdDiag); err != nil {
+		t.Fatal(err)
+	}
+	got := chk.Warnings()
+	if len(got) != 1 {
+		t.Fatalf("warnings = %d, want 1", len(got))
+	}
+	got[0].Detail = "mutated by caller"
+	got[0].Strategy = checker.StrategyParameter
+	if again := chk.Warnings(); again[0].Detail == "mutated by caller" ||
+		again[0].Strategy == checker.StrategyParameter {
+		t.Error("Warnings() must return a copy, not the internal slice")
+	}
+	_ = m
+}
+
+func TestClearWarningsKeepsCapacity(t *testing.T) {
+	m, att := setup(t)
+	spec := learn(t, att)
+	chk := sedspec.Protect(att, spec, checker.WithMode(checker.ModeEnhancement))
+	d := sedspec.NewDriver(att)
+	for i := 0; i < 3; i++ {
+		if _, err := d.Out8(testdev.PortCmd, testdev.CmdDiag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chk.ClearWarnings()
+	if len(chk.Warnings()) != 0 {
+		t.Fatal("ClearWarnings did not clear")
+	}
+	// The next warning must land in the retained backing array and be
+	// visible again.
+	if _, err := d.Out8(testdev.PortCmd, testdev.CmdDiag); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(chk.Warnings()); got != 1 {
+		t.Errorf("warnings after clear = %d, want 1", got)
+	}
+	if got, want := chk.Stats().Warnings, uint64(4); got != want {
+		t.Errorf("Stats.Warnings = %d, want %d", got, want)
+	}
+	_ = m
+}
+
+func TestResyncShadowRestoresTracking(t *testing.T) {
+	m, att := setup(t)
+	spec := learn(t, att)
+	chk := sedspec.Protect(att, spec)
+	d := sedspec.NewDriver(att)
+	if err := benign(d); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the shadow, then resync from the real control structure:
+	// the shadow must match again, command tracking must drop, and
+	// access-vector checks must be suppressed until the next
+	// command-decision block.
+	chk.Shadow().Bytes()[0] ^= 0xFF
+	chk.ResyncShadow(att.Dev().State())
+	if got := chk.Stats().Resyncs; got != 1 {
+		t.Fatalf("resyncs = %d, want 1", got)
+	}
+	if !chk.AccessSuppressed() {
+		t.Error("resync must suppress access-vector checks")
+	}
+	if active, _ := chk.CommandActive(); active {
+		t.Error("resync must drop the active command")
+	}
+	for i, b := range att.Dev().State().Bytes() {
+		if chk.Shadow().Bytes()[i] != b {
+			t.Fatalf("shadow byte %d diverges after resync", i)
+		}
+	}
+
+	// A command round re-identifies the device command and restores
+	// access tracking.
+	if _, err := d.Out8(testdev.PortCmd, testdev.CmdStatus); err != nil {
+		t.Fatal(err)
+	}
+	if chk.AccessSuppressed() {
+		t.Error("command-decision block must restore access tracking")
+	}
+	if err := benign(d); err != nil {
+		t.Fatalf("benign traffic blocked after resync: %v", err)
+	}
+	_ = m
+}
+
+func TestPostIOResyncAfterWarningRound(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []checker.Option
+	}{
+		{"sealed", nil},
+		{"reference", []checker.Option{checker.WithReferenceSimulation()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, att := setup(t)
+			spec := learn(t, att)
+			opts := append([]checker.Option{checker.WithMode(checker.ModeEnhancement)}, tc.opts...)
+			chk := sedspec.Protect(att, spec, opts...)
+			if chk.Sealed() == (tc.name == "reference") {
+				t.Fatalf("engine selection wrong for %s", tc.name)
+			}
+			d := sedspec.NewDriver(att)
+
+			// The diag command warns; the round completes and PostIO must
+			// resynchronize the shadow from the real device state.
+			if _, err := d.Out8(testdev.PortCmd, testdev.CmdDiag); err != nil {
+				t.Fatal(err)
+			}
+			st := chk.Stats()
+			if st.Warnings != 1 || st.Resyncs != 1 {
+				t.Fatalf("warnings/resyncs = %d/%d, want 1/1", st.Warnings, st.Resyncs)
+			}
+			if !chk.AccessSuppressed() {
+				t.Error("post-warning resync must suppress access checks")
+			}
+			if active, _ := chk.CommandActive(); active {
+				t.Error("post-warning resync must drop the active command")
+			}
+			for i, b := range att.Dev().State().Bytes() {
+				if chk.Shadow().Bytes()[i] != b {
+					t.Fatalf("shadow byte %d diverges after PostIO resync", i)
+				}
+			}
+
+			// Clean traffic re-engages tracking without further resyncs.
+			if err := benign(d); err != nil {
+				t.Fatal(err)
+			}
+			if chk.AccessSuppressed() {
+				t.Error("benign command round must restore access tracking")
+			}
+			if got := chk.Stats().Resyncs; got != 1 {
+				t.Errorf("resyncs after benign = %d, want 1", got)
+			}
+			_ = m
+		})
+	}
+}
+
 func TestHaltHookFires(t *testing.T) {
 	m, att := setup(t)
 	spec := learn(t, att)

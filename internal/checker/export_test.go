@@ -1,0 +1,14 @@
+package checker
+
+// Test-only accessors for internal command-tracking state, used by the
+// shadow-resync tests.
+
+// AccessSuppressed reports whether access-vector checks are currently
+// suppressed (post-resync, until the next command-decision block).
+func (c *Checker) AccessSuppressed() bool { return c.suppressAccess }
+
+// CommandActive reports the active-command tracking state.
+func (c *Checker) CommandActive() (bool, uint64) { return c.cmdActive, c.activeCmd }
+
+// Sealed reports whether the checker runs the sealed fast path.
+func (c *Checker) Sealed() bool { return c.sealed != nil }

@@ -1,0 +1,310 @@
+package checker
+
+import (
+	"encoding/binary"
+
+	"sedspec/internal/core"
+	"sedspec/internal/interp"
+	"sedspec/internal/ir"
+)
+
+// simulateSealed is the production walker over the dense SealedSpec: flat
+// block-table indexing, contiguous DSOD arena scans, binary-searched
+// switch arms, and bitset access vectors. Steady-state rounds (no anomaly,
+// no frame-stack growth) allocate nothing.
+func (c *Checker) simulateSealed(req *interp.Request) *Anomaly {
+	c.frames = c.frames[:0]
+	c.tempArena = c.tempArena[:0]
+	c.flagArena = c.flagArena[:0]
+	c.push(c.sealed.Entry, c.entryTemps)
+	steps := 0
+	c.dmaLog = c.dmaLog[:0]
+
+	for len(c.frames) > 0 {
+		f := &c.frames[len(c.frames)-1]
+		b := c.sealed.Block(f.block)
+		if b == nil {
+			// Dangling successor: a path the spec cannot follow. The zero
+			// BlockRef marks "no block" in the report.
+			return c.condOrStop(ir.BlockRef{}, ir.SourceRef{}, "dangling ES successor")
+		}
+
+		descended, anomaly := c.execDSODSealed(f, c.sealed.DSOD(b), b.Ref, req, &steps)
+		if anomaly != nil {
+			return anomaly
+		}
+		if descended {
+			continue
+		}
+		if steps > c.budget {
+			return c.condOrStop(b.Ref, ir.SourceRef{}, "simulation budget exceeded (possible emulation loop)")
+		}
+
+		steps++ // the block transition itself
+		done, anomaly := c.transitionSealed(f, b)
+		if anomaly != nil {
+			return anomaly
+		}
+		if done {
+			break
+		}
+	}
+	c.stats.StepsSimulated += uint64(steps)
+	return nil
+}
+
+// execDSODSealed runs the block's lowered op records from the frame
+// cursor: the sealed twin of execDSOD (simulate.go), iterating the
+// contiguous SealedOp arena instead of per-block DSODOp slices with op
+// pointers. The op semantics are the shared helpers'; the switch mirrors
+// execDSOD case for case and the differential test pins the two engines
+// to identical behaviour. It reports whether the walker descended into a
+// callee.
+func (c *Checker) execDSODSealed(f *simFrame, dsod []core.SealedOp, ref ir.BlockRef, req *interp.Request, steps *int) (bool, *Anomaly) {
+	// The frame's temp and flag banks are hoisted into locals: the banks
+	// never move while the frame executes, and the locals save a reload
+	// through the frame pointer on every op.
+	temps, flags := f.temps, f.flags
+	for i := f.op; i < len(dsod); i++ {
+		*steps++
+		d := &dsod[i]
+		op := &d.Op
+		switch op.Code {
+		case ir.OpConst:
+			temps[op.Dst] = op.Imm
+			flags[op.Dst] = interp.Flags{}
+		case ir.OpLoad:
+			temps[op.Dst] = c.shadow.Int(op.Field)
+			flags[op.Dst] = interp.Flags{}
+		case ir.OpLoadFunc:
+			temps[op.Dst] = c.shadow.FuncPtr(op.Field)
+			flags[op.Dst] = interp.Flags{}
+		case ir.OpArith:
+			v, fl, divZero := interp.ALUExec(op.ALU, temps[op.A], temps[op.B], op.Width, op.Signed)
+			if divZero {
+				if c.enabled[StrategyParameter] {
+					return false, c.anomaly(StrategyParameter, ref, op.Src0, "division by zero")
+				}
+				c.frames = c.frames[:0]
+				c.needResync = true
+				return false, nil
+			}
+			temps[op.Dst] = v
+			flags[op.Dst] = fl
+		case ir.OpStore:
+			if a := c.checkIntStore(ref, op, f); a != nil {
+				return false, a
+			}
+			c.shadow.SetInt(op.Field, temps[op.Src])
+		case ir.OpStoreFunc:
+			c.shadow.SetFuncPtr(op.Field, temps[op.Src])
+		case ir.OpBufLoad:
+			v, a := c.bufAccess(ref, op, d.ParamIndexed, f, temps[op.Idx], 0, 0, false)
+			if a != nil {
+				return false, a
+			}
+			temps[op.Dst] = v
+			flags[op.Dst] = interp.Flags{}
+		case ir.OpBufStore:
+			if _, a := c.bufAccess(ref, op, d.ParamIndexed, f, temps[op.Idx], 0, byte(temps[op.Src]), true); a != nil {
+				return false, a
+			}
+		case ir.OpIOToBuf:
+			if a := c.checkCopyRange(ref, op, d.ParamIndexed, f); a != nil {
+				return false, a
+			}
+			req.Skip(int(temps[op.B] & 0xFFFF_FFFF))
+		case ir.OpDMAToBuf:
+			// See execDSOD: inbound DMA is performed against the shadow.
+			if a := c.checkCopyRange(ref, op, d.ParamIndexed, f); a != nil {
+				return false, a
+			}
+			if a := c.dmaToShadow(ref, op, d.ParamIndexed, f); a != nil {
+				return false, a
+			}
+			if len(c.frames) == 0 {
+				return false, nil // simulation stopped mid-copy
+			}
+		case ir.OpDMAFromBuf:
+			// See execDSOD: outbound DMA is bounds-checked, never performed.
+			if a := c.checkCopyRange(ref, op, d.ParamIndexed, f); a != nil {
+				return false, a
+			}
+		case ir.OpDMARead:
+			buf := &c.dmaBuf
+			n := op.Width.Bytes()
+			addr := temps[op.A]
+			if err := c.env.DMARead(addr, buf[:n]); err != nil {
+				if c.enabled[StrategyParameter] {
+					return false, c.anomaly(StrategyParameter, ref, op.Src0, "DMA read out of guest memory: %v", err)
+				}
+				c.frames = c.frames[:0]
+				c.needResync = true
+				return false, nil
+			}
+			// Overlay this round's suppressed writebacks (skipped entirely
+			// in the common no-writeback round).
+			for _, w := range c.dmaLog {
+				if w.addr-addr < uint64(n) {
+					buf[w.addr-addr] = w.val
+				}
+			}
+			temps[op.Dst] = binary.LittleEndian.Uint64(buf[:])
+			if n < 8 {
+				temps[op.Dst] &= op.Width.Mask()
+			}
+			flags[op.Dst] = interp.Flags{}
+		case ir.OpDMAWrite:
+			// Suppressed guest write: journal it for this round's reads.
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], temps[op.Src])
+			for i := 0; i < op.Width.Bytes(); i++ {
+				c.dmaLog = append(c.dmaLog, dmaWrite{temps[op.A] + uint64(i), buf[i]})
+			}
+		case ir.OpIOIn:
+			temps[op.Dst] = req.Consume(op.Width.Bytes())
+			flags[op.Dst] = interp.Flags{}
+		case ir.OpIOAddr:
+			temps[op.Dst] = req.Addr
+			flags[op.Dst] = interp.Flags{}
+		case ir.OpIOLen:
+			temps[op.Dst] = uint64(req.Remaining())
+			flags[op.Dst] = interp.Flags{}
+		case ir.OpIOIsWrite:
+			if req.Write {
+				temps[op.Dst] = 1
+			} else {
+				temps[op.Dst] = 0
+			}
+			flags[op.Dst] = interp.Flags{}
+		case ir.OpEnvRead:
+			// Sync point: synchronize the non-derivable value with the
+			// device environment (paper §V-D).
+			temps[op.Dst] = c.env.ReadEnv(ir.EnvKind(op.Imm))
+			flags[op.Dst] = interp.Flags{}
+			c.stats.SyncPointsResolved++
+		case ir.OpCall:
+			callee := c.sealed.HandlerEntry(op.Handler)
+			if callee == core.NoBlock {
+				continue // opaque: library or unobserved callee
+			}
+			f.op = i + 1
+			c.push(callee, c.sealed.HandlerTemps(op.Handler))
+			return true, nil
+		case ir.OpCallPtr:
+			target := c.shadow.FuncPtr(op.Field)
+			if c.enabled[StrategyIndirectJump] && !c.sealed.LegitimateTarget(op.Field, target) {
+				return false, c.anomaly(StrategyIndirectJump, ref, op.Src0,
+					"indirect jump via %q to unauthorized target %#x",
+					c.prog.Fields[op.Field].Name, target)
+			}
+			if target >= uint64(len(c.prog.Handlers)) {
+				// Unchecked corrupted pointer: the device would crash.
+				c.frames = c.frames[:0]
+				c.needResync = true
+				return false, nil
+			}
+			callee := c.sealed.HandlerEntry(int(target))
+			if callee == core.NoBlock {
+				continue // opaque target
+			}
+			f.op = i + 1
+			c.push(callee, c.sealed.HandlerTemps(int(target)))
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// transitionSealed applies the sealed block's lowered NBTD (or
+// unconditional successor), running the conditional-jump check and the
+// command access control. It mirrors transitionRef over the dense
+// structures; the differential test pins the two to identical behaviour.
+func (c *Checker) transitionSealed(f *simFrame, b *core.SealedBlock) (bool, *Anomaly) {
+	leavingCmdEnd := b.Kind == ir.KindCmdEnd
+
+	next := core.NoBlock
+	switch {
+	case !b.HasNBTD:
+		switch {
+		case b.Halts:
+			c.frames = c.frames[:0]
+			return true, nil
+		case b.Returns:
+			c.frames = c.frames[:len(c.frames)-1]
+			c.tempArena = c.tempArena[:f.off]
+			c.flagArena = c.flagArena[:f.off]
+			if leavingCmdEnd {
+				c.cmdActive = false
+			}
+			return len(c.frames) == 0, nil
+		default:
+			next = int(b.Next)
+			if next == core.NoBlock {
+				return true, c.condOrStop(b.Ref, ir.SourceRef{}, "successor outside specification")
+			}
+		}
+	case b.TermKind == ir.TermBranch:
+		t := b.Term
+		taken := t.Rel.Eval(f.temps[t.A], f.temps[t.B], t.Width, t.Signed)
+		seen, tgt := b.NotTakenSeen, int(b.NotTakenNext)
+		if taken {
+			seen, tgt = b.TakenSeen, int(b.TakenNext)
+		}
+		if !seen || tgt == core.NoBlock {
+			arm := "not-taken"
+			if taken {
+				arm = "taken"
+			}
+			return true, c.condOrStop(b.Ref, t.Src0, "untraversed %s branch", arm)
+		}
+		next = tgt
+	case b.TermKind == ir.TermSwitch:
+		t := b.Term
+		sel := f.temps[t.A]
+		tgt, ok := c.sealed.CaseNext(b, sel)
+		if b.Kind == ir.KindCmdDecision {
+			if !ok {
+				return true, c.condOrStop(b.Ref, t.Src0, "unknown device command %#x", sel)
+			}
+			c.activeCmd = sel
+			c.cmdActive = true
+			c.suppressAccess = false
+		} else if !ok {
+			// A plain decode switch: an unseen selector that statically
+			// lands on an already-observed arm (typically the default) is
+			// legitimate traffic, not a new command.
+			staticTgt := c.sealed.BlockID(b.Ref.Handler, staticSwitchTargetIdx(t, sel))
+			if staticTgt == core.NoBlock {
+				return true, c.condOrStop(b.Ref, t.Src0, "switch to untraversed arm for selector %#x", sel)
+			}
+			tgt = staticTgt
+		}
+		if tgt == core.NoBlock {
+			return true, c.condOrStop(b.Ref, t.Src0, "switch successor outside specification")
+		}
+		next = tgt
+	}
+
+	if leavingCmdEnd {
+		c.cmdActive = false
+	}
+
+	// Command access control: under an active command, only blocks in the
+	// command's access vector (or globally accessible blocks) may run. The
+	// block-table load happens only on the anomaly path (for the report's
+	// BlockRef); dangling successors skip the check, as the walker raises
+	// the dangling anomaly at the next loop head.
+	if c.accessControl && c.cmdActive && !c.suppressAccess &&
+		c.enabled[StrategyConditionalJump] &&
+		!c.sealed.Accessible(c.activeCmd, true, next) {
+		if nextB := c.sealed.Block(next); nextB != nil {
+			return true, c.anomaly(StrategyConditionalJump, nextB.Ref, ir.SourceRef{},
+				"block not accessible under command %#x", c.activeCmd)
+		}
+	}
+
+	f.block = next
+	f.op = 0
+	return false, nil
+}

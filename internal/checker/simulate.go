@@ -8,6 +8,20 @@ import (
 	"sedspec/internal/ir"
 )
 
+// The simulation has two walkers over one shared DSOD-op engine:
+//
+//   - simulateSealed (sealed_sim.go) runs against the dense SealedSpec —
+//     the production hot path, allocation-free in steady state;
+//   - simulateRef (below) runs against the mutable Spec's maps — the
+//     pre-seal baseline, retained behind WithReferenceSimulation for
+//     differential testing and overhead accounting.
+//
+// Each walker owns a loop specialized to its op layout (execDSOD over the
+// Spec's DSODOp slices, execDSODSealed over the flattened SealedOp arena)
+// but both delegate every check to the shared parameter-check helpers
+// below, and the differential test in the repository root pins the two
+// engines to byte-identical anomaly streams.
+
 // simulate walks the ES-CFG for one I/O request against the shadow device
 // state, returning the first blocking-relevant anomaly, or nil. Anomalies
 // of disabled strategies are not raised; the simulation then behaves like
@@ -15,8 +29,16 @@ import (
 // so a later enabled strategy can still catch the consequence — exactly
 // how the paper's per-strategy case studies work.
 func (c *Checker) simulate(req *interp.Request) *Anomaly {
+	if c.sealed != nil {
+		return c.simulateSealed(req)
+	}
+	return c.simulateRef(req)
+}
+
+// simulateRef is the reference walker over the unsealed Spec.
+func (c *Checker) simulateRef(req *interp.Request) *Anomaly {
 	c.frames = c.frames[:0]
-	c.push(c.spec.Entry)
+	c.push(c.spec.Entry, c.entryTemps)
 	steps := 0
 	if len(c.dmaShadow) > 0 {
 		clear(c.dmaShadow)
@@ -26,11 +48,12 @@ func (c *Checker) simulate(req *interp.Request) *Anomaly {
 		f := &c.frames[len(c.frames)-1]
 		es := c.spec.Block(f.block)
 		if es == nil {
-			// Dangling successor: a path the spec cannot follow.
-			return c.condOrStop(&core.ESBlock{}, ir.SourceRef{}, "dangling ES successor")
+			// Dangling successor: a path the spec cannot follow. The zero
+			// BlockRef marks "no block" in the report.
+			return c.condOrStop(ir.BlockRef{}, ir.SourceRef{}, "dangling ES successor")
 		}
 
-		descended, anomaly := c.execDSOD(f, es, req, &steps)
+		descended, anomaly := c.execDSOD(f, es.DSOD, es.Ref, req, &steps)
 		if anomaly != nil {
 			return anomaly
 		}
@@ -38,11 +61,11 @@ func (c *Checker) simulate(req *interp.Request) *Anomaly {
 			continue
 		}
 		if steps > c.budget {
-			return c.condOrStop(es, ir.SourceRef{}, "simulation budget exceeded (possible emulation loop)")
+			return c.condOrStop(es.Ref, ir.SourceRef{}, "simulation budget exceeded (possible emulation loop)")
 		}
 
 		steps++ // the block transition itself
-		done, anomaly := c.transition(f, es)
+		done, anomaly := c.transitionRef(f, es)
 		if anomaly != nil {
 			return anomaly
 		}
@@ -50,16 +73,41 @@ func (c *Checker) simulate(req *interp.Request) *Anomaly {
 			break
 		}
 	}
-	c.stats.StepsSimulated += steps
+	c.stats.StepsSimulated += uint64(steps)
 	return nil
 }
 
-func (c *Checker) push(block int) {
-	es := c.spec.Block(block)
-	var numTemps int
-	if es != nil {
-		numTemps = c.spec.Program().Handlers[es.Ref.Handler].NumTemps
+// push opens a frame for the ES block with the given temp-bank size. The
+// callers resolve numTemps from their engine's structures (the sealed
+// per-handler array, or Program().Handlers as the pre-seal code did).
+//
+// The sealed engine carves the banks out of the flat arenas (bump
+// allocation plus memclr; the pop in transitionSealed trims them back);
+// the reference engine keeps the pre-seal per-depth slice-of-slices and
+// element-loop zeroing.
+func (c *Checker) push(block, numTemps int) {
+	if c.sealed != nil {
+		off := len(c.tempArena)
+		end := off + numTemps
+		if end > cap(c.tempArena) {
+			ta := make([]uint64, end, 2*end)
+			copy(ta, c.tempArena)
+			c.tempArena = ta
+			fa := make([]interp.Flags, end, 2*end)
+			copy(fa, c.flagArena)
+			c.flagArena = fa
+		} else {
+			c.tempArena = c.tempArena[:end]
+			c.flagArena = c.flagArena[:end]
+		}
+		ts := c.tempArena[off:end:end]
+		fs := c.flagArena[off:end:end]
+		clear(ts)
+		clear(fs)
+		c.frames = append(c.frames, simFrame{block: block, temps: ts, flags: fs, off: off})
+		return
 	}
+
 	depth := len(c.frames)
 	for len(c.temps) <= depth {
 		c.temps = append(c.temps, nil)
@@ -71,6 +119,7 @@ func (c *Checker) push(block int) {
 	}
 	ts := c.temps[depth][:numTemps]
 	fs := c.flags[depth][:numTemps]
+	// Pre-seal zeroing, element by element, kept for the baseline.
 	for i := range ts {
 		ts[i] = 0
 		fs[i] = interp.Flags{}
@@ -78,25 +127,51 @@ func (c *Checker) push(block int) {
 	c.frames = append(c.frames, simFrame{block: block, temps: ts, flags: fs})
 }
 
+// calleeEntry resolves a handler's entry ES block for direct and indirect
+// calls.
+func (c *Checker) calleeEntry(handler int) int {
+	if c.sealed != nil {
+		return c.sealed.HandlerEntry(handler)
+	}
+	return c.spec.BlockFor(ir.BlockRef{Handler: handler, Block: 0})
+}
+
+// paramField reports whether the field is a selected device-state
+// parameter.
+func (c *Checker) paramField(field int) bool {
+	if c.sealed != nil {
+		return c.sealed.ParamField(field)
+	}
+	return c.spec.Params.Contains(field)
+}
+
+// legitimateTarget consults the learned indirect-jump target sets.
+func (c *Checker) legitimateTarget(field int, target uint64) bool {
+	if c.sealed != nil {
+		return c.sealed.LegitimateTarget(field, target)
+	}
+	return c.spec.LegitimateTarget(field, target)
+}
+
 // condOrStop raises a conditional-jump anomaly if the strategy is enabled;
 // otherwise it silently stops the simulation (the spec cannot follow the
 // path) and schedules a shadow resync.
-func (c *Checker) condOrStop(es *core.ESBlock, src ir.SourceRef, format string, args ...any) *Anomaly {
+func (c *Checker) condOrStop(ref ir.BlockRef, src ir.SourceRef, format string, args ...any) *Anomaly {
 	if c.enabled[StrategyConditionalJump] {
-		return c.anomaly(StrategyConditionalJump, es, src, format, args...)
+		return c.anomaly(StrategyConditionalJump, ref, src, format, args...)
 	}
 	c.frames = c.frames[:0]
 	c.needResync = true
 	return nil
 }
 
-// execDSOD runs the block's retained ops from the frame cursor. It reports
-// whether the walker descended into a callee.
-func (c *Checker) execDSOD(f *simFrame, es *core.ESBlock, req *interp.Request, steps *int) (bool, *Anomaly) {
-	prog := c.spec.Program()
-	for i := f.op; i < len(es.DSOD); i++ {
+// execDSOD runs the block's retained ops from the frame cursor in the
+// reference engine (the sealed twin is execDSODSealed in sealed_sim.go).
+// It reports whether the walker descended into a callee.
+func (c *Checker) execDSOD(f *simFrame, dsod []core.DSODOp, ref ir.BlockRef, req *interp.Request, steps *int) (bool, *Anomaly) {
+	for i := f.op; i < len(dsod); i++ {
 		*steps++
-		d := &es.DSOD[i]
+		d := &dsod[i]
 		op := d.Op
 		switch op.Code {
 		case ir.OpConst:
@@ -112,7 +187,7 @@ func (c *Checker) execDSOD(f *simFrame, es *core.ESBlock, req *interp.Request, s
 			v, fl, divZero := interp.ALUExec(op.ALU, f.temps[op.A], f.temps[op.B], op.Width, op.Signed)
 			if divZero {
 				if c.enabled[StrategyParameter] {
-					return false, c.anomaly(StrategyParameter, es, op.Src0, "division by zero")
+					return false, c.anomaly(StrategyParameter, ref, op.Src0, "division by zero")
 				}
 				c.frames = c.frames[:0]
 				c.needResync = true
@@ -121,25 +196,25 @@ func (c *Checker) execDSOD(f *simFrame, es *core.ESBlock, req *interp.Request, s
 			f.temps[op.Dst] = v
 			f.flags[op.Dst] = fl
 		case ir.OpStore:
-			if a := c.checkIntStore(es, op, f); a != nil {
+			if a := c.checkIntStore(ref, op, f); a != nil {
 				return false, a
 			}
 			c.shadow.SetInt(op.Field, f.temps[op.Src])
 		case ir.OpStoreFunc:
 			c.shadow.SetFuncPtr(op.Field, f.temps[op.Src])
 		case ir.OpBufLoad:
-			v, a := c.bufAccess(es, d, f, f.temps[op.Idx], 0, 0, false)
+			v, a := c.bufAccess(ref, op, d.ParamIndexed, f, f.temps[op.Idx], 0, 0, false)
 			if a != nil {
 				return false, a
 			}
 			f.temps[op.Dst] = v
 			f.flags[op.Dst] = interp.Flags{}
 		case ir.OpBufStore:
-			if _, a := c.bufAccess(es, d, f, f.temps[op.Idx], 0, byte(f.temps[op.Src]), true); a != nil {
+			if _, a := c.bufAccess(ref, op, d.ParamIndexed, f, f.temps[op.Idx], 0, byte(f.temps[op.Src]), true); a != nil {
 				return false, a
 			}
 		case ir.OpIOToBuf:
-			if a := c.checkCopyRange(es, d, f); a != nil {
+			if a := c.checkCopyRange(ref, op, d.ParamIndexed, f); a != nil {
 				return false, a
 			}
 			req.Skip(int(f.temps[op.B] & 0xFFFF_FFFF))
@@ -150,10 +225,10 @@ func (c *Checker) execDSOD(f *simFrame, es *core.ESBlock, req *interp.Request, s
 			// control-flow decisions, so the shadow must hold the real
 			// content — and unchecked overflows must corrupt the shadow
 			// the way they corrupt the device.
-			if a := c.checkCopyRange(es, d, f); a != nil {
+			if a := c.checkCopyRange(ref, op, d.ParamIndexed, f); a != nil {
 				return false, a
 			}
-			if a := c.dmaToShadow(es, d, f); a != nil {
+			if a := c.dmaToShadow(ref, op, d.ParamIndexed, f); a != nil {
 				return false, a
 			}
 			if len(c.frames) == 0 {
@@ -163,16 +238,22 @@ func (c *Checker) execDSOD(f *simFrame, es *core.ESBlock, req *interp.Request, s
 			// Outbound DMA is guest-visible: bounds-check only, never
 			// performed. This asymmetry is the reduction that keeps the
 			// checker cheap on read-heavy workloads.
-			if a := c.checkCopyRange(es, d, f); a != nil {
+			if a := c.checkCopyRange(ref, op, d.ParamIndexed, f); a != nil {
 				return false, a
 			}
 		case ir.OpDMARead:
+			// Pre-seal implementation, preserved for faithful overhead
+			// accounting: the stack buffer escapes through the Env
+			// interface (one heap allocation per DMA-read op) and the
+			// writeback overlay probes the journal unconditionally. The
+			// sealed twin uses the checker's scratch buffer and skips the
+			// overlay when the journal is empty.
 			var buf [8]byte
 			n := op.Width.Bytes()
 			addr := f.temps[op.A]
 			if err := c.env.DMARead(addr, buf[:n]); err != nil {
 				if c.enabled[StrategyParameter] {
-					return false, c.anomaly(StrategyParameter, es, op.Src0, "DMA read out of guest memory: %v", err)
+					return false, c.anomaly(StrategyParameter, ref, op.Src0, "DMA read out of guest memory: %v", err)
 				}
 				c.frames = c.frames[:0]
 				c.needResync = true
@@ -222,32 +303,32 @@ func (c *Checker) execDSOD(f *simFrame, es *core.ESBlock, req *interp.Request, s
 			f.flags[op.Dst] = interp.Flags{}
 			c.stats.SyncPointsResolved++
 		case ir.OpCall:
-			callee := c.spec.BlockFor(ir.BlockRef{Handler: op.Handler, Block: 0})
+			callee := c.calleeEntry(op.Handler)
 			if callee == core.NoBlock {
 				continue // opaque: library or unobserved callee
 			}
 			f.op = i + 1
-			c.push(callee)
+			c.push(callee, c.prog.Handlers[op.Handler].NumTemps)
 			return true, nil
 		case ir.OpCallPtr:
 			target := c.shadow.FuncPtr(op.Field)
-			if c.enabled[StrategyIndirectJump] && !c.spec.LegitimateTarget(op.Field, target) {
-				return false, c.anomaly(StrategyIndirectJump, es, op.Src0,
+			if c.enabled[StrategyIndirectJump] && !c.legitimateTarget(op.Field, target) {
+				return false, c.anomaly(StrategyIndirectJump, ref, op.Src0,
 					"indirect jump via %q to unauthorized target %#x",
-					prog.Fields[op.Field].Name, target)
+					c.prog.Fields[op.Field].Name, target)
 			}
-			if target >= uint64(len(prog.Handlers)) {
+			if target >= uint64(len(c.prog.Handlers)) {
 				// Unchecked corrupted pointer: the device would crash.
 				c.frames = c.frames[:0]
 				c.needResync = true
 				return false, nil
 			}
-			callee := c.spec.BlockFor(ir.BlockRef{Handler: int(target), Block: 0})
+			callee := c.calleeEntry(int(target))
 			if callee == core.NoBlock {
 				continue // opaque target
 			}
 			f.op = i + 1
-			c.push(callee)
+			c.push(callee, c.prog.Handlers[target].NumTemps)
 			return true, nil
 		}
 	}
@@ -258,17 +339,17 @@ func (c *Checker) execDSOD(f *simFrame, es *core.ESBlock, req *interp.Request, s
 // storing a value whose defining arithmetic overflowed for the parameter's
 // signedness, or that exceeds the field's representable range, is an
 // anomaly (paper §VI-A, UBSan-style type metadata plus flag bits).
-func (c *Checker) checkIntStore(es *core.ESBlock, op *ir.Op, f *simFrame) *Anomaly {
-	if !c.enabled[StrategyParameter] || !c.spec.Params.Contains(op.Field) {
+func (c *Checker) checkIntStore(ref ir.BlockRef, op *ir.Op, f *simFrame) *Anomaly {
+	if !c.enabled[StrategyParameter] || !c.paramField(op.Field) {
 		return nil
 	}
-	fld := &c.spec.Program().Fields[op.Field]
+	fld := &c.prog.Fields[op.Field]
 	if f.flags[op.Src].OverflowFor(fld.Signed) {
 		kind := "unsigned"
 		if fld.Signed {
 			kind = "signed"
 		}
-		return c.anomaly(StrategyParameter, es, op.Src0,
+		return c.anomaly(StrategyParameter, ref, op.Src0,
 			"%s integer overflow storing into %q", kind, fld.Name)
 	}
 	return nil
@@ -278,10 +359,8 @@ func (c *Checker) checkIntStore(es *core.ESBlock, op *ir.Op, f *simFrame) *Anoma
 // only when the access is indexed by a device-state parameter, per the
 // paper — and otherwise mirrors the device's C semantics on the shadow
 // arena, so downstream strategies see the corruption.
-func (c *Checker) bufAccess(es *core.ESBlock, d *core.DSODOp, f *simFrame, rawIdx uint64, delta int64, v byte, write bool) (uint64, *Anomaly) {
-	op := d.Op
-	prog := c.spec.Program()
-	fld := &prog.Fields[op.Field]
+func (c *Checker) bufAccess(ref ir.BlockRef, op *ir.Op, paramIndexed bool, f *simFrame, rawIdx uint64, delta int64, v byte, write bool) (uint64, *Anomaly) {
+	fld := &c.prog.Fields[op.Field]
 	var idx int64
 	if op.Signed {
 		idx = op.Width.SignExtend(rawIdx)
@@ -293,11 +372,11 @@ func (c *Checker) bufAccess(es *core.ESBlock, d *core.DSODOp, f *simFrame, rawId
 
 	inField := idx >= 0 && idx < int64(fld.Size)
 	if !inField {
-		if c.enabled[StrategyParameter] && d.ParamIndexed {
-			return 0, c.anomaly(StrategyParameter, es, op.Src0,
+		if c.enabled[StrategyParameter] && paramIndexed {
+			return 0, c.anomaly(StrategyParameter, ref, op.Src0,
 				"buffer overflow: %s[%d] outside [0,%d)", fld.Name, idx, fld.Size)
 		}
-		if off < 0 || off >= int64(prog.ArenaSize) {
+		if off < 0 || off >= int64(c.prog.ArenaSize) {
 			// The device would fault past the arena; stop simulating.
 			c.frames = c.frames[:0]
 			c.needResync = true
@@ -315,14 +394,13 @@ func (c *Checker) bufAccess(es *core.ESBlock, d *core.DSODOp, f *simFrame, rawId
 // dmaToShadow copies guest memory into the shadow buffer with the
 // device's C semantics (neighbour corruption inside the arena, stop at the
 // arena edge).
-func (c *Checker) dmaToShadow(es *core.ESBlock, d *core.DSODOp, f *simFrame) *Anomaly {
-	op := d.Op
+func (c *Checker) dmaToShadow(ref ir.BlockRef, op *ir.Op, paramIndexed bool, f *simFrame) *Anomaly {
 	n := int(f.temps[op.B] & 0xFFFF_FFFF)
 	addr := f.temps[op.A]
 
 	// Fast path: the whole span is inside the buffer — one bulk read into
 	// the shadow, mirroring the device's memcpy.
-	fld := &c.spec.Program().Fields[op.Field]
+	fld := &c.prog.Fields[op.Field]
 	var sidx int64
 	if op.Signed {
 		sidx = op.Width.SignExtend(f.temps[op.Idx])
@@ -332,8 +410,8 @@ func (c *Checker) dmaToShadow(es *core.ESBlock, d *core.DSODOp, f *simFrame) *An
 	if sidx >= 0 && n >= 0 && sidx+int64(n) <= int64(fld.Size) {
 		off := fld.Offset + int(sidx)
 		if err := c.env.DMARead(addr, c.shadow.Bytes()[off:off+n]); err != nil {
-			if c.enabled[StrategyParameter] && d.ParamIndexed {
-				return c.anomaly(StrategyParameter, es, op.Src0, "DMA source out of guest memory: %v", err)
+			if c.enabled[StrategyParameter] && paramIndexed {
+				return c.anomaly(StrategyParameter, ref, op.Src0, "DMA source out of guest memory: %v", err)
 			}
 			c.frames = c.frames[:0]
 			c.needResync = true
@@ -348,15 +426,15 @@ func (c *Checker) dmaToShadow(es *core.ESBlock, d *core.DSODOp, f *simFrame) *An
 			cl = rem
 		}
 		if err := c.env.DMARead(addr+uint64(copied), chunk[:cl]); err != nil {
-			if c.enabled[StrategyParameter] && d.ParamIndexed {
-				return c.anomaly(StrategyParameter, es, op.Src0, "DMA source out of guest memory: %v", err)
+			if c.enabled[StrategyParameter] && paramIndexed {
+				return c.anomaly(StrategyParameter, ref, op.Src0, "DMA source out of guest memory: %v", err)
 			}
 			c.frames = c.frames[:0]
 			c.needResync = true
 			return nil
 		}
 		for i := 0; i < cl; i++ {
-			if _, a := c.bufAccess(es, d, f, f.temps[op.Idx], int64(copied+i), chunk[i], true); a != nil {
+			if _, a := c.bufAccess(ref, op, paramIndexed, f, f.temps[op.Idx], int64(copied+i), chunk[i], true); a != nil {
 				return a
 			}
 			if len(c.frames) == 0 {
@@ -371,12 +449,11 @@ func (c *Checker) dmaToShadow(es *core.ESBlock, d *core.DSODOp, f *simFrame) *An
 // checkCopyRange bounds-checks a bulk copy's buffer range (either
 // direction) against the buffer's size — again only when the range derives
 // from device-state parameters.
-func (c *Checker) checkCopyRange(es *core.ESBlock, d *core.DSODOp, f *simFrame) *Anomaly {
-	op := d.Op
-	if !c.enabled[StrategyParameter] || !d.ParamIndexed {
+func (c *Checker) checkCopyRange(ref ir.BlockRef, op *ir.Op, paramIndexed bool, f *simFrame) *Anomaly {
+	if !c.enabled[StrategyParameter] || !paramIndexed {
 		return nil
 	}
-	fld := &c.spec.Program().Fields[op.Field]
+	fld := &c.prog.Fields[op.Field]
 	n := int64(f.temps[op.B] & 0xFFFF_FFFF)
 	var idx int64
 	if op.Signed {
@@ -385,15 +462,16 @@ func (c *Checker) checkCopyRange(es *core.ESBlock, d *core.DSODOp, f *simFrame) 
 		idx = int64(f.temps[op.Idx] & op.Width.Mask())
 	}
 	if idx < 0 || n < 0 || idx+n > int64(fld.Size) {
-		return c.anomaly(StrategyParameter, es, op.Src0,
+		return c.anomaly(StrategyParameter, ref, op.Src0,
 			"out-of-bounds read: %s[%d..%d) outside [0,%d)", fld.Name, idx, idx+n, fld.Size)
 	}
 	return nil
 }
 
-// transition applies the block's NBTD (or unconditional successor),
-// running the conditional-jump check and the command access control.
-func (c *Checker) transition(f *simFrame, es *core.ESBlock) (bool, *Anomaly) {
+// transitionRef applies the block's NBTD (or unconditional successor) in
+// the reference engine, running the conditional-jump check and the command
+// access control.
+func (c *Checker) transitionRef(f *simFrame, es *core.ESBlock) (bool, *Anomaly) {
 	leavingCmdEnd := es.Kind == ir.KindCmdEnd
 
 	next := core.NoBlock
@@ -412,7 +490,7 @@ func (c *Checker) transition(f *simFrame, es *core.ESBlock) (bool, *Anomaly) {
 		default:
 			next = es.Next
 			if next == core.NoBlock {
-				return true, c.condOrStop(es, ir.SourceRef{}, "successor outside specification")
+				return true, c.condOrStop(es.Ref, ir.SourceRef{}, "successor outside specification")
 			}
 		}
 	case es.NBTD.Kind == ir.TermBranch:
@@ -427,7 +505,7 @@ func (c *Checker) transition(f *simFrame, es *core.ESBlock) (bool, *Anomaly) {
 			if taken {
 				arm = "taken"
 			}
-			return true, c.condOrStop(es, t.Src0, "untraversed %s branch", arm)
+			return true, c.condOrStop(es.Ref, t.Src0, "untraversed %s branch", arm)
 		}
 		next = tgt
 	case es.NBTD.Kind == ir.TermSwitch:
@@ -436,7 +514,7 @@ func (c *Checker) transition(f *simFrame, es *core.ESBlock) (bool, *Anomaly) {
 		tgt, ok := es.NBTD.CaseNext[sel]
 		if es.Kind == ir.KindCmdDecision {
 			if !ok {
-				return true, c.condOrStop(es, t.Src0, "unknown device command %#x", sel)
+				return true, c.condOrStop(es.Ref, t.Src0, "unknown device command %#x", sel)
 			}
 			c.activeCmd = sel
 			c.cmdActive = true
@@ -450,12 +528,12 @@ func (c *Checker) transition(f *simFrame, es *core.ESBlock) (bool, *Anomaly) {
 				Block:   staticSwitchTargetIdx(t, sel),
 			})
 			if staticTgt == core.NoBlock {
-				return true, c.condOrStop(es, t.Src0, "switch to untraversed arm for selector %#x", sel)
+				return true, c.condOrStop(es.Ref, t.Src0, "switch to untraversed arm for selector %#x", sel)
 			}
 			tgt = staticTgt
 		}
 		if tgt == core.NoBlock {
-			return true, c.condOrStop(es, t.Src0, "switch successor outside specification")
+			return true, c.condOrStop(es.Ref, t.Src0, "switch successor outside specification")
 		}
 		next = tgt
 	}
@@ -470,7 +548,7 @@ func (c *Checker) transition(f *simFrame, es *core.ESBlock) (bool, *Anomaly) {
 	if nextES != nil && c.accessControl && c.cmdActive && !c.suppressAccess &&
 		c.enabled[StrategyConditionalJump] &&
 		!c.spec.CmdTable.Accessible(c.activeCmd, true, next) {
-		return true, c.anomaly(StrategyConditionalJump, nextES, ir.SourceRef{},
+		return true, c.anomaly(StrategyConditionalJump, nextES.Ref, ir.SourceRef{},
 			"block not accessible under command %#x", c.activeCmd)
 	}
 

@@ -1,0 +1,431 @@
+package core
+
+import (
+	"sort"
+
+	"sedspec/internal/ir"
+)
+
+// This file implements spec sealing: lowering the learned, map-heavy ES-CFG
+// into dense runtime structures the ES-Checker can simulate without pointer
+// chasing or hashing on the per-I/O hot path. The mutable Spec remains the
+// artifact for training, reduction, and JSON serialization; a SealedSpec is
+// produced once at deployment time (checker.New seals internally) and is
+// immutable afterwards.
+//
+// Lowerings applied by Seal:
+//
+//   - the block table becomes a flat []SealedBlock indexed by ES id, with
+//     the owning handler's NumTemps precomputed into each entry (the
+//     checker's frame push no longer chases Program().Handlers[...]);
+//   - every block's DSOD ops are copied by value into one contiguous arena
+//     and addressed by [start,end) range, so a round's op stream is a
+//     linear scan instead of per-block pointer hops into the program;
+//   - NBTD.CaseNext maps become sorted (selector, next) runs in a shared
+//     case arena resolved by binary search, with a small-map fallback only
+//     above caseMapThreshold entries;
+//   - byRef becomes dense per-handler id arrays (O(1) lookup for call
+//     entries and static switch fallbacks);
+//   - IndirectTargets becomes per-field sorted target slices;
+//   - the command access table becomes per-command block bitsets behind a
+//     sorted command index (map fallback above cmdMapThreshold), and the
+//     global set a single bitset;
+//   - the parameter selection becomes a field bitset.
+
+// caseMapThreshold is the switch-arm count above which a sealed block keeps
+// a map for selector lookup instead of a binary-searched run. Binary search
+// over a short sorted run beats hashing (no hash, no bucket hop) until the
+// run outgrows a few cache lines.
+const caseMapThreshold = 32
+
+// cmdMapThreshold is the learned-command count above which the sealed
+// access table falls back to a map keyed by command value.
+const cmdMapThreshold = 64
+
+// bitset is a fixed-capacity bit vector.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b bitset) get(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<(uint(i)&63)) != 0
+}
+
+// SealedCase is one lowered switch arm: selector value K transitions to ES
+// block Next.
+type SealedCase struct {
+	K    uint64
+	Next int32
+}
+
+// SealedOp is one lowered DSOD op: the program op copied by value with its
+// check metadata flattened alongside, so the checker's hot loop reads one
+// contiguous record per op instead of hopping through a pointer to the
+// program and a separate metadata struct. The serialization-only OpRef is
+// dropped — it has no runtime use.
+type SealedOp struct {
+	Op           ir.Op
+	Sync         bool
+	ParamIndexed bool
+}
+
+// SealedBlock is the dense runtime form of an ESBlock. Successor ids are
+// int32 (NoBlock for absent) to keep the entry compact; a tombstone entry
+// (Live == false) stands in for blocks elided by reduction so ids remain
+// stable.
+type SealedBlock struct {
+	Live    bool
+	Kind    ir.BlockKind
+	Returns bool
+	Halts   bool
+
+	// NBTD lowering. HasNBTD false means the block transitions
+	// unconditionally through Next.
+	HasNBTD      bool
+	TermKind     ir.TermKind
+	TakenSeen    bool
+	NotTakenSeen bool
+
+	// NumTemps is the owning handler's temp count, precomputed so the
+	// checker's frame push is a single field read.
+	NumTemps int32
+
+	TakenNext    int32
+	NotTakenNext int32
+	Next         int32
+
+	// DSOD addresses the block's ops inside the sealed op arena.
+	DSODStart int32
+	DSODEnd   int32
+
+	// Cases addresses the block's sorted switch arms inside the case
+	// arena; CaseMap is non-nil only above caseMapThreshold.
+	CaseStart int32
+	CaseEnd   int32
+	CaseMap   map[uint64]int32
+
+	// Ref identifies the original block for anomaly reports.
+	Ref ir.BlockRef
+	// Term points at the original terminator (condition operands,
+	// relation, source statement); nil for unconditional blocks.
+	Term *ir.Term
+}
+
+// SealedSpec is the dense, immutable runtime form of a Spec.
+type SealedSpec struct {
+	Device string
+	Entry  int
+
+	prog   *ir.Program
+	blocks []SealedBlock
+
+	// dsod is the contiguous DSOD op arena, in execution order: a round's
+	// op stream is a linear scan over value records.
+	dsod []SealedOp
+
+	cases []SealedCase
+
+	// blockIDs[h][b] is the ES id for original block (h, b), or NoBlock.
+	blockIDs [][]int32
+
+	// handlerTemps[h] is handler h's temp-bank size, so opening a frame
+	// for a callee needs no block-table load.
+	handlerTemps []int32
+
+	// indirect[f] is the sorted legitimate-target set of function-pointer
+	// field f (nil when none were learned).
+	indirect [][]uint64
+
+	// Access table lowering.
+	global   bitset
+	cmds     []uint64
+	cmdVecs  []bitset
+	cmdMap   map[uint64]bitset
+	numESIDs int
+
+	// params marks the selected device-state parameter fields.
+	params bitset
+}
+
+// Seal lowers the specification into its dense runtime form. The result
+// shares the device program (and the ir.Term pointers inside it) with the
+// spec but copies everything else; later mutation of the Spec does not
+// affect a sealed snapshot.
+func (s *Spec) Seal() *SealedSpec {
+	ss := &SealedSpec{
+		Device:   s.Device,
+		Entry:    s.Entry,
+		prog:     s.prog,
+		blocks:   make([]SealedBlock, len(s.Blocks)),
+		numESIDs: len(s.Blocks),
+		params:   newBitset(len(s.prog.Fields)),
+	}
+
+	// DSOD arena: count, then copy. Ops are flattened by value (with their
+	// check metadata) in execution order, so a simulated round walks one
+	// contiguous array instead of hopping through the program's per-block
+	// op slices.
+	nOps, nCases := 0, 0
+	for _, b := range s.Blocks {
+		if b == nil {
+			continue
+		}
+		nOps += len(b.DSOD)
+		if b.NBTD != nil && len(b.NBTD.CaseNext) <= caseMapThreshold {
+			nCases += len(b.NBTD.CaseNext)
+		}
+	}
+	ss.dsod = make([]SealedOp, 0, nOps)
+	ss.cases = make([]SealedCase, 0, nCases)
+
+	for id, b := range s.Blocks {
+		sb := &ss.blocks[id]
+		if b == nil {
+			// Tombstone for a reduced-away block.
+			sb.Next = NoBlock
+			sb.TakenNext = NoBlock
+			sb.NotTakenNext = NoBlock
+			continue
+		}
+		sb.Live = true
+		sb.Kind = b.Kind
+		sb.Returns = b.Returns
+		sb.Halts = b.Halts
+		sb.Ref = b.Ref
+		sb.Next = int32(b.Next)
+		sb.NumTemps = int32(s.prog.Handlers[b.Ref.Handler].NumTemps)
+
+		sb.DSODStart = int32(len(ss.dsod))
+		for _, d := range b.DSOD {
+			ss.dsod = append(ss.dsod, SealedOp{Op: *d.Op, Sync: d.Sync, ParamIndexed: d.ParamIndexed})
+		}
+		sb.DSODEnd = int32(len(ss.dsod))
+
+		sb.TakenNext = NoBlock
+		sb.NotTakenNext = NoBlock
+		if n := b.NBTD; n != nil {
+			sb.HasNBTD = true
+			sb.TermKind = n.Kind
+			sb.Term = n.Term
+			sb.TakenSeen = n.TakenSeen
+			sb.NotTakenSeen = n.NotTakenSeen
+			sb.TakenNext = int32(n.TakenNext)
+			sb.NotTakenNext = int32(n.NotTakenNext)
+			switch {
+			case len(n.CaseNext) > caseMapThreshold:
+				sb.CaseMap = make(map[uint64]int32, len(n.CaseNext))
+				for k, next := range n.CaseNext {
+					sb.CaseMap[k] = int32(next)
+				}
+			case len(n.CaseNext) > 0:
+				sb.CaseStart = int32(len(ss.cases))
+				for k, next := range n.CaseNext {
+					ss.cases = append(ss.cases, SealedCase{K: k, Next: int32(next)})
+				}
+				sb.CaseEnd = int32(len(ss.cases))
+				run := ss.cases[sb.CaseStart:sb.CaseEnd]
+				sort.Slice(run, func(i, j int) bool { return run[i].K < run[j].K })
+			}
+		}
+	}
+
+	ss.handlerTemps = make([]int32, len(s.prog.Handlers))
+	for h := range s.prog.Handlers {
+		ss.handlerTemps[h] = int32(s.prog.Handlers[h].NumTemps)
+	}
+
+	// byRef -> dense per-handler id arrays.
+	ss.blockIDs = make([][]int32, len(s.prog.Handlers))
+	for h := range s.prog.Handlers {
+		ids := make([]int32, len(s.prog.Handlers[h].Blocks))
+		for i := range ids {
+			ids[i] = NoBlock
+		}
+		ss.blockIDs[h] = ids
+	}
+	for ref, id := range s.byRef {
+		ss.blockIDs[ref.Handler][ref.Block] = int32(id)
+	}
+
+	// Indirect-jump targets -> per-field sorted slices.
+	ss.indirect = make([][]uint64, len(s.prog.Fields))
+	for field, set := range s.IndirectTargets {
+		if field < 0 || field >= len(ss.indirect) {
+			continue
+		}
+		targets := make([]uint64, 0, len(set))
+		for t := range set {
+			targets = append(targets, t)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		ss.indirect[field] = targets
+	}
+
+	// Command access table -> bitsets.
+	ss.global = newBitset(len(s.Blocks))
+	for b, ok := range s.CmdTable.Global {
+		if ok {
+			ss.global.set(b)
+		}
+	}
+	if len(s.CmdTable.Access) > cmdMapThreshold {
+		ss.cmdMap = make(map[uint64]bitset, len(s.CmdTable.Access))
+		for cmd, set := range s.CmdTable.Access {
+			ss.cmdMap[cmd] = sealAccessVec(set, len(s.Blocks))
+		}
+	} else {
+		ss.cmds = make([]uint64, 0, len(s.CmdTable.Access))
+		for cmd := range s.CmdTable.Access {
+			ss.cmds = append(ss.cmds, cmd)
+		}
+		sort.Slice(ss.cmds, func(i, j int) bool { return ss.cmds[i] < ss.cmds[j] })
+		ss.cmdVecs = make([]bitset, len(ss.cmds))
+		for i, cmd := range ss.cmds {
+			ss.cmdVecs[i] = sealAccessVec(s.CmdTable.Access[cmd], len(s.Blocks))
+		}
+	}
+
+	// Parameter selection -> field bitset.
+	for _, p := range s.Params.Params {
+		if p.Field >= 0 && p.Field < len(s.prog.Fields) {
+			ss.params.set(p.Field)
+		}
+	}
+	return ss
+}
+
+func sealAccessVec(set map[int]bool, n int) bitset {
+	v := newBitset(n)
+	for b, ok := range set {
+		if ok && b >= 0 && b < n {
+			v.set(b)
+		}
+	}
+	return v
+}
+
+// Program returns the device program the sealed spec runs against.
+func (s *SealedSpec) Program() *ir.Program { return s.prog }
+
+// NumBlocks returns the ES id space size (including tombstones).
+func (s *SealedSpec) NumBlocks() int { return len(s.blocks) }
+
+// Block returns the sealed block by id, or nil for out-of-range ids and
+// tombstones (reduced-away blocks): the dangling-successor cases.
+func (s *SealedSpec) Block(id int) *SealedBlock {
+	if id < 0 || id >= len(s.blocks) || !s.blocks[id].Live {
+		return nil
+	}
+	return &s.blocks[id]
+}
+
+// DSOD returns the block's op range inside the contiguous arena.
+func (s *SealedSpec) DSOD(b *SealedBlock) []SealedOp {
+	return s.dsod[b.DSODStart:b.DSODEnd]
+}
+
+// BlockID returns the ES id for original block (handler, block), or
+// NoBlock. This is the sealed replacement for Spec.BlockFor.
+func (s *SealedSpec) BlockID(handler, block int) int {
+	if handler < 0 || handler >= len(s.blockIDs) {
+		return NoBlock
+	}
+	ids := s.blockIDs[handler]
+	if block < 0 || block >= len(ids) {
+		return NoBlock
+	}
+	return int(ids[block])
+}
+
+// HandlerEntry returns the ES id of the handler's entry block, or NoBlock.
+func (s *SealedSpec) HandlerEntry(handler int) int {
+	return s.BlockID(handler, 0)
+}
+
+// HandlerTemps returns handler h's temp-bank size (0 when out of range).
+func (s *SealedSpec) HandlerTemps(h int) int {
+	if h < 0 || h >= len(s.handlerTemps) {
+		return 0
+	}
+	return int(s.handlerTemps[h])
+}
+
+// CaseNext resolves a switch selector against the block's lowered arms.
+func (s *SealedSpec) CaseNext(b *SealedBlock, sel uint64) (int, bool) {
+	if b.CaseMap != nil {
+		next, ok := b.CaseMap[sel]
+		return int(next), ok
+	}
+	lo, hi := int(b.CaseStart), int(b.CaseEnd)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c := &s.cases[mid]; c.K < sel {
+			lo = mid + 1
+		} else if c.K > sel {
+			hi = mid
+		} else {
+			return int(c.Next), true
+		}
+	}
+	return NoBlock, false
+}
+
+// LegitimateTarget reports whether storing target in the function-pointer
+// field was observed during training (sorted-slice binary search).
+func (s *SealedSpec) LegitimateTarget(field int, target uint64) bool {
+	if field < 0 || field >= len(s.indirect) {
+		return false
+	}
+	set := s.indirect[field]
+	lo, hi := 0, len(set)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if set[mid] < target {
+			lo = mid + 1
+		} else if set[mid] > target {
+			hi = mid
+		} else {
+			return true
+		}
+	}
+	return false
+}
+
+// Accessible reports whether a block may execute under the active command,
+// mirroring CmdAccessTable.Accessible over the sealed bitsets.
+func (s *SealedSpec) Accessible(cmd uint64, active bool, block int) bool {
+	if block < 0 || block >= s.numESIDs {
+		return false
+	}
+	if s.global.get(block) {
+		return true
+	}
+	if !active {
+		return false
+	}
+	if s.cmdMap != nil {
+		v, ok := s.cmdMap[cmd]
+		return ok && v.get(block)
+	}
+	lo, hi := 0, len(s.cmds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.cmds[mid] < cmd {
+			lo = mid + 1
+		} else if s.cmds[mid] > cmd {
+			hi = mid
+		} else {
+			return s.cmdVecs[mid].get(block)
+		}
+	}
+	return false
+}
+
+// ParamField reports whether the field is a selected device-state
+// parameter (the sealed replacement for Selection.Contains).
+func (s *SealedSpec) ParamField(field int) bool {
+	return field >= 0 && s.params.get(field)
+}

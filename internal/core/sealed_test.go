@@ -1,0 +1,231 @@
+package core_test
+
+import (
+	"testing"
+
+	"sedspec/internal/core"
+	"sedspec/internal/interp"
+	"sedspec/internal/ir"
+)
+
+// assertSealedEquivalent checks every sealed lowering against the mutable
+// spec it came from: the flat block table, the DSOD arena, the case runs,
+// the dense id arrays, the indirect-target slices, the access bitsets, and
+// the parameter bitset must answer exactly as the map-based originals.
+func assertSealedEquivalent(t *testing.T, spec *core.Spec) {
+	t.Helper()
+	ss := spec.Seal()
+	prog := spec.Program()
+
+	if ss.Device != spec.Device {
+		t.Errorf("sealed device = %q, want %q", ss.Device, spec.Device)
+	}
+	if ss.Entry != spec.Entry {
+		t.Errorf("sealed entry = %d, want %d", ss.Entry, spec.Entry)
+	}
+	if ss.Program() != prog {
+		t.Error("sealed spec lost the program pointer")
+	}
+	if ss.NumBlocks() != len(spec.Blocks) {
+		t.Fatalf("sealed id space = %d, want %d", ss.NumBlocks(), len(spec.Blocks))
+	}
+
+	for id, b := range spec.Blocks {
+		sb := ss.Block(id)
+		if b == nil {
+			if sb != nil {
+				t.Errorf("block %d: tombstone expected, got live block", id)
+			}
+			continue
+		}
+		if sb == nil {
+			t.Errorf("block %d: live block expected, got tombstone", id)
+			continue
+		}
+		if sb.Ref != b.Ref || sb.Kind != b.Kind || sb.Returns != b.Returns || sb.Halts != b.Halts {
+			t.Errorf("block %d: identity mismatch: %+v vs %+v", id, sb, b)
+		}
+		if want := prog.Handlers[b.Ref.Handler].NumTemps; int(sb.NumTemps) != want {
+			t.Errorf("block %d: NumTemps = %d, want %d", id, sb.NumTemps, want)
+		}
+
+		dsod := ss.DSOD(sb)
+		if len(dsod) != len(b.DSOD) {
+			t.Fatalf("block %d: DSOD length %d, want %d", id, len(dsod), len(b.DSOD))
+		}
+		for i := range dsod {
+			if dsod[i].Op != *b.DSOD[i].Op {
+				t.Errorf("block %d op %d: arena op copy diverges", id, i)
+			}
+			if dsod[i].Sync != b.DSOD[i].Sync ||
+				dsod[i].ParamIndexed != b.DSOD[i].ParamIndexed {
+				t.Errorf("block %d op %d: DSOD metadata diverges", id, i)
+			}
+		}
+
+		if (b.NBTD != nil) != sb.HasNBTD {
+			t.Fatalf("block %d: HasNBTD = %v, want %v", id, sb.HasNBTD, b.NBTD != nil)
+		}
+		if b.NBTD == nil {
+			if int(sb.Next) != b.Next {
+				t.Errorf("block %d: Next = %d, want %d", id, sb.Next, b.Next)
+			}
+			continue
+		}
+		n := b.NBTD
+		if sb.TermKind != n.Kind || sb.Term != n.Term {
+			t.Errorf("block %d: terminator lowering diverges", id)
+		}
+		if sb.TakenSeen != n.TakenSeen || sb.NotTakenSeen != n.NotTakenSeen ||
+			int(sb.TakenNext) != n.TakenNext || int(sb.NotTakenNext) != n.NotTakenNext {
+			t.Errorf("block %d: branch arms diverge", id)
+		}
+		for sel, want := range n.CaseNext {
+			got, ok := ss.CaseNext(sb, sel)
+			if !ok || got != want {
+				t.Errorf("block %d: CaseNext(%#x) = %d,%v, want %d,true", id, sel, got, ok, want)
+			}
+			// A neighbouring unseen selector must miss (probes the binary
+			// search boundaries).
+			if _, seen := n.CaseNext[sel+1]; !seen {
+				if _, ok := ss.CaseNext(sb, sel+1); ok {
+					t.Errorf("block %d: CaseNext(%#x) hit, want miss", id, sel+1)
+				}
+			}
+		}
+	}
+
+	// Dense id arrays vs byRef.
+	for h := range prog.Handlers {
+		for bi := range prog.Handlers[h].Blocks {
+			ref := ir.BlockRef{Handler: h, Block: bi}
+			if got, want := ss.BlockID(h, bi), spec.BlockFor(ref); got != want {
+				t.Errorf("BlockID(%d,%d) = %d, want %d", h, bi, got, want)
+			}
+		}
+		if got, want := ss.HandlerEntry(h), spec.BlockFor(ir.BlockRef{Handler: h, Block: 0}); got != want {
+			t.Errorf("HandlerEntry(%d) = %d, want %d", h, got, want)
+		}
+	}
+	if ss.BlockID(-1, 0) != core.NoBlock || ss.BlockID(len(prog.Handlers), 0) != core.NoBlock {
+		t.Error("out-of-range handler must resolve to NoBlock")
+	}
+
+	// Indirect targets.
+	for field, set := range spec.IndirectTargets {
+		for target := range set {
+			if !ss.LegitimateTarget(field, target) {
+				t.Errorf("LegitimateTarget(%d, %#x) = false, want true", field, target)
+			}
+			if ss.LegitimateTarget(field, target+1) != spec.LegitimateTarget(field, target+1) {
+				t.Errorf("LegitimateTarget(%d, %#x) diverges on probe", field, target+1)
+			}
+		}
+	}
+	if ss.LegitimateTarget(-1, 0) || ss.LegitimateTarget(len(prog.Fields), 0) {
+		t.Error("out-of-range field must have no legitimate targets")
+	}
+
+	// Access table: exhaustive over learned commands × id space, plus an
+	// unlearned command probe.
+	probe := []uint64{0, 1, 0xFF, ^uint64(0)}
+	for cmd := range spec.CmdTable.Access {
+		probe = append(probe, cmd, cmd+1)
+	}
+	for _, cmd := range probe {
+		for id := -1; id <= len(spec.Blocks); id++ {
+			for _, active := range []bool{true, false} {
+				want := spec.CmdTable.Accessible(cmd, active, id)
+				if got := ss.Accessible(cmd, active, id); got != want {
+					t.Errorf("Accessible(%#x, %v, %d) = %v, want %v", cmd, active, id, got, want)
+				}
+			}
+		}
+	}
+
+	// Parameter bitset.
+	for f := -1; f <= len(prog.Fields); f++ {
+		if got, want := ss.ParamField(f), spec.Params.Contains(f); got != want {
+			t.Errorf("ParamField(%d) = %v, want %v", f, got, want)
+		}
+	}
+}
+
+func TestSealEquivalence(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		prog := buildReducible(t)
+		spec := learn(t, prog, reqs(), core.BuildOpts{DisableReduction: disable})
+		assertSealedEquivalent(t, spec)
+	}
+}
+
+// buildWideSwitch constructs a program whose decode switch has more
+// observed selectors than caseMapThreshold, forcing the sealed block onto
+// the map fallback.
+func buildWideSwitch(t testing.TB, arms int) (*ir.Program, []*interp.Request) {
+	t.Helper()
+	b := ir.NewBuilder("wideswitch")
+	last := b.Int("last", ir.W8, ir.HWRegister())
+
+	h := b.Handler("dispatch")
+	e := h.Block("entry").Entry()
+	v := e.IOIn(ir.W8, "v = ioread8()")
+	cases := make([]ir.SwitchArm, arms)
+	for i := range cases {
+		cases[i] = ir.Case(uint64(i), "body")
+	}
+	e.Switch(v, "switch (v)", "body", cases...)
+
+	body := h.Block("body")
+	w := body.IOAddr("w = req->addr")
+	body.Store(last, w, "s->last = w")
+	body.Jump("out", "goto out")
+	h.Block("out").Exit().Halt("return")
+
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rs []*interp.Request
+	for i := 0; i < arms; i++ {
+		rs = append(rs, interp.NewWrite(interp.SpacePIO, 0, []byte{byte(i)}))
+	}
+	return prog, rs
+}
+
+func TestSealWideSwitchMapFallback(t *testing.T) {
+	prog, rs := buildWideSwitch(t, 40) // > caseMapThreshold
+	spec := learn(t, prog, rs, core.BuildOpts{})
+	var wide *core.ESBlock
+	for _, b := range spec.Blocks {
+		if b != nil && b.NBTD != nil && len(b.NBTD.CaseNext) == 40 {
+			wide = b
+		}
+	}
+	if wide == nil {
+		t.Fatal("no 40-arm switch block observed")
+	}
+	ss := spec.Seal()
+	if sb := ss.Block(wide.ID); sb.CaseMap == nil {
+		t.Error("wide switch should use the map fallback")
+	}
+	assertSealedEquivalent(t, spec)
+}
+
+func TestSealSnapshotIsolation(t *testing.T) {
+	prog := buildReducible(t)
+	spec := learn(t, prog, reqs(), core.BuildOpts{})
+	ss := spec.Seal()
+	entry := ss.Block(spec.Entry)
+	if entry == nil {
+		t.Fatal("entry block missing from sealed spec")
+	}
+	wantOps := len(ss.DSOD(entry))
+
+	// Mutating the spec after sealing must not leak into the snapshot.
+	spec.Blocks[spec.Entry].DSOD = nil
+	spec.Blocks[spec.Entry].Next = core.NoBlock
+	if got := len(ss.DSOD(entry)); got != wantOps {
+		t.Errorf("sealed DSOD changed after spec mutation: %d, want %d", got, wantOps)
+	}
+}

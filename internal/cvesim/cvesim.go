@@ -74,12 +74,20 @@ func (p *PoC) RunUnprotected() (Outcome, error) {
 // attaches a checker restricted to the given strategies (none = all
 // three), and replays the exploit.
 func (p *PoC) RunProtected(strategies ...checker.Strategy) (Outcome, error) {
+	return p.RunProtectedWith(nil, strategies...)
+}
+
+// RunProtectedWith is RunProtected with extra checker options prepended
+// (e.g. checker.WithReferenceSimulation for the sealed-vs-unsealed
+// differential).
+func (p *PoC) RunProtectedWith(extra []checker.Option, strategies ...checker.Strategy) (Outcome, error) {
 	m, att := p.attach()
 	spec, err := sedspec.Learn(att, p.Train)
 	if err != nil {
 		return Outcome{}, err
 	}
 	var opts []checker.Option
+	opts = append(opts, extra...)
 	if len(strategies) > 0 {
 		opts = append(opts, checker.WithStrategies(strategies...))
 	}
@@ -116,7 +124,7 @@ func (p *PoC) VerifyBenign() (int, error) {
 	}
 	_ = m
 	st := chk.Stats()
-	return st.ParamAnomalies + st.IndirectAnomalies + st.CondAnomalies, nil
+	return int(st.ParamAnomalies + st.IndirectAnomalies + st.CondAnomalies), nil
 }
 
 // All returns the paper's eight case studies plus the documented miss.
