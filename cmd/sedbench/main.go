@@ -3,12 +3,19 @@
 //
 // Usage:
 //
-//	sedbench [-experiment all|table1|table2|table3|fig34|fig5|comparison|ablation|checker]
+//	sedbench [-experiment all|table1|table2|table3|fig34|fig5|comparison|ablation|checker|throughput]
 //	         [-full] [-frames N] [-mib N] [-checker-iters N] [-checker-out FILE]
+//	         [-throughput-ops N] [-throughput-iters N] [-throughput-e2e-ops N] [-throughput-out FILE]
 //
 // The checker experiment measures per-I/O ES-Checker overhead (sealed
 // fast path vs the pre-seal reference engine) and writes the rows as JSON
 // to -checker-out (default BENCH_checker.json).
+//
+// The throughput experiment measures checked-I/O scaling when one sealed
+// spec is shared across 1, 2, 4, 8, GOMAXPROCS concurrent enforcement
+// sessions per device — both the bare check loop (captured-stream replay)
+// and full guest sessions on a machine pool — and writes
+// -throughput-out (default BENCH_throughput.json).
 //
 // With -full, Table II runs the paper's 10/20/30 virtual hours (slow);
 // otherwise a scaled-down 2/4/6-hour study with a proportionally raised
@@ -30,15 +37,37 @@ func main() {
 	mib := flag.Int("mib", 8, "MiB per Figure 3/4 data point")
 	checkerIters := flag.Int("checker-iters", 1_000_000, "timed replay rounds per engine for the checker experiment")
 	checkerOut := flag.String("checker-out", "BENCH_checker.json", "output file for the checker experiment's JSON rows")
+	tpOps := flag.Int("throughput-ops", 60, "benign session ops captured per device for the throughput replay")
+	tpIters := flag.Int("throughput-iters", 200_000, "timed replay rounds per session for the throughput experiment")
+	tpE2EOps := flag.Int("throughput-e2e-ops", 200, "benign ops per full guest session for the e2e throughput rows")
+	tpOut := flag.String("throughput-out", "BENCH_throughput.json", "output file for the throughput experiment's JSON rows")
 	flag.Parse()
 
-	if err := run(*experiment, *full, *frames, *mib, *checkerIters, *checkerOut); err != nil {
+	cfg := runConfig{
+		full: *full, frames: *frames, mib: *mib,
+		checkerIters: *checkerIters, checkerOut: *checkerOut,
+		tpOps: *tpOps, tpIters: *tpIters, tpE2EOps: *tpE2EOps, tpOut: *tpOut,
+	}
+	if err := run(*experiment, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sedbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, full bool, frames, mib, checkerIters int, checkerOut string) error {
+type runConfig struct {
+	full         bool
+	frames, mib  int
+	checkerIters int
+	checkerOut   string
+	tpOps        int
+	tpIters      int
+	tpE2EOps     int
+	tpOut        string
+}
+
+func run(experiment string, cfg runConfig) error {
+	full, frames, mib := cfg.full, cfg.frames, cfg.mib
+	checkerIters, checkerOut := cfg.checkerIters, cfg.checkerOut
 	w := os.Stdout
 	want := func(name string) bool { return experiment == "all" || experiment == name }
 
@@ -152,6 +181,49 @@ func run(experiment string, full bool, frames, mib, checkerIters int, checkerOut
 			return err
 		}
 		fmt.Fprintf(w, "wrote %s\n", checkerOut)
+		fmt.Fprintln(w)
+	}
+
+	if want("throughput") {
+		counts := bench.SessionCounts()
+		var rows []*bench.ThroughputRow
+		var e2e []*bench.E2ERow
+		for _, t := range bench.Targets(true) {
+			r, err := bench.NewCheckerReplay(t, cfg.tpOps)
+			if err != nil {
+				return err
+			}
+			trs, err := bench.Throughput(r, cfg.tpIters, counts)
+			if err != nil {
+				return err
+			}
+			for _, row := range trs {
+				fmt.Fprintf(w, "throughput %-6s x%-2d  %10.0f checked-I/Os/s  scaling %5.2fx  eff %5.1f%%  %.4f allocs/op\n",
+					row.Device, row.Sessions, row.AggPerSec, row.ScalingX, 100*row.Efficiency, row.AllocsPerOp)
+			}
+			rows = append(rows, trs...)
+			ers, err := bench.ThroughputE2E(t, r.Spec, cfg.tpE2EOps, counts)
+			if err != nil {
+				return err
+			}
+			for _, row := range ers {
+				fmt.Fprintf(w, "e2e        %-6s x%-2d  %10.0f checked-I/Os/s  scaling %5.2fx\n",
+					row.Device, row.Sessions, row.AggPerSec, row.ScalingX)
+			}
+			e2e = append(e2e, ers...)
+		}
+		f, err := os.Create(cfg.tpOut)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteThroughputJSON(f, rows, e2e); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.tpOut)
 		fmt.Fprintln(w)
 	}
 

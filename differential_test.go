@@ -25,6 +25,25 @@ type diffRun struct {
 	err      string
 }
 
+// captureRun classifies an exploit's outcome and snapshots the checker's
+// observable state.
+func captureRun(chk *checker.Checker, err error) diffRun {
+	var run diffRun
+	var anom *checker.Anomaly
+	switch {
+	case errors.As(err, &anom):
+		run.anomaly = anom
+	case err == nil, errors.Is(err, machine.ErrBlocked), errors.Is(err, machine.ErrHalted):
+		// Exploit ran to completion or was stopped by the machine; either
+		// way the checker state below is the observable outcome.
+	default:
+		run.err = err.Error()
+	}
+	run.stats = chk.Stats()
+	run.warnings = chk.Warnings()
+	return run
+}
+
 // replayPoC learns a spec from the PoC's training routine, protects the
 // device with the requested engine and mode, replays the exploit, and
 // captures the full observable checker state.
@@ -42,22 +61,7 @@ func replayPoC(t *testing.T, p *cvesim.PoC, mode checker.Mode, reference bool) d
 		opts = append(opts, checker.WithReferenceSimulation())
 	}
 	chk := sedspec.Protect(att, spec, opts...)
-
-	err = p.Exploit(sedspec.NewDriver(att), m)
-	var run diffRun
-	var anom *checker.Anomaly
-	switch {
-	case errors.As(err, &anom):
-		run.anomaly = anom
-	case err == nil, errors.Is(err, machine.ErrBlocked), errors.Is(err, machine.ErrHalted):
-		// Exploit ran to completion or was stopped by the machine; either
-		// way the checker state below is the observable outcome.
-	default:
-		run.err = err.Error()
-	}
-	run.stats = chk.Stats()
-	run.warnings = chk.Warnings()
-	return run
+	return captureRun(chk, p.Exploit(sedspec.NewDriver(att), m))
 }
 
 func describeAnomaly(a *checker.Anomaly) string {
@@ -108,6 +112,106 @@ func TestSealedReferenceDifferential(t *testing.T) {
 						t.Errorf("warning %d diverges:\n  sealed:    %s\n  reference: %s",
 							i, describeAnomaly(&sealed.warnings[i]), describeAnomaly(&ref.warnings[i]))
 					}
+				}
+			})
+		}
+	}
+}
+
+// assertSameRun pins one run's full observable state to another's.
+func assertSameRun(t *testing.T, label string, got, want diffRun) {
+	t.Helper()
+	if !sameAnomaly(got.anomaly, want.anomaly) {
+		t.Errorf("%s: blocking anomaly diverges:\n  got:  %s\n  want: %s",
+			label, describeAnomaly(got.anomaly), describeAnomaly(want.anomaly))
+	}
+	if got.err != want.err {
+		t.Errorf("%s: exploit error diverges: got %q, want %q", label, got.err, want.err)
+	}
+	if got.stats != want.stats {
+		t.Errorf("%s: stats diverge:\n  got:  %+v\n  want: %+v", label, got.stats, want.stats)
+	}
+	if len(got.warnings) != len(want.warnings) {
+		t.Fatalf("%s: warning streams diverge: got %d, want %d",
+			label, len(got.warnings), len(want.warnings))
+	}
+	for i := range got.warnings {
+		if !sameAnomaly(&got.warnings[i], &want.warnings[i]) {
+			t.Errorf("%s: warning %d diverges:\n  got:  %s\n  want: %s",
+				label, i, describeAnomaly(&got.warnings[i]), describeAnomaly(&want.warnings[i]))
+		}
+	}
+}
+
+// TestConcurrentSessionsDifferential is the concurrency correctness
+// argument: for every CVE PoC, in both modes, N guest sessions sharing
+// one sealed engine and exploited in parallel must each produce exactly
+// the anomaly stream the serial sealed engine produces, and the shared
+// engine's aggregate counters must be the exact N-fold sum. Run under
+// -race this also proves the check path is data-race free.
+func TestConcurrentSessionsDifferential(t *testing.T) {
+	const n = 4
+	for _, p := range cvesim.All() {
+		for _, mode := range []checker.Mode{checker.ModeProtection, checker.ModeEnhancement} {
+			t.Run(fmt.Sprintf("%s/%s", p.CVE, mode), func(t *testing.T) {
+				// Learn the spec once; everything below shares it.
+				lm := machine.New(machine.WithMemory(1 << 20))
+				ldev, laopts := p.Build()
+				latt := lm.Attach(ldev, laopts...)
+				spec, err := sedspec.Learn(latt, p.Train)
+				if err != nil {
+					t.Fatalf("learn: %v", err)
+				}
+				opts := []checker.Option{checker.WithMode(mode), checker.WithBudget(200_000)}
+
+				// Serial sealed baseline on its own fresh machine.
+				bm := machine.New(machine.WithMemory(1 << 20))
+				bdev, baopts := p.Build()
+				batt := bm.Attach(bdev, baopts...)
+				bchk := sedspec.Protect(batt, spec, opts...)
+				baseline := captureRun(bchk, p.Exploit(sedspec.NewDriver(batt), bm))
+
+				// N parallel sessions drawing per-session checkers from one
+				// shared engine, each exploited concurrently on its own
+				// machine.
+				sh := sedspec.NewSharedChecker(spec, opts...)
+				pool := machine.NewPool(n, p.Build, machine.WithMemory(1<<20))
+				chks := make([]*checker.Checker, n)
+				for i, s := range pool.Sessions() {
+					chks[i] = sedspec.ProtectShared(s.Attached(), sh)
+				}
+				runs := make([]diffRun, n)
+				if err := pool.Run(func(s *machine.Session) error {
+					runs[s.ID()] = captureRun(chks[s.ID()],
+						p.Exploit(sedspec.NewDriver(s.Attached()), s.Machine()))
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+
+				for i := range runs {
+					assertSameRun(t, fmt.Sprintf("session %d", i), runs[i], baseline)
+				}
+
+				// Aggregate accounting: the shared engine saw exactly N
+				// serial runs' worth of work.
+				b := baseline.stats
+				want := checker.Stats{
+					Rounds:             n * b.Rounds,
+					ParamAnomalies:     n * b.ParamAnomalies,
+					IndirectAnomalies:  n * b.IndirectAnomalies,
+					CondAnomalies:      n * b.CondAnomalies,
+					Blocked:            n * b.Blocked,
+					Warnings:           n * b.Warnings,
+					Resyncs:            n * b.Resyncs,
+					StepsSimulated:     n * b.StepsSimulated,
+					SyncPointsResolved: n * b.SyncPointsResolved,
+				}
+				if agg := sh.Stats(); agg != want {
+					t.Errorf("aggregate stats:\n  got:  %+v\n  want: %+v", agg, want)
+				}
+				if got := len(sh.Warnings()); got != n*len(baseline.warnings) {
+					t.Errorf("aggregate warnings = %d, want %d", got, n*len(baseline.warnings))
 				}
 			})
 		}

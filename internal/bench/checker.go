@@ -98,11 +98,34 @@ func (r *CheckerReplay) NewChecker(opts ...checker.Option) *checker.Checker {
 // snapshot, so the simulation always sees the control-structure state the
 // stream was recorded against.
 func (r *CheckerReplay) Step(chk *checker.Checker, i int) error {
-	j := i % len(r.Reqs)
+	return r.StepStream(chk, r.Reqs, i)
+}
+
+// StepStream is Step over an explicit request stream. Concurrent replay
+// sessions each need their own stream (CloneReqs): a Request carries
+// mutable read/response cursors, so sharing one across goroutines would
+// race.
+func (r *CheckerReplay) StepStream(chk *checker.Checker, reqs []*interp.Request, i int) error {
+	j := i % len(reqs)
 	if j == 0 {
 		chk.ResyncShadow(r.start)
 	}
-	return chk.PreIO(nil, r.Reqs[j])
+	return chk.PreIO(nil, reqs[j])
+}
+
+// CloneReqs deep-copies the captured request stream for one replay
+// session. The payload bytes are copied too, so sessions share nothing
+// mutable.
+func (r *CheckerReplay) CloneReqs() []*interp.Request {
+	out := make([]*interp.Request, len(r.Reqs))
+	for i, req := range r.Reqs {
+		cl := &interp.Request{Space: req.Space, Addr: req.Addr, Write: req.Write}
+		if len(req.Data) > 0 {
+			cl.Data = append([]byte(nil), req.Data...)
+		}
+		out[i] = cl
+	}
+	return out
 }
 
 // validate replays two full cycles and fails on any anomaly.

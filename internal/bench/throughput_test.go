@@ -1,0 +1,107 @@
+package bench_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"sedspec/internal/bench"
+)
+
+func TestThroughputScalesAcrossSessions(t *testing.T) {
+	// One device, small iteration counts: the point is that the harness
+	// runs, its invariants hold, and concurrency does not wreck per-op
+	// cost. sedbench runs the full ladder over all five devices.
+	tgt := bench.TargetByName("fdc", true)
+	r, err := bench.NewCheckerReplay(tgt, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int{1, 4}
+	rows, err := bench.Throughput(r, 5000, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(counts) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(counts))
+	}
+	for i, row := range rows {
+		if row.Sessions != counts[i] || row.Device != "fdc" {
+			t.Errorf("row %d mislabeled: %+v", i, row)
+		}
+		if row.CheckedIOs != uint64(counts[i])*5000 {
+			t.Errorf("row %d checked %d I/Os, want %d", i, row.CheckedIOs, counts[i]*5000)
+		}
+		if row.CPUNsPerIO <= 0 || row.AggPerSec <= 0 {
+			t.Errorf("row %d has empty measurement: %+v", i, row)
+		}
+		if row.AllocsPerOp > 0.01 {
+			t.Errorf("row %d allocates %.4f/op in the check loop, want ~0", i, row.AllocsPerOp)
+		}
+	}
+	if rows[0].ScalingX != 1 {
+		t.Errorf("baseline scaling = %f, want 1", rows[0].ScalingX)
+	}
+	// Per-op CPU cost must not blow up under concurrency (the path is
+	// lock-free); allow 2x for scheduler and cache noise on small runs.
+	if rows[1].CPUNsPerIO > 2*rows[0].CPUNsPerIO {
+		t.Errorf("4-session per-op cost %.0fns vs baseline %.0fns: contention on the shared engine",
+			rows[1].CPUNsPerIO, rows[0].CPUNsPerIO)
+	}
+
+	e2e, err := bench.ThroughputE2E(tgt, r.Spec, 30, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e2e) != len(counts) {
+		t.Fatalf("e2e rows = %d, want %d", len(e2e), len(counts))
+	}
+	for i, row := range e2e {
+		if row.CheckedIOs == 0 || row.AggPerSec <= 0 {
+			t.Errorf("e2e row %d empty: %+v", i, row)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := bench.WriteThroughputJSON(&buf, rows, e2e); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Benchmark string `json:"benchmark"`
+		HostCPUs  int    `json:"host_cpus"`
+		Rows      []struct {
+			Device string `json:"device"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("emitted JSON invalid: %v", err)
+	}
+	if out.Benchmark != "concurrent_throughput" || out.HostCPUs != runtime.GOMAXPROCS(0) {
+		t.Errorf("JSON header wrong: %+v", out)
+	}
+	if len(out.Rows) != len(rows) {
+		t.Errorf("JSON rows = %d, want %d", len(out.Rows), len(rows))
+	}
+}
+
+func TestSessionCountsLadder(t *testing.T) {
+	counts := bench.SessionCounts()
+	if len(counts) == 0 || counts[0] != 1 {
+		t.Fatalf("ladder must start at 1: %v", counts)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] <= counts[i-1] {
+			t.Fatalf("ladder not strictly increasing: %v", counts)
+		}
+	}
+	seen := map[int]bool{}
+	for _, n := range counts {
+		seen[n] = true
+	}
+	for _, want := range []int{1, 2, 4, 8, runtime.GOMAXPROCS(0)} {
+		if !seen[want] {
+			t.Errorf("ladder %v missing %d", counts, want)
+		}
+	}
+}

@@ -49,7 +49,7 @@ func (c *Checker) simulateSealed(req *interp.Request) *Anomaly {
 			break
 		}
 	}
-	c.stats.StepsSimulated += uint64(steps)
+	c.stats.stepsSimulated.Add(uint64(steps))
 	return nil
 }
 
@@ -182,7 +182,7 @@ func (c *Checker) execDSODSealed(f *simFrame, dsod []core.SealedOp, ref ir.Block
 			// device environment (paper §V-D).
 			temps[op.Dst] = c.env.ReadEnv(ir.EnvKind(op.Imm))
 			flags[op.Dst] = interp.Flags{}
-			c.stats.SyncPointsResolved++
+			c.stats.syncPointsResolved.Add(1)
 		case ir.OpCall:
 			callee := c.sealed.HandlerEntry(op.Handler)
 			if callee == core.NoBlock {

@@ -1,0 +1,228 @@
+package checker
+
+import (
+	"sync"
+
+	"sedspec/internal/core"
+	"sedspec/internal/interp"
+	"sedspec/internal/ir"
+)
+
+// Shared is the cross-session half of the concurrent enforcement engine:
+// one specification sealed once, enforced for N parallel guest sessions.
+//
+// What is shared is exactly the immutable material — the SealedSpec, the
+// device program, and the check configuration (mode, strategies, budget,
+// access control). Everything a simulated round mutates is per-session:
+// the shadow device state, command tracking, frame stack, bump arenas,
+// DMA journal, warning buffer, and counters. A session's steady-state
+// check path therefore takes no lock and touches no cache line another
+// session writes; the only cross-session traffic is read-only spec data.
+//
+// Session scratch (frame stack and bump arenas) is recycled through a
+// sync.Pool so that short-lived sessions — one per connecting guest in a
+// fleet deployment — start with warm, right-sized arenas instead of
+// re-growing them over their first rounds.
+//
+// Counters are per-session atomics; Stats sums live sessions plus the
+// retired bank that Close folds finished sessions into, so aggregate
+// accounting survives session churn.
+type Shared struct {
+	spec   *core.Spec
+	sealed *core.SealedSpec
+	prog   *ir.Program
+
+	mode          Mode
+	enabled       [4]bool
+	budget        int
+	accessControl bool
+	entryTemps    int
+
+	// env and haltFn are session defaults, overridable per session with
+	// WithEnv / WithHalt (each guest's machine is its own environment).
+	env    interp.Env
+	haltFn func()
+
+	scratchPool sync.Pool
+
+	// mu guards the session registry and the retired aggregates. It is
+	// taken on session open/close and by aggregate readers — never on the
+	// check path.
+	mu              sync.Mutex
+	sessions        []*Checker
+	retired         statCounters
+	retiredWarnings []Anomaly
+}
+
+// scratch is one session's recyclable simulation storage: the frame stack
+// and the flat bump arenas behind it, plus the DMA writeback journal. All
+// of it is length-trimmed (capacity kept) between owners.
+type scratch struct {
+	frames    []simFrame
+	tempArena []uint64
+	flagArena []interp.Flags
+	dmaLog    []dmaWrite
+}
+
+// NewShared seals the specification once and returns the engine that
+// enforces it across sessions. Options fix the check configuration every
+// session inherits; WithReferenceSimulation is rejected — the reference
+// engine walks the mutable Spec and exists for differential testing, not
+// for concurrent deployment.
+func NewShared(spec *core.Spec, opts ...Option) *Shared {
+	tmpl := baseChecker()
+	for _, o := range opts {
+		o(tmpl)
+	}
+	if tmpl.useRef {
+		panic("checker: WithReferenceSimulation is incompatible with a shared engine")
+	}
+	s := &Shared{
+		spec:          spec,
+		sealed:        spec.Seal(),
+		prog:          spec.Program(),
+		mode:          tmpl.mode,
+		enabled:       tmpl.enabled,
+		budget:        tmpl.budget,
+		accessControl: tmpl.accessControl,
+		env:           tmpl.env,
+		haltFn:        tmpl.haltFn,
+	}
+	if es := spec.Block(spec.Entry); es != nil {
+		s.entryTemps = s.prog.Handlers[es.Ref.Handler].NumTemps
+	}
+	s.scratchPool.New = func() any { return &scratch{} }
+	return s
+}
+
+// Mode returns the working mode every session enforces.
+func (s *Shared) Mode() Mode { return s.mode }
+
+// Sealed exposes the shared sealed specification (diagnostics, tests).
+func (s *Shared) Sealed() *core.SealedSpec { return s.sealed }
+
+// NewSession opens an enforcement session: a Checker sharing this
+// engine's sealed spec, with its own shadow device state cloned from
+// initial and its own recycled scratch. Per-session options typically
+// wire the session's machine (WithEnv, WithHalt); WithReferenceSimulation
+// panics. The returned Checker is driven by one goroutine, concurrently
+// with any number of sibling sessions.
+func (s *Shared) NewSession(initial *interp.State, opts ...Option) *Checker {
+	c := &Checker{
+		spec:          s.spec,
+		sealed:        s.sealed,
+		prog:          s.prog,
+		mode:          s.mode,
+		enabled:       s.enabled,
+		budget:        s.budget,
+		accessControl: s.accessControl,
+		entryTemps:    s.entryTemps,
+		env:           s.env,
+		haltFn:        s.haltFn,
+		shadow:        s.spec.InitialShadow(initial),
+		shared:        s,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.useRef {
+		panic("checker: WithReferenceSimulation is incompatible with a shared engine")
+	}
+	if c.env == nil {
+		c.env = interp.NopEnv()
+	}
+	sc := s.scratchPool.Get().(*scratch)
+	c.pooled = sc
+	c.frames = sc.frames[:0]
+	c.tempArena = sc.tempArena[:0]
+	c.flagArena = sc.flagArena[:0]
+	c.dmaLog = sc.dmaLog[:0]
+
+	s.mu.Lock()
+	s.sessions = append(s.sessions, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Close retires a session checker: its counters fold into the shared
+// retired bank, its warnings drain into the shared buffer, and its
+// scratch returns to the pool for the next session. Closing is optional —
+// a session abandoned without Close simply keeps its scratch — and
+// idempotent. The checker must not be used after Close.
+func (c *Checker) Close() {
+	s := c.shared
+	if s == nil {
+		return
+	}
+	c.shared = nil
+
+	s.mu.Lock()
+	for i, sess := range s.sessions {
+		if sess == c {
+			s.sessions = append(s.sessions[:i], s.sessions[i+1:]...)
+			break
+		}
+	}
+	snap := c.stats.snapshot()
+	s.retired.rounds.Add(snap.Rounds)
+	s.retired.paramAnomalies.Add(snap.ParamAnomalies)
+	s.retired.indirectAnomalies.Add(snap.IndirectAnomalies)
+	s.retired.condAnomalies.Add(snap.CondAnomalies)
+	s.retired.blocked.Add(snap.Blocked)
+	s.retired.warnings.Add(snap.Warnings)
+	s.retired.resyncs.Add(snap.Resyncs)
+	s.retired.stepsSimulated.Add(snap.StepsSimulated)
+	s.retired.syncPointsResolved.Add(snap.SyncPointsResolved)
+	c.warnMu.Lock()
+	s.retiredWarnings = append(s.retiredWarnings, c.warnings...)
+	c.warnings = nil
+	c.warnMu.Unlock()
+	s.mu.Unlock()
+
+	if sc := c.pooled; sc != nil {
+		c.pooled = nil
+		sc.frames = c.frames[:0]
+		sc.tempArena = c.tempArena[:0]
+		sc.flagArena = c.flagArena[:0]
+		sc.dmaLog = c.dmaLog[:0]
+		c.frames, c.tempArena, c.flagArena, c.dmaLog = nil, nil, nil, nil
+		s.scratchPool.Put(sc)
+	}
+}
+
+// Sessions reports the number of open sessions.
+func (s *Shared) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Stats aggregates counters across all sessions, open and retired. It may
+// be called while sessions run: per-field sums are exact at the atomic
+// loads, with cross-field skew bounded by in-flight rounds.
+func (s *Shared) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	agg := s.retired.snapshot()
+	for _, c := range s.sessions {
+		agg = agg.merge(c.stats.snapshot())
+	}
+	return agg
+}
+
+// Warnings copies every session's accumulated warnings, retired sessions
+// first, then open sessions in open order. Within a session the warnings
+// keep their round order; across concurrently-running sessions there is
+// no global order to report.
+func (s *Shared) Warnings() []Anomaly {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]Anomaly(nil), s.retiredWarnings...)
+	for _, c := range s.sessions {
+		out = append(out, c.Warnings()...)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -73,7 +73,7 @@ func (c *Checker) simulateRef(req *interp.Request) *Anomaly {
 			break
 		}
 	}
-	c.stats.StepsSimulated += uint64(steps)
+	c.stats.stepsSimulated.Add(uint64(steps))
 	return nil
 }
 
@@ -301,7 +301,7 @@ func (c *Checker) execDSOD(f *simFrame, dsod []core.DSODOp, ref ir.BlockRef, req
 			// device environment (paper §V-D).
 			f.temps[op.Dst] = c.env.ReadEnv(ir.EnvKind(op.Imm))
 			f.flags[op.Dst] = interp.Flags{}
-			c.stats.SyncPointsResolved++
+			c.stats.syncPointsResolved.Add(1)
 		case ir.OpCall:
 			callee := c.calleeEntry(op.Handler)
 			if callee == core.NoBlock {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"sedspec/internal/ir"
@@ -115,6 +116,17 @@ type SealedBlock struct {
 }
 
 // SealedSpec is the dense, immutable runtime form of a Spec.
+//
+// Immutability is a concurrency contract, not just a convention: one
+// SealedSpec is shared read-only by every concurrent enforcement session
+// (checker.Shared hands the same pointer to N goroutines), so nothing may
+// write to a sealed spec after Seal returns. Seal guarantees the sealed
+// data is self-consistent via CheckInvariants — every arena range, case
+// run, successor id, and id-table entry it asserts is exactly what the
+// lock-free check path dereferences without bounds re-validation. The two
+// pieces of shared-by-reference state, the device program and the ir.Term
+// pointers inside it, are covered by the same contract: a program is
+// built once and never mutated after attachment.
 type SealedSpec struct {
 	Device string
 	Entry  int
@@ -294,7 +306,99 @@ func (s *Spec) Seal() *SealedSpec {
 			ss.params.set(p.Field)
 		}
 	}
+	if err := ss.CheckInvariants(); err != nil {
+		// A violation here is a sealing bug, not a property of the learned
+		// spec: the mutable Spec validated its own structure when built.
+		panic("core: Seal produced an inconsistent sealed spec: " + err.Error())
+	}
 	return ss
+}
+
+// CheckInvariants verifies the structural invariants the concurrent check
+// path relies on when it dereferences sealed data without revalidation:
+//
+//   - every live block's DSOD range lies inside the op arena, with
+//     start <= end;
+//   - every case run lies inside the case arena and is strictly sorted by
+//     selector (binary search correctness);
+//   - every successor id (Next, TakenNext, NotTakenNext, case targets,
+//     CaseMap targets) is NoBlock or a valid ES id;
+//   - Entry is a live block id;
+//   - the handler/block id table maps only to NoBlock or valid ES ids and
+//     covers every handler;
+//   - per-field indirect target slices are sorted (binary search
+//     correctness).
+//
+// Seal calls this and panics on violation, so a SealedSpec in circulation
+// always satisfies these; the method is exported for tests and for
+// auditing specs deserialized or constructed by other means.
+func (s *SealedSpec) CheckInvariants() error {
+	checkSucc := func(id int32, what string, block int) error {
+		if id != NoBlock && (id < 0 || int(id) >= len(s.blocks)) {
+			return fmt.Errorf("block %d: %s id %d out of range [0,%d)", block, what, id, len(s.blocks))
+		}
+		return nil
+	}
+	if s.Entry < 0 || s.Entry >= len(s.blocks) || !s.blocks[s.Entry].Live {
+		return fmt.Errorf("entry id %d is not a live block", s.Entry)
+	}
+	for id := range s.blocks {
+		b := &s.blocks[id]
+		if !b.Live {
+			continue
+		}
+		if b.DSODStart < 0 || b.DSODStart > b.DSODEnd || int(b.DSODEnd) > len(s.dsod) {
+			return fmt.Errorf("block %d: DSOD range [%d,%d) outside op arena of %d", id, b.DSODStart, b.DSODEnd, len(s.dsod))
+		}
+		if b.CaseStart < 0 || b.CaseStart > b.CaseEnd || int(b.CaseEnd) > len(s.cases) {
+			return fmt.Errorf("block %d: case range [%d,%d) outside case arena of %d", id, b.CaseStart, b.CaseEnd, len(s.cases))
+		}
+		for i := int(b.CaseStart) + 1; i < int(b.CaseEnd); i++ {
+			if s.cases[i-1].K >= s.cases[i].K {
+				return fmt.Errorf("block %d: case run not strictly sorted at %d (%d >= %d)", id, i, s.cases[i-1].K, s.cases[i].K)
+			}
+		}
+		for i := int(b.CaseStart); i < int(b.CaseEnd); i++ {
+			if err := checkSucc(s.cases[i].Next, "case target", id); err != nil {
+				return err
+			}
+		}
+		for _, next := range b.CaseMap {
+			if err := checkSucc(next, "case-map target", id); err != nil {
+				return err
+			}
+		}
+		if err := checkSucc(b.Next, "Next", id); err != nil {
+			return err
+		}
+		if err := checkSucc(b.TakenNext, "TakenNext", id); err != nil {
+			return err
+		}
+		if err := checkSucc(b.NotTakenNext, "NotTakenNext", id); err != nil {
+			return err
+		}
+		if b.Ref.Handler < 0 || b.Ref.Handler >= len(s.handlerTemps) {
+			return fmt.Errorf("block %d: handler ref %d out of range", id, b.Ref.Handler)
+		}
+	}
+	if len(s.blockIDs) != len(s.prog.Handlers) {
+		return fmt.Errorf("id table covers %d handlers, program has %d", len(s.blockIDs), len(s.prog.Handlers))
+	}
+	for h, ids := range s.blockIDs {
+		for blk, id := range ids {
+			if id != NoBlock && (id < 0 || int(id) >= len(s.blocks)) {
+				return fmt.Errorf("id table (%d,%d): ES id %d out of range", h, blk, id)
+			}
+		}
+	}
+	for field, targets := range s.indirect {
+		for i := 1; i < len(targets); i++ {
+			if targets[i-1] >= targets[i] {
+				return fmt.Errorf("field %d: indirect targets not strictly sorted at %d", field, i)
+			}
+		}
+	}
+	return nil
 }
 
 func sealAccessVec(set map[int]bool, n int) bitset {

@@ -212,6 +212,50 @@ func TestSealWideSwitchMapFallback(t *testing.T) {
 	assertSealedEquivalent(t, spec)
 }
 
+func TestSealedInvariants(t *testing.T) {
+	prog := buildReducible(t)
+	spec := learn(t, prog, reqs(), core.BuildOpts{})
+	ss := spec.Seal() // Seal itself asserts (panics on violation)
+	if err := ss.CheckInvariants(); err != nil {
+		t.Fatalf("freshly sealed spec violates invariants: %v", err)
+	}
+
+	// Corrupt the sealed structures one at a time (Block returns a pointer
+	// into the flat table) and verify each violation is caught.
+	sb := ss.Block(spec.Entry)
+	if sb == nil {
+		t.Fatal("entry block missing")
+	}
+	corruptions := []struct {
+		name    string
+		mutate  func()
+		restore func()
+	}{
+		{"dsod range", func() { sb.DSODEnd = 1 << 30 }, func(end int32) func() {
+			return func() { sb.DSODEnd = end }
+		}(sb.DSODEnd)},
+		{"next id", func() { sb.Next = 1 << 30 }, func(next int32) func() {
+			return func() { sb.Next = next }
+		}(sb.Next)},
+		{"taken id", func() { sb.TakenNext = -7 }, func(next int32) func() {
+			return func() { sb.TakenNext = next }
+		}(sb.TakenNext)},
+		{"entry", func() { ss.Entry = -1 }, func(e int) func() {
+			return func() { ss.Entry = e }
+		}(ss.Entry)},
+	}
+	for _, c := range corruptions {
+		c.mutate()
+		if err := ss.CheckInvariants(); err == nil {
+			t.Errorf("%s corruption not detected", c.name)
+		}
+		c.restore()
+	}
+	if err := ss.CheckInvariants(); err != nil {
+		t.Fatalf("restored spec still violates invariants: %v", err)
+	}
+}
+
 func TestSealSnapshotIsolation(t *testing.T) {
 	prog := buildReducible(t)
 	spec := learn(t, prog, reqs(), core.BuildOpts{})

@@ -50,16 +50,25 @@ func Blocks(att *machine.Attached, drive func() error) (map[ir.BlockRef]bool, er
 func Hammer(att *machine.Attached, space interp.Space, winBase, winSize uint64, seed uint64, n int) (int, int) {
 	rng := simclock.NewRand(seed)
 	completed, faulted := 0, 0
-	att.Interp().SetStepBudget(100_000)
+	// Tighten the step budget for the hammering only: a random request
+	// that spins deserves a fast fault, but later learning and checking
+	// passes on the same attachment must keep the budget they had.
+	in := att.Interp()
+	prev := in.StepBudget()
+	in.SetStepBudget(100_000)
+	defer in.SetStepBudget(prev)
+	// One payload buffer for the whole run; DispatchDirect does not retain
+	// the request, so the bytes may be overwritten next iteration.
+	var payload [8]byte
 	for i := 0; i < n; i++ {
 		addr := winBase + uint64(rng.Intn(int(winSize)))
 		var req *interp.Request
 		if rng.Bool(0.6) {
-			payload := make([]byte, rng.Intn(9))
-			for j := range payload {
-				payload[j] = byte(rng.Uint64())
+			p := payload[:rng.Intn(9)]
+			for j := range p {
+				p[j] = byte(rng.Uint64())
 			}
-			req = interp.NewWrite(space, addr, payload)
+			req = interp.NewWrite(space, addr, p)
 		} else {
 			req = interp.NewRead(space, addr)
 		}

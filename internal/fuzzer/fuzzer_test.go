@@ -70,6 +70,27 @@ func TestHammerAllDevices(t *testing.T) {
 	}
 }
 
+// TestHammerRestoresStepBudget: hammering tightens the interpreter's step
+// budget to fault runaway dispatches quickly, but the attachment is reused
+// for learning and checking afterwards — the previous budget must survive.
+func TestHammerRestoresStepBudget(t *testing.T) {
+	m := machine.New(machine.WithMemory(1 << 20))
+	att := m.Attach(fdc.New(fdc.Options{}), machine.WithPIO(0, fdc.PortCount))
+	if got := att.Interp().StepBudget(); got != interp.DefaultStepBudget {
+		t.Fatalf("fresh budget = %d, want %d", got, interp.DefaultStepBudget)
+	}
+	fuzzer.Hammer(att, interp.SpacePIO, 0, fdc.PortCount, 9, 50)
+	if got := att.Interp().StepBudget(); got != interp.DefaultStepBudget {
+		t.Errorf("budget after Hammer = %d, want %d restored", got, interp.DefaultStepBudget)
+	}
+	// A custom budget set before hammering is restored too.
+	att.Interp().SetStepBudget(777)
+	fuzzer.Hammer(att, interp.SpacePIO, 0, fdc.PortCount, 9, 50)
+	if got := att.Interp().StepBudget(); got != 777 {
+		t.Errorf("budget after Hammer = %d, want 777 restored", got)
+	}
+}
+
 // TestHammerPatchedDevicesFaultLess verifies that the patched variants
 // shrug off random input at least as well as the vulnerable ones.
 func TestHammerPatchedDevicesFaultLess(t *testing.T) {

@@ -87,6 +87,10 @@ func (in *Interp) SetStepBudget(n int) {
 	}
 }
 
+// StepBudget returns the current per-dispatch step bound, so callers that
+// tighten it temporarily (the fuzzer) can restore it afterwards.
+func (in *Interp) StepBudget() int { return in.stepBudget }
+
 // Dispatch runs the program's dispatch handler for one I/O interaction.
 func (in *Interp) Dispatch(req *Request) *Result {
 	return in.Run(in.prog.DispatchHandler, req)

@@ -55,6 +55,9 @@ type (
 	Selection = analysis.Selection
 	// Anomaly is a detected specification violation.
 	Anomaly = checker.Anomaly
+	// SharedChecker is the cross-session enforcement engine: one sealed
+	// specification shared read-only by N concurrent per-session checkers.
+	SharedChecker = checker.Shared
 )
 
 // NewMachine creates a machine with default guest memory.
@@ -218,3 +221,26 @@ func Protect(att *machine.Attached, spec *core.Spec, opts ...checker.Option) *ch
 
 // Unprotect removes all interposers (the checker) from the device.
 func Unprotect(att *machine.Attached) { att.ClearInterposers() }
+
+// NewSharedChecker seals the specification once for concurrent
+// enforcement across guest sessions. Options fix the configuration every
+// session inherits (mode, strategies, budget).
+func NewSharedChecker(spec *core.Spec, opts ...checker.Option) *SharedChecker {
+	return checker.NewShared(spec, opts...)
+}
+
+// ProtectShared attaches a per-session ES-Checker drawn from a shared
+// engine to the device's I/O path. The session checker shares the
+// engine's immutable sealed specification and recycles pooled scratch;
+// its shadow state is initialized from this attachment's device control
+// structure. Each attachment lives on its own machine (or session), so N
+// ProtectShared attachments may be driven concurrently.
+func ProtectShared(att *machine.Attached, sh *SharedChecker, opts ...checker.Option) *checker.Checker {
+	base := []checker.Option{
+		checker.WithEnv(att),
+		checker.WithHalt(att.Machine().Halt),
+	}
+	chk := sh.NewSession(att.Dev().State(), append(base, opts...)...)
+	att.AddInterposer(chk)
+	return chk
+}
