@@ -25,7 +25,8 @@ func BenchmarkCheckerPerIO(b *testing.B) {
 				name string
 				opts []checker.Option
 			}{
-				{"sealed", nil},
+				{"sealed", nil}, // flight recorder on (the deployed default)
+				{"sealed-norec", []checker.Option{checker.WithRecorder(nil)}},
 				{"unsealed", []checker.Option{checker.WithReferenceSimulation()}},
 			}
 			for _, eng := range engines {

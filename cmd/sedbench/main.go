@@ -26,8 +26,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sedspec/internal/bench"
+	"sedspec/internal/obs"
 )
 
 func main() {
@@ -41,6 +43,8 @@ func main() {
 	tpIters := flag.Int("throughput-iters", 200_000, "timed replay rounds per session for the throughput experiment")
 	tpE2EOps := flag.Int("throughput-e2e-ops", 200, "benign ops per full guest session for the e2e throughput rows")
 	tpOut := flag.String("throughput-out", "BENCH_throughput.json", "output file for the throughput experiment's JSON rows")
+	metrics := flag.String("metrics", "", "periodically export checker metrics as JSON to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (profile live runs)")
 	flag.Parse()
 
 	cfg := runConfig{
@@ -48,10 +52,31 @@ func main() {
 		checkerIters: *checkerIters, checkerOut: *checkerOut,
 		tpOps: *tpOps, tpIters: *tpIters, tpE2EOps: *tpE2EOps, tpOut: *tpOut,
 	}
-	if err := run(*experiment, cfg); err != nil {
+	if err := realMain(*experiment, cfg, *metrics, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "sedbench:", err)
 		os.Exit(1)
 	}
+}
+
+// realMain brackets run with the observability plumbing so the final
+// metrics export happens on the error path too (os.Exit skips defers).
+func realMain(experiment string, cfg runConfig, metrics, pprofAddr string) error {
+	if pprofAddr != "" {
+		addr, err := obs.ServeDebug(pprofAddr, obs.Default())
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		fmt.Printf("debug server on http://%s/debug/pprof (metrics on /debug/vars)\n", addr)
+	}
+	if metrics != "" {
+		stop := obs.ExportEvery(metrics, time.Second, obs.Default())
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "sedbench: metrics export:", err)
+			}
+		}()
+	}
+	return run(experiment, cfg)
 }
 
 type runConfig struct {

@@ -18,6 +18,7 @@ import (
 	"sedspec/internal/fuzzer"
 	"sedspec/internal/interp"
 	"sedspec/internal/machine"
+	"sedspec/internal/obs"
 	"sedspec/internal/simclock"
 )
 
@@ -25,7 +26,17 @@ func main() {
 	device := flag.String("device", "fdc", "device to fuzz")
 	n := flag.Int("n", 20000, "raw random requests to hammer")
 	seed := flag.Uint64("seed", 1, "random seed")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := obs.ServeDebug(*pprofAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sedfuzz: pprof:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug server on http://%s/debug/pprof (metrics on /debug/vars)\n", addr)
+	}
 
 	if err := run(*device, *n, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "sedfuzz:", err)

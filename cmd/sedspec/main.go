@@ -6,17 +6,25 @@
 //
 //	sedspec -device fdc|ehci|pcnet|sdhci|scsi [-out spec.json]
 //	        [-dot cfg.dot] [-attack] [-mode protection|enhancement]
+//	        [-metrics metrics.json] [-trace-on-anomaly DIR] [-pprof ADDR]
 //
 // Without flags it learns the specification, prints its summary and the
 // selected device-state parameters, and replays the benign workload under
 // protection. With -attack it additionally replays the device's CVE
 // proof-of-concept and reports the verdict.
+//
+// Observability: -metrics periodically exports the checker metrics
+// registry as JSON (final export on exit), -trace-on-anomaly writes each
+// blocked PoC's flight-recorder timeline as DIR/<CVE>.trace, and -pprof
+// serves net/http/pprof plus /debug/vars on the given address.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"time"
 
 	"sedspec"
 	"sedspec/internal/bench"
@@ -24,6 +32,7 @@ import (
 	"sedspec/internal/core"
 	"sedspec/internal/cvesim"
 	"sedspec/internal/machine"
+	"sedspec/internal/obs"
 )
 
 func main() {
@@ -32,15 +41,39 @@ func main() {
 	dot := flag.String("dot", "", "write the ES-CFG as Graphviz to this file")
 	attack := flag.Bool("attack", false, "replay the device's CVE proof(s) of concept")
 	mode := flag.String("mode", "protection", "checker working mode: protection or enhancement")
+	metrics := flag.String("metrics", "", "periodically export checker metrics as JSON to this file")
+	traceDir := flag.String("trace-on-anomaly", "", "write each blocked PoC's flight-recorder timeline into this directory")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address")
 	flag.Parse()
 
-	if err := run(*device, *out, *dot, *attack, *mode); err != nil {
+	if err := realMain(*device, *out, *dot, *attack, *mode, *metrics, *traceDir, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "sedspec:", err)
 		os.Exit(1)
 	}
 }
 
-func run(device, out, dot string, attack bool, mode string) error {
+// realMain brackets run with the observability plumbing so the final
+// metrics export happens on the error path too (os.Exit skips defers).
+func realMain(device, out, dot string, attack bool, mode, metrics, traceDir, pprofAddr string) error {
+	if pprofAddr != "" {
+		addr, err := obs.ServeDebug(pprofAddr, obs.Default())
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		fmt.Printf("debug server on http://%s/debug/pprof (metrics on /debug/vars)\n", addr)
+	}
+	if metrics != "" {
+		stop := obs.ExportEvery(metrics, time.Second, obs.Default())
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "sedspec: metrics export:", err)
+			}
+		}()
+	}
+	return run(device, out, dot, attack, mode, traceDir)
+}
+
+func run(device, out, dot string, attack bool, mode, traceDir string) error {
 	target := bench.TargetByName(device, false)
 	if target == nil {
 		return fmt.Errorf("unknown device %q", device)
@@ -117,8 +150,34 @@ func run(device, out, dot string, attack bool, mode string) error {
 			fmt.Printf("%s: %s\n", poc.CVE, verdict)
 			if outc.Detected && outc.Anomaly != nil {
 				fmt.Printf("  %s\n", outc.Anomaly.Detail)
+				if traceDir != "" && outc.Anomaly.Ctx != nil {
+					if err := writeTrace(traceDir, poc.CVE, outc.Anomaly.Ctx); err != nil {
+						return err
+					}
+				}
 			}
 		}
 	}
+	return nil
+}
+
+// writeTrace dumps a blocked PoC's forensic timeline as DIR/<CVE>.trace.
+func writeTrace(dir, cve string, ctx *obs.AnomalyContext) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, cve+".trace")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ctx.WriteTimeline(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("  timeline written to %s\n", path)
 	return nil
 }

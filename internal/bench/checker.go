@@ -161,6 +161,13 @@ type CheckerBenchRow struct {
 	SealedAllocsPerOp float64 `json:"sealed_allocs_per_op"`
 }
 
+// TimeChunk replays [from, from+n) rounds through a warmed checker,
+// returning elapsed wall time and the heap allocation count delta. The
+// recorder-overhead guard test uses it for interleaved trials.
+func (r *CheckerReplay) TimeChunk(chk *checker.Checker, from, n int) (time.Duration, uint64, error) {
+	return r.timeChunk(chk, from, n)
+}
+
 // timeChunk replays [from, from+n) rounds through a warmed checker,
 // returning elapsed wall time and the heap allocation count delta.
 func (r *CheckerReplay) timeChunk(chk *checker.Checker, from, n int) (time.Duration, uint64, error) {

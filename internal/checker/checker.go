@@ -17,6 +17,7 @@ package checker
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -24,6 +25,8 @@ import (
 	"sedspec/internal/interp"
 	"sedspec/internal/ir"
 	"sedspec/internal/machine"
+	"sedspec/internal/obs"
+	"sedspec/internal/simclock"
 )
 
 // Strategy identifies a check strategy.
@@ -110,6 +113,15 @@ type Anomaly struct {
 	Src      ir.SourceRef
 	Detail   string
 	Round    uint64
+	// Session is the guest-session ID when the anomaly was raised by a
+	// session checker of a Shared engine; -1 for a serial checker, so
+	// multi-session logs stay unambiguous.
+	Session int
+	// Ctx is the forensic flight-recorder context frozen when the
+	// anomaly blocked the I/O: the last events of the session's check
+	// stream, the final one being the blocked I/O itself. Nil for
+	// non-blocking (warning) anomalies and when recording is disabled.
+	Ctx *obs.AnomalyContext
 }
 
 // Severity grades the anomaly by its strategy.
@@ -124,10 +136,16 @@ func (a *Anomaly) Severity() Severity {
 	}
 }
 
-// Error implements error.
+// Error implements error. The device name and round counter are always
+// included, and the session ID when the anomaly was raised under a
+// Shared engine, so interleaved multi-session logs stay attributable.
 func (a *Anomaly) Error() string {
-	return fmt.Sprintf("sedspec: %s anomaly in %s at %s: %s",
-		a.Strategy, a.Device, a.Src, a.Detail)
+	if a.Session >= 0 {
+		return fmt.Sprintf("sedspec: %s anomaly in %s session %d round %d at %s: %s",
+			a.Strategy, a.Device, a.Session, a.Round, a.Src, a.Detail)
+	}
+	return fmt.Sprintf("sedspec: %s anomaly in %s round %d at %s: %s",
+		a.Strategy, a.Device, a.Round, a.Src, a.Detail)
 }
 
 // Stats counts checker activity. All counters are uint64: round counts are
@@ -244,6 +262,31 @@ type Checker struct {
 	shared *Shared
 	pooled *scratch
 
+	// rec is the flight recorder fed one event per checked I/O; nil only
+	// when recording was explicitly disabled with WithRecorder(nil).
+	// clock supplies event timestamps in simclock ticks (nil reads as
+	// tick zero, e.g. in detached replay benchmarks).
+	rec   *obs.Recorder
+	clock *simclock.Clock
+	// sessionID is the guest-session identity stamped into events and
+	// anomalies; -1 until assigned (serial checkers resolve it to 0,
+	// Shared.NewSession auto-assigns).
+	sessionID int
+	// traceDepth is the last-K window Freeze copies into an
+	// AnomalyContext on a blocking anomaly.
+	traceDepth int
+	// obsReg is the registry the auto-created recorder registers with
+	// (nil selects obs.Default()); recSet records that WithRecorder was
+	// applied, including WithRecorder(nil) to disable recording.
+	obsReg *obs.Registry
+	recSet bool
+	// roundSteps is the last round's walker step count, captured for the
+	// round's event.
+	roundSteps int
+	// entryRef is the entry block's reference, stamped into clean-round
+	// events.
+	entryRef ir.BlockRef
+
 	frames []simFrame
 	temps  [][]uint64
 	flags  [][]interp.Flags
@@ -339,6 +382,45 @@ func WithReferenceSimulation() Option {
 	return func(c *Checker) { c.useRef = true }
 }
 
+// WithRecorder installs an explicit flight recorder, overriding the
+// auto-created one. WithRecorder(nil) disables recording entirely (the
+// overhead-guard baseline; production keeps the recorder on).
+func WithRecorder(rec *obs.Recorder) Option {
+	return func(c *Checker) { c.rec, c.recSet = rec, true }
+}
+
+// WithObs selects the metrics registry the checker's auto-created
+// recorder registers with (default obs.Default()).
+func WithObs(reg *obs.Registry) Option {
+	return func(c *Checker) { c.obsReg = reg }
+}
+
+// WithSessionID stamps the guest-session identity into events and
+// anomalies (the facade wires the attachment's session ID).
+func WithSessionID(id int) Option {
+	return func(c *Checker) {
+		if id >= 0 {
+			c.sessionID = id
+		}
+	}
+}
+
+// WithClock supplies the virtual clock whose ticks timestamp recorded
+// events (typically the hosting machine's).
+func WithClock(clk *simclock.Clock) Option {
+	return func(c *Checker) { c.clock = clk }
+}
+
+// WithTraceDepth bounds how many trailing events a blocking anomaly
+// freezes into its AnomalyContext (default 32, capped by the ring).
+func WithTraceDepth(k int) Option {
+	return func(c *Checker) {
+		if k > 0 {
+			c.traceDepth = k
+		}
+	}
+}
+
 // baseChecker returns a checker with the construction defaults shared by
 // New and the Shared engine's option template.
 func baseChecker() *Checker {
@@ -347,6 +429,8 @@ func baseChecker() *Checker {
 		budget:        1 << 20,
 		enabled:       [4]bool{false, true, true, true},
 		accessControl: true,
+		sessionID:     -1,
+		traceDepth:    32,
 	}
 }
 
@@ -367,9 +451,20 @@ func New(spec *core.Spec, initial *interp.State, opts ...Option) *Checker {
 	}
 	if es := spec.Block(spec.Entry); es != nil {
 		c.entryTemps = c.prog.Handlers[es.Ref.Handler].NumTemps
+		c.entryRef = es.Ref
 	}
 	if c.env == nil {
 		c.env = interp.NopEnv()
+	}
+	if c.sessionID < 0 {
+		c.sessionID = 0
+	}
+	if !c.recSet {
+		reg := c.obsReg
+		if reg == nil {
+			reg = obs.Default()
+		}
+		c.rec = reg.NewRecorder(spec.Device, c.sessionID, obs.DefaultRingSize)
 	}
 	return c
 }
@@ -432,31 +527,98 @@ var (
 )
 
 // PreIO implements machine.Interposer: simulate the specification for the
-// request before the device consumes it.
+// request before the device consumes it. Every round feeds one compact
+// event to the flight recorder; a blocking anomaly additionally freezes
+// the recorder's tail into the anomaly's forensic context, with the
+// blocked I/O itself as the final event.
 func (c *Checker) PreIO(_ machine.Device, req *interp.Request) error {
 	round := c.stats.rounds.Add(1)
 	req.Rewind()
 	anomaly := c.simulate(req)
 	req.Rewind()
 	if anomaly == nil {
+		if c.rec != nil {
+			c.record(req, round, Strategy(obs.StrategyNone), obs.VerdictOK, c.entryRef)
+		}
 		return nil
 	}
 	anomaly.Device = c.spec.Device
 	anomaly.Round = round
+	if c.shared != nil {
+		anomaly.Session = c.sessionID
+	}
 	c.countAnomaly(anomaly.Strategy)
 	if c.blockingAnomaly(anomaly.Strategy) {
 		c.stats.blocked.Add(1)
+		if c.rec != nil {
+			c.record(req, round, anomaly.Strategy, obs.VerdictBlocked, anomaly.Block)
+			anomaly.Ctx = c.rec.Freeze(c.traceDepth)
+		}
 		if c.haltFn != nil {
 			c.haltFn()
 		}
 		return anomaly
 	}
 	c.stats.warnings.Add(1)
+	if c.rec != nil {
+		c.record(req, round, anomaly.Strategy, obs.VerdictWarned, anomaly.Block)
+	}
 	c.warnMu.Lock()
 	c.warnings = append(c.warnings, *anomaly)
 	c.warnMu.Unlock()
 	c.needResync = true
 	return nil
+}
+
+// record feeds one check event to the flight recorder. Timestamps are
+// virtual (simclock ticks, one per microsecond): the checker's own cost
+// never advances the clock, so the event's latency field reads as the
+// virtual time the round's dispatch and device work consumed since the
+// previous check — deterministic across replays, unlike wall time.
+func (c *Checker) record(req *interp.Request, round uint64, strat Strategy, v obs.Verdict, blk ir.BlockRef) {
+	var tick int64
+	if c.clock != nil {
+		tick = c.clock.Now().Microseconds()
+	}
+	ev := c.rec.Append(tick)
+	ev.Round = round
+	ev.Addr = req.Addr
+	ev.Steps = uint32(c.roundSteps)
+	ev.Handler = uint16(blk.Handler)
+	ev.Block = uint16(blk.Block)
+	ev.Len = uint16(len(req.Data))
+	ev.Kind = obs.KindOf(uint8(req.Space), req.Write)
+	ev.Strategy = uint8(strat)
+	ev.Verdict = v
+	c.rec.Commit(ev)
+}
+
+// Recorder exposes the checker's flight recorder (nil when disabled).
+func (c *Checker) Recorder() *obs.Recorder { return c.rec }
+
+// Snapshot reads this checker's own observability metrics: round counts
+// by strategy and verdict plus the latency/step histograms. Safe to call
+// from other goroutines while the session runs.
+func (c *Checker) Snapshot() obs.MetricsSnapshot {
+	if c.rec == nil {
+		return obs.MetricsSnapshot{Device: c.spec.Device}
+	}
+	return c.rec.Snapshot()
+}
+
+// DumpTrace renders the flight recorder's current contents as a
+// human-readable timeline. Call it from the session's goroutine or
+// after the session has quiesced.
+func (c *Checker) DumpTrace(w io.Writer) error {
+	if c.rec == nil {
+		return nil
+	}
+	ring := c.rec.Ring()
+	if _, err := fmt.Fprintf(w, "flight recorder: device %s session %d, %d/%d events held (%d recorded)\n",
+		c.spec.Device, c.sessionID, ring.Len(), ring.Cap(), ring.Total()); err != nil {
+		return err
+	}
+	return obs.WriteTimeline(w, ring.Snapshot())
 }
 
 // PostIO implements machine.PostInterposer: after warning rounds the
@@ -490,5 +652,6 @@ func (c *Checker) anomaly(s Strategy, ref ir.BlockRef, src ir.SourceRef, format 
 		Block:    ref,
 		Src:      src,
 		Detail:   fmt.Sprintf(format, args...),
+		Session:  -1,
 	}
 }

@@ -12,3 +12,6 @@ func (c *Checker) CommandActive() (bool, uint64) { return c.cmdActive, c.activeC
 
 // Sealed reports whether the checker runs the sealed fast path.
 func (c *Checker) Sealed() bool { return c.sealed != nil }
+
+// MergeStats exposes Stats.merge for the aggregation property tests.
+func MergeStats(a, b Stats) Stats { return a.merge(b) }

@@ -19,7 +19,20 @@ func (c *Checker) simulateSealed(req *interp.Request) *Anomaly {
 	c.push(c.sealed.Entry, c.entryTemps)
 	steps := 0
 	c.dmaLog = c.dmaLog[:0]
+	a := c.walkSealed(req, &steps)
+	// The round's step count feeds the flight-recorder event either way;
+	// the aggregate counter keeps its pre-recorder semantics of counting
+	// only completed (anomaly-free) rounds.
+	c.roundSteps = steps
+	if a == nil {
+		c.stats.stepsSimulated.Add(uint64(steps))
+	}
+	return a
+}
 
+func (c *Checker) walkSealed(req *interp.Request, stepsp *int) *Anomaly {
+	steps := *stepsp
+	defer func() { *stepsp = steps }()
 	for len(c.frames) > 0 {
 		f := &c.frames[len(c.frames)-1]
 		b := c.sealed.Block(f.block)
@@ -49,7 +62,6 @@ func (c *Checker) simulateSealed(req *interp.Request) *Anomaly {
 			break
 		}
 	}
-	c.stats.stepsSimulated.Add(uint64(steps))
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"sedspec/internal/core"
 	"sedspec/internal/interp"
 	"sedspec/internal/ir"
+	"sedspec/internal/obs"
 )
 
 // Shared is the cross-session half of the concurrent enforcement engine:
@@ -43,13 +44,21 @@ type Shared struct {
 	env    interp.Env
 	haltFn func()
 
+	// reg is the observability registry every session's flight recorder
+	// reports into; entryRef and traceDepth are the session defaults for
+	// clean-round event stamping and anomaly freezes.
+	reg        *obs.Registry
+	entryRef   ir.BlockRef
+	traceDepth int
+
 	scratchPool sync.Pool
 
-	// mu guards the session registry and the retired aggregates. It is
-	// taken on session open/close and by aggregate readers — never on the
-	// check path.
+	// mu guards the session registry, the session-ID counter, and the
+	// retired aggregates. It is taken on session open/close and by
+	// aggregate readers — never on the check path.
 	mu              sync.Mutex
 	sessions        []*Checker
+	nextSession     int
 	retired         statCounters
 	retiredWarnings []Anomaly
 }
@@ -87,9 +96,15 @@ func NewShared(spec *core.Spec, opts ...Option) *Shared {
 		accessControl: tmpl.accessControl,
 		env:           tmpl.env,
 		haltFn:        tmpl.haltFn,
+		reg:           tmpl.obsReg,
+		traceDepth:    tmpl.traceDepth,
+	}
+	if s.reg == nil {
+		s.reg = obs.Default()
 	}
 	if es := spec.Block(spec.Entry); es != nil {
 		s.entryTemps = s.prog.Handlers[es.Ref.Handler].NumTemps
+		s.entryRef = es.Ref
 	}
 	s.scratchPool.New = func() any { return &scratch{} }
 	return s
@@ -107,6 +122,12 @@ func (s *Shared) Sealed() *core.SealedSpec { return s.sealed }
 // wire the session's machine (WithEnv, WithHalt); WithReferenceSimulation
 // panics. The returned Checker is driven by one goroutine, concurrently
 // with any number of sibling sessions.
+//
+// Every session gets its own flight recorder registered with the
+// engine's observability registry, under an auto-assigned session ID
+// unless WithSessionID fixed one. Per-recorder event rings and metric
+// banks mean sibling sessions never write a shared cache line for
+// telemetry, preserving the engine's no-cross-session-traffic property.
 func (s *Shared) NewSession(initial *interp.State, opts ...Option) *Checker {
 	c := &Checker{
 		spec:          s.spec,
@@ -121,6 +142,10 @@ func (s *Shared) NewSession(initial *interp.State, opts ...Option) *Checker {
 		haltFn:        s.haltFn,
 		shadow:        s.spec.InitialShadow(initial),
 		shared:        s,
+		sessionID:     -1,
+		traceDepth:    s.traceDepth,
+		obsReg:        s.reg,
+		entryRef:      s.entryRef,
 	}
 	for _, o := range opts {
 		o(c)
@@ -139,15 +164,25 @@ func (s *Shared) NewSession(initial *interp.State, opts ...Option) *Checker {
 	c.dmaLog = sc.dmaLog[:0]
 
 	s.mu.Lock()
+	if c.sessionID < 0 {
+		c.sessionID = s.nextSession
+		s.nextSession++
+	} else if c.sessionID >= s.nextSession {
+		s.nextSession = c.sessionID + 1
+	}
 	s.sessions = append(s.sessions, c)
 	s.mu.Unlock()
+	if !c.recSet {
+		c.rec = c.obsReg.NewRecorder(s.spec.Device, c.sessionID, obs.DefaultRingSize)
+	}
 	return c
 }
 
 // Close retires a session checker: its counters fold into the shared
-// retired bank, its warnings drain into the shared buffer, and its
-// scratch returns to the pool for the next session. Closing is optional —
-// a session abandoned without Close simply keeps its scratch — and
+// retired bank, its warnings drain into the shared buffer, its flight
+// recorder folds into the observability registry, and its scratch
+// returns to the pool for the next session. Closing is optional — a
+// session abandoned without Close simply keeps its scratch — and
 // idempotent. The checker must not be used after Close.
 func (c *Checker) Close() {
 	s := c.shared
@@ -155,6 +190,10 @@ func (c *Checker) Close() {
 		return
 	}
 	c.shared = nil
+
+	if c.rec != nil {
+		c.rec.Close()
+	}
 
 	s.mu.Lock()
 	for i, sess := range s.sessions {
@@ -225,4 +264,30 @@ func (s *Shared) Warnings() []Anomaly {
 		return nil
 	}
 	return out
+}
+
+// ClearWarnings discards every accumulated warning — the retired buffer
+// and each open session's — keeping the buffers' capacity so later
+// rounds do not re-allocate. Like the per-Checker ClearWarnings, it is
+// meant for the gap between experiments; warnings raised concurrently
+// with the clear land in whichever side of it their lock acquisition
+// orders them.
+func (s *Shared) ClearWarnings() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retiredWarnings = s.retiredWarnings[:0]
+	for _, c := range s.sessions {
+		c.ClearWarnings()
+	}
+}
+
+// Registry returns the observability registry the engine's sessions
+// report into.
+func (s *Shared) Registry() *obs.Registry { return s.reg }
+
+// Metrics returns the engine's device row from the observability
+// registry: one MetricsSnapshot aggregating every session's recorder,
+// open and retired. Safe to call while sessions run.
+func (s *Shared) Metrics() obs.MetricsSnapshot {
+	return s.reg.Snapshot().Device(s.spec.Device)
 }

@@ -43,7 +43,19 @@ func (c *Checker) simulateRef(req *interp.Request) *Anomaly {
 	if len(c.dmaShadow) > 0 {
 		clear(c.dmaShadow)
 	}
+	a := c.walkRef(req, &steps)
+	// Mirrors simulateSealed: the step count reaches the round's event
+	// regardless of verdict, the aggregate only on clean rounds.
+	c.roundSteps = steps
+	if a == nil {
+		c.stats.stepsSimulated.Add(uint64(steps))
+	}
+	return a
+}
 
+func (c *Checker) walkRef(req *interp.Request, stepsp *int) *Anomaly {
+	steps := *stepsp
+	defer func() { *stepsp = steps }()
 	for len(c.frames) > 0 {
 		f := &c.frames[len(c.frames)-1]
 		es := c.spec.Block(f.block)
@@ -73,7 +85,6 @@ func (c *Checker) simulateRef(req *interp.Request) *Anomaly {
 			break
 		}
 	}
-	c.stats.stepsSimulated.Add(uint64(steps))
 	return nil
 }
 

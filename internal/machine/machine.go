@@ -183,6 +183,10 @@ type Attached struct {
 	linkUp       bool
 	mediaPresent bool
 	round        uint64
+
+	// sessionID identifies the guest session this attachment serves, for
+	// observability events; -1 means unassigned (single-guest machine).
+	sessionID int
 }
 
 // AttachOption configures device attachment.
@@ -223,6 +227,17 @@ func WithMedia(present bool) AttachOption {
 	return func(a *Attached) { a.mediaPresent = present }
 }
 
+// WithSessionID tags the attachment with the guest session it serves.
+// The ID flows into every flight-recorder event the checker emits for
+// this device, so concurrent-session traces stay attributable.
+func WithSessionID(id int) AttachOption {
+	return func(a *Attached) {
+		if id >= 0 {
+			a.sessionID = id
+		}
+	}
+}
+
 // SetLink changes the device's link status at runtime (cable pull /
 // replug). Stable within an I/O round.
 func (a *Attached) SetLink(up bool) { a.linkUp = up }
@@ -239,6 +254,7 @@ func (m *Machine) Attach(dev Device, opts ...AttachOption) *Attached {
 		bytesPerMicro: 100,
 		linkUp:        true,
 		mediaPresent:  true,
+		sessionID:     -1,
 	}
 	for _, o := range opts {
 		o(a)
@@ -273,6 +289,10 @@ func (a *Attached) Interp() *interp.Interp { return a.in }
 
 // IRQLine returns the device's interrupt line number.
 func (a *Attached) IRQLine() int { return a.irqLine }
+
+// SessionID returns the guest-session ID tagged at attach time, or -1
+// for a single-guest machine.
+func (a *Attached) SessionID() int { return a.sessionID }
 
 // AddInterposer appends an I/O interposer (the ES-Checker).
 func (a *Attached) AddInterposer(i Interposer) { a.interposers = append(a.interposers, i) }

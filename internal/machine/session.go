@@ -43,6 +43,7 @@ func NewSession(id int, build BuildFunc, mopts ...Option) *Session {
 // Pool for parallel guests.
 func NewSessionOn(m *Machine, id int, build BuildFunc) *Session {
 	dev, opts := build()
+	opts = append(opts, WithSessionID(id))
 	return &Session{id: id, m: m, att: m.Attach(dev, opts...)}
 }
 

@@ -1,0 +1,388 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// NumBuckets is the histogram width: bucket 0 holds exact zeros, bucket
+// i >= 1 holds values in [2^(i-1), 2^i). Everything at or above 2^30
+// lands in the last bucket.
+const NumBuckets = 32
+
+// bucketOf maps a value to its log-scale bucket.
+func bucketOf(v uint64) int {
+	b := bits.Len64(v)
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// BucketLabel renders bucket i's value range for JSON and timelines.
+func BucketLabel(i int) string {
+	switch {
+	case i <= 0:
+		return "0"
+	case i == 1:
+		return "1"
+	case i == NumBuckets-1:
+		return fmt.Sprintf("%d+", uint64(1)<<(NumBuckets-2))
+	default:
+		return fmt.Sprintf("%d-%d", uint64(1)<<(i-1), uint64(1)<<i-1)
+	}
+}
+
+// bank is one recorder's metric storage. It has a single writer (the
+// session goroutine) but is read concurrently by snapshots, so every
+// counter is atomic. The latency and steps histograms are fused into one
+// bucket matrix so the common OK round costs exactly one atomic add:
+// snapshots recover the two marginal histograms (and the round total) by
+// summing rows and columns, which keeps the third counter and the second
+// histogram add off the hot path. The outcome matrix is touched only on
+// the rare anomaly path.
+type bank struct {
+	// outcomes counts anomalous rounds by strategy × verdict. The
+	// [StrategyNone][VerdictOK] cell is never written on the hot path;
+	// snapshots fill it with rounds − anomalies.
+	outcomes [NumStrategies][NumVerdicts]atomic.Uint64
+	// cells[latencyBucket][stepsBucket] counts rounds.
+	cells [NumBuckets][NumBuckets]atomic.Uint64
+}
+
+func (b *bank) record(ev *Event) {
+	b.cells[bucketOf(uint64(ev.Latency))][bucketOf(uint64(ev.Steps))].Add(1)
+	if ev.Verdict != VerdictOK {
+		b.outcomes[ev.Strategy%NumStrategies][ev.Verdict%NumVerdicts].Add(1)
+	}
+}
+
+// Hist is an immutable histogram snapshot.
+type Hist struct {
+	Buckets [NumBuckets]uint64
+}
+
+// Count returns the total number of recorded values.
+func (h *Hist) Count() uint64 {
+	var n uint64
+	for _, b := range h.Buckets {
+		n += b
+	}
+	return n
+}
+
+// merge adds o into h.
+func (h *Hist) merge(o *Hist) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// MetricsSnapshot is one device's (or one session's) counters at a
+// point in time. It is a plain comparable value: merging and equality
+// need no locks, which is what lets aggregate accounting be tested as
+// "registry snapshot == sum of per-session snapshots".
+type MetricsSnapshot struct {
+	Device string
+	// Rounds is the number of checked I/Os recorded.
+	Rounds uint64
+	// Outcomes[strategy][verdict] counts rounds; [0][VerdictOK] holds
+	// the clean rounds.
+	Outcomes [NumStrategies][NumVerdicts]uint64
+	// Latency buckets the virtual-time gap between consecutive checked
+	// I/Os, in simclock ticks.
+	Latency Hist
+	// Steps buckets the sealed-walker step count per round.
+	Steps Hist
+}
+
+// Merge returns the field-wise sum of two snapshots (the Device name is
+// taken from the receiver).
+func (m MetricsSnapshot) Merge(o MetricsSnapshot) MetricsSnapshot {
+	m.Rounds += o.Rounds
+	for s := range m.Outcomes {
+		for v := range m.Outcomes[s] {
+			m.Outcomes[s][v] += o.Outcomes[s][v]
+		}
+	}
+	m.Latency.merge(&o.Latency)
+	m.Steps.merge(&o.Steps)
+	return m
+}
+
+// Anomalies returns the total anomalous rounds in the snapshot.
+func (m *MetricsSnapshot) Anomalies() uint64 {
+	var n uint64
+	for s := 1; s < NumStrategies; s++ {
+		for v := 0; v < NumVerdicts; v++ {
+			n += m.Outcomes[s][v]
+		}
+	}
+	return n
+}
+
+// MarshalJSON renders the snapshot in the device × strategy × verdict
+// shape the -metrics export and /debug/vars serve.
+func (m MetricsSnapshot) MarshalJSON() ([]byte, error) {
+	type histJSON struct {
+		Count   uint64            `json:"count"`
+		Buckets map[string]uint64 `json:"buckets,omitempty"`
+	}
+	hist := func(h *Hist) histJSON {
+		out := histJSON{Count: h.Count()}
+		for i, b := range h.Buckets {
+			if b != 0 {
+				if out.Buckets == nil {
+					out.Buckets = make(map[string]uint64)
+				}
+				out.Buckets[BucketLabel(i)] = b
+			}
+		}
+		return out
+	}
+	outcomes := make(map[string]map[string]uint64)
+	for s := 0; s < NumStrategies; s++ {
+		for v := 0; v < NumVerdicts; v++ {
+			if n := m.Outcomes[s][v]; n != 0 {
+				key := StrategyName(uint8(s))
+				if outcomes[key] == nil {
+					outcomes[key] = make(map[string]uint64)
+				}
+				outcomes[key][Verdict(v).String()] = n
+			}
+		}
+	}
+	return json.Marshal(struct {
+		Device       string                       `json:"device"`
+		Rounds       uint64                       `json:"rounds"`
+		Anomalies    uint64                       `json:"anomalies"`
+		Outcomes     map[string]map[string]uint64 `json:"outcomes,omitempty"`
+		LatencyTicks histJSON                     `json:"latency_ticks"`
+		Steps        histJSON                     `json:"steps"`
+	}{m.Device, m.Rounds, m.Anomalies(), outcomes, hist(&m.Latency), hist(&m.Steps)})
+}
+
+// Snapshot is a point-in-time view of a whole registry, one row per
+// device, sorted by device name.
+type Snapshot struct {
+	Devices []MetricsSnapshot `json:"devices"`
+}
+
+// Device returns the row for the named device (zero value if absent).
+func (s Snapshot) Device(name string) MetricsSnapshot {
+	for _, d := range s.Devices {
+		if d.Device == name {
+			return d
+		}
+	}
+	return MetricsSnapshot{Device: name}
+}
+
+// Registry tracks every live Recorder plus the folded banks of closed
+// ones. The registry itself is off the hot path entirely: recording
+// touches only the recorder's own bank; the registry lock is taken on
+// open/close/snapshot.
+type Registry struct {
+	mu      sync.Mutex
+	recs    []*Recorder
+	retired map[string]MetricsSnapshot
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{retired: make(map[string]MetricsSnapshot)}
+}
+
+// defaultRegistry is the process-wide registry checkers register with
+// unless redirected, mirroring expvar's package-level default.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Recorder is one session's flight recorder plus its metric bank. One
+// goroutine writes it; see the package comment for the read contract.
+type Recorder struct {
+	reg     *Registry
+	device  string
+	session uint32
+
+	seq      uint64
+	lastTick int64
+	ring     Ring
+	bank     bank
+	closed   bool
+}
+
+// NewRecorder opens a recorder for one enforcement session and
+// registers it. ringSize <= 0 selects DefaultRingSize.
+func (g *Registry) NewRecorder(device string, session int, ringSize int) *Recorder {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	if session < 0 {
+		session = 0
+	}
+	r := &Recorder{
+		reg:     g,
+		device:  device,
+		session: uint32(session & math.MaxUint32),
+		ring:    newRing(ringSize),
+	}
+	g.mu.Lock()
+	g.recs = append(g.recs, r)
+	g.mu.Unlock()
+	return r
+}
+
+// Device returns the device name the recorder traces.
+func (r *Recorder) Device() string { return r.device }
+
+// Session returns the guest-session ID stamped into events.
+func (r *Recorder) Session() int { return int(r.session) }
+
+// Registry returns the registry the recorder reports into.
+func (r *Recorder) Registry() *Registry { return r.reg }
+
+// Append claims the next ring slot and stamps the sequencing fields
+// (Seq, Session, Tick, and the Latency delta since the previous event).
+// The caller must assign every payload field — the slot is not cleared,
+// so an unassigned field would leak the overwritten event's value — and
+// finish the record with Commit. Splitting the two lets the check hot
+// path write each event field exactly once, directly into the ring.
+func (r *Recorder) Append(tick int64) *Event {
+	r.seq++
+	d := tick - r.lastTick
+	r.lastTick = tick
+	var lat uint32
+	switch {
+	case d <= 0:
+	case d >= math.MaxUint32:
+		lat = math.MaxUint32
+	default:
+		lat = uint32(d)
+	}
+	ev := &r.ring.slots[r.ring.head&r.ring.mask]
+	r.ring.head++
+	ev.Seq, ev.Session, ev.Tick, ev.Latency = r.seq, r.session, tick, lat
+	return ev
+}
+
+// Commit folds a filled slot from Append into the metric bank: one
+// uncontended atomic add (two on anomalies).
+func (r *Recorder) Commit(ev *Event) {
+	r.bank.record(ev)
+}
+
+// Record stamps sequencing fields into ev and stores it — the
+// one-call convenience form of Append+Commit.
+func (r *Recorder) Record(ev Event) {
+	slot := r.Append(ev.Tick)
+	ev.Seq, ev.Session, ev.Latency = slot.Seq, slot.Session, slot.Latency
+	*slot = ev
+	r.bank.record(slot)
+}
+
+// Ring exposes the recorder's event ring (owner goroutine or quiesced
+// session only).
+func (r *Recorder) Ring() *Ring { return &r.ring }
+
+// Snapshot reads the recorder's own metric bank. Safe to call from any
+// goroutine while the session runs.
+func (r *Recorder) Snapshot() MetricsSnapshot {
+	m := MetricsSnapshot{Device: r.device}
+	for i := range r.bank.cells {
+		for j := range r.bank.cells[i] {
+			n := r.bank.cells[i][j].Load()
+			if n == 0 {
+				continue
+			}
+			m.Latency.Buckets[i] += n
+			m.Steps.Buckets[j] += n
+			m.Rounds += n
+		}
+	}
+	for s := 0; s < NumStrategies; s++ {
+		for v := 0; v < NumVerdicts; v++ {
+			m.Outcomes[s][v] = r.bank.outcomes[s][v].Load()
+		}
+	}
+	m.Outcomes[StrategyNone][VerdictOK] = m.Rounds - m.Anomalies()
+	return m
+}
+
+// Close folds the recorder's counters into the registry's retired bank
+// and unregisters it, so aggregate accounting survives session churn.
+// Idempotent; the ring stays readable after Close.
+func (r *Recorder) Close() {
+	g := r.reg
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for i, rec := range g.recs {
+		if rec == r {
+			g.recs = append(g.recs[:i], g.recs[i+1:]...)
+			break
+		}
+	}
+	snap := r.Snapshot()
+	if prev, ok := g.retired[r.device]; ok {
+		snap = prev.Merge(snap)
+	}
+	g.retired[r.device] = snap
+}
+
+// Snapshot merges every live recorder's bank plus the retired banks
+// into per-device rows. It may be called while sessions run: each
+// counter is exact at its atomic load, with cross-field skew bounded by
+// in-flight rounds.
+func (g *Registry) Snapshot() Snapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	byDev := make(map[string]MetricsSnapshot, len(g.retired)+1)
+	for dev, m := range g.retired {
+		byDev[dev] = m
+	}
+	for _, r := range g.recs {
+		m := r.Snapshot()
+		if prev, ok := byDev[r.device]; ok {
+			m = prev.Merge(m)
+		}
+		byDev[r.device] = m
+	}
+	out := Snapshot{Devices: make([]MetricsSnapshot, 0, len(byDev))}
+	for _, m := range byDev {
+		out.Devices = append(out.Devices, m)
+	}
+	sort.Slice(out.Devices, func(i, j int) bool { return out.Devices[i].Device < out.Devices[j].Device })
+	return out
+}
+
+// Recorders reports the number of live recorders.
+func (g *Registry) Recorders() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.recs)
+}
+
+// String renders the current snapshot as JSON, making a Registry an
+// expvar.Var: expvar.Publish("sedspec", obs.Default()) serves the
+// metrics on /debug/vars.
+func (g *Registry) String() string {
+	b, err := json.Marshal(g.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestKindOf(t *testing.T) {
+	cases := []struct {
+		space uint8
+		write bool
+		want  ExitKind
+	}{
+		{1, false, KindPIORead},
+		{1, true, KindPIOWrite},
+		{2, false, KindMMIORead},
+		{2, true, KindMMIOWrite},
+		{0, false, KindUnknown},
+		{7, true, KindUnknown},
+	}
+	for _, c := range cases {
+		if got := KindOf(c.space, c.write); got != c.want {
+			t.Errorf("KindOf(%d, %v) = %v, want %v", c.space, c.write, got, c.want)
+		}
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 29, 30}, {1 << 30, NumBuckets - 1}, {1 << 62, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	for i := 0; i < NumBuckets; i++ {
+		if BucketLabel(i) == "" {
+			t.Errorf("empty label for bucket %d", i)
+		}
+	}
+}
+
+func TestRingWrapAndOrder(t *testing.T) {
+	g := NewRegistry()
+	r := g.NewRecorder("dev", 3, 8)
+	if r.Ring().Cap() != 8 {
+		t.Fatalf("Cap = %d, want 8", r.Ring().Cap())
+	}
+	for i := 1; i <= 20; i++ {
+		r.Record(Event{Round: uint64(i), Tick: int64(i)})
+	}
+	if r.Ring().Len() != 8 {
+		t.Fatalf("Len = %d, want 8", r.Ring().Len())
+	}
+	if r.Ring().Total() != 20 {
+		t.Fatalf("Total = %d, want 20", r.Ring().Total())
+	}
+	snap := r.Ring().Snapshot()
+	for i, ev := range snap {
+		wantRound := uint64(13 + i)
+		if ev.Round != wantRound || ev.Seq != wantRound || ev.Session != 3 {
+			t.Errorf("slot %d = round %d seq %d sess %d, want round/seq %d sess 3",
+				i, ev.Round, ev.Seq, ev.Session, wantRound)
+		}
+	}
+	last := r.Ring().Last(3)
+	if len(last) != 3 || last[2].Round != 20 || last[0].Round != 18 {
+		t.Errorf("Last(3) = %+v", last)
+	}
+	if got := r.Ring().Last(100); len(got) != 8 {
+		t.Errorf("Last(100) returned %d events, want 8", len(got))
+	}
+}
+
+func TestRecorderLatencyDelta(t *testing.T) {
+	g := NewRegistry()
+	r := g.NewRecorder("dev", 0, 8)
+	r.Record(Event{Tick: 100})
+	r.Record(Event{Tick: 130})
+	r.Record(Event{Tick: 120}) // clock stayed put or skewed: clamp to 0
+	evs := r.Ring().Snapshot()
+	if evs[0].Latency != 100 || evs[1].Latency != 30 || evs[2].Latency != 0 {
+		t.Errorf("latencies = %d %d %d, want 100 30 0", evs[0].Latency, evs[1].Latency, evs[2].Latency)
+	}
+}
+
+func TestSnapshotCountsAndMerge(t *testing.T) {
+	g := NewRegistry()
+	a := g.NewRecorder("fdc", 0, 16)
+	b := g.NewRecorder("fdc", 1, 16)
+	c := g.NewRecorder("scsi", 0, 16)
+	for i := 0; i < 10; i++ {
+		a.Record(Event{Steps: 5, Verdict: VerdictOK})
+	}
+	a.Record(Event{Steps: 7, Strategy: 1, Verdict: VerdictBlocked})
+	b.Record(Event{Steps: 5, Strategy: 3, Verdict: VerdictWarned})
+	c.Record(Event{Steps: 9, Verdict: VerdictOK})
+
+	snap := g.Snapshot()
+	if len(snap.Devices) != 2 || snap.Devices[0].Device != "fdc" || snap.Devices[1].Device != "scsi" {
+		t.Fatalf("devices = %+v", snap.Devices)
+	}
+	fdc := snap.Device("fdc")
+	if fdc.Rounds != 12 {
+		t.Errorf("fdc rounds = %d, want 12", fdc.Rounds)
+	}
+	if fdc.Outcomes[1][VerdictBlocked] != 1 || fdc.Outcomes[3][VerdictWarned] != 1 {
+		t.Errorf("fdc outcomes = %+v", fdc.Outcomes)
+	}
+	if fdc.Outcomes[StrategyNone][VerdictOK] != 10 {
+		t.Errorf("fdc ok rounds = %d, want 10", fdc.Outcomes[StrategyNone][VerdictOK])
+	}
+	if fdc.Anomalies() != 2 {
+		t.Errorf("fdc anomalies = %d, want 2", fdc.Anomalies())
+	}
+
+	// The registry view must equal the sum of per-recorder snapshots.
+	manual := a.Snapshot().Merge(b.Snapshot())
+	if manual != fdc {
+		t.Errorf("merged recorder snapshots diverge from registry:\n  got:  %+v\n  want: %+v", manual, fdc)
+	}
+
+	// Close folds into the retired bank: aggregate stable across churn.
+	a.Close()
+	a.Close() // idempotent
+	b.Close()
+	if g.Recorders() != 1 {
+		t.Fatalf("Recorders = %d, want 1", g.Recorders())
+	}
+	if got := g.Snapshot().Device("fdc"); got != fdc {
+		t.Errorf("post-churn snapshot diverges:\n  got:  %+v\n  want: %+v", got, fdc)
+	}
+}
+
+func TestRegistryJSON(t *testing.T) {
+	g := NewRegistry()
+	r := g.NewRecorder("fdc", 0, 8)
+	r.Record(Event{Steps: 4, Latency: 0, Verdict: VerdictOK, Tick: 3})
+	r.Record(Event{Steps: 6, Strategy: 1, Verdict: VerdictBlocked, Tick: 9})
+	s := g.String()
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(s), &decoded); err != nil {
+		t.Fatalf("String() is not JSON: %v\n%s", err, s)
+	}
+	for _, want := range []string{`"device":"fdc"`, `"rounds":2`, `"parameter-check"`, `"blocked":1`, `"latency_ticks"`, `"steps"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestFreezeAndTimeline(t *testing.T) {
+	g := NewRegistry()
+	r := g.NewRecorder("fdc", 2, 8)
+	for i := 1; i <= 12; i++ {
+		r.Record(Event{Round: uint64(i), Addr: 0x3f5, Kind: KindPIOWrite, Steps: 40, Verdict: VerdictOK})
+	}
+	r.Record(Event{Round: 13, Addr: 0x3f5, Kind: KindPIOWrite, Steps: 17, Strategy: 1, Verdict: VerdictBlocked})
+	ctx := r.Freeze(4)
+	if len(ctx.Events) != 4 {
+		t.Fatalf("frozen %d events, want 4", len(ctx.Events))
+	}
+	final := ctx.Events[len(ctx.Events)-1]
+	if final.Verdict != VerdictBlocked || final.Round != 13 {
+		t.Fatalf("final frozen event = %+v, want the blocked round", final)
+	}
+	if ctx.Dropped != 13-8 {
+		t.Errorf("Dropped = %d, want 5", ctx.Dropped)
+	}
+	out := ctx.String()
+	for _, want := range []string{"device fdc session 2", "pio-wr", "blocked parameter-check", "0x3f5", "overwritten"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteTimeline(&sb, r.Ring().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "blocked parameter-check") {
+		t.Errorf("ring timeline missing verdict:\n%s", sb.String())
+	}
+}
+
+func TestExportEvery(t *testing.T) {
+	g := NewRegistry()
+	r := g.NewRecorder("fdc", 0, 8)
+	r.Record(Event{Steps: 3, Verdict: VerdictOK})
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	stop := ExportEvery(path, time.Millisecond, g)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic export never wrote the file")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.Record(Event{Steps: 3, Verdict: VerdictOK})
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(b, &map[string]any{}); err != nil {
+		t.Fatalf("export is not JSON: %v", err)
+	}
+	_ = snap
+	if !strings.Contains(string(b), `"rounds": 2`) {
+		t.Errorf("final export missing both rounds:\n%s", b)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	g := NewRegistry()
+	r := g.NewRecorder("fdc", 0, 8)
+	r.Record(Event{Steps: 3, Verdict: VerdictOK})
+	addr, err := ServeDebug("127.0.0.1:0", g)
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	for _, path := range []string{"/debug/vars", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+// Ring is the flight recorder's event store: a fixed-size ring that
+// overwrites oldest-first, sized to a power of two so the slot index is
+// a mask. It is single-writer and unsynchronized — see the package
+// comment for the read contract (owner goroutine, or quiesced session).
+type Ring struct {
+	slots []Event
+	mask  uint64
+	// head counts every event ever appended; head - len(slots) of them
+	// have been overwritten once head exceeds the capacity.
+	head uint64
+}
+
+// DefaultRingSize is the per-session flight-recorder depth. 256 events
+// of 56 bytes keep a session's recorder at one page-ish of memory while
+// still holding far more history than an AnomalyContext ever freezes.
+const DefaultRingSize = 256
+
+// newRing allocates a ring with at least the requested capacity,
+// rounded up to a power of two (minimum 8).
+func newRing(size int) Ring {
+	n := 8
+	for n < size {
+		n <<= 1
+	}
+	return Ring{slots: make([]Event, n), mask: uint64(n - 1)}
+}
+
+// append stores one event, overwriting the oldest once full.
+func (r *Ring) append(ev Event) {
+	r.slots[r.head&r.mask] = ev
+	r.head++
+}
+
+// Len reports how many events are currently held.
+func (r *Ring) Len() int {
+	if r.head < uint64(len(r.slots)) {
+		return int(r.head)
+	}
+	return len(r.slots)
+}
+
+// Cap reports the ring capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Total reports how many events were ever appended; Total() - Len() of
+// them have been overwritten.
+func (r *Ring) Total() uint64 { return r.head }
+
+// Snapshot copies the held events oldest-to-newest.
+func (r *Ring) Snapshot() []Event { return r.Last(r.Len()) }
+
+// Last copies the most recent k events oldest-to-newest (fewer if the
+// ring holds fewer).
+func (r *Ring) Last(k int) []Event {
+	n := r.Len()
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Event, k)
+	for i := 0; i < k; i++ {
+		out[i] = r.slots[(r.head-uint64(k)+uint64(i))&r.mask]
+	}
+	return out
+}

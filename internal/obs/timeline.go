@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // register /debug/pprof on the default mux
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// AnomalyContext is the forensic record attached to a blocking anomaly:
+// the frozen tail of the session's flight recorder, oldest first, whose
+// final event is the blocked I/O itself.
+type AnomalyContext struct {
+	Device  string
+	Session int
+	// Dropped is how many earlier events the ring had already
+	// overwritten by freeze time.
+	Dropped uint64
+	Events  []Event
+}
+
+// Freeze copies the recorder's last k events (all of them if k <= 0)
+// into an AnomalyContext. Called from the session goroutine on the
+// blocking-anomaly path, after the blocked round's event was recorded.
+func (r *Recorder) Freeze(k int) *AnomalyContext {
+	if k <= 0 || k > r.ring.Len() {
+		k = r.ring.Len()
+	}
+	return &AnomalyContext{
+		Device:  r.device,
+		Session: int(r.session),
+		Dropped: r.ring.Total() - uint64(r.ring.Len()),
+		Events:  r.ring.Last(k),
+	}
+}
+
+// WriteTimeline renders the context as a human-readable timeline.
+func (c *AnomalyContext) WriteTimeline(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "flight recorder: device %s session %d, %d events", c.Device, c.Session, len(c.Events))
+	if c.Dropped > 0 {
+		fmt.Fprintf(bw, " (%d older events overwritten)", c.Dropped)
+	}
+	fmt.Fprintln(bw)
+	writeEvents(bw, c.Events)
+	return bw.Flush()
+}
+
+// String renders the timeline for log lines.
+func (c *AnomalyContext) String() string {
+	var sb strings.Builder
+	_ = c.WriteTimeline(&sb)
+	return sb.String()
+}
+
+// WriteTimeline renders a raw event slice (a ring snapshot) as the same
+// timeline AnomalyContext produces.
+func WriteTimeline(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	writeEvents(bw, events)
+	return bw.Flush()
+}
+
+func writeEvents(w io.Writer, events []Event) {
+	fmt.Fprintf(w, "%8s %12s %8s %4s %8s %10s %6s %6s %10s  %s\n",
+		"seq", "tick", "round", "sess", "exit", "addr", "len", "steps", "block", "verdict")
+	for i := range events {
+		ev := &events[i]
+		verdict := ev.Verdict.String()
+		if ev.Verdict != VerdictOK {
+			verdict = fmt.Sprintf("%s %s", ev.Verdict, StrategyName(ev.Strategy))
+		}
+		fmt.Fprintf(w, "%8d %12d %8d %4d %8s %#10x %6d %6d %4d/%-5d  %s\n",
+			ev.Seq, ev.Tick, ev.Round, ev.Session, ev.Kind, ev.Addr, ev.Len,
+			ev.Steps, ev.Handler, ev.Block, verdict)
+	}
+}
+
+// ExportEvery periodically writes the registry's snapshot as indented
+// JSON to path, and once more when the returned stop function runs.
+// The commands' -metrics flag is backed by this.
+func ExportEvery(path string, every time.Duration, g *Registry) (stop func() error) {
+	write := func() error {
+		b, err := json.MarshalIndent(g.Snapshot(), "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, append(b, '\n'), 0o644)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	if every > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					_ = write() // transient write errors surface from the final write
+				}
+			}
+		}()
+	}
+	var once sync.Once
+	return func() error {
+		once.Do(func() { close(done) })
+		wg.Wait()
+		return write()
+	}
+}
+
+var publishOnce sync.Once
+
+// ServeDebug serves net/http/pprof (live profiling of throughput runs)
+// and expvar's /debug/vars — with the given registry published under
+// "sedspec_obs" — on addr, in the background. It returns the bound
+// address, so addr may use port 0.
+func ServeDebug(addr string, g *Registry) (string, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("sedspec_obs", g)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

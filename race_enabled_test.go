@@ -1,0 +1,7 @@
+//go:build race
+
+package sedspec_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-ratio guards skip under it.
+const raceEnabled = true

@@ -37,6 +37,7 @@ import (
 	"sedspec/internal/interp"
 	"sedspec/internal/itccfg"
 	"sedspec/internal/machine"
+	"sedspec/internal/obs"
 	"sedspec/internal/trace"
 )
 
@@ -58,7 +59,26 @@ type (
 	// SharedChecker is the cross-session enforcement engine: one sealed
 	// specification shared read-only by N concurrent per-session checkers.
 	SharedChecker = checker.Shared
+	// FlightRecorder is a session's always-on event ring plus metric bank.
+	FlightRecorder = obs.Recorder
+	// TraceEvent is one checked I/O in a flight-recorder ring.
+	TraceEvent = obs.Event
+	// AnomalyContext is the frozen trace window attached to a blocking
+	// anomaly.
+	AnomalyContext = obs.AnomalyContext
+	// Metrics is one device's aggregated counters and histograms.
+	Metrics = obs.MetricsSnapshot
+	// MetricsRegistry tracks flight recorders and aggregates their metrics.
+	MetricsRegistry = obs.Registry
 )
+
+// WithRecorder installs a caller-owned flight recorder on a checker
+// (WithRecorder(nil) disables recording entirely).
+func WithRecorder(rec *obs.Recorder) checker.Option { return checker.WithRecorder(rec) }
+
+// ObsDefault returns the process-wide observability registry the
+// checkers report into unless redirected with checker.WithObs.
+func ObsDefault() *obs.Registry { return obs.Default() }
 
 // NewMachine creates a machine with default guest memory.
 func NewMachine(opts ...machine.Option) *Machine { return machine.New(opts...) }
@@ -208,11 +228,15 @@ func LearnFull(att *machine.Attached, train TrainFunc) (*LearnResult, error) {
 
 // Protect attaches an ES-Checker enforcing the specification to the
 // device's I/O path (the paper's phase 3). The checker's shadow device
-// state is initialized from the device control structure's current values.
+// state is initialized from the device control structure's current
+// values. The checker's flight recorder stamps events with the
+// machine's virtual clock and the attachment's session ID.
 func Protect(att *machine.Attached, spec *core.Spec, opts ...checker.Option) *checker.Checker {
 	base := []checker.Option{
 		checker.WithEnv(att),
 		checker.WithHalt(att.Machine().Halt),
+		checker.WithClock(att.Machine().Clock),
+		checker.WithSessionID(att.SessionID()),
 	}
 	chk := checker.New(spec, att.Dev().State(), append(base, opts...)...)
 	att.AddInterposer(chk)
@@ -239,6 +263,8 @@ func ProtectShared(att *machine.Attached, sh *SharedChecker, opts ...checker.Opt
 	base := []checker.Option{
 		checker.WithEnv(att),
 		checker.WithHalt(att.Machine().Halt),
+		checker.WithClock(att.Machine().Clock),
+		checker.WithSessionID(att.SessionID()),
 	}
 	chk := sh.NewSession(att.Dev().State(), append(base, opts...)...)
 	att.AddInterposer(chk)
