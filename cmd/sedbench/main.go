@@ -3,13 +3,21 @@
 //
 // Usage:
 //
-//	sedbench [-experiment all|table1|table2|table3|fig34|fig5|comparison|ablation|checker|throughput]
+//	sedbench [-experiment all|table1|table2|table3|fig34|fig5|comparison|ablation|checker|throughput|swap]
 //	         [-full] [-frames N] [-mib N] [-checker-iters N] [-checker-out FILE]
 //	         [-throughput-ops N] [-throughput-iters N] [-throughput-e2e-ops N] [-throughput-out FILE]
+//	         [-swap-iters N] [-swap-store DIR] [-swap-out FILE]
 //
 // The checker experiment measures per-I/O ES-Checker overhead (sealed
 // fast path vs the pre-seal reference engine) and writes the rows as JSON
 // to -checker-out (default BENCH_checker.json).
+//
+// The swap experiment measures the spec lifecycle subsystem: store
+// cache-hit load vs a fresh learn, per-I/O check cost while another
+// goroutine hot-swaps spec versions continuously, and per-swap latency
+// (publication + grace period). Rows go to -swap-out (default
+// BENCH_swap.json); -swap-store reuses an existing store directory so a
+// second run exercises the warm cache.
 //
 // The throughput experiment measures checked-I/O scaling when one sealed
 // spec is shared across 1, 2, 4, 8, GOMAXPROCS concurrent enforcement
@@ -43,6 +51,9 @@ func main() {
 	tpIters := flag.Int("throughput-iters", 200_000, "timed replay rounds per session for the throughput experiment")
 	tpE2EOps := flag.Int("throughput-e2e-ops", 200, "benign ops per full guest session for the e2e throughput rows")
 	tpOut := flag.String("throughput-out", "BENCH_throughput.json", "output file for the throughput experiment's JSON rows")
+	swapIters := flag.Int("swap-iters", 200_000, "timed replay rounds per phase for the swap experiment")
+	swapStore := flag.String("swap-store", "", "spec store directory for the swap experiment (default: a fresh temp dir)")
+	swapOut := flag.String("swap-out", "BENCH_swap.json", "output file for the swap experiment's JSON rows")
 	metrics := flag.String("metrics", "", "periodically export checker metrics as JSON to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (profile live runs)")
 	flag.Parse()
@@ -51,6 +62,7 @@ func main() {
 		full: *full, frames: *frames, mib: *mib,
 		checkerIters: *checkerIters, checkerOut: *checkerOut,
 		tpOps: *tpOps, tpIters: *tpIters, tpE2EOps: *tpE2EOps, tpOut: *tpOut,
+		swapIters: *swapIters, swapStore: *swapStore, swapOut: *swapOut,
 	}
 	if err := realMain(*experiment, cfg, *metrics, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "sedbench:", err)
@@ -88,6 +100,9 @@ type runConfig struct {
 	tpIters      int
 	tpE2EOps     int
 	tpOut        string
+	swapIters    int
+	swapStore    string
+	swapOut      string
 }
 
 func run(experiment string, cfg runConfig) error {
@@ -249,6 +264,43 @@ func run(experiment string, cfg runConfig) error {
 			return err
 		}
 		fmt.Fprintf(w, "wrote %s\n", cfg.tpOut)
+		fmt.Fprintln(w)
+	}
+
+	if want("swap") {
+		dir := cfg.swapStore
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "sedspec-store-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		var rows []*bench.SwapBenchRow
+		for _, t := range bench.Targets(true) {
+			row, err := bench.SwapBench(t, dir, 60, cfg.swapIters)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "swap %-6s learn %8.2f ms  store load %8.3f ms  hit %6.0fx | steady %7.1f ns/op  under-swap %7.1f ns/op (%.2fx) | %5d swaps @ %.1f us\n",
+				row.Device, float64(row.LearnNs)/1e6, float64(row.StoreLoadNs)/1e6, row.CacheSpeedup,
+				row.SteadyNsPerOp, row.UnderSwapNsPerOp, row.SwapCostRatio,
+				row.Swaps, row.SwapLatencyNs/1e3)
+		}
+		f, err := os.Create(cfg.swapOut)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteSwapJSON(f, rows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.swapOut)
 		fmt.Fprintln(w)
 	}
 

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	sedfuzz -device fdc|ehci|pcnet|sdhci|scsi [-n 20000] [-seed 1]
+//	        [-spec-in spec.bin]
+//
+// With -spec-in the raw hammer additionally runs under enforcement: the
+// binary specification (written by sedspec -spec-out) is loaded and an
+// ES-Checker in enhancement mode rides the same random I/O, so the
+// checker itself is fuzzed for robustness and the run reports how much
+// of the garbage the spec flags.
 package main
 
 import (
@@ -15,6 +22,8 @@ import (
 
 	"sedspec"
 	"sedspec/internal/bench"
+	"sedspec/internal/checker"
+	"sedspec/internal/core"
 	"sedspec/internal/fuzzer"
 	"sedspec/internal/interp"
 	"sedspec/internal/machine"
@@ -26,6 +35,7 @@ func main() {
 	device := flag.String("device", "fdc", "device to fuzz")
 	n := flag.Int("n", 20000, "raw random requests to hammer")
 	seed := flag.Uint64("seed", 1, "random seed")
+	specIn := flag.String("spec-in", "", "hammer under enforcement of this binary specification (enhancement mode)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address")
 	flag.Parse()
 
@@ -38,26 +48,48 @@ func main() {
 		fmt.Printf("debug server on http://%s/debug/pprof (metrics on /debug/vars)\n", addr)
 	}
 
-	if err := run(*device, *n, *seed); err != nil {
+	if err := run(*device, *n, *seed, *specIn); err != nil {
 		fmt.Fprintln(os.Stderr, "sedfuzz:", err)
 		os.Exit(1)
 	}
 }
 
-func run(device string, n int, seed uint64) error {
+func run(device string, n int, seed uint64, specIn string) error {
 	target := bench.TargetByName(device, true)
 	if target == nil {
 		return fmt.Errorf("unknown device %q", device)
 	}
 
-	// Raw hammer.
+	// Raw hammer, optionally with an enforcing checker riding along. The
+	// checker runs in enhancement mode with a no-op halt hook so blocking
+	// anomalies are counted rather than stopping the hammer.
 	m := machine.New(machine.WithMemory(1 << 20))
 	dev, opts := target.Build()
 	att := m.Attach(dev, opts...)
+	var chk *checker.Checker
+	if specIn != "" {
+		data, err := os.ReadFile(specIn)
+		if err != nil {
+			return err
+		}
+		spec, err := core.DecodeBinary(dev.Program(), data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", specIn, err)
+		}
+		chk = sedspec.Protect(att, spec,
+			checker.WithMode(checker.ModeEnhancement),
+			checker.WithHalt(func() {}))
+	}
 	space, base, size := windowOf(att)
 	completed, faulted := fuzzer.Hammer(att, space, base, size, seed, n)
 	fmt.Printf("hammer: %d raw requests, %d completed, %d device faults (emulator stayed sound)\n",
 		n, completed, faulted)
+	if chk != nil {
+		st := chk.Stats()
+		fmt.Printf("enforcement: %d rounds checked, %d blocked (param), %d warned (indirect %d, cond %d)\n",
+			st.Rounds, st.ParamAnomalies, st.IndirectAnomalies+st.CondAnomalies,
+			st.IndirectAnomalies, st.CondAnomalies)
+	}
 
 	// Guided coverage fuzz.
 	m2 := machine.New(machine.WithMemory(1 << 20))

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	sedspec -device fdc|ehci|pcnet|sdhci|scsi [-out spec.json]
+//	        [-spec-in spec.bin] [-spec-out spec.bin] [-spec-store DIR]
 //	        [-dot cfg.dot] [-attack] [-mode protection|enhancement]
 //	        [-metrics metrics.json] [-trace-on-anomaly DIR] [-pprof ADDR]
 //
@@ -12,6 +13,12 @@
 // selected device-state parameters, and replays the benign workload under
 // protection. With -attack it additionally replays the device's CVE
 // proof-of-concept and reports the verdict.
+//
+// Spec lifecycle: -spec-out writes the learned specification in the
+// compact binary codec, -spec-in loads one instead of learning (the two
+// compose: load, then re-export), and -spec-store learns through a
+// versioned spec store — a second run with the same device and training
+// corpus is a cache hit that skips learning entirely.
 //
 // Observability: -metrics periodically exports the checker metrics
 // registry as JSON (final export on exit), -trace-on-anomaly writes each
@@ -36,25 +43,41 @@ import (
 )
 
 func main() {
-	device := flag.String("device", "fdc", "device to build a specification for")
-	out := flag.String("out", "", "write the specification as JSON to this file")
-	dot := flag.String("dot", "", "write the ES-CFG as Graphviz to this file")
-	attack := flag.Bool("attack", false, "replay the device's CVE proof(s) of concept")
-	mode := flag.String("mode", "protection", "checker working mode: protection or enhancement")
+	var cfg runConfig
+	flag.StringVar(&cfg.device, "device", "fdc", "device to build a specification for")
+	flag.StringVar(&cfg.out, "out", "", "write the specification as JSON to this file")
+	flag.StringVar(&cfg.specIn, "spec-in", "", "load a binary specification from this file instead of learning")
+	flag.StringVar(&cfg.specOut, "spec-out", "", "write the specification in the binary codec to this file")
+	flag.StringVar(&cfg.specStore, "spec-store", "", "learn through a versioned spec store at this directory (cache hit skips learning)")
+	flag.StringVar(&cfg.dot, "dot", "", "write the ES-CFG as Graphviz to this file")
+	flag.BoolVar(&cfg.attack, "attack", false, "replay the device's CVE proof(s) of concept")
+	flag.StringVar(&cfg.mode, "mode", "protection", "checker working mode: protection or enhancement")
 	metrics := flag.String("metrics", "", "periodically export checker metrics as JSON to this file")
-	traceDir := flag.String("trace-on-anomaly", "", "write each blocked PoC's flight-recorder timeline into this directory")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address")
+	flag.StringVar(&cfg.traceDir, "trace-on-anomaly", "", "write each blocked PoC's flight-recorder timeline into this directory")
 	flag.Parse()
 
-	if err := realMain(*device, *out, *dot, *attack, *mode, *metrics, *traceDir, *pprofAddr); err != nil {
+	if err := realMain(cfg, *metrics, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "sedspec:", err)
 		os.Exit(1)
 	}
 }
 
+type runConfig struct {
+	device    string
+	out       string
+	specIn    string
+	specOut   string
+	specStore string
+	dot       string
+	attack    bool
+	mode      string
+	traceDir  string
+}
+
 // realMain brackets run with the observability plumbing so the final
 // metrics export happens on the error path too (os.Exit skips defers).
-func realMain(device, out, dot string, attack bool, mode, metrics, traceDir, pprofAddr string) error {
+func realMain(cfg runConfig, metrics, pprofAddr string) error {
 	if pprofAddr != "" {
 		addr, err := obs.ServeDebug(pprofAddr, obs.Default())
 		if err != nil {
@@ -70,10 +93,61 @@ func realMain(device, out, dot string, attack bool, mode, metrics, traceDir, ppr
 			}
 		}()
 	}
-	return run(device, out, dot, attack, mode, traceDir)
+	return run(cfg)
 }
 
-func run(device, out, dot string, attack bool, mode, traceDir string) error {
+// obtainSpec resolves the specification from one of three sources, in
+// precedence order: a binary file (-spec-in), a versioned store
+// (-spec-store, learning on miss), or a fresh learning run.
+func obtainSpec(cfg runConfig, target *bench.Target, att *machine.Attached) (*core.Spec, error) {
+	device := cfg.device
+	if cfg.specIn != "" {
+		data, err := os.ReadFile(cfg.specIn)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := core.DecodeBinary(att.Dev().Program(), data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.specIn, err)
+		}
+		fmt.Printf("loaded execution specification for %s from %s\n", device, cfg.specIn)
+		fmt.Print(spec.String())
+		return spec, nil
+	}
+	if cfg.specStore != "" {
+		st, err := sedspec.OpenStore(cfg.specStore)
+		if err != nil {
+			return nil, err
+		}
+		spec, meta, hit, err := sedspec.LearnCached(st, att, "benign-train", target.Train)
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			fmt.Printf("store hit: %s generation %d (%s, created by %s)\n",
+				device, meta.Generation, meta.Blob[:12], meta.CreatedBy)
+		} else {
+			fmt.Printf("store miss: learned %s and published generation %d (%s)\n",
+				device, meta.Generation, meta.Blob[:12])
+		}
+		fmt.Print(spec.String())
+		return spec, nil
+	}
+
+	fmt.Printf("learning execution specification for %s ...\n", device)
+	r, err := sedspec.LearnFull(att, target.Train)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Print(r.Spec.String())
+	fmt.Print(r.Params.String())
+	fmt.Printf("trace: %d packets collected (%d events; %d range-filtered, %d ring-filtered)\n",
+		r.Trace.Packets, r.Trace.Events, r.Trace.FilteredRange, r.Trace.FilteredKernel)
+	return r.Spec, nil
+}
+
+func run(cfg runConfig) error {
+	device, out, dot := cfg.device, cfg.out, cfg.dot
 	target := bench.TargetByName(device, false)
 	if target == nil {
 		return fmt.Errorf("unknown device %q", device)
@@ -83,15 +157,10 @@ func run(device, out, dot string, attack bool, mode, traceDir string) error {
 	dev, opts := target.Build()
 	att := m.Attach(dev, opts...)
 
-	fmt.Printf("learning execution specification for %s ...\n", device)
-	r, err := sedspec.LearnFull(att, target.Train)
+	spec, err := obtainSpec(cfg, target, att)
 	if err != nil {
 		return err
 	}
-	fmt.Print(r.Spec.String())
-	fmt.Print(r.Params.String())
-	fmt.Printf("trace: %d packets collected (%d events; %d range-filtered, %d ring-filtered)\n",
-		r.Trace.Packets, r.Trace.Events, r.Trace.FilteredRange, r.Trace.FilteredKernel)
 
 	if out != "" {
 		f, err := os.Create(out)
@@ -99,7 +168,7 @@ func run(device, out, dot string, attack bool, mode, traceDir string) error {
 			return err
 		}
 		defer f.Close()
-		if err := r.Spec.Save(f); err != nil {
+		if err := spec.Save(f); err != nil {
 			return err
 		}
 		// Round-trip sanity: the saved spec must reload against the same
@@ -114,18 +183,32 @@ func run(device, out, dot string, attack bool, mode, traceDir string) error {
 		}
 		fmt.Printf("specification written to %s\n", out)
 	}
+	if cfg.specOut != "" {
+		data, err := spec.EncodeBinary()
+		if err != nil {
+			return err
+		}
+		// Round-trip sanity, as for -out.
+		if _, err := core.DecodeBinary(dev.Program(), data); err != nil {
+			return fmt.Errorf("encoded spec does not decode: %w", err)
+		}
+		if err := os.WriteFile(cfg.specOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("binary specification written to %s (%d bytes)\n", cfg.specOut, len(data))
+	}
 	if dot != "" {
-		if err := os.WriteFile(dot, []byte(r.Spec.Dot()), 0o644); err != nil {
+		if err := os.WriteFile(dot, []byte(spec.Dot()), 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("ES-CFG written to %s\n", dot)
 	}
 
 	chkMode := checker.ModeProtection
-	if mode == "enhancement" {
+	if cfg.mode == "enhancement" {
 		chkMode = checker.ModeEnhancement
 	}
-	chk := sedspec.Protect(att, r.Spec, checker.WithMode(chkMode))
+	chk := sedspec.Protect(att, spec, checker.WithMode(chkMode))
 	fmt.Printf("replaying benign workload under %s mode ... ", chkMode)
 	if err := target.Train(sedspec.NewDriver(att)); err != nil {
 		return fmt.Errorf("benign workload blocked: %w", err)
@@ -134,7 +217,7 @@ func run(device, out, dot string, attack bool, mode, traceDir string) error {
 	fmt.Printf("clean (%d rounds checked, %d anomalies)\n",
 		st.Rounds, st.ParamAnomalies+st.IndirectAnomalies+st.CondAnomalies)
 
-	if attack {
+	if cfg.attack {
 		for _, poc := range cvesim.All() {
 			if poc.Device != device {
 				continue
@@ -150,8 +233,8 @@ func run(device, out, dot string, attack bool, mode, traceDir string) error {
 			fmt.Printf("%s: %s\n", poc.CVE, verdict)
 			if outc.Detected && outc.Anomaly != nil {
 				fmt.Printf("  %s\n", outc.Anomaly.Detail)
-				if traceDir != "" && outc.Anomaly.Ctx != nil {
-					if err := writeTrace(traceDir, poc.CVE, outc.Anomaly.Ctx); err != nil {
+				if cfg.traceDir != "" && outc.Anomaly.Ctx != nil {
+					if err := writeTrace(cfg.traceDir, poc.CVE, outc.Anomaly.Ctx); err != nil {
 						return err
 					}
 				}

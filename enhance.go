@@ -1,0 +1,174 @@
+package sedspec
+
+import (
+	"fmt"
+
+	"sedspec/internal/checker"
+	"sedspec/internal/core"
+	"sedspec/internal/interp"
+	"sedspec/internal/machine"
+	"sedspec/internal/specstore"
+)
+
+// Spec lifecycle facade: the versioned spec store plus the enhancement
+// pipeline that turns a running deployment's audited warnings into a new
+// spec version.
+//
+// The paper's enhancement mode lets benign-but-untrained commands through
+// with a warning; the pipeline here closes the loop: collect the audited
+// warning requests from a sealed checker (Checker.Audit / SharedChecker
+// .Audit), replay them through a fresh Learn alongside the original
+// training corpus, and publish the resulting spec as a new store version
+// carrying the audit trail. SharedChecker.Swap then installs it under the
+// live sessions without dropping a check.
+
+// Store re-exports so facade users need not import internal packages.
+type (
+	// SpecStore is a content-addressed, versioned on-disk spec store.
+	SpecStore = specstore.Store
+	// SpecVersion is one published spec version's metadata.
+	SpecVersion = specstore.VersionMeta
+	// SpecKey content-addresses a spec by device, program hash, and
+	// corpus hash.
+	SpecKey = specstore.Key
+	// WarningRecord is one audited warning in a version's audit trail.
+	WarningRecord = specstore.WarningRecord
+	// AuditRecord is one audited warning captured by a checker.
+	AuditRecord = checker.AuditRecord
+)
+
+// OpenStore opens (creating if needed) a spec store rooted at dir.
+func OpenStore(dir string) (*SpecStore, error) { return specstore.Open(dir) }
+
+// StoreKey computes the content-address key for a device attachment and a
+// corpus tag: the device program's content hash plus the corpus tag's
+// hash. Learning the same program with the same corpus lands on the same
+// key, which is what makes LearnCached's cache hit sound.
+func StoreKey(att *machine.Attached, corpus string) SpecKey {
+	prog := att.Dev().Program()
+	return SpecKey{
+		Device:      prog.Name,
+		ProgramHash: specstore.ProgramHash(prog),
+		CorpusHash:  specstore.CorpusHash(corpus),
+	}
+}
+
+// LearnCached is Learn backed by the store: if a spec for this
+// device+corpus key was already published, it is loaded from the store
+// (hit=true) without running the training corpus; otherwise Learn runs
+// and the result is published under the key. The corpus tag must
+// deterministically identify the training input — same tag, same
+// training behaviour.
+func LearnCached(st *SpecStore, att *machine.Attached, corpus string, train TrainFunc) (spec *core.Spec, meta SpecVersion, hit bool, err error) {
+	key := StoreKey(att, corpus)
+	if vm, ok := st.Lookup(key); ok {
+		if spec, err := st.Load(att.Dev().Program(), vm); err == nil {
+			return spec, vm, true, nil
+		}
+		// A corrupt or missing blob falls through to a fresh learn, which
+		// republishes under the same key.
+	}
+	spec, err = Learn(att, train)
+	if err != nil {
+		return nil, SpecVersion{}, false, err
+	}
+	meta, err = st.Put(spec, SpecVersion{
+		ProgramHash: key.ProgramHash,
+		CorpusHash:  key.CorpusHash,
+		CreatedBy:   "learn",
+	})
+	if err != nil {
+		return nil, SpecVersion{}, false, err
+	}
+	return spec, meta, false, nil
+}
+
+// replayAudit issues one audited warning request through the driver,
+// re-creating the I/O that tripped the check.
+func replayAudit(d *Driver, a *AuditRecord) error {
+	var req *interp.Request
+	if a.Write {
+		req = interp.NewWrite(a.Space, a.Addr, a.Data)
+	} else {
+		req = interp.NewRead(a.Space, a.Addr)
+	}
+	if _, err := d.dispatch(req); err != nil {
+		return fmt.Errorf("sedspec: enhance: replay audited round %d: %w", a.Round, err)
+	}
+	return nil
+}
+
+// Enhance rebuilds the specification with the audited warnings folded
+// into the training corpus: the original training function runs first,
+// then each audited request replays in capture order, so the previously
+// unobserved paths join the ES-CFG. Like Learn, the composed corpus runs
+// twice (trace pass, observation pass) and must therefore be
+// deterministic — AuditRecord carries a private copy of each request.
+//
+// The attachment should be a fresh (or reset) instance of the same
+// device program the audit came from; Learn resets the device around its
+// passes.
+func Enhance(att *machine.Attached, train TrainFunc, audit []AuditRecord) (*core.Spec, error) {
+	if len(audit) == 0 {
+		return nil, fmt.Errorf("sedspec: enhance: no audited warnings to replay")
+	}
+	composed := func(d *Driver) error {
+		if train != nil {
+			if err := train(d); err != nil {
+				return err
+			}
+		}
+		for i := range audit {
+			if err := replayAudit(d, &audit[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return Learn(att, composed)
+}
+
+// warningRecords converts captured audit records into the store's
+// audit-trail form.
+func warningRecords(audit []AuditRecord) []WarningRecord {
+	out := make([]WarningRecord, len(audit))
+	for i, a := range audit {
+		out[i] = WarningRecord{
+			Strategy: a.Strategy.String(),
+			Session:  a.Session,
+			Round:    a.Round,
+			SpecGen:  a.SpecGen,
+			Space:    int(a.Space),
+			Addr:     a.Addr,
+			Write:    a.Write,
+			Data:     a.Data,
+			Detail:   a.Detail,
+		}
+	}
+	return out
+}
+
+// EnhanceToStore runs the enhancement pipeline end to end: replay the
+// audited warnings through a fresh Learn, derive the child corpus hash
+// from the parent version's corpus plus the audit trail, and publish the
+// result as a new store version recording its parent generation and the
+// warnings that drove it. The returned spec is ready for
+// SharedChecker.Swap.
+func EnhanceToStore(st *SpecStore, att *machine.Attached, parent SpecVersion, train TrainFunc, audit []AuditRecord) (*core.Spec, SpecVersion, error) {
+	spec, err := Enhance(att, train, audit)
+	if err != nil {
+		return nil, SpecVersion{}, err
+	}
+	warns := warningRecords(audit)
+	meta, err := st.Put(spec, SpecVersion{
+		ProgramHash: specstore.ProgramHash(att.Dev().Program()),
+		CorpusHash:  specstore.EnhancedCorpusHash(parent.CorpusHash, warns),
+		Parent:      parent.Generation,
+		CreatedBy:   "enhance",
+		Warnings:    warns,
+	})
+	if err != nil {
+		return nil, SpecVersion{}, err
+	}
+	return spec, meta, nil
+}

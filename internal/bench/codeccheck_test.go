@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"sedspec/internal/core"
+)
+
+func TestBenchSpecBinaryRoundTrip(t *testing.T) {
+	for _, tg := range Targets(true) {
+		t.Run(tg.Name, func(t *testing.T) {
+			_, att := tg.setup()
+			spec, err := tg.learn(att)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := spec.EncodeBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := core.DecodeBinary(att.Dev().Program(), data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var j1, j2 bytes.Buffer
+			if err := spec.Save(&j1); err != nil {
+				t.Fatal(err)
+			}
+			if err := back.Save(&j2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+				t.Error("JSON rendering changed across the binary round trip")
+			}
+		})
+	}
+}

@@ -117,6 +117,11 @@ type Anomaly struct {
 	// session checker of a Shared engine; -1 for a serial checker, so
 	// multi-session logs stay unambiguous.
 	Session int
+	// SpecGen is the spec-version generation that checked the round (1
+	// before any hot-swap). Under a Shared engine with live swaps it names
+	// the version that actually raised the anomaly, which can lag
+	// Shared.Generation during a swap's grace period.
+	SpecGen uint64
 	// Ctx is the forensic flight-recorder context frozen when the
 	// anomaly blocked the I/O: the last events of the session's check
 	// stream, the final one being the blocked I/O itself. Nil for
@@ -248,11 +253,12 @@ type Checker struct {
 
 	needResync bool
 	useRef     bool
-	// warnMu guards warnings. It is taken only on the warning-append path
-	// (anomalous rounds) and by readers; the steady-state check path never
-	// touches it.
+	// warnMu guards warnings and audit. It is taken only on the
+	// warning-append path (anomalous rounds) and by readers; the
+	// steady-state check path never touches it.
 	warnMu   sync.Mutex
 	warnings []Anomaly
+	audit    []AuditRecord
 	stats    statCounters
 
 	// shared is non-nil for session checkers built by Shared.NewSession:
@@ -261,6 +267,16 @@ type Checker struct {
 	// backing frames/arenas, returned to the shared pool by Close.
 	shared *Shared
 	pooled *scratch
+
+	// ver is the adopted spec version under a Shared engine (nil for
+	// serial checkers); specGen is its generation, stamped into events and
+	// anomalies (serial checkers stamp 1). epoch is the RCU round marker:
+	// odd while the checker is inside PreIO, even between rounds. Swap's
+	// grace period waits on it; the checker's own goroutine is the only
+	// writer.
+	ver     *specVersion
+	specGen uint64
+	epoch   atomic.Uint64
 
 	// rec is the flight recorder fed one event per checked I/O; nil only
 	// when recording was explicitly disabled with WithRecorder(nil).
@@ -443,6 +459,7 @@ func New(spec *core.Spec, initial *interp.State, opts ...Option) *Checker {
 	c.spec = spec
 	c.prog = spec.Program()
 	c.shadow = spec.InitialShadow(initial)
+	c.specGen = 1
 	for _, o := range opts {
 		o(c)
 	}
@@ -497,6 +514,46 @@ func (c *Checker) ClearWarnings() {
 	c.warnMu.Unlock()
 }
 
+// AuditRecord captures the I/O request behind one non-blocking warning —
+// everything the enhancement pipeline needs to replay the round against a
+// fresh training pass. Data is a private copy of the request payload.
+type AuditRecord struct {
+	Session  int
+	Round    uint64
+	SpecGen  uint64
+	Strategy Strategy
+	Space    interp.Space
+	Addr     uint64
+	Write    bool
+	Data     []byte
+	Detail   string
+}
+
+// Audit returns a copy of the audit records accumulated on the warning
+// path (enhancement mode).
+func (c *Checker) Audit() []AuditRecord {
+	c.warnMu.Lock()
+	defer c.warnMu.Unlock()
+	if len(c.audit) == 0 {
+		return nil
+	}
+	out := make([]AuditRecord, len(c.audit))
+	copy(out, c.audit)
+	return out
+}
+
+// ClearAudit discards accumulated audit records (after an enhancement
+// pass consumed them), keeping the slice's capacity.
+func (c *Checker) ClearAudit() {
+	c.warnMu.Lock()
+	c.audit = c.audit[:0]
+	c.warnMu.Unlock()
+}
+
+// SpecGen returns the generation of the spec version the checker last
+// checked against (1 for serial checkers and before any hot-swap).
+func (c *Checker) SpecGen() uint64 { return c.specGen }
+
 // Shadow exposes the shadow device state for tests and diagnostics.
 func (c *Checker) Shadow() *interp.State { return c.shadow }
 
@@ -531,7 +588,20 @@ var (
 // event to the flight recorder; a blocking anomaly additionally freezes
 // the recorder's tail into the anomaly's forensic context, with the
 // blocked I/O itself as the final event.
+//
+// Under a Shared engine the round is bracketed by the RCU epoch marker
+// (odd while checking) and begins by adopting the engine's current spec
+// version, so a hot-swap takes effect exactly at a round boundary: this
+// round runs entirely against one version, and Swap's grace period waits
+// for the epoch to advance before retiring the old one.
 func (c *Checker) PreIO(_ machine.Device, req *interp.Request) error {
+	if c.shared != nil {
+		c.epoch.Add(1)
+		defer c.epoch.Add(1)
+		if v := c.shared.cur.Load(); v != c.ver {
+			c.adopt(v)
+		}
+	}
 	round := c.stats.rounds.Add(1)
 	req.Rewind()
 	anomaly := c.simulate(req)
@@ -544,6 +614,7 @@ func (c *Checker) PreIO(_ machine.Device, req *interp.Request) error {
 	}
 	anomaly.Device = c.spec.Device
 	anomaly.Round = round
+	anomaly.SpecGen = c.specGen
 	if c.shared != nil {
 		anomaly.Session = c.sessionID
 	}
@@ -565,9 +636,34 @@ func (c *Checker) PreIO(_ machine.Device, req *interp.Request) error {
 	}
 	c.warnMu.Lock()
 	c.warnings = append(c.warnings, *anomaly)
+	c.audit = append(c.audit, AuditRecord{
+		Session:  c.sessionID,
+		Round:    round,
+		SpecGen:  c.specGen,
+		Strategy: anomaly.Strategy,
+		Space:    req.Space,
+		Addr:     req.Addr,
+		Write:    req.Write,
+		Data:     append([]byte(nil), req.Data...),
+		Detail:   anomaly.Detail,
+	})
 	c.warnMu.Unlock()
 	c.needResync = true
 	return nil
+}
+
+// adopt switches the checker onto a newly published spec version at a
+// round boundary. Shadow state, command tracking, and scratch survive:
+// compatiblePrograms guarantees the replacement presents the same runtime
+// shape.
+func (c *Checker) adopt(v *specVersion) {
+	c.ver = v
+	c.spec = v.spec
+	c.sealed = v.sealed
+	c.prog = v.prog
+	c.entryTemps = v.entryTemps
+	c.entryRef = v.entryRef
+	c.specGen = v.gen
 }
 
 // record feeds one check event to the flight recorder. Timestamps are
@@ -588,6 +684,7 @@ func (c *Checker) record(req *interp.Request, round uint64, strat Strategy, v ob
 	ev.Block = uint16(blk.Block)
 	ev.Len = uint16(len(req.Data))
 	ev.Kind = obs.KindOf(uint8(req.Space), req.Write)
+	ev.SpecGen = uint16(c.specGen)
 	ev.Strategy = uint8(strat)
 	ev.Verdict = v
 	c.rec.Commit(ev)

@@ -1,7 +1,10 @@
 package checker
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"sedspec/internal/core"
 	"sedspec/internal/interp"
@@ -9,16 +12,53 @@ import (
 	"sedspec/internal/obs"
 )
 
+// specVersion is one immutable generation of the enforced specification:
+// the spec, its sealed runtime form, and the entry-block material every
+// round needs. The shared engine publishes versions through an atomic
+// pointer; sessions adopt the current version at round boundaries, so one
+// round always runs entirely against one version.
+type specVersion struct {
+	gen        uint64
+	spec       *core.Spec
+	sealed     *core.SealedSpec
+	prog       *ir.Program
+	entryTemps int
+	entryRef   ir.BlockRef
+}
+
+// newSpecVersion seals a spec into a publishable version.
+func newSpecVersion(spec *core.Spec, gen uint64) *specVersion {
+	v := &specVersion{
+		gen:    gen,
+		spec:   spec,
+		sealed: spec.Seal(),
+		prog:   spec.Program(),
+	}
+	if es := spec.Block(spec.Entry); es != nil {
+		v.entryTemps = v.prog.Handlers[es.Ref.Handler].NumTemps
+		v.entryRef = es.Ref
+	}
+	return v
+}
+
 // Shared is the cross-session half of the concurrent enforcement engine:
 // one specification sealed once, enforced for N parallel guest sessions.
 //
-// What is shared is exactly the immutable material — the SealedSpec, the
-// device program, and the check configuration (mode, strategies, budget,
-// access control). Everything a simulated round mutates is per-session:
-// the shadow device state, command tracking, frame stack, bump arenas,
-// DMA journal, warning buffer, and counters. A session's steady-state
-// check path therefore takes no lock and touches no cache line another
-// session writes; the only cross-session traffic is read-only spec data.
+// What is shared is exactly the immutable material — the current
+// specVersion (SealedSpec, device program, entry material) and the check
+// configuration (mode, strategies, budget, access control). Everything a
+// simulated round mutates is per-session: the shadow device state, command
+// tracking, frame stack, bump arenas, DMA journal, warning buffer, and
+// counters. A session's steady-state check path therefore takes no lock
+// and touches no cache line another session writes; the only
+// cross-session traffic is read-only spec data plus one atomic load of
+// the version pointer per round.
+//
+// Swap replaces the enforced specification under running sessions,
+// RCU-style: a new version is published through the atomic pointer, each
+// session adopts it at its next round boundary, and Swap returns only
+// after the grace period — once every round that may still be walking the
+// old version has finished. No round is dropped or double-checked.
 //
 // Session scratch (frame stack and bump arenas) is recycled through a
 // sync.Pool so that short-lived sessions — one per connecting guest in a
@@ -29,15 +69,15 @@ import (
 // retired bank that Close folds finished sessions into, so aggregate
 // accounting survives session churn.
 type Shared struct {
-	spec   *core.Spec
-	sealed *core.SealedSpec
-	prog   *ir.Program
+	device string
+	// cur is the published spec version. Sessions load it once per round;
+	// Swap stores a successor and grace-waits.
+	cur atomic.Pointer[specVersion]
 
 	mode          Mode
 	enabled       [4]bool
 	budget        int
 	accessControl bool
-	entryTemps    int
 
 	// env and haltFn are session defaults, overridable per session with
 	// WithEnv / WithHalt (each guest's machine is its own environment).
@@ -45,22 +85,25 @@ type Shared struct {
 	haltFn func()
 
 	// reg is the observability registry every session's flight recorder
-	// reports into; entryRef and traceDepth are the session defaults for
-	// clean-round event stamping and anomaly freezes.
+	// reports into; traceDepth is the session default for anomaly freezes.
 	reg        *obs.Registry
-	entryRef   ir.BlockRef
 	traceDepth int
 
 	scratchPool sync.Pool
 
-	// mu guards the session registry, the session-ID counter, and the
-	// retired aggregates. It is taken on session open/close and by
-	// aggregate readers — never on the check path.
+	// swaps counts published versions beyond the first.
+	swaps atomic.Uint64
+
+	// mu guards the session registry, the session-ID counter, the retired
+	// aggregates, and version publication ordering. It is taken on session
+	// open/close, by aggregate readers, and by Swap — never on the check
+	// path.
 	mu              sync.Mutex
 	sessions        []*Checker
 	nextSession     int
 	retired         statCounters
 	retiredWarnings []Anomaly
+	retiredAudit    []AuditRecord
 }
 
 // scratch is one session's recyclable simulation storage: the frame stack
@@ -87,9 +130,7 @@ func NewShared(spec *core.Spec, opts ...Option) *Shared {
 		panic("checker: WithReferenceSimulation is incompatible with a shared engine")
 	}
 	s := &Shared{
-		spec:          spec,
-		sealed:        spec.Seal(),
-		prog:          spec.Program(),
+		device:        spec.Device,
 		mode:          tmpl.mode,
 		enabled:       tmpl.enabled,
 		budget:        tmpl.budget,
@@ -102,10 +143,7 @@ func NewShared(spec *core.Spec, opts ...Option) *Shared {
 	if s.reg == nil {
 		s.reg = obs.Default()
 	}
-	if es := spec.Block(spec.Entry); es != nil {
-		s.entryTemps = s.prog.Handlers[es.Ref.Handler].NumTemps
-		s.entryRef = es.Ref
-	}
+	s.cur.Store(newSpecVersion(spec, 1))
 	s.scratchPool.New = func() any { return &scratch{} }
 	return s
 }
@@ -113,8 +151,96 @@ func NewShared(spec *core.Spec, opts ...Option) *Shared {
 // Mode returns the working mode every session enforces.
 func (s *Shared) Mode() Mode { return s.mode }
 
-// Sealed exposes the shared sealed specification (diagnostics, tests).
-func (s *Shared) Sealed() *core.SealedSpec { return s.sealed }
+// Sealed exposes the current sealed specification (diagnostics, tests).
+func (s *Shared) Sealed() *core.SealedSpec { return s.cur.Load().sealed }
+
+// Spec returns the current specification version's spec.
+func (s *Shared) Spec() *core.Spec { return s.cur.Load().spec }
+
+// Generation returns the current spec version's generation (1 before any
+// swap, +1 per swap).
+func (s *Shared) Generation() uint64 { return s.cur.Load().gen }
+
+// SwapCount returns how many hot-swaps the engine has applied.
+func (s *Shared) SwapCount() uint64 { return s.swaps.Load() }
+
+// compatiblePrograms checks that a replacement spec's program presents
+// the same runtime shape as the current one: same device, control
+// structure layout, and handler/temp geometry. A session's shadow device
+// state and recycled arenas survive a swap only under these invariants.
+func compatiblePrograms(old, repl *ir.Program) error {
+	if old == repl {
+		return nil
+	}
+	if old.Name != repl.Name {
+		return fmt.Errorf("checker: swap: program %q does not match %q", repl.Name, old.Name)
+	}
+	if old.ArenaSize != repl.ArenaSize || len(old.Fields) != len(repl.Fields) {
+		return fmt.Errorf("checker: swap: control structure layout changed (%d/%d bytes, %d/%d fields)",
+			repl.ArenaSize, old.ArenaSize, len(repl.Fields), len(old.Fields))
+	}
+	if len(old.Handlers) != len(repl.Handlers) {
+		return fmt.Errorf("checker: swap: handler count changed (%d -> %d)",
+			len(old.Handlers), len(repl.Handlers))
+	}
+	for i := range old.Handlers {
+		if old.Handlers[i].NumTemps != repl.Handlers[i].NumTemps ||
+			len(old.Handlers[i].Blocks) != len(repl.Handlers[i].Blocks) {
+			return fmt.Errorf("checker: swap: handler %q geometry changed", old.Handlers[i].Name)
+		}
+	}
+	return nil
+}
+
+// Swap atomically replaces the enforced specification with spec and waits
+// out the grace period: on return, every session round that may have been
+// walking the previous version has completed, and every subsequent round
+// checks against the new version. Sessions in between rounds pick the new
+// version up at their next PreIO; no I/O check is dropped, and no round
+// observes two versions.
+//
+// The replacement must be for the same device and structurally compatible
+// with the current program (sessions' shadow states survive the swap).
+// Swap may be called from any goroutine; concurrent Swaps serialize.
+func (s *Shared) Swap(spec *core.Spec) error {
+	if spec.Device != s.device {
+		return fmt.Errorf("checker: swap: spec is for device %q, engine enforces %q", spec.Device, s.device)
+	}
+	if err := compatiblePrograms(s.cur.Load().prog, spec.Program()); err != nil {
+		return err
+	}
+	// Seal outside the lock: sealing cost scales with spec size and must
+	// not extend the window during which sessions are blocked from
+	// opening/closing.
+	sealed := newSpecVersion(spec, 0)
+
+	s.mu.Lock()
+	old := s.cur.Load()
+	sealed.gen = old.gen + 1
+	s.cur.Store(sealed)
+	sessions := append([]*Checker(nil), s.sessions...)
+	s.mu.Unlock()
+	s.swaps.Add(1)
+	if s.reg != nil {
+		s.reg.CountSwap(s.device)
+	}
+
+	// Grace period. A session's epoch is odd while it is inside PreIO
+	// (mid-round) and even between rounds. Any round entered after the
+	// Store above adopts the new version, so the old version remains
+	// reachable only by rounds whose epoch was already odd at publication
+	// time; wait for each of those epochs to advance.
+	for _, c := range sessions {
+		e := c.epoch.Load()
+		if e&1 == 0 {
+			continue
+		}
+		for c.epoch.Load() == e {
+			runtime.Gosched()
+		}
+	}
+	return nil
+}
 
 // NewSession opens an enforcement session: a Checker sharing this
 // engine's sealed spec, with its own shadow device state cloned from
@@ -129,23 +255,26 @@ func (s *Shared) Sealed() *core.SealedSpec { return s.sealed }
 // banks mean sibling sessions never write a shared cache line for
 // telemetry, preserving the engine's no-cross-session-traffic property.
 func (s *Shared) NewSession(initial *interp.State, opts ...Option) *Checker {
+	v := s.cur.Load()
 	c := &Checker{
-		spec:          s.spec,
-		sealed:        s.sealed,
-		prog:          s.prog,
+		spec:          v.spec,
+		sealed:        v.sealed,
+		prog:          v.prog,
+		ver:           v,
+		specGen:       v.gen,
 		mode:          s.mode,
 		enabled:       s.enabled,
 		budget:        s.budget,
 		accessControl: s.accessControl,
-		entryTemps:    s.entryTemps,
+		entryTemps:    v.entryTemps,
 		env:           s.env,
 		haltFn:        s.haltFn,
-		shadow:        s.spec.InitialShadow(initial),
+		shadow:        v.spec.InitialShadow(initial),
 		shared:        s,
 		sessionID:     -1,
 		traceDepth:    s.traceDepth,
 		obsReg:        s.reg,
-		entryRef:      s.entryRef,
+		entryRef:      v.entryRef,
 	}
 	for _, o := range opts {
 		o(c)
@@ -173,27 +302,26 @@ func (s *Shared) NewSession(initial *interp.State, opts ...Option) *Checker {
 	s.sessions = append(s.sessions, c)
 	s.mu.Unlock()
 	if !c.recSet {
-		c.rec = c.obsReg.NewRecorder(s.spec.Device, c.sessionID, obs.DefaultRingSize)
+		c.rec = c.obsReg.NewRecorder(s.device, c.sessionID, obs.DefaultRingSize)
 	}
 	return c
 }
 
 // Close retires a session checker: its counters fold into the shared
-// retired bank, its warnings drain into the shared buffer, its flight
-// recorder folds into the observability registry, and its scratch
-// returns to the pool for the next session. Closing is optional — a
-// session abandoned without Close simply keeps its scratch — and
-// idempotent. The checker must not be used after Close.
+// retired bank, its warnings and audit records drain into the shared
+// buffers, its flight recorder folds into the observability registry, and
+// its scratch returns to the pool for the next session. A serial checker
+// (built with New) closes just its recorder. Closing is idempotent; the
+// checker must not be used after Close.
 func (c *Checker) Close() {
+	if c.rec != nil {
+		c.rec.Close()
+	}
 	s := c.shared
 	if s == nil {
 		return
 	}
 	c.shared = nil
-
-	if c.rec != nil {
-		c.rec.Close()
-	}
 
 	s.mu.Lock()
 	for i, sess := range s.sessions {
@@ -215,6 +343,8 @@ func (c *Checker) Close() {
 	c.warnMu.Lock()
 	s.retiredWarnings = append(s.retiredWarnings, c.warnings...)
 	c.warnings = nil
+	s.retiredAudit = append(s.retiredAudit, c.audit...)
+	c.audit = nil
 	c.warnMu.Unlock()
 	s.mu.Unlock()
 
@@ -281,6 +411,32 @@ func (s *Shared) ClearWarnings() {
 	}
 }
 
+// Audit copies every session's accumulated audit records (the warning
+// replays the enhancement pipeline feeds on), retired sessions first.
+func (s *Shared) Audit() []AuditRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]AuditRecord(nil), s.retiredAudit...)
+	for _, c := range s.sessions {
+		out = append(out, c.Audit()...)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// ClearAudit discards every accumulated audit record, retired and
+// per-session, typically after an enhancement pass consumed them.
+func (s *Shared) ClearAudit() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retiredAudit = s.retiredAudit[:0]
+	for _, c := range s.sessions {
+		c.ClearAudit()
+	}
+}
+
 // Registry returns the observability registry the engine's sessions
 // report into.
 func (s *Shared) Registry() *obs.Registry { return s.reg }
@@ -289,5 +445,5 @@ func (s *Shared) Registry() *obs.Registry { return s.reg }
 // registry: one MetricsSnapshot aggregating every session's recorder,
 // open and retired. Safe to call while sessions run.
 func (s *Shared) Metrics() obs.MetricsSnapshot {
-	return s.reg.Snapshot().Device(s.spec.Device)
+	return s.reg.Snapshot().Device(s.device)
 }

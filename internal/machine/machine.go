@@ -297,6 +297,15 @@ func (a *Attached) SessionID() int { return a.sessionID }
 // AddInterposer appends an I/O interposer (the ES-Checker).
 func (a *Attached) AddInterposer(i Interposer) { a.interposers = append(a.interposers, i) }
 
+// Interposers returns the attached interposers in dispatch order. The
+// facade's Unprotect walks this to retire checkers (fold their stats,
+// close their recorders) before detaching them.
+func (a *Attached) Interposers() []Interposer {
+	out := make([]Interposer, len(a.interposers))
+	copy(out, a.interposers)
+	return out
+}
+
 // ClearInterposers removes all interposers.
 func (a *Attached) ClearInterposers() { a.interposers = nil }
 

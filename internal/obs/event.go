@@ -149,6 +149,11 @@ type Event struct {
 	Block   uint16
 	// Len is the request payload length in bytes.
 	Len uint16
+	// SpecGen is the spec-version generation that checked the round: 1
+	// for a spec that was never swapped, incremented by every hot-swap.
+	// Events recorded across a swap boundary disambiguate which spec
+	// version produced which verdict.
+	SpecGen uint16
 	// Kind is the VM-exit kind that delivered the request.
 	Kind ExitKind
 	// Strategy is the anomaly's strategy code (StrategyNone for OK).

@@ -99,6 +99,10 @@ type MetricsSnapshot struct {
 	Latency Hist
 	// Steps buckets the sealed-walker step count per round.
 	Steps Hist
+	// Swaps counts spec hot-swaps applied to the device. It is a
+	// registry-level counter (CountSwap), not a per-recorder one: a swap
+	// belongs to the shared engine, not to any single session.
+	Swaps uint64
 }
 
 // Merge returns the field-wise sum of two snapshots (the Device name is
@@ -112,6 +116,7 @@ func (m MetricsSnapshot) Merge(o MetricsSnapshot) MetricsSnapshot {
 	}
 	m.Latency.merge(&o.Latency)
 	m.Steps.merge(&o.Steps)
+	m.Swaps += o.Swaps
 	return m
 }
 
@@ -161,10 +166,11 @@ func (m MetricsSnapshot) MarshalJSON() ([]byte, error) {
 		Device       string                       `json:"device"`
 		Rounds       uint64                       `json:"rounds"`
 		Anomalies    uint64                       `json:"anomalies"`
+		Swaps        uint64                       `json:"swaps,omitempty"`
 		Outcomes     map[string]map[string]uint64 `json:"outcomes,omitempty"`
 		LatencyTicks histJSON                     `json:"latency_ticks"`
 		Steps        histJSON                     `json:"steps"`
-	}{m.Device, m.Rounds, m.Anomalies(), outcomes, hist(&m.Latency), hist(&m.Steps)})
+	}{m.Device, m.Rounds, m.Anomalies(), m.Swaps, outcomes, hist(&m.Latency), hist(&m.Steps)})
 }
 
 // Snapshot is a point-in-time view of a whole registry, one row per
@@ -191,11 +197,26 @@ type Registry struct {
 	mu      sync.Mutex
 	recs    []*Recorder
 	retired map[string]MetricsSnapshot
+	// swaps counts spec hot-swaps per device. Kept separate from retired
+	// so it is applied to the device row exactly once at snapshot time,
+	// regardless of how many sessions fold in.
+	swaps map[string]uint64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{retired: make(map[string]MetricsSnapshot)}
+	return &Registry{
+		retired: make(map[string]MetricsSnapshot),
+		swaps:   make(map[string]uint64),
+	}
+}
+
+// CountSwap records one spec hot-swap applied to the device (called by
+// the shared enforcement engine when it publishes a new spec version).
+func (g *Registry) CountSwap(device string) {
+	g.mu.Lock()
+	g.swaps[device]++
+	g.mu.Unlock()
 }
 
 // defaultRegistry is the process-wide registry checkers register with
@@ -360,6 +381,14 @@ func (g *Registry) Snapshot() Snapshot {
 			m = prev.Merge(m)
 		}
 		byDev[r.device] = m
+	}
+	for dev, n := range g.swaps {
+		m, ok := byDev[dev]
+		if !ok {
+			m = MetricsSnapshot{Device: dev}
+		}
+		m.Swaps += n
+		byDev[dev] = m
 	}
 	out := Snapshot{Devices: make([]MetricsSnapshot, 0, len(byDev))}
 	for _, m := range byDev {

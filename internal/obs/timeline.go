@@ -70,16 +70,16 @@ func WriteTimeline(w io.Writer, events []Event) error {
 }
 
 func writeEvents(w io.Writer, events []Event) {
-	fmt.Fprintf(w, "%8s %12s %8s %4s %8s %10s %6s %6s %10s  %s\n",
-		"seq", "tick", "round", "sess", "exit", "addr", "len", "steps", "block", "verdict")
+	fmt.Fprintf(w, "%8s %12s %8s %4s %4s %8s %10s %6s %6s %10s  %s\n",
+		"seq", "tick", "round", "sess", "gen", "exit", "addr", "len", "steps", "block", "verdict")
 	for i := range events {
 		ev := &events[i]
 		verdict := ev.Verdict.String()
 		if ev.Verdict != VerdictOK {
 			verdict = fmt.Sprintf("%s %s", ev.Verdict, StrategyName(ev.Strategy))
 		}
-		fmt.Fprintf(w, "%8d %12d %8d %4d %8s %#10x %6d %6d %4d/%-5d  %s\n",
-			ev.Seq, ev.Tick, ev.Round, ev.Session, ev.Kind, ev.Addr, ev.Len,
+		fmt.Fprintf(w, "%8d %12d %8d %4d %4d %8s %#10x %6d %6d %4d/%-5d  %s\n",
+			ev.Seq, ev.Tick, ev.Round, ev.Session, ev.SpecGen, ev.Kind, ev.Addr, ev.Len,
 			ev.Steps, ev.Handler, ev.Block, verdict)
 	}
 }

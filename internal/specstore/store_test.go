@@ -1,0 +1,84 @@
+package specstore_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sedspec/internal/ir"
+	"sedspec/internal/specstore"
+)
+
+func buildProg(t *testing.T, name string) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder(name)
+	h := b.Handler("dispatch")
+	h.Block("e").Entry().Halt("return")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProgramHashDeterministicAndSensitive(t *testing.T) {
+	a1 := specstore.ProgramHash(buildProg(t, "dev"))
+	a2 := specstore.ProgramHash(buildProg(t, "dev"))
+	if a1 != a2 {
+		t.Error("two builds of the same program hash differently")
+	}
+	if b := specstore.ProgramHash(buildProg(t, "other")); b == a1 {
+		t.Error("different programs share a hash")
+	}
+}
+
+func TestCorpusHashes(t *testing.T) {
+	if specstore.CorpusHash("a") != specstore.CorpusHash("a") {
+		t.Error("corpus hash not deterministic")
+	}
+	if specstore.CorpusHash("a") == specstore.CorpusHash("b") {
+		t.Error("distinct corpora share a hash")
+	}
+	// Tag boundaries matter: ("ab","c") and ("a","bc") are different corpora.
+	if specstore.CorpusHash("ab", "c") == specstore.CorpusHash("a", "bc") {
+		t.Error("corpus hash ignores tag boundaries")
+	}
+
+	w := []specstore.WarningRecord{{Strategy: "conditional-jump-check", Addr: 1, Write: true, Data: []byte{0xF0}}}
+	if specstore.EnhancedCorpusHash("p", w) != specstore.EnhancedCorpusHash("p", w) {
+		t.Error("enhanced corpus hash not deterministic")
+	}
+	if specstore.EnhancedCorpusHash("p", w) == specstore.EnhancedCorpusHash("q", w) {
+		t.Error("enhanced corpus hash ignores the parent")
+	}
+	if specstore.EnhancedCorpusHash("p", w) == specstore.EnhancedCorpusHash("p", nil) {
+		t.Error("enhanced corpus hash ignores the warnings")
+	}
+}
+
+func TestOpenRejectsCorruptIndex(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := specstore.Open(dir); err == nil {
+		t.Error("corrupt index must fail to open")
+	}
+}
+
+func TestOpenEmptyStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := specstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Latest("dev"); ok {
+		t.Error("empty store reports a latest version")
+	}
+	if vs := st.Versions("dev"); vs != nil {
+		t.Errorf("empty store reports versions: %v", vs)
+	}
+	if _, ok := st.Lookup(specstore.Key{Device: "dev"}); ok {
+		t.Error("empty store reports a lookup hit")
+	}
+}

@@ -87,3 +87,33 @@ func ProtectWithRollback(att *machine.Attached, spec *core.Spec, snapshotEvery i
 	g.snap = g.m.Snapshot()
 	return chk, g
 }
+
+// ProtectSharedWithRollback is ProtectShared plus rollback recovery: the
+// session checker is drawn from the shared engine (so it participates in
+// hot-swaps and aggregate accounting), and a blocking anomaly restores
+// the machine's rolling snapshot instead of leaving it halted. When a
+// swap's grace period overlaps an exploit, the rollback runs against
+// whatever spec version actually checked the round — the anomaly's
+// SpecGen names it.
+func ProtectSharedWithRollback(att *machine.Attached, sh *SharedChecker, snapshotEvery int, opts ...checker.Option) (*checker.Checker, *RollbackGuard) {
+	if snapshotEvery <= 0 {
+		snapshotEvery = 64
+	}
+	g := &RollbackGuard{
+		m:             att.Machine(),
+		att:           att,
+		SnapshotEvery: snapshotEvery,
+	}
+	base := []checker.Option{
+		checker.WithEnv(att),
+		checker.WithHalt(g.recover),
+		checker.WithClock(att.Machine().Clock),
+		checker.WithSessionID(att.SessionID()),
+	}
+	chk := sh.NewSession(att.Dev().State(), append(base, opts...)...)
+	g.chk = chk
+	att.AddInterposer(chk)
+	att.AddInterposer(g)
+	g.snap = g.m.Snapshot()
+	return chk, g
+}

@@ -243,8 +243,21 @@ func Protect(att *machine.Attached, spec *core.Spec, opts ...checker.Option) *ch
 	return chk
 }
 
-// Unprotect removes all interposers (the checker) from the device.
-func Unprotect(att *machine.Attached) { att.ClearInterposers() }
+// Unprotect removes all interposers (the checker) from the device,
+// retiring every attached checker first: its counters fold into the
+// shared engine's retired bank (when the checker came from ProtectShared)
+// and its flight recorder folds into the observability registry. Without
+// the retire step a re-ProtectShared on the same attachment would leave
+// the old session's live stats bank registered alongside the new one and
+// aggregate accounting would double-count.
+func Unprotect(att *machine.Attached) {
+	for _, ip := range att.Interposers() {
+		if chk, ok := ip.(*checker.Checker); ok {
+			chk.Close()
+		}
+	}
+	att.ClearInterposers()
+}
 
 // NewSharedChecker seals the specification once for concurrent
 // enforcement across guest sessions. Options fix the configuration every
