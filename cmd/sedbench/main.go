@@ -3,14 +3,19 @@
 //
 // Usage:
 //
-//	sedbench [-experiment all|table1|table2|table3|fig34|fig5|comparison|ablation|checker|throughput|swap]
+//	sedbench [-experiment all|table1|table2|table3|fig34|fig5|comparison|ablation|checker|coverage|throughput|swap]
 //	         [-full] [-frames N] [-mib N] [-checker-iters N] [-checker-out FILE]
+//	         [-coverage-iters N] [-coverage-out FILE]
 //	         [-throughput-ops N] [-throughput-iters N] [-throughput-e2e-ops N] [-throughput-out FILE]
 //	         [-swap-iters N] [-swap-store DIR] [-swap-out FILE]
 //
 // The checker experiment measures per-I/O ES-Checker overhead (sealed
 // fast path vs the pre-seal reference engine) and writes the rows as JSON
 // to -checker-out (default BENCH_checker.json).
+//
+// The coverage experiment measures what the ES-CFG coverage counters add
+// to the sealed walker (counters on vs WithCoverage(false)) and writes
+// -coverage-out (default BENCH_coverage.json).
 //
 // The swap experiment measures the spec lifecycle subsystem: store
 // cache-hit load vs a fresh learn, per-I/O check cost while another
@@ -37,7 +42,9 @@ import (
 	"time"
 
 	"sedspec/internal/bench"
+	"sedspec/internal/cmdutil"
 	"sedspec/internal/obs"
+	"sedspec/internal/obs/span"
 )
 
 func main() {
@@ -47,6 +54,8 @@ func main() {
 	mib := flag.Int("mib", 8, "MiB per Figure 3/4 data point")
 	checkerIters := flag.Int("checker-iters", 1_000_000, "timed replay rounds per engine for the checker experiment")
 	checkerOut := flag.String("checker-out", "BENCH_checker.json", "output file for the checker experiment's JSON rows")
+	coverageIters := flag.Int("coverage-iters", 1_000_000, "timed replay rounds per side for the coverage experiment")
+	coverageOut := flag.String("coverage-out", "BENCH_coverage.json", "output file for the coverage experiment's JSON rows")
 	tpOps := flag.Int("throughput-ops", 60, "benign session ops captured per device for the throughput replay")
 	tpIters := flag.Int("throughput-iters", 200_000, "timed replay rounds per session for the throughput experiment")
 	tpE2EOps := flag.Int("throughput-e2e-ops", 200, "benign ops per full guest session for the e2e throughput rows")
@@ -55,54 +64,59 @@ func main() {
 	swapStore := flag.String("swap-store", "", "spec store directory for the swap experiment (default: a fresh temp dir)")
 	swapOut := flag.String("swap-out", "BENCH_swap.json", "output file for the swap experiment's JSON rows")
 	metrics := flag.String("metrics", "", "periodically export checker metrics as JSON to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (profile live runs)")
+	spans := flag.String("spans", "", "write the lifecycle span trace as Chrome trace_event JSON to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, /debug/vars, and /coverage on this address (profile live runs)")
 	flag.Parse()
 
 	cfg := runConfig{
 		full: *full, frames: *frames, mib: *mib,
 		checkerIters: *checkerIters, checkerOut: *checkerOut,
+		coverageIters: *coverageIters, coverageOut: *coverageOut,
 		tpOps: *tpOps, tpIters: *tpIters, tpE2EOps: *tpE2EOps, tpOut: *tpOut,
 		swapIters: *swapIters, swapStore: *swapStore, swapOut: *swapOut,
 	}
-	if err := realMain(*experiment, cfg, *metrics, *pprofAddr); err != nil {
+	if err := realMain(*experiment, cfg, *metrics, *pprofAddr, *spans); err != nil {
 		fmt.Fprintln(os.Stderr, "sedbench:", err)
 		os.Exit(1)
 	}
 }
 
 // realMain brackets run with the observability plumbing so the final
-// metrics export happens on the error path too (os.Exit skips defers).
-func realMain(experiment string, cfg runConfig, metrics, pprofAddr string) error {
+// metrics/span exports happen on the error path and on SIGINT/SIGTERM
+// too (os.Exit skips defers).
+func realMain(experiment string, cfg runConfig, metrics, pprofAddr, spans string) error {
 	if pprofAddr != "" {
 		addr, err := obs.ServeDebug(pprofAddr, obs.Default())
 		if err != nil {
 			return fmt.Errorf("pprof: %w", err)
 		}
-		fmt.Printf("debug server on http://%s/debug/pprof (metrics on /debug/vars)\n", addr)
+		fmt.Printf("debug server on http://%s/debug/pprof (metrics on /debug/vars, coverage on /coverage)\n", addr)
 	}
+	fl := cmdutil.NewFlusher()
+	defer fl.Flush()
 	if metrics != "" {
-		stop := obs.ExportEvery(metrics, time.Second, obs.Default())
-		defer func() {
-			if err := stop(); err != nil {
-				fmt.Fprintln(os.Stderr, "sedbench: metrics export:", err)
-			}
-		}()
+		fl.Add(obs.ExportEvery(metrics, time.Second, obs.Default()))
+	}
+	if spans != "" {
+		fl.Add(func() error { return cmdutil.WriteSpans(spans, span.Default()) })
 	}
 	return run(experiment, cfg)
 }
 
 type runConfig struct {
-	full         bool
-	frames, mib  int
-	checkerIters int
-	checkerOut   string
-	tpOps        int
-	tpIters      int
-	tpE2EOps     int
-	tpOut        string
-	swapIters    int
-	swapStore    string
-	swapOut      string
+	full          bool
+	frames, mib   int
+	checkerIters  int
+	checkerOut    string
+	coverageIters int
+	coverageOut   string
+	tpOps         int
+	tpIters       int
+	tpE2EOps      int
+	tpOut         string
+	swapIters     int
+	swapStore     string
+	swapOut       string
 }
 
 func run(experiment string, cfg runConfig) error {
@@ -221,6 +235,33 @@ func run(experiment string, cfg runConfig) error {
 			return err
 		}
 		fmt.Fprintf(w, "wrote %s\n", checkerOut)
+		fmt.Fprintln(w)
+	}
+
+	if want("coverage") {
+		var rows []*bench.CoverageBenchRow
+		for _, t := range bench.Targets(true) {
+			row, err := bench.CoverageOverhead(t, 60, cfg.coverageIters)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "coverage %-6s off %8.1f ns/op  on %8.1f ns/op  +%5.2f%%  %.3f allocs/op  (%d/%d edges covered)\n",
+				t.Name, row.OffNsPerOp, row.OnNsPerOp, row.OverheadPct, row.OnAllocsPerOp,
+				row.CoveredAtEnd, row.TrainedEdges)
+		}
+		f, err := os.Create(cfg.coverageOut)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteCoverageJSON(f, rows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.coverageOut)
 		fmt.Fprintln(w)
 	}
 

@@ -19,15 +19,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sedspec"
 	"sedspec/internal/bench"
 	"sedspec/internal/checker"
+	"sedspec/internal/cmdutil"
 	"sedspec/internal/core"
 	"sedspec/internal/fuzzer"
 	"sedspec/internal/interp"
 	"sedspec/internal/machine"
 	"sedspec/internal/obs"
+	"sedspec/internal/obs/span"
 	"sedspec/internal/simclock"
 )
 
@@ -36,7 +39,9 @@ func main() {
 	n := flag.Int("n", 20000, "raw random requests to hammer")
 	seed := flag.Uint64("seed", 1, "random seed")
 	specIn := flag.String("spec-in", "", "hammer under enforcement of this binary specification (enhancement mode)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address")
+	metrics := flag.String("metrics", "", "periodically export checker metrics as JSON to this file")
+	spans := flag.String("spans", "", "write the lifecycle span trace as Chrome trace_event JSON to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, /debug/vars, and /coverage on this address")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -45,10 +50,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sedfuzz: pprof:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("debug server on http://%s/debug/pprof (metrics on /debug/vars)\n", addr)
+		fmt.Printf("debug server on http://%s/debug/pprof (metrics on /debug/vars, coverage on /coverage)\n", addr)
+	}
+	fl := cmdutil.NewFlusher()
+	if *metrics != "" {
+		fl.Add(obs.ExportEvery(*metrics, time.Second, obs.Default()))
+	}
+	if *spans != "" {
+		path := *spans
+		fl.Add(func() error { return cmdutil.WriteSpans(path, span.Default()) })
 	}
 
-	if err := run(*device, *n, *seed, *specIn); err != nil {
+	err := run(*device, *n, *seed, *specIn)
+	fl.Flush()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sedfuzz:", err)
 		os.Exit(1)
 	}

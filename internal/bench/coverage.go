@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"sedspec/internal/checker"
+)
+
+// CoverageBenchRow is one device's coverage-counter overhead measurement:
+// the sealed walker with ES-CFG coverage counters on (the default)
+// against the same walker with WithCoverage(false), plus the instrumented
+// walker's steady-state heap traffic — which must stay at zero, since the
+// counters live in a preallocated per-generation arena.
+type CoverageBenchRow struct {
+	Device         string  `json:"device"`
+	Requests       int     `json:"requests"` // captured stream length
+	Iters          int     `json:"iters"`    // timed replay rounds per side
+	OffNsPerOp     float64 `json:"off_ns_per_op"`
+	OnNsPerOp      float64 `json:"on_ns_per_op"`
+	OverheadPct    float64 `json:"overhead_pct"` // (on-off)/off
+	OnAllocsPerOp  float64 `json:"on_allocs_per_op"`
+	TrainedEdges   int     `json:"trained_edges"`
+	CoveredAtEnd   int     `json:"covered_at_end"`  // edges with hits after the run
+	RoundsProfiled uint64  `json:"rounds_profiled"` // profile rounds after the run
+}
+
+// CoverageOverhead captures a benign stream for the target and measures
+// the per-I/O cost the coverage counters add to the sealed walker. Both
+// checkers run the sealed engine and are warmed for a full cycle; iters
+// rounds per side are then timed as interleaved off/on chunk pairs (same
+// noise-pairing rationale as CheckerOverhead), and each side reports its
+// fastest chunk — the minimum is the least-noisy estimate of the path's
+// true cost, matching the overhead-guard test's methodology so the
+// committed BENCH numbers and the CI gate measure the same thing.
+func CoverageOverhead(t *Target, ops, iters int) (*CoverageBenchRow, error) {
+	r, err := NewCheckerReplay(t, ops)
+	if err != nil {
+		return nil, err
+	}
+	chkOff := r.NewChecker(checker.WithCoverage(false))
+	chkOn := r.NewChecker()
+	for i := 0; i < len(r.Reqs); i++ {
+		if err := r.Step(chkOff, i); err != nil {
+			return nil, err
+		}
+		if err := r.Step(chkOn, i); err != nil {
+			return nil, err
+		}
+	}
+
+	if iters < 1 {
+		iters = 1
+	}
+	chunk := iters / checkerBenchChunks
+	if chunk < 1 {
+		chunk = 1
+	}
+	var minOff, minOn time.Duration = -1, -1
+	var onMallocs, timed uint64
+	const passes = 3
+	for pass := 0; pass < passes; pass++ {
+		done := 0
+		runtime.GC()
+		for done < iters {
+			n := chunk
+			if iters-done < n {
+				n = iters - done
+			}
+			off, _, err := r.timeChunk(chkOff, done, n)
+			if err != nil {
+				return nil, err
+			}
+			on, m, err := r.timeChunk(chkOn, done, n)
+			if err != nil {
+				return nil, err
+			}
+			if minOff < 0 || off/time.Duration(n) < minOff {
+				minOff = off / time.Duration(n)
+			}
+			if minOn < 0 || on/time.Duration(n) < minOn {
+				minOn = on / time.Duration(n)
+			}
+			onMallocs += m
+			timed += uint64(n)
+			done += n
+		}
+	}
+
+	offOp := float64(minOff.Nanoseconds())
+	onOp := float64(minOn.Nanoseconds())
+	row := &CoverageBenchRow{
+		Device:        t.Name,
+		Requests:      len(r.Reqs),
+		Iters:         iters,
+		OffNsPerOp:    offOp,
+		OnNsPerOp:     onOp,
+		OverheadPct:   100 * (onOp - offOp) / offOp,
+		OnAllocsPerOp: float64(onMallocs) / float64(timed),
+	}
+	if p := chkOn.CoverageProfile(); p != nil {
+		row.TrainedEdges = len(p.Edges)
+		row.RoundsProfiled = p.Rounds
+		for _, e := range p.Edges {
+			if e.Hits > 0 {
+				row.CoveredAtEnd++
+			}
+		}
+	}
+	return row, nil
+}
+
+// WriteCoverageJSON emits the measurement rows as indented JSON
+// (BENCH_coverage.json).
+func WriteCoverageJSON(w io.Writer, rows []*CoverageBenchRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Benchmark string              `json:"benchmark"`
+		Rows      []*CoverageBenchRow `json:"rows"`
+	}{Benchmark: "coverage_per_io", Rows: rows})
+}

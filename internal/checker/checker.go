@@ -26,6 +26,8 @@ import (
 	"sedspec/internal/ir"
 	"sedspec/internal/machine"
 	"sedspec/internal/obs"
+	"sedspec/internal/obs/coverage"
+	"sedspec/internal/obs/span"
 	"sedspec/internal/simclock"
 )
 
@@ -127,6 +129,24 @@ type Anomaly struct {
 	// stream, the final one being the blocked I/O itself. Nil for
 	// non-blocking (warning) anomalies and when recording is disabled.
 	Ctx *obs.AnomalyContext
+	// EdgeKind classifies the untrained transition behind the anomaly for
+	// coverage reports: "branch-taken", "branch-not-taken", "command",
+	// "switch", "successor", "indirect", "access", or "parameter". EdgeSel
+	// carries the observed selector, command, or jump target when the kind
+	// has one. Both engines stamp these identically; the differential
+	// anomaly identity deliberately excludes them.
+	EdgeKind string
+	EdgeSel  uint64
+}
+
+// tagEdge annotates an anomaly with the untrained transition that raised
+// it. Nil-safe: condOrStop returns nil when the conditional-jump strategy
+// is disabled.
+func tagEdge(a *Anomaly, kind string, sel uint64) *Anomaly {
+	if a != nil {
+		a.EdgeKind, a.EdgeSel = kind, sel
+	}
+	return a
 }
 
 // Severity grades the anomaly by its strategy.
@@ -299,6 +319,15 @@ type Checker struct {
 	// roundSteps is the last round's walker step count, captured for the
 	// round's event.
 	roundSteps int
+	// cov is the active ES-CFG coverage map, sized for the adopted sealed
+	// generation's block and edge tables; nil when disabled
+	// (WithCoverage(false)) or under WithReferenceSimulation. covGens
+	// keeps one map per generation this session has enforced, so a
+	// hot-swap does not lose the retiring generation's counts; warnMu
+	// guards the slice (appends happen only at swap adoption).
+	cov     *coverage.Map
+	covOff  bool
+	covGens []covGen
 	// entryRef is the entry block's reference, stamped into clean-round
 	// events.
 	entryRef ir.BlockRef
@@ -330,6 +359,12 @@ type Checker struct {
 	// interp.Env interface escape, and a stack buffer would cost one heap
 	// allocation per DMA-read op.
 	dmaBuf [8]byte
+}
+
+// covGen pairs a coverage map with the sealed generation it counts for.
+type covGen struct {
+	gen uint64
+	m   *coverage.Map
 }
 
 // dmaWrite is one suppressed guest-memory byte write in the sealed
@@ -427,6 +462,13 @@ func WithClock(clk *simclock.Clock) Option {
 	return func(c *Checker) { c.clock = clk }
 }
 
+// WithCoverage toggles the ES-CFG coverage counters (default on; the
+// overhead-guard baseline and ablations turn them off). Coverage rides
+// the sealed engine only — the reference engine never counts.
+func WithCoverage(on bool) Option {
+	return func(c *Checker) { c.covOff = !on }
+}
+
 // WithTraceDepth bounds how many trailing events a blocking anomaly
 // freezes into its AnomalyContext (default 32, capped by the ring).
 func WithTraceDepth(k int) Option {
@@ -464,7 +506,13 @@ func New(spec *core.Spec, initial *interp.State, opts ...Option) *Checker {
 		o(c)
 	}
 	if !c.useRef {
+		sp := span.Default().Start("seal", span.Device(spec.Device), span.Gen(c.specGen))
 		c.sealed = spec.Seal()
+		sp.End()
+	}
+	if !c.covOff && c.sealed != nil {
+		c.cov = coverage.NewMap(c.sealed.NumBlocks(), c.sealed.NumEdges())
+		c.covGens = append(c.covGens, covGen{gen: c.specGen, m: c.cov})
 	}
 	if es := spec.Block(spec.Entry); es != nil {
 		c.entryTemps = c.prog.Handlers[es.Ref.Handler].NumTemps
@@ -615,6 +663,18 @@ func (c *Checker) PreIO(_ machine.Device, req *interp.Request) error {
 	anomaly.Device = c.spec.Device
 	anomaly.Round = round
 	anomaly.SpecGen = c.specGen
+	if anomaly.EdgeKind == "" {
+		// Untagged sites default by strategy: parameter-check anomalies
+		// (overflow, bounds, DMA) concern an op, not a transition.
+		switch anomaly.Strategy {
+		case StrategyParameter:
+			anomaly.EdgeKind = "parameter"
+		case StrategyIndirectJump:
+			anomaly.EdgeKind = "indirect"
+		default:
+			anomaly.EdgeKind = "control"
+		}
+	}
 	if c.shared != nil {
 		anomaly.Session = c.sessionID
 	}
@@ -664,6 +724,61 @@ func (c *Checker) adopt(v *specVersion) {
 	c.entryTemps = v.entryTemps
 	c.entryRef = v.entryRef
 	c.specGen = v.gen
+	if !c.covOff {
+		// Adoption happens at a round boundary on the session's goroutine:
+		// publish the retiring generation's pending counts now, since the
+		// walker will never tick its map again.
+		if c.cov != nil {
+			c.cov.Flush()
+		}
+		// Fresh counters for the new generation: its sealed block and edge
+		// slots are a new index space. The retiring generation's map stays
+		// in covGens so its counts survive until Close folds them.
+		m := coverage.NewMap(v.sealed.NumBlocks(), v.sealed.NumEdges())
+		c.warnMu.Lock()
+		c.covGens = append(c.covGens, covGen{gen: v.gen, m: m})
+		c.cov = m
+		c.warnMu.Unlock()
+	}
+}
+
+// coverageGens returns a copy of the session's per-generation coverage
+// maps, for the shared engine's aggregation.
+func (c *Checker) coverageGens() []covGen {
+	c.warnMu.Lock()
+	defer c.warnMu.Unlock()
+	return append([]covGen(nil), c.covGens...)
+}
+
+// Coverage returns a snapshot of the coverage counters for the spec
+// generation the checker currently enforces, or nil when coverage is
+// disabled. It publishes any pending counts first, so it must be called
+// from the goroutine driving the session or after the session quiesced;
+// for a live cross-goroutine view use the shared engine's
+// CoverageSnapshots, which reads only the published bank.
+func (c *Checker) Coverage() *coverage.Snapshot {
+	c.warnMu.Lock()
+	m := c.cov
+	c.warnMu.Unlock()
+	if m == nil {
+		return nil
+	}
+	m.Flush()
+	return m.Snapshot()
+}
+
+// CoverageProfile relates the checker's runtime coverage to the sealed
+// structure and training baseline of its current generation; nil when
+// coverage is disabled or the checker runs the reference engine.
+func (c *Checker) CoverageProfile() *coverage.Profile {
+	if c.sealed == nil {
+		return nil
+	}
+	snap := c.Coverage()
+	if snap == nil {
+		return nil
+	}
+	return c.sealed.CoverageProfile(c.specGen, snap)
 }
 
 // record feeds one check event to the flight recorder. Timestamps are

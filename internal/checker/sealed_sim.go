@@ -17,6 +17,9 @@ func (c *Checker) simulateSealed(req *interp.Request) *Anomaly {
 	c.tempArena = c.tempArena[:0]
 	c.flagArena = c.flagArena[:0]
 	c.push(c.sealed.Entry, c.entryTemps)
+	if c.cov != nil {
+		c.cov.HitBlock(c.sealed.Entry)
+	}
 	steps := 0
 	c.dmaLog = c.dmaLog[:0]
 	a := c.walkSealed(req, &steps)
@@ -26,6 +29,9 @@ func (c *Checker) simulateSealed(req *interp.Request) *Anomaly {
 	c.roundSteps = steps
 	if a == nil {
 		c.stats.stepsSimulated.Add(uint64(steps))
+	}
+	if c.cov != nil {
+		c.cov.RoundEnd()
 	}
 	return a
 }
@@ -39,7 +45,7 @@ func (c *Checker) walkSealed(req *interp.Request, stepsp *int) *Anomaly {
 		if b == nil {
 			// Dangling successor: a path the spec cannot follow. The zero
 			// BlockRef marks "no block" in the report.
-			return c.condOrStop(ir.BlockRef{}, ir.SourceRef{}, "dangling ES successor")
+			return tagEdge(c.condOrStop(ir.BlockRef{}, ir.SourceRef{}, "dangling ES successor"), "successor", 0)
 		}
 
 		descended, anomaly := c.execDSODSealed(f, c.sealed.DSOD(b), b.Ref, req, &steps)
@@ -202,13 +208,16 @@ func (c *Checker) execDSODSealed(f *simFrame, dsod []core.SealedOp, ref ir.Block
 			}
 			f.op = i + 1
 			c.push(callee, c.sealed.HandlerTemps(op.Handler))
+			if c.cov != nil {
+				c.cov.HitBlock(callee)
+			}
 			return true, nil
 		case ir.OpCallPtr:
 			target := c.shadow.FuncPtr(op.Field)
 			if c.enabled[StrategyIndirectJump] && !c.sealed.LegitimateTarget(op.Field, target) {
-				return false, c.anomaly(StrategyIndirectJump, ref, op.Src0,
+				return false, tagEdge(c.anomaly(StrategyIndirectJump, ref, op.Src0,
 					"indirect jump via %q to unauthorized target %#x",
-					c.prog.Fields[op.Field].Name, target)
+					c.prog.Fields[op.Field].Name, target), "indirect", target)
 			}
 			if target >= uint64(len(c.prog.Handlers)) {
 				// Unchecked corrupted pointer: the device would crash.
@@ -222,6 +231,9 @@ func (c *Checker) execDSODSealed(f *simFrame, dsod []core.SealedOp, ref ir.Block
 			}
 			f.op = i + 1
 			c.push(callee, c.sealed.HandlerTemps(int(target)))
+			if c.cov != nil {
+				c.cov.HitBlock(callee)
+			}
 			return true, nil
 		}
 	}
@@ -236,6 +248,7 @@ func (c *Checker) transitionSealed(f *simFrame, b *core.SealedBlock) (bool, *Ano
 	leavingCmdEnd := b.Kind == ir.KindCmdEnd
 
 	next := core.NoBlock
+	edge := int32(core.NoEdge)
 	switch {
 	case !b.HasNBTD:
 		switch {
@@ -253,31 +266,32 @@ func (c *Checker) transitionSealed(f *simFrame, b *core.SealedBlock) (bool, *Ano
 		default:
 			next = int(b.Next)
 			if next == core.NoBlock {
-				return true, c.condOrStop(b.Ref, ir.SourceRef{}, "successor outside specification")
+				return true, tagEdge(c.condOrStop(b.Ref, ir.SourceRef{}, "successor outside specification"), "successor", 0)
 			}
+			edge = b.NextEdge
 		}
 	case b.TermKind == ir.TermBranch:
 		t := b.Term
 		taken := t.Rel.Eval(f.temps[t.A], f.temps[t.B], t.Width, t.Signed)
-		seen, tgt := b.NotTakenSeen, int(b.NotTakenNext)
+		seen, tgt, e := b.NotTakenSeen, int(b.NotTakenNext), b.NotTakenEdge
 		if taken {
-			seen, tgt = b.TakenSeen, int(b.TakenNext)
+			seen, tgt, e = b.TakenSeen, int(b.TakenNext), b.TakenEdge
 		}
 		if !seen || tgt == core.NoBlock {
 			arm := "not-taken"
 			if taken {
 				arm = "taken"
 			}
-			return true, c.condOrStop(b.Ref, t.Src0, "untraversed %s branch", arm)
+			return true, tagEdge(c.condOrStop(b.Ref, t.Src0, "untraversed %s branch", arm), "branch-"+arm, 0)
 		}
-		next = tgt
+		next, edge = tgt, e
 	case b.TermKind == ir.TermSwitch:
 		t := b.Term
 		sel := f.temps[t.A]
-		tgt, ok := c.sealed.CaseNext(b, sel)
+		tgt, e, ok := c.sealed.CaseNextEdge(b, sel)
 		if b.Kind == ir.KindCmdDecision {
 			if !ok {
-				return true, c.condOrStop(b.Ref, t.Src0, "unknown device command %#x", sel)
+				return true, tagEdge(c.condOrStop(b.Ref, t.Src0, "unknown device command %#x", sel), "command", sel)
 			}
 			c.activeCmd = sel
 			c.cmdActive = true
@@ -285,17 +299,18 @@ func (c *Checker) transitionSealed(f *simFrame, b *core.SealedBlock) (bool, *Ano
 		} else if !ok {
 			// A plain decode switch: an unseen selector that statically
 			// lands on an already-observed arm (typically the default) is
-			// legitimate traffic, not a new command.
+			// legitimate traffic, not a new command. It carries no trained
+			// edge slot: coverage counts it as a direct block hit.
 			staticTgt := c.sealed.BlockID(b.Ref.Handler, staticSwitchTargetIdx(t, sel))
 			if staticTgt == core.NoBlock {
-				return true, c.condOrStop(b.Ref, t.Src0, "switch to untraversed arm for selector %#x", sel)
+				return true, tagEdge(c.condOrStop(b.Ref, t.Src0, "switch to untraversed arm for selector %#x", sel), "switch", sel)
 			}
-			tgt = staticTgt
+			tgt, e = staticTgt, core.NoEdge
 		}
 		if tgt == core.NoBlock {
-			return true, c.condOrStop(b.Ref, t.Src0, "switch successor outside specification")
+			return true, tagEdge(c.condOrStop(b.Ref, t.Src0, "switch successor outside specification"), "successor", sel)
 		}
-		next = tgt
+		next, edge = tgt, e
 	}
 
 	if leavingCmdEnd {
@@ -311,8 +326,18 @@ func (c *Checker) transitionSealed(f *simFrame, b *core.SealedBlock) (bool, *Ano
 		c.enabled[StrategyConditionalJump] &&
 		!c.sealed.Accessible(c.activeCmd, true, next) {
 		if nextB := c.sealed.Block(next); nextB != nil {
-			return true, c.anomaly(StrategyConditionalJump, nextB.Ref, ir.SourceRef{},
-				"block not accessible under command %#x", c.activeCmd)
+			return true, tagEdge(c.anomaly(StrategyConditionalJump, nextB.Ref, ir.SourceRef{},
+				"block not accessible under command %#x", c.activeCmd), "access", c.activeCmd)
+		}
+	}
+
+	// Coverage: one uncontended atomic add per transition — on the trained
+	// edge when the transition has a slot, else directly on the target.
+	if c.cov != nil {
+		if edge != core.NoEdge {
+			c.cov.HitEdge(int(edge))
+		} else {
+			c.cov.HitBlock(next)
 		}
 	}
 

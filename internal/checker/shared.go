@@ -10,6 +10,8 @@ import (
 	"sedspec/internal/interp"
 	"sedspec/internal/ir"
 	"sedspec/internal/obs"
+	"sedspec/internal/obs/coverage"
+	"sedspec/internal/obs/span"
 )
 
 // specVersion is one immutable generation of the enforced specification:
@@ -28,10 +30,13 @@ type specVersion struct {
 
 // newSpecVersion seals a spec into a publishable version.
 func newSpecVersion(spec *core.Spec, gen uint64) *specVersion {
+	sp := span.Default().Start("seal", span.Device(spec.Device))
+	sealed := spec.Seal()
+	sp.End(span.Gen(gen))
 	v := &specVersion{
 		gen:    gen,
 		spec:   spec,
-		sealed: spec.Seal(),
+		sealed: sealed,
 		prog:   spec.Program(),
 	}
 	if es := spec.Block(spec.Entry); es != nil {
@@ -104,6 +109,12 @@ type Shared struct {
 	retired         statCounters
 	retiredWarnings []Anomaly
 	retiredAudit    []AuditRecord
+
+	// covOff is the engine-wide coverage switch sessions inherit.
+	// retiredCov accumulates closed sessions' coverage counters, keyed by
+	// spec generation (counter index spaces are per-generation).
+	covOff     bool
+	retiredCov map[uint64]*coverage.Snapshot
 }
 
 // scratch is one session's recyclable simulation storage: the frame stack
@@ -139,6 +150,8 @@ func NewShared(spec *core.Spec, opts ...Option) *Shared {
 		haltFn:        tmpl.haltFn,
 		reg:           tmpl.obsReg,
 		traceDepth:    tmpl.traceDepth,
+		covOff:        tmpl.covOff,
+		retiredCov:    make(map[uint64]*coverage.Snapshot),
 	}
 	if s.reg == nil {
 		s.reg = obs.Default()
@@ -212,6 +225,7 @@ func (s *Shared) Swap(spec *core.Spec) error {
 	// Seal outside the lock: sealing cost scales with spec size and must
 	// not extend the window during which sessions are blocked from
 	// opening/closing.
+	sp := span.Default().Start("swap", span.Device(s.device))
 	sealed := newSpecVersion(spec, 0)
 
 	s.mu.Lock()
@@ -239,6 +253,7 @@ func (s *Shared) Swap(spec *core.Spec) error {
 			runtime.Gosched()
 		}
 	}
+	sp.End(span.Gen(sealed.gen))
 	return nil
 }
 
@@ -276,6 +291,7 @@ func (s *Shared) NewSession(initial *interp.State, opts ...Option) *Checker {
 		obsReg:        s.reg,
 		entryRef:      v.entryRef,
 	}
+	c.covOff = s.covOff
 	for _, o := range opts {
 		o(c)
 	}
@@ -284,6 +300,10 @@ func (s *Shared) NewSession(initial *interp.State, opts ...Option) *Checker {
 	}
 	if c.env == nil {
 		c.env = interp.NopEnv()
+	}
+	if !c.covOff {
+		c.cov = coverage.NewMap(v.sealed.NumBlocks(), v.sealed.NumEdges())
+		c.covGens = append(c.covGens, covGen{gen: v.gen, m: c.cov})
 	}
 	sc := s.scratchPool.Get().(*scratch)
 	c.pooled = sc
@@ -345,6 +365,19 @@ func (c *Checker) Close() {
 	c.warnings = nil
 	s.retiredAudit = append(s.retiredAudit, c.audit...)
 	c.audit = nil
+	for _, cg := range c.covGens {
+		acc := s.retiredCov[cg.gen]
+		if acc == nil {
+			acc = &coverage.Snapshot{}
+			s.retiredCov[cg.gen] = acc
+		}
+		// The caller owns the quiesced session, so publishing its pending
+		// counts here is safe; the fold then loses nothing.
+		cg.m.Flush()
+		acc.Merge(cg.m.Snapshot())
+	}
+	c.covGens = nil
+	c.cov = nil
 	c.warnMu.Unlock()
 	s.mu.Unlock()
 
@@ -435,6 +468,43 @@ func (s *Shared) ClearAudit() {
 	for _, c := range s.sessions {
 		c.ClearAudit()
 	}
+}
+
+// CoverageSnapshots aggregates ES-CFG coverage across every session,
+// open and retired, keyed by spec generation. Counter index spaces are
+// per-generation (each sealing assigns its own block and edge slots), so
+// cross-generation counts never mix. Safe to call while sessions run:
+// counters only grow, so a concurrent snapshot is a consistent lower
+// bound.
+func (s *Shared) CoverageSnapshots() map[uint64]*coverage.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uint64]*coverage.Snapshot, len(s.retiredCov))
+	for gen, snap := range s.retiredCov {
+		out[gen] = snap.Clone()
+	}
+	for _, c := range s.sessions {
+		for _, cg := range c.coverageGens() {
+			acc := out[cg.gen]
+			if acc == nil {
+				acc = &coverage.Snapshot{}
+				out[cg.gen] = acc
+			}
+			acc.Merge(cg.m.Snapshot())
+		}
+	}
+	return out
+}
+
+// CoverageProfile relates the current generation's aggregate coverage to
+// its sealed structure and training baseline; nil when coverage is
+// disabled.
+func (s *Shared) CoverageProfile() *coverage.Profile {
+	if s.covOff {
+		return nil
+	}
+	v := s.cur.Load()
+	return v.sealed.CoverageProfile(v.gen, s.CoverageSnapshots()[v.gen])
 }
 
 // Registry returns the observability registry the engine's sessions

@@ -62,7 +62,7 @@ func (c *Checker) walkRef(req *interp.Request, stepsp *int) *Anomaly {
 		if es == nil {
 			// Dangling successor: a path the spec cannot follow. The zero
 			// BlockRef marks "no block" in the report.
-			return c.condOrStop(ir.BlockRef{}, ir.SourceRef{}, "dangling ES successor")
+			return tagEdge(c.condOrStop(ir.BlockRef{}, ir.SourceRef{}, "dangling ES successor"), "successor", 0)
 		}
 
 		descended, anomaly := c.execDSOD(f, es.DSOD, es.Ref, req, &steps)
@@ -324,9 +324,9 @@ func (c *Checker) execDSOD(f *simFrame, dsod []core.DSODOp, ref ir.BlockRef, req
 		case ir.OpCallPtr:
 			target := c.shadow.FuncPtr(op.Field)
 			if c.enabled[StrategyIndirectJump] && !c.legitimateTarget(op.Field, target) {
-				return false, c.anomaly(StrategyIndirectJump, ref, op.Src0,
+				return false, tagEdge(c.anomaly(StrategyIndirectJump, ref, op.Src0,
 					"indirect jump via %q to unauthorized target %#x",
-					c.prog.Fields[op.Field].Name, target)
+					c.prog.Fields[op.Field].Name, target), "indirect", target)
 			}
 			if target >= uint64(len(c.prog.Handlers)) {
 				// Unchecked corrupted pointer: the device would crash.
@@ -501,7 +501,7 @@ func (c *Checker) transitionRef(f *simFrame, es *core.ESBlock) (bool, *Anomaly) 
 		default:
 			next = es.Next
 			if next == core.NoBlock {
-				return true, c.condOrStop(es.Ref, ir.SourceRef{}, "successor outside specification")
+				return true, tagEdge(c.condOrStop(es.Ref, ir.SourceRef{}, "successor outside specification"), "successor", 0)
 			}
 		}
 	case es.NBTD.Kind == ir.TermBranch:
@@ -516,7 +516,7 @@ func (c *Checker) transitionRef(f *simFrame, es *core.ESBlock) (bool, *Anomaly) 
 			if taken {
 				arm = "taken"
 			}
-			return true, c.condOrStop(es.Ref, t.Src0, "untraversed %s branch", arm)
+			return true, tagEdge(c.condOrStop(es.Ref, t.Src0, "untraversed %s branch", arm), "branch-"+arm, 0)
 		}
 		next = tgt
 	case es.NBTD.Kind == ir.TermSwitch:
@@ -525,7 +525,7 @@ func (c *Checker) transitionRef(f *simFrame, es *core.ESBlock) (bool, *Anomaly) 
 		tgt, ok := es.NBTD.CaseNext[sel]
 		if es.Kind == ir.KindCmdDecision {
 			if !ok {
-				return true, c.condOrStop(es.Ref, t.Src0, "unknown device command %#x", sel)
+				return true, tagEdge(c.condOrStop(es.Ref, t.Src0, "unknown device command %#x", sel), "command", sel)
 			}
 			c.activeCmd = sel
 			c.cmdActive = true
@@ -539,12 +539,12 @@ func (c *Checker) transitionRef(f *simFrame, es *core.ESBlock) (bool, *Anomaly) 
 				Block:   staticSwitchTargetIdx(t, sel),
 			})
 			if staticTgt == core.NoBlock {
-				return true, c.condOrStop(es.Ref, t.Src0, "switch to untraversed arm for selector %#x", sel)
+				return true, tagEdge(c.condOrStop(es.Ref, t.Src0, "switch to untraversed arm for selector %#x", sel), "switch", sel)
 			}
 			tgt = staticTgt
 		}
 		if tgt == core.NoBlock {
-			return true, c.condOrStop(es.Ref, t.Src0, "switch successor outside specification")
+			return true, tagEdge(c.condOrStop(es.Ref, t.Src0, "switch successor outside specification"), "successor", sel)
 		}
 		next = tgt
 	}
@@ -559,8 +559,8 @@ func (c *Checker) transitionRef(f *simFrame, es *core.ESBlock) (bool, *Anomaly) 
 	if nextES != nil && c.accessControl && c.cmdActive && !c.suppressAccess &&
 		c.enabled[StrategyConditionalJump] &&
 		!c.spec.CmdTable.Accessible(c.activeCmd, true, next) {
-		return true, c.anomaly(StrategyConditionalJump, nextES.Ref, ir.SourceRef{},
-			"block not accessible under command %#x", c.activeCmd)
+		return true, tagEdge(c.anomaly(StrategyConditionalJump, nextES.Ref, ir.SourceRef{},
+			"block not accessible under command %#x", c.activeCmd), "access", c.activeCmd)
 	}
 
 	f.block = next

@@ -43,6 +43,12 @@ const caseMapThreshold = 32
 // access table falls back to a map keyed by command value.
 const cmdMapThreshold = 64
 
+// NoEdge marks a transition without a trained-edge coverage slot: the
+// transition either was not observed during training (taking it raises an
+// anomaly, not a counter hit) or has no per-edge slot by design (the
+// static switch fallback counts a direct block hit instead).
+const NoEdge = -1
+
 // bitset is a fixed-capacity bit vector.
 type bitset []uint64
 
@@ -108,6 +114,16 @@ type SealedBlock struct {
 	CaseEnd   int32
 	CaseMap   map[uint64]int32
 
+	// Trained-edge coverage slots (NoEdge when the transition has none).
+	// NextEdge covers the unconditional successor, TakenEdge/NotTakenEdge
+	// the branch arms, and switch arms use EdgeBase + their offset inside
+	// the sorted case run (CaseEdges is the map-fallback twin of CaseMap).
+	NextEdge     int32
+	TakenEdge    int32
+	NotTakenEdge int32
+	EdgeBase     int32
+	CaseEdges    map[uint64]int32
+
 	// Ref identifies the original block for anomaly reports.
 	Ref ir.BlockRef
 	// Term points at the original terminator (condition operands,
@@ -160,6 +176,16 @@ type SealedSpec struct {
 
 	// params marks the selected device-state parameter fields.
 	params bitset
+
+	// Trained-edge table: edgeFrom/edgeTo[e] are the endpoints of edge
+	// slot e. Runtime coverage maps (internal/obs/coverage) index their
+	// per-edge counters by these slots.
+	edgeFrom []int32
+	edgeTo   []int32
+
+	// visits[id] is block id's training visit count, the learn-time
+	// coverage baseline recorded at Seal.
+	visits []uint64
 }
 
 // Seal lowers the specification into its dense runtime form. The result
@@ -192,9 +218,22 @@ func (s *Spec) Seal() *SealedSpec {
 	}
 	ss.dsod = make([]SealedOp, 0, nOps)
 	ss.cases = make([]SealedCase, 0, nCases)
+	ss.visits = make([]uint64, len(s.Blocks))
+
+	// addEdge allocates a trained-edge coverage slot from -> to.
+	addEdge := func(from int, to int32) int32 {
+		e := int32(len(ss.edgeFrom))
+		ss.edgeFrom = append(ss.edgeFrom, int32(from))
+		ss.edgeTo = append(ss.edgeTo, to)
+		return e
+	}
 
 	for id, b := range s.Blocks {
 		sb := &ss.blocks[id]
+		sb.NextEdge = NoEdge
+		sb.TakenEdge = NoEdge
+		sb.NotTakenEdge = NoEdge
+		sb.EdgeBase = NoEdge
 		if b == nil {
 			// Tombstone for a reduced-away block.
 			sb.Next = NoBlock
@@ -203,6 +242,7 @@ func (s *Spec) Seal() *SealedSpec {
 			continue
 		}
 		sb.Live = true
+		ss.visits[id] = uint64(b.Visits)
 		sb.Kind = b.Kind
 		sb.Returns = b.Returns
 		sb.Halts = b.Halts
@@ -226,11 +266,27 @@ func (s *Spec) Seal() *SealedSpec {
 			sb.NotTakenSeen = n.NotTakenSeen
 			sb.TakenNext = int32(n.TakenNext)
 			sb.NotTakenNext = int32(n.NotTakenNext)
+			if n.TakenSeen && n.TakenNext != NoBlock {
+				sb.TakenEdge = addEdge(id, sb.TakenNext)
+			}
+			if n.NotTakenSeen && n.NotTakenNext != NoBlock {
+				sb.NotTakenEdge = addEdge(id, sb.NotTakenNext)
+			}
 			switch {
 			case len(n.CaseNext) > caseMapThreshold:
 				sb.CaseMap = make(map[uint64]int32, len(n.CaseNext))
-				for k, next := range n.CaseNext {
-					sb.CaseMap[k] = int32(next)
+				sb.CaseEdges = make(map[uint64]int32, len(n.CaseNext))
+				// Allocate the fallback's edge slots in selector order so
+				// sealing the same spec twice yields identical slot layouts.
+				keys := make([]uint64, 0, len(n.CaseNext))
+				for k := range n.CaseNext {
+					keys = append(keys, k)
+				}
+				sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+				for _, k := range keys {
+					next := int32(n.CaseNext[k])
+					sb.CaseMap[k] = next
+					sb.CaseEdges[k] = addEdge(id, next)
 				}
 			case len(n.CaseNext) > 0:
 				sb.CaseStart = int32(len(ss.cases))
@@ -240,7 +296,16 @@ func (s *Spec) Seal() *SealedSpec {
 				sb.CaseEnd = int32(len(ss.cases))
 				run := ss.cases[sb.CaseStart:sb.CaseEnd]
 				sort.Slice(run, func(i, j int) bool { return run[i].K < run[j].K })
+				// Edge slots for the sorted run are contiguous: arm i's slot
+				// is EdgeBase + i, so selector resolution yields the edge for
+				// free (see CaseNextEdge).
+				sb.EdgeBase = int32(len(ss.edgeFrom))
+				for _, c := range run {
+					addEdge(id, c.Next)
+				}
 			}
+		} else if !b.Returns && !b.Halts && b.Next != NoBlock {
+			sb.NextEdge = addEdge(id, sb.Next)
 		}
 	}
 
@@ -327,7 +392,11 @@ func (s *Spec) Seal() *SealedSpec {
 //   - the handler/block id table maps only to NoBlock or valid ES ids and
 //     covers every handler;
 //   - per-field indirect target slices are sorted (binary search
-//     correctness).
+//     correctness);
+//   - the trained-edge table is well-formed: edgeFrom/edgeTo are the same
+//     length, endpoints are valid ES ids, every per-block edge slot
+//     (NextEdge, TakenEdge, NotTakenEdge, case-run and case-map slots) is
+//     NoEdge or in range, and each slot's recorded source is its block.
 //
 // Seal calls this and panics on violation, so a SealedSpec in circulation
 // always satisfies these; the method is exported for tests and for
@@ -380,6 +449,60 @@ func (s *SealedSpec) CheckInvariants() error {
 		if b.Ref.Handler < 0 || b.Ref.Handler >= len(s.handlerTemps) {
 			return fmt.Errorf("block %d: handler ref %d out of range", id, b.Ref.Handler)
 		}
+		checkEdge := func(e int32, what string) error {
+			if e == NoEdge {
+				return nil
+			}
+			if e < 0 || int(e) >= len(s.edgeFrom) {
+				return fmt.Errorf("block %d: %s edge slot %d out of range [0,%d)", id, what, e, len(s.edgeFrom))
+			}
+			if int(s.edgeFrom[e]) != id {
+				return fmt.Errorf("block %d: %s edge slot %d recorded for block %d", id, what, e, s.edgeFrom[e])
+			}
+			return nil
+		}
+		if err := checkEdge(b.NextEdge, "Next"); err != nil {
+			return err
+		}
+		if err := checkEdge(b.TakenEdge, "Taken"); err != nil {
+			return err
+		}
+		if err := checkEdge(b.NotTakenEdge, "NotTaken"); err != nil {
+			return err
+		}
+		if b.EdgeBase != NoEdge {
+			n := int(b.CaseEnd - b.CaseStart)
+			if b.EdgeBase < 0 || int(b.EdgeBase)+n > len(s.edgeFrom) {
+				return fmt.Errorf("block %d: case edge run [%d,%d) outside edge table of %d", id, b.EdgeBase, int(b.EdgeBase)+n, len(s.edgeFrom))
+			}
+			for i := 0; i < n; i++ {
+				if int(s.edgeFrom[int(b.EdgeBase)+i]) != id {
+					return fmt.Errorf("block %d: case edge slot %d recorded for block %d", id, int(b.EdgeBase)+i, s.edgeFrom[int(b.EdgeBase)+i])
+				}
+				if s.edgeTo[int(b.EdgeBase)+i] != s.cases[int(b.CaseStart)+i].Next {
+					return fmt.Errorf("block %d: case edge slot %d target mismatch", id, int(b.EdgeBase)+i)
+				}
+			}
+		}
+		for sel, e := range b.CaseEdges {
+			if err := checkEdge(e, fmt.Sprintf("case %#x", sel)); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.edgeFrom) != len(s.edgeTo) {
+		return fmt.Errorf("edge table: %d sources vs %d targets", len(s.edgeFrom), len(s.edgeTo))
+	}
+	for e := range s.edgeFrom {
+		if from := s.edgeFrom[e]; from < 0 || int(from) >= len(s.blocks) {
+			return fmt.Errorf("edge %d: source %d out of range", e, from)
+		}
+		if to := s.edgeTo[e]; to < 0 || int(to) >= len(s.blocks) {
+			return fmt.Errorf("edge %d: target %d out of range", e, to)
+		}
+	}
+	if len(s.visits) != len(s.blocks) {
+		return fmt.Errorf("visit baseline covers %d blocks, spec has %d", len(s.visits), len(s.blocks))
 	}
 	if len(s.blockIDs) != len(s.prog.Handlers) {
 		return fmt.Errorf("id table covers %d handlers, program has %d", len(s.blockIDs), len(s.prog.Handlers))
@@ -459,9 +582,25 @@ func (s *SealedSpec) HandlerTemps(h int) int {
 
 // CaseNext resolves a switch selector against the block's lowered arms.
 func (s *SealedSpec) CaseNext(b *SealedBlock, sel uint64) (int, bool) {
+	next, _, ok := s.CaseNextEdge(b, sel)
+	return next, ok
+}
+
+// CaseNextEdge resolves a switch selector to its successor and the arm's
+// trained-edge coverage slot. The slot rides along for free: in the
+// sorted run it is EdgeBase plus the arm's run offset, in the map
+// fallback a second lookup only on the (rare) large-switch path.
+func (s *SealedSpec) CaseNextEdge(b *SealedBlock, sel uint64) (next int, edge int32, ok bool) {
 	if b.CaseMap != nil {
-		next, ok := b.CaseMap[sel]
-		return int(next), ok
+		n, ok := b.CaseMap[sel]
+		if !ok {
+			return NoBlock, NoEdge, false
+		}
+		e, eok := b.CaseEdges[sel]
+		if !eok {
+			e = NoEdge
+		}
+		return int(n), e, true
 	}
 	lo, hi := int(b.CaseStart), int(b.CaseEnd)
 	for lo < hi {
@@ -471,10 +610,31 @@ func (s *SealedSpec) CaseNext(b *SealedBlock, sel uint64) (int, bool) {
 		} else if c.K > sel {
 			hi = mid
 		} else {
-			return int(c.Next), true
+			edge = NoEdge
+			if b.EdgeBase != NoEdge {
+				edge = b.EdgeBase + int32(mid-int(b.CaseStart))
+			}
+			return int(c.Next), edge, true
 		}
 	}
-	return NoBlock, false
+	return NoBlock, NoEdge, false
+}
+
+// NumEdges returns the trained-edge slot space size.
+func (s *SealedSpec) NumEdges() int { return len(s.edgeFrom) }
+
+// EdgeEndpoints returns edge slot e's source and target ES ids.
+func (s *SealedSpec) EdgeEndpoints(e int) (from, to int) {
+	return int(s.edgeFrom[e]), int(s.edgeTo[e])
+}
+
+// TrainVisits returns block id's training visit count (the learn-time
+// coverage baseline), or 0 when out of range.
+func (s *SealedSpec) TrainVisits(id int) uint64 {
+	if id < 0 || id >= len(s.visits) {
+		return 0
+	}
+	return s.visits[id]
 }
 
 // LegitimateTarget reports whether storing target in the function-pointer

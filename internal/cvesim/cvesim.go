@@ -46,6 +46,13 @@ type Outcome struct {
 	Detected  bool
 	Anomaly   *checker.Anomaly
 	Succeeded bool // ground truth: exploit effect reached the device
+	// Spec is the specification the protected run enforced (nil for
+	// unprotected runs) — the generation an Anomaly can be audited
+	// against with checker.TrainingCoverage.
+	Spec *sedspec.Spec
+	// Checker is the protected run's checker (nil for unprotected runs);
+	// its coverage map records which spec structure the run exercised.
+	Checker *checker.Checker
 }
 
 // attach builds a machine with the PoC's device.
@@ -92,9 +99,9 @@ func (p *PoC) RunProtectedWith(extra []checker.Option, strategies ...checker.Str
 		opts = append(opts, checker.WithStrategies(strategies...))
 	}
 	opts = append(opts, checker.WithBudget(200_000))
-	sedspec.Protect(att, spec, opts...)
+	chk := sedspec.Protect(att, spec, opts...)
 
-	out := Outcome{CVE: p.CVE}
+	out := Outcome{CVE: p.CVE, Spec: spec, Checker: chk}
 	if len(strategies) == 1 {
 		out.Strategy = strategies[0]
 	}

@@ -1,0 +1,139 @@
+// Package coverage holds runtime ES-CFG coverage: dense per-block and
+// per-edge hit counters indexed off the sealed spec's flat block and edge
+// tables, snapshots that merge across shared sessions, and structural
+// profiles that relate runtime hits back to the training corpus so two
+// spec generations can be diffed (see Drift).
+//
+// The package is deliberately free of internal dependencies: the sealed
+// walker owns the index spaces (core assigns edge slots at Seal), the
+// checker calls HitBlock/HitEdge on its transition path, and everything
+// above (specstore, cmds, the /coverage debug page) consumes the plain
+// Profile/Drift data.
+package coverage
+
+import "sync/atomic"
+
+// Map counts runtime hits against one sealed spec generation. The hot
+// side is single-writer: HitBlock/HitEdge/RoundEnd belong to the one
+// goroutine driving the session and are plain increments on pre-sized
+// pending arrays — no atomics, no allocation. Every flushInterval rounds
+// (and on Flush) the pending deltas are folded into a published bank of
+// atomic counters, which is the only side Snapshot reads; a concurrent
+// snapshot therefore lags the live session by at most flushInterval
+// rounds and is a consistent lower bound.
+type Map struct {
+	blocks []atomic.Uint64
+	edges  []atomic.Uint64
+
+	pendBlocks []uint64
+	pendEdges  []uint64
+	sinceFlush uint32
+}
+
+// flushInterval is the publication cadence in rounds. Large enough to
+// amortize the pending-array scan and the atomic adds to well under a
+// nanosecond per round, small enough that live snapshots stay fresh.
+const flushInterval = 64
+
+// NewMap returns a zeroed map sized for a sealed spec's block and edge
+// tables.
+func NewMap(numBlocks, numEdges int) *Map {
+	return &Map{
+		blocks:     make([]atomic.Uint64, numBlocks),
+		edges:      make([]atomic.Uint64, numEdges),
+		pendBlocks: make([]uint64, numBlocks),
+		pendEdges:  make([]uint64, numEdges),
+	}
+}
+
+// HitBlock counts a direct entry into block id: a round entry, a call
+// descent, or a transition that has no trained edge slot (the static
+// switch fallback). Single-writer: the session's driving goroutine only.
+func (m *Map) HitBlock(id int) { m.pendBlocks[id]++ }
+
+// HitEdge counts a traversal of trained edge slot e. Single-writer.
+func (m *Map) HitEdge(e int) { m.pendEdges[e]++ }
+
+// RoundEnd marks the end of one checked round and publishes the pending
+// counts every flushInterval rounds. Single-writer.
+func (m *Map) RoundEnd() {
+	m.sinceFlush++
+	if m.sinceFlush >= flushInterval {
+		m.Flush()
+	}
+}
+
+// Flush publishes all pending counts into the snapshot-visible bank. It
+// must be called from the session's driving goroutine, or from a caller
+// that synchronized with it (a quiesced or closed session); the shared
+// engine calls it when a session folds its maps on Close.
+func (m *Map) Flush() {
+	m.sinceFlush = 0
+	for i, v := range m.pendBlocks {
+		if v != 0 {
+			m.blocks[i].Add(v)
+			m.pendBlocks[i] = 0
+		}
+	}
+	for i, v := range m.pendEdges {
+		if v != 0 {
+			m.edges[i].Add(v)
+			m.pendEdges[i] = 0
+		}
+	}
+}
+
+// Snapshot returns a point-in-time copy of the published counters. Safe
+// to call concurrently with a live session's increments: it reads only
+// the atomic bank, so it may trail the session by up to flushInterval
+// rounds — a consistent lower bound, which Merge and the shared-engine
+// aggregation tolerate because counters only grow.
+func (m *Map) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Blocks: make([]uint64, len(m.blocks)),
+		Edges:  make([]uint64, len(m.edges)),
+	}
+	for i := range m.blocks {
+		s.Blocks[i] = m.blocks[i].Load()
+	}
+	for i := range m.edges {
+		s.Edges[i] = m.edges[i].Load()
+	}
+	return s
+}
+
+// Snapshot is a frozen counter state, mergeable across sessions that
+// share the same sealed generation (and therefore the same index spaces).
+type Snapshot struct {
+	Blocks []uint64 `json:"blocks"`
+	Edges  []uint64 `json:"edges"`
+}
+
+// Merge adds o into s element-wise. Both snapshots must come from maps
+// sized for the same sealed generation; shorter inputs are tolerated so
+// a zero-value snapshot can act as an accumulator.
+func (s *Snapshot) Merge(o *Snapshot) {
+	if o == nil {
+		return
+	}
+	if len(s.Blocks) < len(o.Blocks) {
+		s.Blocks = append(s.Blocks, make([]uint64, len(o.Blocks)-len(s.Blocks))...)
+	}
+	if len(s.Edges) < len(o.Edges) {
+		s.Edges = append(s.Edges, make([]uint64, len(o.Edges)-len(s.Edges))...)
+	}
+	for i, v := range o.Blocks {
+		s.Blocks[i] += v
+	}
+	for i, v := range o.Edges {
+		s.Edges[i] += v
+	}
+}
+
+// Clone returns an independent copy of the snapshot.
+func (s *Snapshot) Clone() *Snapshot {
+	c := &Snapshot{Blocks: make([]uint64, len(s.Blocks)), Edges: make([]uint64, len(s.Edges))}
+	copy(c.Blocks, s.Blocks)
+	copy(c.Edges, s.Edges)
+	return c
+}

@@ -1,0 +1,66 @@
+package coverage
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// The publish registry backs the /coverage debug page: long-lived
+// enforcement surfaces (the facade, the shared engine) register a profile
+// source under a name, and the handler serves the live profiles of every
+// registered source as one JSON document.
+var (
+	pubMu      sync.Mutex
+	pubSources = map[string]func() []*Profile{}
+)
+
+// Publish registers a live profile source under name, replacing any
+// previous source with that name, and returns an unpublish func.
+func Publish(name string, src func() []*Profile) (unpublish func()) {
+	pubMu.Lock()
+	pubSources[name] = src
+	pubMu.Unlock()
+	return func() {
+		pubMu.Lock()
+		if _, ok := pubSources[name]; ok {
+			delete(pubSources, name)
+		}
+		pubMu.Unlock()
+	}
+}
+
+// Handler serves the registered coverage profiles as JSON, keyed by
+// source name with names sorted for stable output.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		pubMu.Lock()
+		names := make([]string, 0, len(pubSources))
+		srcs := make([]func() []*Profile, 0, len(pubSources))
+		for name, src := range pubSources {
+			names = append(names, name)
+			srcs = append(srcs, src)
+		}
+		pubMu.Unlock()
+
+		type entry struct {
+			Name     string     `json:"name"`
+			Profiles []*Profile `json:"profiles"`
+		}
+		out := make([]entry, len(names))
+		for i := range names {
+			out[i] = entry{Name: names[i], Profiles: srcs[i]()}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Sources []entry `json:"sources"`
+		}{out}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

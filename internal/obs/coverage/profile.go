@@ -1,0 +1,299 @@
+package coverage
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// BlockCov is one ES block of a generation's coverage profile: its
+// identity in the original program, how often the training corpus visited
+// it (the learn-time baseline recorded at Seal), and how often runtime
+// enforcement reached it. A runtime block hit is the sum of its direct
+// hits and of every trained edge that lands on it.
+type BlockCov struct {
+	ID          int    `json:"id"`
+	Handler     int    `json:"handler"`
+	Block       int    `json:"block"`
+	Kind        string `json:"kind"`
+	TrainVisits uint64 `json:"train_visits"`
+	Hits        uint64 `json:"hits"`
+}
+
+// EdgeCov is one trained transition of the profile. Kind is "seq" for an
+// unconditional successor, "taken"/"not-taken" for branch arms, and
+// "case" for switch arms (Sel then carries the selector — for
+// command-decision blocks, the device command).
+type EdgeCov struct {
+	FromHandler int    `json:"from_handler"`
+	FromBlock   int    `json:"from_block"`
+	ToHandler   int    `json:"to_handler"`
+	ToBlock     int    `json:"to_block"`
+	Kind        string `json:"kind"`
+	Sel         uint64 `json:"sel,omitempty"`
+	Hits        uint64 `json:"hits"`
+}
+
+// Profile is a spec generation's full coverage picture: structure
+// (blocks, edges, commands) annotated with training and runtime counts.
+// Rounds is the number of checked I/O rounds behind the runtime counts;
+// zero means the profile is structural only (no enforcement has run).
+type Profile struct {
+	Device     string     `json:"device"`
+	Generation uint64     `json:"generation"`
+	Rounds     uint64     `json:"rounds,omitempty"`
+	Blocks     []BlockCov `json:"blocks"`
+	Edges      []EdgeCov  `json:"edges"`
+	Commands   []uint64   `json:"commands,omitempty"`
+}
+
+type blockKey struct{ handler, block int }
+
+type edgeKey struct {
+	fromHandler, fromBlock int
+	toHandler, toBlock     int
+	kind                   string
+	sel                    uint64
+}
+
+func (b BlockCov) key() blockKey { return blockKey{b.Handler, b.Block} }
+
+func (e EdgeCov) key() edgeKey {
+	return edgeKey{e.FromHandler, e.FromBlock, e.ToHandler, e.ToBlock, e.Kind, e.Sel}
+}
+
+func (b BlockCov) String() string {
+	return fmt.Sprintf("h%d/b%d(%s)", b.Handler, b.Block, b.Kind)
+}
+
+func (e EdgeCov) String() string {
+	s := fmt.Sprintf("h%d/b%d -%s-> h%d/b%d", e.FromHandler, e.FromBlock, e.Kind, e.ToHandler, e.ToBlock)
+	if e.Kind == "case" {
+		s = fmt.Sprintf("h%d/b%d -case %#x-> h%d/b%d", e.FromHandler, e.FromBlock, e.Sel, e.ToHandler, e.ToBlock)
+	}
+	return s
+}
+
+// Drift is the structural and behavioral difference between two
+// generations' profiles: what the newer spec legalized or dropped, and —
+// when the newer profile carries runtime counts — which parts of its
+// structure enforcement has never exercised or only newly exercises.
+type Drift struct {
+	Device  string `json:"device"`
+	FromGen uint64 `json:"from_generation"`
+	ToGen   uint64 `json:"to_generation"`
+
+	BlocksAdded     []BlockCov `json:"blocks_added,omitempty"`
+	BlocksRemoved   []BlockCov `json:"blocks_removed,omitempty"`
+	EdgesAdded      []EdgeCov  `json:"edges_added,omitempty"`
+	EdgesRemoved    []EdgeCov  `json:"edges_removed,omitempty"`
+	CommandsAdded   []uint64   `json:"commands_added,omitempty"`
+	CommandsRemoved []uint64   `json:"commands_removed,omitempty"`
+
+	// NeverHit lists structure of the "to" generation that its runtime
+	// counters never saw — the over-approximation surface. Only populated
+	// when the "to" profile has Rounds > 0.
+	NeverHitBlocks []BlockCov `json:"never_hit_blocks,omitempty"`
+	NeverHitEdges  []EdgeCov  `json:"never_hit_edges,omitempty"`
+	// NewlyHot lists edges hit at runtime under "to" that were absent or
+	// unhit under "from" — behavior the newer generation legalized and
+	// that traffic actually uses.
+	NewlyHotEdges []EdgeCov `json:"newly_hot_edges,omitempty"`
+}
+
+// Diff compares two profiles, from the older to the newer generation.
+func Diff(from, to *Profile) *Drift {
+	d := &Drift{Device: to.Device, FromGen: from.Generation, ToGen: to.Generation}
+
+	fromBlocks := make(map[blockKey]BlockCov, len(from.Blocks))
+	for _, b := range from.Blocks {
+		fromBlocks[b.key()] = b
+	}
+	toBlocks := make(map[blockKey]BlockCov, len(to.Blocks))
+	for _, b := range to.Blocks {
+		toBlocks[b.key()] = b
+		if _, ok := fromBlocks[b.key()]; !ok {
+			d.BlocksAdded = append(d.BlocksAdded, b)
+		}
+	}
+	for _, b := range from.Blocks {
+		if _, ok := toBlocks[b.key()]; !ok {
+			d.BlocksRemoved = append(d.BlocksRemoved, b)
+		}
+	}
+
+	fromEdges := make(map[edgeKey]EdgeCov, len(from.Edges))
+	for _, e := range from.Edges {
+		fromEdges[e.key()] = e
+	}
+	toEdges := make(map[edgeKey]EdgeCov, len(to.Edges))
+	for _, e := range to.Edges {
+		toEdges[e.key()] = e
+		if _, ok := fromEdges[e.key()]; !ok {
+			d.EdgesAdded = append(d.EdgesAdded, e)
+		}
+	}
+	for _, e := range from.Edges {
+		if _, ok := toEdges[e.key()]; !ok {
+			d.EdgesRemoved = append(d.EdgesRemoved, e)
+		}
+	}
+
+	fromCmds := make(map[uint64]bool, len(from.Commands))
+	for _, c := range from.Commands {
+		fromCmds[c] = true
+	}
+	toCmds := make(map[uint64]bool, len(to.Commands))
+	for _, c := range to.Commands {
+		toCmds[c] = true
+		if !fromCmds[c] {
+			d.CommandsAdded = append(d.CommandsAdded, c)
+		}
+	}
+	for _, c := range from.Commands {
+		if !toCmds[c] {
+			d.CommandsRemoved = append(d.CommandsRemoved, c)
+		}
+	}
+
+	if to.Rounds > 0 {
+		for _, b := range to.Blocks {
+			if b.Hits == 0 {
+				d.NeverHitBlocks = append(d.NeverHitBlocks, b)
+			}
+		}
+		for _, e := range to.Edges {
+			if e.Hits == 0 {
+				d.NeverHitEdges = append(d.NeverHitEdges, e)
+			}
+			if e.Hits > 0 {
+				if old, ok := fromEdges[e.key()]; !ok || old.Hits == 0 {
+					d.NewlyHotEdges = append(d.NewlyHotEdges, e)
+				}
+			}
+		}
+	}
+
+	d.sortAll()
+	return d
+}
+
+func sortBlocks(bs []BlockCov) {
+	sort.Slice(bs, func(i, j int) bool {
+		if bs[i].Handler != bs[j].Handler {
+			return bs[i].Handler < bs[j].Handler
+		}
+		return bs[i].Block < bs[j].Block
+	})
+}
+
+func sortEdges(es []EdgeCov) {
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.FromHandler != b.FromHandler {
+			return a.FromHandler < b.FromHandler
+		}
+		if a.FromBlock != b.FromBlock {
+			return a.FromBlock < b.FromBlock
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Sel != b.Sel {
+			return a.Sel < b.Sel
+		}
+		if a.ToHandler != b.ToHandler {
+			return a.ToHandler < b.ToHandler
+		}
+		return a.ToBlock < b.ToBlock
+	})
+}
+
+func (d *Drift) sortAll() {
+	sortBlocks(d.BlocksAdded)
+	sortBlocks(d.BlocksRemoved)
+	sortEdges(d.EdgesAdded)
+	sortEdges(d.EdgesRemoved)
+	sortBlocks(d.NeverHitBlocks)
+	sortEdges(d.NeverHitEdges)
+	sortEdges(d.NewlyHotEdges)
+	sort.Slice(d.CommandsAdded, func(i, j int) bool { return d.CommandsAdded[i] < d.CommandsAdded[j] })
+	sort.Slice(d.CommandsRemoved, func(i, j int) bool { return d.CommandsRemoved[i] < d.CommandsRemoved[j] })
+}
+
+// WriteJSON writes the drift report as indented JSON.
+func (d *Drift) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteTable writes the drift report as a human-readable table.
+func (d *Drift) WriteTable(w io.Writer) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("drift report: %s generation %d -> %d\n", d.Device, d.FromGen, d.ToGen); err != nil {
+		return err
+	}
+	if err := p("  blocks: %+d/-%d  edges: %+d/-%d  commands: %+d/-%d\n",
+		len(d.BlocksAdded), len(d.BlocksRemoved),
+		len(d.EdgesAdded), len(d.EdgesRemoved),
+		len(d.CommandsAdded), len(d.CommandsRemoved)); err != nil {
+		return err
+	}
+	for _, c := range d.CommandsAdded {
+		if err := p("  command added    %#x\n", c); err != nil {
+			return err
+		}
+	}
+	for _, c := range d.CommandsRemoved {
+		if err := p("  command removed  %#x\n", c); err != nil {
+			return err
+		}
+	}
+	for _, b := range d.BlocksAdded {
+		if err := p("  block added      %-24s train_visits=%d\n", b.String(), b.TrainVisits); err != nil {
+			return err
+		}
+	}
+	for _, b := range d.BlocksRemoved {
+		if err := p("  block removed    %s\n", b.String()); err != nil {
+			return err
+		}
+	}
+	for _, e := range d.EdgesAdded {
+		if err := p("  edge added       %s\n", e.String()); err != nil {
+			return err
+		}
+	}
+	for _, e := range d.EdgesRemoved {
+		if err := p("  edge removed     %s\n", e.String()); err != nil {
+			return err
+		}
+	}
+	if len(d.NeverHitBlocks)+len(d.NeverHitEdges) > 0 {
+		if err := p("  never hit at runtime: %d blocks, %d edges\n",
+			len(d.NeverHitBlocks), len(d.NeverHitEdges)); err != nil {
+			return err
+		}
+		for _, b := range d.NeverHitBlocks {
+			if err := p("    block %-24s train_visits=%d\n", b.String(), b.TrainVisits); err != nil {
+				return err
+			}
+		}
+		for _, e := range d.NeverHitEdges {
+			if err := p("    edge  %s\n", e.String()); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range d.NewlyHotEdges {
+		if err := p("  newly hot        %s hits=%d\n", e.String(), e.Hits); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -132,44 +132,53 @@ func (m *MetricsSnapshot) Anomalies() uint64 {
 }
 
 // MarshalJSON renders the snapshot in the device × strategy × verdict
-// shape the -metrics export and /debug/vars serve.
+// shape the -metrics export and /debug/vars serve. Buckets and outcomes
+// are emitted as ordered slices (ascending bucket index; strategy then
+// verdict order), not maps, so the export is byte-for-byte deterministic
+// and semantically ordered — stable for CI diffs and golden tests.
 func (m MetricsSnapshot) MarshalJSON() ([]byte, error) {
+	type bucketJSON struct {
+		Range string `json:"range"`
+		Count uint64 `json:"count"`
+	}
 	type histJSON struct {
-		Count   uint64            `json:"count"`
-		Buckets map[string]uint64 `json:"buckets,omitempty"`
+		Count   uint64       `json:"count"`
+		Buckets []bucketJSON `json:"buckets,omitempty"`
 	}
 	hist := func(h *Hist) histJSON {
 		out := histJSON{Count: h.Count()}
 		for i, b := range h.Buckets {
 			if b != 0 {
-				if out.Buckets == nil {
-					out.Buckets = make(map[string]uint64)
-				}
-				out.Buckets[BucketLabel(i)] = b
+				out.Buckets = append(out.Buckets, bucketJSON{Range: BucketLabel(i), Count: b})
 			}
 		}
 		return out
 	}
-	outcomes := make(map[string]map[string]uint64)
+	type outcomeJSON struct {
+		Strategy string `json:"strategy"`
+		Verdict  string `json:"verdict"`
+		Count    uint64 `json:"count"`
+	}
+	var outcomes []outcomeJSON
 	for s := 0; s < NumStrategies; s++ {
 		for v := 0; v < NumVerdicts; v++ {
 			if n := m.Outcomes[s][v]; n != 0 {
-				key := StrategyName(uint8(s))
-				if outcomes[key] == nil {
-					outcomes[key] = make(map[string]uint64)
-				}
-				outcomes[key][Verdict(v).String()] = n
+				outcomes = append(outcomes, outcomeJSON{
+					Strategy: StrategyName(uint8(s)),
+					Verdict:  Verdict(v).String(),
+					Count:    n,
+				})
 			}
 		}
 	}
 	return json.Marshal(struct {
-		Device       string                       `json:"device"`
-		Rounds       uint64                       `json:"rounds"`
-		Anomalies    uint64                       `json:"anomalies"`
-		Swaps        uint64                       `json:"swaps,omitempty"`
-		Outcomes     map[string]map[string]uint64 `json:"outcomes,omitempty"`
-		LatencyTicks histJSON                     `json:"latency_ticks"`
-		Steps        histJSON                     `json:"steps"`
+		Device       string        `json:"device"`
+		Rounds       uint64        `json:"rounds"`
+		Anomalies    uint64        `json:"anomalies"`
+		Swaps        uint64        `json:"swaps,omitempty"`
+		Outcomes     []outcomeJSON `json:"outcomes,omitempty"`
+		LatencyTicks histJSON      `json:"latency_ticks"`
+		Steps        histJSON      `json:"steps"`
 	}{m.Device, m.Rounds, m.Anomalies(), m.Swaps, outcomes, hist(&m.Latency), hist(&m.Steps)})
 }
 

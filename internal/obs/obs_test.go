@@ -153,7 +153,7 @@ func TestRegistryJSON(t *testing.T) {
 	if err := json.Unmarshal([]byte(s), &decoded); err != nil {
 		t.Fatalf("String() is not JSON: %v\n%s", err, s)
 	}
-	for _, want := range []string{`"device":"fdc"`, `"rounds":2`, `"parameter-check"`, `"blocked":1`, `"latency_ticks"`, `"steps"`} {
+	for _, want := range []string{`"device":"fdc"`, `"rounds":2`, `"strategy":"parameter-check"`, `"verdict":"blocked"`, `"latency_ticks"`, `"steps"`} {
 		if !strings.Contains(s, want) {
 			t.Errorf("JSON missing %s:\n%s", want, s)
 		}

@@ -1,0 +1,199 @@
+// Package span is a small in-process lifecycle tracer: spec lifecycle
+// operations (learn, seal, swap, enhance, store put/get) record
+// structured spans — name, generation, parent, duration, attributes —
+// into a bounded sink that exports as Chrome trace_event JSON, so a full
+// enhance→swap cycle loads as one timeline in a trace viewer.
+//
+// The sink is not on the I/O check path; a mutex per Start/End is fine.
+// Parenting is implicit: a span started while another is open on the same
+// sink becomes its child, which matches the lifecycle call structure
+// (learn's trace/analyze/observe/build phases nest under learn, the seal
+// inside a swap nests under swap).
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key string `json:"key"`
+	Val string `json:"val"`
+}
+
+// Gen annotates a span with the spec generation it concerns.
+func Gen(g uint64) Attr { return Attr{Key: "generation", Val: strconv.FormatUint(g, 10)} }
+
+// Device annotates a span with the device it concerns.
+func Device(d string) Attr { return Attr{Key: "device", Val: d} }
+
+// Span is one recorded lifecycle operation. It is immutable after End.
+type Span struct {
+	ID     uint64        `json:"id"`
+	Parent uint64        `json:"parent,omitempty"` // 0: root
+	Name   string        `json:"name"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur"`
+	Attrs  []Attr        `json:"attrs,omitempty"`
+
+	sink *Sink
+	done bool
+}
+
+// DefaultCap bounds how many finished spans a sink retains; beyond it new
+// spans are counted as dropped rather than growing without bound (a
+// long-running fleet seals thousands of specs).
+const DefaultCap = 8192
+
+// Sink collects spans. The zero value is not usable; use NewSink or the
+// process-wide Default sink.
+type Sink struct {
+	mu      sync.Mutex
+	cap     int
+	nextID  uint64
+	stack   []*Span // open spans, innermost last, for implicit parenting
+	spans   []*Span
+	dropped uint64
+}
+
+// NewSink returns a sink retaining at most capacity finished spans
+// (DefaultCap if capacity <= 0).
+func NewSink(capacity int) *Sink {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	return &Sink{cap: capacity}
+}
+
+var defaultSink = NewSink(DefaultCap)
+
+// Default returns the process-wide sink the lifecycle instrumentation
+// records into.
+func Default() *Sink { return defaultSink }
+
+// Start opens a span. The span must be closed with End; until then,
+// spans started on the same sink nest under it.
+func (s *Sink) Start(name string, attrs ...Attr) *Span {
+	sp := &Span{Name: name, Start: time.Now(), Attrs: attrs, sink: s}
+	s.mu.Lock()
+	s.nextID++
+	sp.ID = s.nextID
+	if n := len(s.stack); n > 0 {
+		sp.Parent = s.stack[n-1].ID
+	}
+	s.stack = append(s.stack, sp)
+	s.mu.Unlock()
+	return sp
+}
+
+// End closes the span, appending any extra attributes (useful for values
+// only known at completion, like the generation a swap published). Safe
+// to call more than once; only the first call records. Nil-safe.
+func (sp *Span) End(attrs ...Attr) {
+	if sp == nil || sp.sink == nil {
+		return
+	}
+	end := time.Now()
+	s := sp.sink
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sp.done {
+		return
+	}
+	sp.done = true
+	sp.Dur = end.Sub(sp.Start)
+	sp.Attrs = append(sp.Attrs, attrs...)
+	for i := len(s.stack) - 1; i >= 0; i-- {
+		if s.stack[i] == sp {
+			s.stack = append(s.stack[:i], s.stack[i+1:]...)
+			break
+		}
+	}
+	if len(s.spans) >= s.cap {
+		s.dropped++
+		return
+	}
+	s.spans = append(s.spans, sp)
+}
+
+// Snapshot returns the finished spans in completion order plus the count
+// of spans dropped at capacity.
+func (s *Sink) Snapshot() ([]*Span, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.spans))
+	copy(out, s.spans)
+	return out, s.dropped
+}
+
+// Reset discards all recorded spans and the drop count. Open spans keep
+// nesting but record nothing until they End after the reset.
+func (s *Sink) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spans = nil
+	s.dropped = 0
+}
+
+// WriteChromeTrace exports the finished spans as Chrome trace_event JSON
+// ("X" complete events, microsecond timestamps relative to the earliest
+// span), loadable in chrome://tracing or Perfetto.
+func (s *Sink) WriteChromeTrace(w io.Writer) error {
+	spans, dropped := s.Snapshot()
+	var epoch time.Time
+	for _, sp := range spans {
+		if epoch.IsZero() || sp.Start.Before(epoch) {
+			epoch = sp.Start
+		}
+	}
+	type traceEvent struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Ts   int64             `json:"ts"`
+		Dur  int64             `json:"dur"`
+		Pid  int               `json:"pid"`
+		Tid  int               `json:"tid"`
+		Args map[string]string `json:"args,omitempty"`
+	}
+	events := make([]traceEvent, 0, len(spans))
+	for _, sp := range spans {
+		args := make(map[string]string, len(sp.Attrs)+2)
+		args["id"] = strconv.FormatUint(sp.ID, 10)
+		if sp.Parent != 0 {
+			args["parent"] = strconv.FormatUint(sp.Parent, 10)
+		}
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Val
+		}
+		events = append(events, traceEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   sp.Start.Sub(epoch).Microseconds(),
+			Dur:  sp.Dur.Microseconds(),
+			Pid:  1,
+			Tid:  1,
+			Args: args,
+		})
+	}
+	doc := struct {
+		TraceEvents []traceEvent      `json:"traceEvents"`
+		Metadata    map[string]string `json:"metadata,omitempty"`
+	}{TraceEvents: events}
+	if dropped > 0 {
+		doc.Metadata = map[string]string{"dropped_spans": strconv.FormatUint(dropped, 10)}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// String summarizes the sink for debugging.
+func (s *Sink) String() string {
+	spans, dropped := s.Snapshot()
+	return fmt.Sprintf("span sink: %d spans (%d dropped)", len(spans), dropped)
+}

@@ -1,0 +1,115 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestImplicitParenting(t *testing.T) {
+	s := NewSink(0)
+	learn := s.Start("learn", Device("fdc"))
+	trace := s.Start("learn.trace")
+	trace.End()
+	build := s.Start("learn.build")
+	build.End()
+	learn.End(Gen(1))
+	root := s.Start("seal")
+	root.End()
+
+	spans, dropped := s.Snapshot()
+	if dropped != 0 || len(spans) != 4 {
+		t.Fatalf("spans = %d dropped = %d, want 4/0", len(spans), dropped)
+	}
+	// Completion order: trace, build, learn, seal.
+	if spans[0].Name != "learn.trace" || spans[0].Parent != learn.ID {
+		t.Errorf("trace span: %+v, want parent %d", spans[0], learn.ID)
+	}
+	if spans[1].Name != "learn.build" || spans[1].Parent != learn.ID {
+		t.Errorf("build span: %+v, want parent %d", spans[1], learn.ID)
+	}
+	if spans[2].Name != "learn" || spans[2].Parent != 0 {
+		t.Errorf("learn span should be a root: %+v", spans[2])
+	}
+	if spans[3].Name != "seal" || spans[3].Parent != 0 {
+		t.Errorf("seal started after learn ended should be a root: %+v", spans[3])
+	}
+	// End-time attrs append after start-time attrs.
+	if len(spans[2].Attrs) != 2 || spans[2].Attrs[0].Key != "device" || spans[2].Attrs[1].Key != "generation" {
+		t.Errorf("learn attrs = %+v", spans[2].Attrs)
+	}
+}
+
+func TestEndIdempotentAndNilSafe(t *testing.T) {
+	var nilSpan *Span
+	nilSpan.End() // must not panic
+
+	s := NewSink(4)
+	sp := s.Start("swap")
+	sp.End(Gen(2))
+	sp.End(Gen(3)) // second End records nothing
+	spans, _ := s.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	if len(spans[0].Attrs) != 1 || spans[0].Attrs[0].Val != "2" {
+		t.Errorf("double End mutated attrs: %+v", spans[0].Attrs)
+	}
+}
+
+func TestDropAtCapacity(t *testing.T) {
+	s := NewSink(2)
+	for i := 0; i < 5; i++ {
+		s.Start("op").End()
+	}
+	spans, dropped := s.Snapshot()
+	if len(spans) != 2 || dropped != 3 {
+		t.Fatalf("spans = %d dropped = %d, want 2/3", len(spans), dropped)
+	}
+	s.Reset()
+	if spans, dropped := s.Snapshot(); len(spans) != 0 || dropped != 0 {
+		t.Fatalf("after Reset: spans = %d dropped = %d", len(spans), dropped)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	s := NewSink(2)
+	parent := s.Start("enhance", Device("fdc"))
+	s.Start("store.put").End(Gen(2))
+	parent.End()
+	s.Start("dropped").End() // over capacity
+
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   int64             `json:"ts"`
+			Dur  int64             `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		Metadata map[string]string `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(doc.TraceEvents))
+	}
+	put := doc.TraceEvents[0]
+	if put.Name != "store.put" || put.Ph != "X" || put.Ts < 0 {
+		t.Errorf("store.put event wrong: %+v", put)
+	}
+	if put.Args["generation"] != "2" || put.Args["parent"] == "" {
+		t.Errorf("store.put args = %+v, want generation and parent", put.Args)
+	}
+	if doc.TraceEvents[1].Args["device"] != "fdc" {
+		t.Errorf("enhance args = %+v", doc.TraceEvents[1].Args)
+	}
+	if doc.Metadata["dropped_spans"] != "1" {
+		t.Errorf("metadata = %+v, want dropped_spans 1", doc.Metadata)
+	}
+}

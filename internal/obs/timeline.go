@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"sedspec/internal/obs/coverage"
 )
 
 // AnomalyContext is the forensic record attached to a blocking anomaly:
@@ -123,13 +125,15 @@ func ExportEvery(path string, every time.Duration, g *Registry) (stop func() err
 
 var publishOnce sync.Once
 
-// ServeDebug serves net/http/pprof (live profiling of throughput runs)
-// and expvar's /debug/vars — with the given registry published under
-// "sedspec_obs" — on addr, in the background. It returns the bound
-// address, so addr may use port 0.
+// ServeDebug serves net/http/pprof (live profiling of throughput runs),
+// expvar's /debug/vars — with the given registry published under
+// "sedspec_obs" — and the live ES-CFG coverage profiles on /coverage, on
+// addr, in the background. It returns the bound address, so addr may use
+// port 0.
 func ServeDebug(addr string, g *Registry) (string, error) {
 	publishOnce.Do(func() {
 		expvar.Publish("sedspec_obs", g)
+		http.Handle("/coverage", coverage.Handler())
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

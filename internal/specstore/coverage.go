@@ -1,0 +1,66 @@
+package specstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sedspec/internal/obs/coverage"
+)
+
+// Coverage profiles live next to the spec blobs, one JSON file per
+// (device, generation):
+//
+//	coverage/<device>-g<generation>.coverage.json
+//
+// A profile is runtime evidence about a version — how enforcement
+// actually exercised the spec's structure — so unlike blobs it is keyed
+// by version, not content, and republishing overwrites: the newest
+// aggregate wins.
+
+func (st *Store) coveragePath(device string, gen uint64) string {
+	return filepath.Join(st.dir, "coverage", fmt.Sprintf("%s-g%d.coverage.json", device, gen))
+}
+
+// PutCoverage persists a coverage profile for a spec generation.
+func (st *Store) PutCoverage(p *coverage.Profile) error {
+	data, err := json.MarshalIndent(p, "", " ")
+	if err != nil {
+		return fmt.Errorf("specstore: encode coverage: %w", err)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := os.MkdirAll(filepath.Join(st.dir, "coverage"), 0o755); err != nil {
+		return fmt.Errorf("specstore: put coverage: %w", err)
+	}
+	path := st.coveragePath(p.Device, p.Generation)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("specstore: write coverage: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("specstore: commit coverage: %w", err)
+	}
+	return nil
+}
+
+// LoadCoverage reads the persisted coverage profile of a spec generation.
+// ok is false when none was published.
+func (st *Store) LoadCoverage(device string, gen uint64) (*coverage.Profile, bool, error) {
+	st.mu.Lock()
+	path := st.coveragePath(device, gen)
+	st.mu.Unlock()
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("specstore: load coverage gen %d: %w", gen, err)
+	}
+	var p coverage.Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, false, fmt.Errorf("specstore: load coverage gen %d: %w", gen, err)
+	}
+	return &p, true, nil
+}

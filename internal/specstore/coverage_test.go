@@ -1,0 +1,63 @@
+package specstore_test
+
+import (
+	"testing"
+
+	"sedspec/internal/obs/coverage"
+	"sedspec/internal/specstore"
+)
+
+func TestCoverageRoundTrip(t *testing.T) {
+	st, err := specstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok, err := st.LoadCoverage("testdev", 1); err != nil || ok {
+		t.Fatalf("empty store: ok=%t err=%v, want miss", ok, err)
+	}
+
+	p := &coverage.Profile{
+		Device: "testdev", Generation: 1, Rounds: 42,
+		Blocks: []coverage.BlockCov{
+			{ID: 0, Handler: 0, Block: 0, Kind: "entry", TrainVisits: 3, Hits: 42},
+		},
+		Edges: []coverage.EdgeCov{
+			{FromHandler: 0, FromBlock: 0, ToHandler: 1, ToBlock: 0, Kind: "seq", Hits: 42},
+		},
+		Commands: []uint64{0x10},
+	}
+	if err := st.PutCoverage(p); err != nil {
+		t.Fatal(err)
+	}
+	back, ok, err := st.LoadCoverage("testdev", 1)
+	if err != nil || !ok {
+		t.Fatalf("LoadCoverage: ok=%t err=%v", ok, err)
+	}
+	if back.Rounds != 42 || len(back.Blocks) != 1 || len(back.Edges) != 1 || back.Edges[0].Kind != "seq" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+
+	// Republishing overwrites: the newest aggregate wins.
+	p.Rounds = 100
+	if err := st.PutCoverage(p); err != nil {
+		t.Fatal(err)
+	}
+	back, ok, err = st.LoadCoverage("testdev", 1)
+	if err != nil || !ok || back.Rounds != 100 {
+		t.Fatalf("overwrite: rounds=%d ok=%t err=%v, want 100", back.Rounds, ok, err)
+	}
+
+	// Other generations stay independent, and a reopened store sees the
+	// published profile.
+	if _, ok, _ := st.LoadCoverage("testdev", 2); ok {
+		t.Error("generation 2 unexpectedly present")
+	}
+	st2, err := specstore.Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back, ok, _ := st2.LoadCoverage("testdev", 1); !ok || back.Rounds != 100 {
+		t.Errorf("reopened store lost coverage: ok=%t %+v", ok, back)
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"sedspec/internal/core"
 	"sedspec/internal/ir"
+	"sedspec/internal/obs/span"
 )
 
 // Key identifies a spec by the content of its inputs: the device program
@@ -138,6 +139,13 @@ func (st *Store) persistIndex() error {
 // Publishing a spec whose (key, blob) already exists is idempotent and
 // returns the existing version.
 func (st *Store) Put(spec *core.Spec, meta VersionMeta) (VersionMeta, error) {
+	sp := span.Default().Start("store.put", span.Device(spec.Device))
+	m, err := st.put(spec, meta)
+	sp.End(span.Gen(m.Generation))
+	return m, err
+}
+
+func (st *Store) put(spec *core.Spec, meta VersionMeta) (VersionMeta, error) {
 	data, err := spec.EncodeBinary()
 	if err != nil {
 		return VersionMeta{}, fmt.Errorf("specstore: put: %w", err)
@@ -226,6 +234,8 @@ func (st *Store) Versions(device string) []VersionMeta {
 
 // Load reads a version's blob and rebinds it to the device program.
 func (st *Store) Load(prog *ir.Program, meta VersionMeta) (*core.Spec, error) {
+	sp := span.Default().Start("store.get", span.Device(meta.Device), span.Gen(meta.Generation))
+	defer sp.End()
 	data, err := os.ReadFile(st.blobPath(meta.Blob))
 	if err != nil {
 		return nil, fmt.Errorf("specstore: load gen %d: %w", meta.Generation, err)

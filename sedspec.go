@@ -38,6 +38,8 @@ import (
 	"sedspec/internal/itccfg"
 	"sedspec/internal/machine"
 	"sedspec/internal/obs"
+	"sedspec/internal/obs/coverage"
+	"sedspec/internal/obs/span"
 	"sedspec/internal/trace"
 )
 
@@ -70,7 +72,28 @@ type (
 	Metrics = obs.MetricsSnapshot
 	// MetricsRegistry tracks flight recorders and aggregates their metrics.
 	MetricsRegistry = obs.Registry
+	// CoverageProfile is a spec generation's ES-CFG coverage picture:
+	// structure annotated with training and runtime hit counts.
+	CoverageProfile = coverage.Profile
+	// CoverageDrift is the structural and behavioral difference between
+	// two generations' coverage profiles.
+	CoverageDrift = coverage.Drift
+	// CoverageSnapshot is a raw per-generation counter snapshot, dense in
+	// the sealed spec's block and edge index spaces.
+	CoverageSnapshot = coverage.Snapshot
+	// CoverageEdge is one trained ES-CFG edge with its hit count.
+	CoverageEdge = coverage.EdgeCov
+	// SpanSink collects lifecycle spans (learn, seal, swap, enhance, store
+	// put/get) and exports them as Chrome trace_event JSON.
+	SpanSink = span.Sink
 )
+
+// DiffCoverage compares two coverage profiles, older to newer.
+func DiffCoverage(from, to *CoverageProfile) *CoverageDrift { return coverage.Diff(from, to) }
+
+// Spans returns the process-wide span sink the lifecycle instrumentation
+// records into.
+func Spans() *SpanSink { return span.Default() }
 
 // WithRecorder installs a caller-owned flight recorder on a checker
 // (WithRecorder(nil) disables recording entirely).
@@ -177,20 +200,26 @@ func LearnFull(att *machine.Attached, train TrainFunc) (*LearnResult, error) {
 	dev := att.Dev()
 	prog := dev.Program()
 	in := att.Interp()
+	learnSpan := span.Default().Start("learn", span.Device(prog.Name))
+	defer learnSpan.End()
 
 	// Phase 1a: processor-trace collection under training samples.
 	dev.Reset()
+	sp := span.Default().Start("learn.trace")
 	col := trace.NewCollector(trace.DeviceConfig(prog))
 	in.SetTracer(col)
 	err := train(&Driver{att: att})
 	in.SetTracer(nil)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("sedspec: trace pass: %w", err)
 	}
 
 	// Phase 1b: ITC-CFG construction and parameter selection.
+	sp = span.Default().Start("learn.analyze")
 	runs, err := trace.Decode(prog, col.Packets())
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("sedspec: decode trace: %w", err)
 	}
 	graph := itccfg.New(prog)
@@ -198,21 +227,26 @@ func LearnFull(att *machine.Attached, train TrainFunc) (*LearnResult, error) {
 		graph.AddRun(run)
 	}
 	params := analysis.SelectParams(graph)
+	sp.End()
 
 	// Phase 1c: observation run producing the device-state-change log.
 	dev.Reset()
+	sp = span.Default().Start("learn.observe")
 	rec := analysis.NewRecorder(prog.Name)
 	in.SetObserver(rec)
 	in.SetWatch(params.WatchList())
 	err = train(&Driver{att: att, rec: rec})
 	in.SetObserver(nil)
 	in.SetWatch(nil)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("sedspec: observation pass: %w", err)
 	}
 
 	// Phase 2: ES-CFG construction.
+	sp = span.Default().Start("learn.build")
 	spec, err := core.Build(prog, params, rec.Log())
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("sedspec: build spec: %w", err)
 	}
