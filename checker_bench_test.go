@@ -1,13 +1,14 @@
 // Micro-benchmarks of the per-I/O ES-Checker cost: a benign request
 // stream is captured once per device and then replayed straight into the
-// checker (no device, no machine dispatch in the timed region), once
-// against the sealed fast path and once against the pre-seal reference
-// engine. Run with:
+// checker (no device, no machine dispatch in the timed region), against
+// the threaded-code engine (the deployed default), the sealed switch
+// walker, and the pre-seal reference engine. Run with:
 //
 //	go test -bench=BenchmarkCheckerPerIO -benchmem
 package sedspec_test
 
 import (
+	"runtime"
 	"testing"
 
 	"sedspec/internal/bench"
@@ -22,12 +23,15 @@ func BenchmarkCheckerPerIO(b *testing.B) {
 				b.Fatal(err)
 			}
 			engines := []struct {
-				name string
-				opts []checker.Option
+				name     string
+				zeroHeap bool // sealed engines must not allocate in steady state
+				opts     []checker.Option
 			}{
-				{"sealed", nil}, // flight recorder on (the deployed default)
-				{"sealed-norec", []checker.Option{checker.WithRecorder(nil)}},
-				{"unsealed", []checker.Option{checker.WithReferenceSimulation()}},
+				{"threaded", true, nil}, // flight recorder on (the deployed default)
+				{"threaded-norec", true, []checker.Option{checker.WithRecorder(nil)}},
+				{"sealed", true, []checker.Option{checker.WithThreadedDispatch(false)}},
+				{"sealed-norec", true, []checker.Option{checker.WithThreadedDispatch(false), checker.WithRecorder(nil)}},
+				{"unsealed", false, []checker.Option{checker.WithReferenceSimulation()}},
 			}
 			for _, eng := range engines {
 				b.Run(eng.name, func(b *testing.B) {
@@ -41,10 +45,40 @@ func BenchmarkCheckerPerIO(b *testing.B) {
 					}
 					b.ReportAllocs()
 					b.ResetTimer()
-					for i := 0; i < b.N; i++ {
-						if err := r.Step(chk, i); err != nil {
-							b.Fatal(err)
+					// The zero-allocation contract is asserted on the minimum
+					// per-chunk malloc count: background runtime activity
+					// (scavenger timers, GC worker spawns) can land a stray
+					// malloc in any one chunk, but a check path that allocates
+					// does so in every chunk.
+					minAllocs := uint64(^uint64(0))
+					var ms runtime.MemStats
+					const chunk = 1 << 16
+					for done := 0; done < b.N; {
+						n := chunk
+						if b.N-done < n {
+							n = b.N - done
 						}
+						b.StopTimer()
+						runtime.ReadMemStats(&ms)
+						before := ms.Mallocs
+						b.StartTimer()
+						for i := done; i < done+n; i++ {
+							if err := r.Step(chk, i); err != nil {
+								b.Fatal(err)
+							}
+						}
+						b.StopTimer()
+						runtime.ReadMemStats(&ms)
+						if d := ms.Mallocs - before; d < minAllocs {
+							minAllocs = d
+						}
+						b.StartTimer()
+						done += n
+					}
+					b.StopTimer()
+					if eng.zeroHeap && b.N >= chunk && minAllocs != 0 {
+						b.Fatalf("%s engine allocated %d times per %d-op chunk in steady state, want 0",
+							eng.name, minAllocs, chunk)
 					}
 				})
 			}

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	sedbench [-experiment all|table1|table2|table3|fig34|fig5|comparison|ablation|checker|coverage|throughput|swap]
+//	sedbench [-experiment all|table1|table2|table3|fig34|fig5|comparison|ablation|checker|dispatch|coverage|throughput|swap]
 //	         [-full] [-frames N] [-mib N] [-checker-iters N] [-checker-out FILE]
+//	         [-dispatch-iters N] [-dispatch-out FILE]
 //	         [-coverage-iters N] [-coverage-out FILE]
 //	         [-throughput-ops N] [-throughput-iters N] [-throughput-e2e-ops N] [-throughput-out FILE]
 //	         [-swap-iters N] [-swap-store DIR] [-swap-out FILE]
@@ -12,6 +13,12 @@
 // The checker experiment measures per-I/O ES-Checker overhead (sealed
 // fast path vs the pre-seal reference engine) and writes the rows as JSON
 // to -checker-out (default BENCH_checker.json).
+//
+// The dispatch experiment compares the two sealed engines head to head —
+// the switch walker against the threaded-code stream compiled at Seal()
+// time — over the same captured streams, and writes -dispatch-out
+// (default BENCH_dispatch.json) including each device's fused-pair count
+// and fusion density from the lowering report.
 //
 // The coverage experiment measures what the ES-CFG coverage counters add
 // to the sealed walker (counters on vs WithCoverage(false)) and writes
@@ -54,6 +61,8 @@ func main() {
 	mib := flag.Int("mib", 8, "MiB per Figure 3/4 data point")
 	checkerIters := flag.Int("checker-iters", 1_000_000, "timed replay rounds per engine for the checker experiment")
 	checkerOut := flag.String("checker-out", "BENCH_checker.json", "output file for the checker experiment's JSON rows")
+	dispatchIters := flag.Int("dispatch-iters", 1_000_000, "timed replay rounds per engine for the dispatch experiment")
+	dispatchOut := flag.String("dispatch-out", "BENCH_dispatch.json", "output file for the dispatch experiment's JSON rows")
 	coverageIters := flag.Int("coverage-iters", 1_000_000, "timed replay rounds per side for the coverage experiment")
 	coverageOut := flag.String("coverage-out", "BENCH_coverage.json", "output file for the coverage experiment's JSON rows")
 	tpOps := flag.Int("throughput-ops", 60, "benign session ops captured per device for the throughput replay")
@@ -71,6 +80,7 @@ func main() {
 	cfg := runConfig{
 		full: *full, frames: *frames, mib: *mib,
 		checkerIters: *checkerIters, checkerOut: *checkerOut,
+		dispatchIters: *dispatchIters, dispatchOut: *dispatchOut,
 		coverageIters: *coverageIters, coverageOut: *coverageOut,
 		tpOps: *tpOps, tpIters: *tpIters, tpE2EOps: *tpE2EOps, tpOut: *tpOut,
 		swapIters: *swapIters, swapStore: *swapStore, swapOut: *swapOut,
@@ -108,6 +118,8 @@ type runConfig struct {
 	frames, mib   int
 	checkerIters  int
 	checkerOut    string
+	dispatchIters int
+	dispatchOut   string
 	coverageIters int
 	coverageOut   string
 	tpOps         int
@@ -235,6 +247,33 @@ func run(experiment string, cfg runConfig) error {
 			return err
 		}
 		fmt.Fprintf(w, "wrote %s\n", checkerOut)
+		fmt.Fprintln(w)
+	}
+
+	if want("dispatch") {
+		var rows []*bench.DispatchBenchRow
+		for _, t := range bench.Targets(true) {
+			row, err := bench.DispatchOverhead(t, 60, cfg.dispatchIters)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "dispatch %-6s switch %8.1f ns/op  threaded %8.1f ns/op  -%5.1f%%  %.3f allocs/op  (%d fused pairs, density %.2f)\n",
+				t.Name, row.SwitchNsPerOp, row.ThreadedNsPerOp, row.SpeedupPct, row.ThreadedAllocsPerOp,
+				row.FusedPairs, row.FusedDensity)
+		}
+		f, err := os.Create(cfg.dispatchOut)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteDispatchJSON(f, rows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.dispatchOut)
 		fmt.Fprintln(w)
 	}
 

@@ -434,6 +434,12 @@ func runReport(args []string) error {
 		if stored, ok, err := st.LoadCoverage(prog.Name, gen); err != nil {
 			return nil, err
 		} else if ok {
+			if stored.Lowering == nil {
+				// Profiles published before lowering stats existed: the
+				// stream is a pure function of the sealed spec, so the
+				// structural baseline's stats apply verbatim.
+				stored.Lowering = p.Lowering
+			}
 			p = stored
 		}
 		return p, nil

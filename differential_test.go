@@ -1,9 +1,11 @@
-// Differential test pinning the sealed fast-path simulation to the
-// reference map-walking engine: across all nine CVE case studies, in both
-// protection and enhancement modes, the two engines must produce the same
+// Differential tests pinning the three check engines to each other:
+// across all nine CVE case studies, in both protection and enhancement
+// modes, the threaded-code stream (the deployed default), the sealed
+// switch walker, and the pre-seal reference engine must produce the same
 // anomaly stream, the same warning stream, and the same counters. This is
-// the correctness argument for the sealed lowering — any divergence in
-// transition semantics, access control, or DSOD execution shows up here.
+// the correctness argument for both lowering layers — any divergence in
+// transition semantics, access control, DSOD execution, peephole fusion,
+// or step batching shows up here.
 package sedspec_test
 
 import (
@@ -44,10 +46,23 @@ func captureRun(chk *checker.Checker, err error) diffRun {
 	return run
 }
 
+// checkerEngines enumerates the three check engines the differentials pin
+// together: the threaded-code stream compiled at Seal time (the deployed
+// default), the sealed switch walker it replaced on the hot path, and the
+// pre-seal reference interpreter.
+var checkerEngines = []struct {
+	name string
+	opts []checker.Option
+}{
+	{"threaded", nil},
+	{"walker", []checker.Option{checker.WithThreadedDispatch(false)}},
+	{"reference", []checker.Option{checker.WithReferenceSimulation()}},
+}
+
 // replayPoC learns a spec from the PoC's training routine, protects the
 // device with the requested engine and mode, replays the exploit, and
 // captures the full observable checker state.
-func replayPoC(t *testing.T, p *cvesim.PoC, mode checker.Mode, reference bool) diffRun {
+func replayPoC(t *testing.T, p *cvesim.PoC, mode checker.Mode, engine []checker.Option) diffRun {
 	t.Helper()
 	m := machine.New(machine.WithMemory(1 << 20))
 	dev, aopts := p.Build()
@@ -57,9 +72,7 @@ func replayPoC(t *testing.T, p *cvesim.PoC, mode checker.Mode, reference bool) d
 		t.Fatalf("learn: %v", err)
 	}
 	opts := []checker.Option{checker.WithMode(mode), checker.WithBudget(200_000)}
-	if reference {
-		opts = append(opts, checker.WithReferenceSimulation())
-	}
+	opts = append(opts, engine...)
 	chk := sedspec.Protect(att, spec, opts...)
 	return captureRun(chk, p.Exploit(sedspec.NewDriver(att), m))
 }
@@ -83,35 +96,16 @@ func sameAnomaly(a, b *checker.Anomaly) bool {
 		a.Detail == b.Detail && a.Round == b.Round
 }
 
-// TestSealedReferenceDifferential replays every case study under both
-// engines and requires bit-identical observable behaviour.
-func TestSealedReferenceDifferential(t *testing.T) {
+// TestEngineDifferential replays every case study under all three engines
+// and requires bit-identical observable behaviour: the threaded run is the
+// baseline, and the walker and reference runs must match it exactly.
+func TestEngineDifferential(t *testing.T) {
 	for _, p := range cvesim.All() {
 		for _, mode := range []checker.Mode{checker.ModeProtection, checker.ModeEnhancement} {
 			t.Run(fmt.Sprintf("%s/%s", p.CVE, mode), func(t *testing.T) {
-				sealed := replayPoC(t, p, mode, false)
-				ref := replayPoC(t, p, mode, true)
-
-				if !sameAnomaly(sealed.anomaly, ref.anomaly) {
-					t.Errorf("blocking anomaly diverges:\n  sealed:    %s\n  reference: %s",
-						describeAnomaly(sealed.anomaly), describeAnomaly(ref.anomaly))
-				}
-				if sealed.err != ref.err {
-					t.Errorf("exploit error diverges: sealed %q, reference %q", sealed.err, ref.err)
-				}
-				if sealed.stats != ref.stats {
-					t.Errorf("stats diverge:\n  sealed:    %+v\n  reference: %+v",
-						sealed.stats, ref.stats)
-				}
-				if len(sealed.warnings) != len(ref.warnings) {
-					t.Fatalf("warning streams diverge: sealed %d, reference %d",
-						len(sealed.warnings), len(ref.warnings))
-				}
-				for i := range sealed.warnings {
-					if !sameAnomaly(&sealed.warnings[i], &ref.warnings[i]) {
-						t.Errorf("warning %d diverges:\n  sealed:    %s\n  reference: %s",
-							i, describeAnomaly(&sealed.warnings[i]), describeAnomaly(&ref.warnings[i]))
-					}
+				baseline := replayPoC(t, p, mode, checkerEngines[0].opts)
+				for _, eng := range checkerEngines[1:] {
+					assertSameRun(t, eng.name, replayPoC(t, p, mode, eng.opts), baseline)
 				}
 			})
 		}
@@ -173,12 +167,19 @@ func TestConcurrentSessionsDifferential(t *testing.T) {
 
 				// N parallel sessions drawing per-session checkers from one
 				// shared engine, each exploited concurrently on its own
-				// machine.
+				// machine. Engines are mixed per session — even sessions run
+				// the threaded stream, odd ones the switch walker — so the
+				// two sealed engines are raced against each other over the
+				// same shared spec version.
 				sh := sedspec.NewSharedChecker(spec, opts...)
 				pool := machine.NewPool(n, p.Build, machine.WithMemory(1<<20))
 				chks := make([]*checker.Checker, n)
 				for i, s := range pool.Sessions() {
-					chks[i] = sedspec.ProtectShared(s.Attached(), sh)
+					var eng []checker.Option
+					if i%2 == 1 {
+						eng = []checker.Option{checker.WithThreadedDispatch(false)}
+					}
+					chks[i] = sedspec.ProtectShared(s.Attached(), sh, eng...)
 				}
 				runs := make([]diffRun, n)
 				if err := pool.Run(func(s *machine.Session) error {
@@ -218,13 +219,13 @@ func TestConcurrentSessionsDifferential(t *testing.T) {
 	}
 }
 
-// TestSealedReferenceDifferentialBenign replays each training routine
-// under protection with both engines: both must stay silent and count the
+// TestEngineDifferentialBenign replays each training routine under
+// protection with all three engines: each must stay silent and count the
 // same simulation work.
-func TestSealedReferenceDifferentialBenign(t *testing.T) {
+func TestEngineDifferentialBenign(t *testing.T) {
 	for _, p := range cvesim.All() {
 		t.Run(p.CVE, func(t *testing.T) {
-			run := func(reference bool) checker.Stats {
+			run := func(engine []checker.Option) checker.Stats {
 				m := machine.New(machine.WithMemory(1 << 20))
 				dev, aopts := p.Build()
 				att := m.Attach(dev, aopts...)
@@ -233,9 +234,7 @@ func TestSealedReferenceDifferentialBenign(t *testing.T) {
 					t.Fatalf("learn: %v", err)
 				}
 				opts := []checker.Option{checker.WithBudget(200_000)}
-				if reference {
-					opts = append(opts, checker.WithReferenceSimulation())
-				}
+				opts = append(opts, engine...)
 				chk := sedspec.Protect(att, spec, opts...)
 				if err := p.Train(sedspec.NewDriver(att)); err != nil {
 					t.Fatalf("benign replay: %v", err)
@@ -243,12 +242,14 @@ func TestSealedReferenceDifferentialBenign(t *testing.T) {
 				_ = m
 				return chk.Stats()
 			}
-			sealed, ref := run(false), run(true)
-			if sealed != ref {
-				t.Errorf("benign stats diverge:\n  sealed:    %+v\n  reference: %+v", sealed, ref)
+			baseline := run(checkerEngines[0].opts)
+			if baseline.ParamAnomalies+baseline.IndirectAnomalies+baseline.CondAnomalies != 0 {
+				t.Errorf("benign replay raised anomalies: %+v", baseline)
 			}
-			if sealed.ParamAnomalies+sealed.IndirectAnomalies+sealed.CondAnomalies != 0 {
-				t.Errorf("benign replay raised anomalies: %+v", sealed)
+			for _, eng := range checkerEngines[1:] {
+				if got := run(eng.opts); got != baseline {
+					t.Errorf("benign stats diverge:\n  threaded: %+v\n  %s: %+v", baseline, eng.name, got)
+				}
 			}
 		})
 	}

@@ -78,8 +78,8 @@ func NewCheckerReplay(t *Target, ops int) (*CheckerReplay, error) {
 	}
 
 	r := &CheckerReplay{Target: t, Spec: spec, Reqs: rec.reqs, att: att, start: start}
-	for _, reference := range []bool{false, true} {
-		if err := r.validate(reference); err != nil {
+	for _, engine := range []string{"threaded", "switch", "reference"} {
+		if err := r.validate(engine); err != nil {
 			return nil, err
 		}
 	}
@@ -128,22 +128,26 @@ func (r *CheckerReplay) CloneReqs() []*interp.Request {
 	return out
 }
 
-// validate replays two full cycles and fails on any anomaly.
-func (r *CheckerReplay) validate(reference bool) error {
+// validate replays two full cycles through one of the three engines
+// ("threaded", "switch", "reference") and fails on any anomaly.
+func (r *CheckerReplay) validate(engine string) error {
 	var opts []checker.Option
-	if reference {
+	switch engine {
+	case "reference":
 		opts = append(opts, checker.WithReferenceSimulation())
+	case "switch":
+		opts = append(opts, checker.WithThreadedDispatch(false))
 	}
 	chk := r.NewChecker(opts...)
 	for i := 0; i < 2*len(r.Reqs); i++ {
 		if err := r.Step(chk, i); err != nil {
-			return fmt.Errorf("bench: %s replay (reference=%v) request %d: %w",
-				r.Target.Name, reference, i%len(r.Reqs), err)
+			return fmt.Errorf("bench: %s replay (%s engine) request %d: %w",
+				r.Target.Name, engine, i%len(r.Reqs), err)
 		}
 	}
 	if st := chk.Stats(); st.ParamAnomalies+st.IndirectAnomalies+st.CondAnomalies != 0 {
-		return fmt.Errorf("bench: %s replay (reference=%v): captured stream raised anomalies: %+v",
-			r.Target.Name, reference, st)
+		return fmt.Errorf("bench: %s replay (%s engine): captured stream raised anomalies: %+v",
+			r.Target.Name, engine, st)
 	}
 	return nil
 }
@@ -195,20 +199,51 @@ const checkerBenchChunks = 32
 // per-I/O simulation cost under both engines. Both checkers are warmed
 // for a full cycle (growing frame and temp stacks to steady state), then
 // iters rounds per engine are timed as checkerBenchChunks interleaved
-// baseline/sealed chunk pairs whose times are summed per engine.
+// baseline/sealed chunk pairs whose times are summed per engine. The
+// sealed side is pinned to the switch walker so the row keeps measuring
+// what it always has; DispatchOverhead covers walker versus threaded.
 func CheckerOverhead(t *Target, ops, iters int) (*CheckerBenchRow, error) {
 	r, err := NewCheckerReplay(t, ops)
 	if err != nil {
 		return nil, err
 	}
 	chkBase := r.NewChecker(checker.WithReferenceSimulation())
-	chkSealed := r.NewChecker()
+	chkSealed := r.NewChecker(checker.WithThreadedDispatch(false))
+	baseNs, sealedNs, allocs, err := r.timePair(chkBase, chkSealed, iters)
+	if err != nil {
+		return nil, err
+	}
+	return &CheckerBenchRow{
+		Device:            t.Name,
+		Requests:          len(r.Reqs),
+		Iters:             iters,
+		BaselineNsPerOp:   baseNs,
+		SealedNsPerOp:     sealedNs,
+		SpeedupPct:        100 * (baseNs - sealedNs) / baseNs,
+		SealedAllocsPerOp: allocs,
+	}, nil
+}
+
+// timePair warms two checkers over one full cycle each, then times iters
+// replay rounds per checker as checkerBenchChunks interleaved chunk
+// pairs. It returns each side's ns/op plus the second checker's
+// steady-state allocation rate.
+//
+// The allocation rate is the minimum per-chunk rate, not the mean: the
+// Go runtime allocates in the background on its own schedule (scavenger
+// timers, GC worker goroutines), and those strays land in the process-
+// wide malloc counter a chunk measurement reads. An engine that really
+// allocates on the check path does so in every chunk, so the minimum
+// reports true steady-state traffic while discounting one-off background
+// noise — this is what kept BENCH_checker.json's alloc column at values
+// like 1e-6 instead of a clean zero.
+func (r *CheckerReplay) timePair(chkA, chkB *checker.Checker, iters int) (aNs, bNs, bAllocs float64, err error) {
 	for i := 0; i < len(r.Reqs); i++ {
-		if err := r.Step(chkBase, i); err != nil {
-			return nil, err
+		if err := r.Step(chkA, i); err != nil {
+			return 0, 0, 0, err
 		}
-		if err := r.Step(chkSealed, i); err != nil {
-			return nil, err
+		if err := r.Step(chkB, i); err != nil {
+			return 0, 0, 0, err
 		}
 	}
 
@@ -219,8 +254,8 @@ func CheckerOverhead(t *Target, ops, iters int) (*CheckerBenchRow, error) {
 	if chunk < 1 {
 		chunk = 1
 	}
-	var baseNs, sealedNs time.Duration
-	var sealedMallocs uint64
+	var aTot, bTot time.Duration
+	minRate := -1.0
 	done := 0
 	runtime.GC()
 	for done < iters {
@@ -228,32 +263,81 @@ func CheckerOverhead(t *Target, ops, iters int) (*CheckerBenchRow, error) {
 		if iters-done < n {
 			n = iters - done
 		}
-		b, _, err := r.timeChunk(chkBase, done, n)
+		a, _, err := r.timeChunk(chkA, done, n)
 		if err != nil {
-			return nil, err
+			return 0, 0, 0, err
 		}
-		s, m, err := r.timeChunk(chkSealed, done, n)
+		b, m, err := r.timeChunk(chkB, done, n)
 		if err != nil {
-			return nil, err
+			return 0, 0, 0, err
 		}
-		baseNs += b
-		sealedNs += s
-		sealedMallocs += m
+		aTot += a
+		bTot += b
+		if rate := float64(m) / float64(n); minRate < 0 || rate < minRate {
+			minRate = rate
+		}
 		done += n
 	}
+	if minRate < 0 {
+		minRate = 0
+	}
+	return float64(aTot.Nanoseconds()) / float64(iters),
+		float64(bTot.Nanoseconds()) / float64(iters), minRate, nil
+}
 
-	base := float64(baseNs.Nanoseconds()) / float64(iters)
-	sealed := float64(sealedNs.Nanoseconds()) / float64(iters)
-	allocs := float64(sealedMallocs) / float64(iters)
-	return &CheckerBenchRow{
-		Device:            t.Name,
-		Requests:          len(r.Reqs),
-		Iters:             iters,
-		BaselineNsPerOp:   base,
-		SealedNsPerOp:     sealed,
-		SpeedupPct:        100 * (base - sealed) / base,
-		SealedAllocsPerOp: allocs,
+// DispatchBenchRow is one device's dispatch-engine comparison: the sealed
+// switch walker against the threaded-code engine over the same captured
+// stream, plus the threaded engine's steady-state allocation rate and the
+// stream's fusion statistics from the lowering report.
+type DispatchBenchRow struct {
+	Device              string  `json:"device"`
+	Requests            int     `json:"requests"`
+	Iters               int     `json:"iters"`
+	SwitchNsPerOp       float64 `json:"switch_ns_per_op"`
+	ThreadedNsPerOp     float64 `json:"threaded_ns_per_op"`
+	SpeedupPct          float64 `json:"speedup_pct"` // (switch-threaded)/switch
+	ThreadedAllocsPerOp float64 `json:"threaded_allocs_per_op"`
+	FusedPairs          int     `json:"fused_pairs"`
+	FusedDensity        float64 `json:"fused_density"`
+}
+
+// DispatchOverhead measures the switch walker against the threaded-code
+// engine on one device, interleaving timed chunks like CheckerOverhead so
+// both engines see the same machine noise.
+func DispatchOverhead(t *Target, ops, iters int) (*DispatchBenchRow, error) {
+	r, err := NewCheckerReplay(t, ops)
+	if err != nil {
+		return nil, err
+	}
+	chkSwitch := r.NewChecker(checker.WithThreadedDispatch(false))
+	chkThreaded := r.NewChecker()
+	switchNs, threadedNs, allocs, err := r.timePair(chkSwitch, chkThreaded, iters)
+	if err != nil {
+		return nil, err
+	}
+	rep := r.Spec.Seal().Threaded().Report
+	return &DispatchBenchRow{
+		Device:              t.Name,
+		Requests:            len(r.Reqs),
+		Iters:               iters,
+		SwitchNsPerOp:       switchNs,
+		ThreadedNsPerOp:     threadedNs,
+		SpeedupPct:          100 * (switchNs - threadedNs) / switchNs,
+		ThreadedAllocsPerOp: allocs,
+		FusedPairs:          rep.FusedPairs(),
+		FusedDensity:        rep.FusedDensity(),
 	}, nil
+}
+
+// WriteDispatchJSON emits the dispatch comparison rows as indented JSON
+// (BENCH_dispatch.json).
+func WriteDispatchJSON(w io.Writer, rows []*DispatchBenchRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Benchmark string              `json:"benchmark"`
+		Rows      []*DispatchBenchRow `json:"rows"`
+	}{Benchmark: "checker_dispatch", Rows: rows})
 }
 
 // WriteCheckerJSON emits the measurement rows as indented JSON

@@ -273,6 +273,22 @@ type Checker struct {
 
 	needResync bool
 	useRef     bool
+	// useWalker pins the sealed switch walker as the dispatch engine
+	// (WithThreadedDispatch(false)); by default the sealed spec's compiled
+	// threaded stream drives the hot loop instead.
+	useWalker bool
+	// tprog is the threaded-code engine for the adopted sealed spec: the
+	// per-version compiled instruction stream with handlers bound. Nil
+	// under WithThreadedDispatch(false) or WithReferenceSimulation.
+	tprog *threadedProg
+	// Threaded-engine round state: the in-flight request, batched step
+	// total, parked anomaly, and the current frame's temp/flag banks
+	// (cached off the frame so op handlers skip a frame load).
+	treq   *interp.Request
+	tsteps int
+	tanom  *Anomaly
+	ttemps []uint64
+	tflags []interp.Flags
 	// warnMu guards warnings and audit. It is taken only on the
 	// warning-append path (anomalous rounds) and by readers; the
 	// steady-state check path never touches it.
@@ -433,6 +449,14 @@ func WithReferenceSimulation() Option {
 	return func(c *Checker) { c.useRef = true }
 }
 
+// WithThreadedDispatch selects between the threaded-code engine (true,
+// the default) and the sealed switch walker (false). The walker is kept
+// as the differential baseline; both run the same sealed spec and emit
+// identical anomaly streams.
+func WithThreadedDispatch(on bool) Option {
+	return func(c *Checker) { c.useWalker = !on }
+}
+
 // WithRecorder installs an explicit flight recorder, overriding the
 // auto-created one. WithRecorder(nil) disables recording entirely (the
 // overhead-guard baseline; production keeps the recorder on).
@@ -509,6 +533,9 @@ func New(spec *core.Spec, initial *interp.State, opts ...Option) *Checker {
 		sp := span.Default().Start("seal", span.Device(spec.Device), span.Gen(c.specGen))
 		c.sealed = spec.Seal()
 		sp.End()
+		if !c.useWalker {
+			c.tprog = buildThreaded(c.sealed)
+		}
 	}
 	if !c.covOff && c.sealed != nil {
 		c.cov = coverage.NewMap(c.sealed.NumBlocks(), c.sealed.NumEdges())
@@ -724,6 +751,11 @@ func (c *Checker) adopt(v *specVersion) {
 	c.entryTemps = v.entryTemps
 	c.entryRef = v.entryRef
 	c.specGen = v.gen
+	if c.useWalker {
+		c.tprog = nil
+	} else {
+		c.tprog = v.tprog
+	}
 	if !c.covOff {
 		// Adoption happens at a round boundary on the session's goroutine:
 		// publish the retiring generation's pending counts now, since the

@@ -110,34 +110,34 @@ func (c *Checker) execDSODSealed(f *simFrame, dsod []core.SealedOp, ref ir.Block
 			temps[op.Dst] = v
 			flags[op.Dst] = fl
 		case ir.OpStore:
-			if a := c.checkIntStore(ref, op, f); a != nil {
+			if a := c.checkIntStore(ref, op, flags); a != nil {
 				return false, a
 			}
 			c.shadow.SetInt(op.Field, temps[op.Src])
 		case ir.OpStoreFunc:
 			c.shadow.SetFuncPtr(op.Field, temps[op.Src])
 		case ir.OpBufLoad:
-			v, a := c.bufAccess(ref, op, d.ParamIndexed, f, temps[op.Idx], 0, 0, false)
+			v, a := c.bufAccess(ref, op, d.ParamIndexed, temps[op.Idx], 0, 0, false)
 			if a != nil {
 				return false, a
 			}
 			temps[op.Dst] = v
 			flags[op.Dst] = interp.Flags{}
 		case ir.OpBufStore:
-			if _, a := c.bufAccess(ref, op, d.ParamIndexed, f, temps[op.Idx], 0, byte(temps[op.Src]), true); a != nil {
+			if _, a := c.bufAccess(ref, op, d.ParamIndexed, temps[op.Idx], 0, byte(temps[op.Src]), true); a != nil {
 				return false, a
 			}
 		case ir.OpIOToBuf:
-			if a := c.checkCopyRange(ref, op, d.ParamIndexed, f); a != nil {
+			if a := c.checkCopyRange(ref, op, d.ParamIndexed, temps); a != nil {
 				return false, a
 			}
 			req.Skip(int(temps[op.B] & 0xFFFF_FFFF))
 		case ir.OpDMAToBuf:
 			// See execDSOD: inbound DMA is performed against the shadow.
-			if a := c.checkCopyRange(ref, op, d.ParamIndexed, f); a != nil {
+			if a := c.checkCopyRange(ref, op, d.ParamIndexed, temps); a != nil {
 				return false, a
 			}
-			if a := c.dmaToShadow(ref, op, d.ParamIndexed, f); a != nil {
+			if a := c.dmaToShadow(ref, op, d.ParamIndexed, temps); a != nil {
 				return false, a
 			}
 			if len(c.frames) == 0 {
@@ -145,7 +145,7 @@ func (c *Checker) execDSODSealed(f *simFrame, dsod []core.SealedOp, ref ir.Block
 			}
 		case ir.OpDMAFromBuf:
 			// See execDSOD: outbound DMA is bounds-checked, never performed.
-			if a := c.checkCopyRange(ref, op, d.ParamIndexed, f); a != nil {
+			if a := c.checkCopyRange(ref, op, d.ParamIndexed, temps); a != nil {
 				return false, a
 			}
 		case ir.OpDMARead:

@@ -26,6 +26,11 @@ type specVersion struct {
 	prog       *ir.Program
 	entryTemps int
 	entryRef   ir.BlockRef
+	// tprog is the version's threaded-code stream with handlers bound.
+	// Compiled once at publication and immutable afterwards — like the
+	// sealed spec itself — so RCU adoption is a pointer assignment and
+	// every session dispatches over the same shared stream.
+	tprog *threadedProg
 }
 
 // newSpecVersion seals a spec into a publishable version.
@@ -43,6 +48,7 @@ func newSpecVersion(spec *core.Spec, gen uint64) *specVersion {
 		v.entryTemps = v.prog.Handlers[es.Ref.Handler].NumTemps
 		v.entryRef = es.Ref
 	}
+	v.tprog = buildThreaded(sealed)
 	return v
 }
 
@@ -115,6 +121,11 @@ type Shared struct {
 	// spec generation (counter index spaces are per-generation).
 	covOff     bool
 	retiredCov map[uint64]*coverage.Snapshot
+
+	// useWalker is the engine-wide dispatch default sessions inherit
+	// (WithThreadedDispatch on the Shared constructor); individual
+	// sessions may still override it.
+	useWalker bool
 }
 
 // scratch is one session's recyclable simulation storage: the frame stack
@@ -151,6 +162,7 @@ func NewShared(spec *core.Spec, opts ...Option) *Shared {
 		reg:           tmpl.obsReg,
 		traceDepth:    tmpl.traceDepth,
 		covOff:        tmpl.covOff,
+		useWalker:     tmpl.useWalker,
 		retiredCov:    make(map[uint64]*coverage.Snapshot),
 	}
 	if s.reg == nil {
@@ -292,11 +304,15 @@ func (s *Shared) NewSession(initial *interp.State, opts ...Option) *Checker {
 		entryRef:      v.entryRef,
 	}
 	c.covOff = s.covOff
+	c.useWalker = s.useWalker
 	for _, o := range opts {
 		o(c)
 	}
 	if c.useRef {
 		panic("checker: WithReferenceSimulation is incompatible with a shared engine")
+	}
+	if !c.useWalker {
+		c.tprog = v.tprog
 	}
 	if c.env == nil {
 		c.env = interp.NopEnv()

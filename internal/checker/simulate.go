@@ -29,6 +29,9 @@ import (
 // so a later enabled strategy can still catch the consequence — exactly
 // how the paper's per-strategy case studies work.
 func (c *Checker) simulate(req *interp.Request) *Anomaly {
+	if c.tprog != nil {
+		return c.simulateThreaded(req)
+	}
 	if c.sealed != nil {
 		return c.simulateSealed(req)
 	}
@@ -207,25 +210,25 @@ func (c *Checker) execDSOD(f *simFrame, dsod []core.DSODOp, ref ir.BlockRef, req
 			f.temps[op.Dst] = v
 			f.flags[op.Dst] = fl
 		case ir.OpStore:
-			if a := c.checkIntStore(ref, op, f); a != nil {
+			if a := c.checkIntStore(ref, op, f.flags); a != nil {
 				return false, a
 			}
 			c.shadow.SetInt(op.Field, f.temps[op.Src])
 		case ir.OpStoreFunc:
 			c.shadow.SetFuncPtr(op.Field, f.temps[op.Src])
 		case ir.OpBufLoad:
-			v, a := c.bufAccess(ref, op, d.ParamIndexed, f, f.temps[op.Idx], 0, 0, false)
+			v, a := c.bufAccess(ref, op, d.ParamIndexed, f.temps[op.Idx], 0, 0, false)
 			if a != nil {
 				return false, a
 			}
 			f.temps[op.Dst] = v
 			f.flags[op.Dst] = interp.Flags{}
 		case ir.OpBufStore:
-			if _, a := c.bufAccess(ref, op, d.ParamIndexed, f, f.temps[op.Idx], 0, byte(f.temps[op.Src]), true); a != nil {
+			if _, a := c.bufAccess(ref, op, d.ParamIndexed, f.temps[op.Idx], 0, byte(f.temps[op.Src]), true); a != nil {
 				return false, a
 			}
 		case ir.OpIOToBuf:
-			if a := c.checkCopyRange(ref, op, d.ParamIndexed, f); a != nil {
+			if a := c.checkCopyRange(ref, op, d.ParamIndexed, f.temps); a != nil {
 				return false, a
 			}
 			req.Skip(int(f.temps[op.B] & 0xFFFF_FFFF))
@@ -236,10 +239,10 @@ func (c *Checker) execDSOD(f *simFrame, dsod []core.DSODOp, ref ir.BlockRef, req
 			// control-flow decisions, so the shadow must hold the real
 			// content — and unchecked overflows must corrupt the shadow
 			// the way they corrupt the device.
-			if a := c.checkCopyRange(ref, op, d.ParamIndexed, f); a != nil {
+			if a := c.checkCopyRange(ref, op, d.ParamIndexed, f.temps); a != nil {
 				return false, a
 			}
-			if a := c.dmaToShadow(ref, op, d.ParamIndexed, f); a != nil {
+			if a := c.dmaToShadow(ref, op, d.ParamIndexed, f.temps); a != nil {
 				return false, a
 			}
 			if len(c.frames) == 0 {
@@ -249,7 +252,7 @@ func (c *Checker) execDSOD(f *simFrame, dsod []core.DSODOp, ref ir.BlockRef, req
 			// Outbound DMA is guest-visible: bounds-check only, never
 			// performed. This asymmetry is the reduction that keeps the
 			// checker cheap on read-heavy workloads.
-			if a := c.checkCopyRange(ref, op, d.ParamIndexed, f); a != nil {
+			if a := c.checkCopyRange(ref, op, d.ParamIndexed, f.temps); a != nil {
 				return false, a
 			}
 		case ir.OpDMARead:
@@ -350,12 +353,12 @@ func (c *Checker) execDSOD(f *simFrame, dsod []core.DSODOp, ref ir.BlockRef, req
 // storing a value whose defining arithmetic overflowed for the parameter's
 // signedness, or that exceeds the field's representable range, is an
 // anomaly (paper §VI-A, UBSan-style type metadata plus flag bits).
-func (c *Checker) checkIntStore(ref ir.BlockRef, op *ir.Op, f *simFrame) *Anomaly {
+func (c *Checker) checkIntStore(ref ir.BlockRef, op *ir.Op, flags []interp.Flags) *Anomaly {
 	if !c.enabled[StrategyParameter] || !c.paramField(op.Field) {
 		return nil
 	}
 	fld := &c.prog.Fields[op.Field]
-	if f.flags[op.Src].OverflowFor(fld.Signed) {
+	if flags[op.Src].OverflowFor(fld.Signed) {
 		kind := "unsigned"
 		if fld.Signed {
 			kind = "signed"
@@ -370,7 +373,7 @@ func (c *Checker) checkIntStore(ref ir.BlockRef, op *ir.Op, f *simFrame) *Anomal
 // only when the access is indexed by a device-state parameter, per the
 // paper — and otherwise mirrors the device's C semantics on the shadow
 // arena, so downstream strategies see the corruption.
-func (c *Checker) bufAccess(ref ir.BlockRef, op *ir.Op, paramIndexed bool, f *simFrame, rawIdx uint64, delta int64, v byte, write bool) (uint64, *Anomaly) {
+func (c *Checker) bufAccess(ref ir.BlockRef, op *ir.Op, paramIndexed bool, rawIdx uint64, delta int64, v byte, write bool) (uint64, *Anomaly) {
 	fld := &c.prog.Fields[op.Field]
 	var idx int64
 	if op.Signed {
@@ -405,18 +408,18 @@ func (c *Checker) bufAccess(ref ir.BlockRef, op *ir.Op, paramIndexed bool, f *si
 // dmaToShadow copies guest memory into the shadow buffer with the
 // device's C semantics (neighbour corruption inside the arena, stop at the
 // arena edge).
-func (c *Checker) dmaToShadow(ref ir.BlockRef, op *ir.Op, paramIndexed bool, f *simFrame) *Anomaly {
-	n := int(f.temps[op.B] & 0xFFFF_FFFF)
-	addr := f.temps[op.A]
+func (c *Checker) dmaToShadow(ref ir.BlockRef, op *ir.Op, paramIndexed bool, temps []uint64) *Anomaly {
+	n := int(temps[op.B] & 0xFFFF_FFFF)
+	addr := temps[op.A]
 
 	// Fast path: the whole span is inside the buffer — one bulk read into
 	// the shadow, mirroring the device's memcpy.
 	fld := &c.prog.Fields[op.Field]
 	var sidx int64
 	if op.Signed {
-		sidx = op.Width.SignExtend(f.temps[op.Idx])
+		sidx = op.Width.SignExtend(temps[op.Idx])
 	} else {
-		sidx = int64(f.temps[op.Idx] & op.Width.Mask())
+		sidx = int64(temps[op.Idx] & op.Width.Mask())
 	}
 	if sidx >= 0 && n >= 0 && sidx+int64(n) <= int64(fld.Size) {
 		off := fld.Offset + int(sidx)
@@ -445,7 +448,7 @@ func (c *Checker) dmaToShadow(ref ir.BlockRef, op *ir.Op, paramIndexed bool, f *
 			return nil
 		}
 		for i := 0; i < cl; i++ {
-			if _, a := c.bufAccess(ref, op, paramIndexed, f, f.temps[op.Idx], int64(copied+i), chunk[i], true); a != nil {
+			if _, a := c.bufAccess(ref, op, paramIndexed, temps[op.Idx], int64(copied+i), chunk[i], true); a != nil {
 				return a
 			}
 			if len(c.frames) == 0 {
@@ -460,17 +463,17 @@ func (c *Checker) dmaToShadow(ref ir.BlockRef, op *ir.Op, paramIndexed bool, f *
 // checkCopyRange bounds-checks a bulk copy's buffer range (either
 // direction) against the buffer's size — again only when the range derives
 // from device-state parameters.
-func (c *Checker) checkCopyRange(ref ir.BlockRef, op *ir.Op, paramIndexed bool, f *simFrame) *Anomaly {
+func (c *Checker) checkCopyRange(ref ir.BlockRef, op *ir.Op, paramIndexed bool, temps []uint64) *Anomaly {
 	if !c.enabled[StrategyParameter] || !paramIndexed {
 		return nil
 	}
 	fld := &c.prog.Fields[op.Field]
-	n := int64(f.temps[op.B] & 0xFFFF_FFFF)
+	n := int64(temps[op.B] & 0xFFFF_FFFF)
 	var idx int64
 	if op.Signed {
-		idx = op.Width.SignExtend(f.temps[op.Idx])
+		idx = op.Width.SignExtend(temps[op.Idx])
 	} else {
-		idx = int64(f.temps[op.Idx] & op.Width.Mask())
+		idx = int64(temps[op.Idx] & op.Width.Mask())
 	}
 	if idx < 0 || n < 0 || idx+n > int64(fld.Size) {
 		return c.anomaly(StrategyParameter, ref, op.Src0,

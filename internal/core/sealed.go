@@ -186,6 +186,12 @@ type SealedSpec struct {
 	// visits[id] is block id's training visit count, the learn-time
 	// coverage baseline recorded at Seal.
 	visits []uint64
+
+	// threaded is the compiled threaded-code stream (threaded.go), lowered
+	// from the final sealed structures at Seal time. It shares the sealed
+	// spec's immutability contract and travels with it through RCU
+	// hot-swaps as part of the published spec-version object.
+	threaded *ThreadedCode
 }
 
 // Seal lowers the specification into its dense runtime form. The result
@@ -376,6 +382,9 @@ func (s *Spec) Seal() *SealedSpec {
 		// spec: the mutable Spec validated its own structure when built.
 		panic("core: Seal produced an inconsistent sealed spec: " + err.Error())
 	}
+	// Lower the verified sealed form into its threaded-code stream; the
+	// invariants above are exactly what the lowering pass dereferences.
+	ss.threaded = ss.lowerThreaded()
 	return ss
 }
 

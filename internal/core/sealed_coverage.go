@@ -30,10 +30,20 @@ func (s *SealedSpec) CoverageProfile(gen uint64, snap *coverage.Snapshot) *cover
 		blockHits[to] += snap.Edges[e]
 	}
 
+	rep := &s.Threaded().Report
 	p := &coverage.Profile{
 		Device:     s.Device,
 		Generation: gen,
 		Rounds:     blockHits[s.Entry],
+		Lowering: &coverage.LoweringCov{
+			Ops:        rep.Ops,
+			Instrs:     rep.Instrs,
+			Elided:     rep.Elided,
+			FusedPairs: rep.FusedPairs(),
+			FusedOps:   rep.FusedOps(),
+			Density:    rep.FusedDensity(),
+			Pairs:      rep.PatternCounts(),
+		},
 	}
 
 	refOf := func(id int32) (handler, block int) {

@@ -29,32 +29,47 @@ func (f Flags) OverflowFor(signed bool) bool {
 // division or modulo by zero; the result is then zero and flags are clear,
 // and the caller decides how to fault.
 func ALUExec(alu ir.ALU, a, b uint64, w ir.Width, signed bool) (res uint64, fl Flags, divZero bool) {
-	mask := w.Mask()
+	return ALUExecPre(alu, a, b, w.Mask(), uint(w.Bits()), signed)
+}
+
+// ALUExecPre is ALUExec with the width pre-resolved: mask must be
+// w.Mask() and bits w.Bits(). The ES-Checker's threaded engine compiles
+// both into instruction immediates at Seal time so the hot path never
+// re-derives them; the results are bit-for-bit those of ALUExec. Sign
+// extension uses the xor trick: for v truncated to the width,
+// (v ^ signBit) - signBit is the sign-extended value at every width
+// including 64 bits.
+func ALUExecPre(alu ir.ALU, a, b, mask uint64, bits uint, signed bool) (res uint64, fl Flags, divZero bool) {
 	a &= mask
 	b &= mask
-	bits := uint(w.Bits())
+	signBit := uint64(1) << (bits - 1)
 
 	switch alu {
 	case ir.ALUAdd:
 		full := a + b
 		res = full & mask
-		fl.Carry = full > mask || (w == ir.W64 && full < a)
-		sa, sb, sr := w.SignExtend(a), w.SignExtend(b), w.SignExtend(res)
+		fl.Carry = full > mask || (mask == ^uint64(0) && full < a)
+		sa := int64((a ^ signBit) - signBit)
+		sb := int64((b ^ signBit) - signBit)
+		sr := int64((res ^ signBit) - signBit)
 		fl.Overflow = (sa >= 0) == (sb >= 0) && (sr >= 0) != (sa >= 0)
 	case ir.ALUSub:
 		res = (a - b) & mask
 		fl.Carry = a < b
-		sa, sb, sr := w.SignExtend(a), w.SignExtend(b), w.SignExtend(res)
+		sa := int64((a ^ signBit) - signBit)
+		sb := int64((b ^ signBit) - signBit)
+		sr := int64((res ^ signBit) - signBit)
 		fl.Overflow = (sa >= 0) != (sb >= 0) && (sr >= 0) != (sa >= 0)
 	case ir.ALUMul:
 		hi, lo := mul64(a, b)
 		res = lo & mask
 		fl.Carry = hi != 0 || lo > mask
 		if signed {
-			sa, sb := w.SignExtend(a), w.SignExtend(b)
+			sa := int64((a ^ signBit) - signBit)
+			sb := int64((b ^ signBit) - signBit)
 			prod := sa * sb
 			fl.Overflow = (sa != 0 && prod/sa != sb) ||
-				prod > w.MaxSigned() || prod < w.MinSigned()
+				prod > int64(mask>>1) || prod < -int64(mask>>1)-1
 		} else {
 			fl.Overflow = fl.Carry
 		}
@@ -63,7 +78,9 @@ func ALUExec(alu ir.ALU, a, b uint64, w ir.Width, signed bool) (res uint64, fl F
 			return 0, Flags{}, true
 		}
 		if signed {
-			res = uint64(w.SignExtend(a)/w.SignExtend(b)) & mask
+			sa := int64((a ^ signBit) - signBit)
+			sb := int64((b ^ signBit) - signBit)
+			res = uint64(sa/sb) & mask
 		} else {
 			res = (a / b) & mask
 		}
@@ -72,7 +89,9 @@ func ALUExec(alu ir.ALU, a, b uint64, w ir.Width, signed bool) (res uint64, fl F
 			return 0, Flags{}, true
 		}
 		if signed {
-			res = uint64(w.SignExtend(a)%w.SignExtend(b)) & mask
+			sa := int64((a ^ signBit) - signBit)
+			sb := int64((b ^ signBit) - signBit)
+			res = uint64(sa%sb) & mask
 		} else {
 			res = (a % b) & mask
 		}
@@ -90,7 +109,7 @@ func ALUExec(alu ir.ALU, a, b uint64, w ir.Width, signed bool) (res uint64, fl F
 		} else {
 			full := a << sh
 			res = full & mask
-			fl.Carry = full>>bits != 0 || (w == ir.W64 && sh > 0 && a>>(64-sh) != 0)
+			fl.Carry = full>>bits != 0 || (mask == ^uint64(0) && sh > 0 && a>>(64-sh) != 0)
 		}
 	case ir.ALUShr:
 		sh := b & 63
@@ -98,7 +117,8 @@ func ALUExec(alu ir.ALU, a, b uint64, w ir.Width, signed bool) (res uint64, fl F
 			if sh >= uint64(bits) {
 				sh = uint64(bits) - 1
 			}
-			res = uint64(w.SignExtend(a)>>sh) & mask
+			sa := int64((a ^ signBit) - signBit)
+			res = uint64(sa>>sh) & mask
 		} else if sh >= uint64(bits) {
 			res = 0
 		} else {
@@ -107,7 +127,7 @@ func ALUExec(alu ir.ALU, a, b uint64, w ir.Width, signed bool) (res uint64, fl F
 	}
 
 	fl.Zero = res == 0
-	fl.Sign = res&(uint64(1)<<(bits-1)) != 0
+	fl.Sign = res&signBit != 0
 	return res, fl, false
 }
 

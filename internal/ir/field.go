@@ -34,18 +34,13 @@ const (
 
 // Bytes returns the storage size in bytes.
 func (w Width) Bytes() int {
-	switch w {
-	case W8:
-		return 1
-	case W16:
-		return 2
-	case W32:
-		return 4
-	case W64:
-		return 8
-	default:
+	// W8..W64 are 1..4, so the width is an exponent; the unsigned
+	// subtraction folds the below-range and above-range checks into one
+	// compare (w==0 wraps to the top).
+	if w-W8 > W64-W8 {
 		return 0
 	}
+	return 1 << (w - W8)
 }
 
 // Bits returns the width in bits.
@@ -70,12 +65,12 @@ func (w Width) MinSigned() int64 { return -int64(w.Mask()>>1) - 1 }
 
 // SignExtend interprets v (truncated to the width) as a signed value.
 func (w Width) SignExtend(v uint64) int64 {
+	// xor trick: for v truncated to the width, (v ^ signBit) - signBit is
+	// the sign-extended value — branch-free and valid at W64 too, where
+	// the subtraction wraps back to v.
 	v &= w.Mask()
 	signBit := uint64(1) << (w.Bits() - 1)
-	if w != W64 && v&signBit != 0 {
-		return int64(v | ^w.Mask())
-	}
-	return int64(v)
+	return int64((v ^ signBit) - signBit)
 }
 
 func (w Width) String() string {

@@ -67,8 +67,17 @@ func (r Rel) String() string {
 // Eval applies the relation to two raw values at the given width and
 // signedness.
 func (r Rel) Eval(a, b uint64, w Width, signed bool) bool {
+	return r.EvalMasked(a, b, w.Mask(), uint64(1)<<(w.Bits()-1), signed)
+}
+
+// EvalMasked is Eval with the width pre-resolved into its value mask and
+// sign bit, for callers (the threaded check engine) that compile widths
+// out of the hot path. mask must be w.Mask() and signBit
+// 1 << (w.Bits()-1); results are identical to Eval's.
+func (r Rel) EvalMasked(a, b, mask, signBit uint64, signed bool) bool {
 	if signed {
-		sa, sb := w.SignExtend(a), w.SignExtend(b)
+		sa := int64((a&mask ^ signBit) - signBit)
+		sb := int64((b&mask ^ signBit) - signBit)
 		switch r {
 		case RelEQ:
 			return sa == sb
@@ -85,7 +94,7 @@ func (r Rel) Eval(a, b uint64, w Width, signed bool) bool {
 		}
 		return false
 	}
-	ua, ub := a&w.Mask(), b&w.Mask()
+	ua, ub := a&mask, b&mask
 	switch r {
 	case RelEQ:
 		return ua == ub

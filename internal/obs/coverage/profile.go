@@ -35,17 +35,36 @@ type EdgeCov struct {
 	Hits        uint64 `json:"hits"`
 }
 
+// LoweringCov summarizes a generation's threaded-code lowering: how far
+// the peephole fuser compacted the DSOD op stream into fused
+// instructions. Ops is the walker-visible op count, Instrs the compiled
+// stream length, Elided the no-op ops folded into step counts, and Pairs
+// the per-pattern fusion histogram ("const+arith", "arith+branch", ...).
+// Density is FusedOps/Ops — the fraction of ops executed inside a fused
+// instruction.
+type LoweringCov struct {
+	Ops        int            `json:"ops"`
+	Instrs     int            `json:"instrs"`
+	Elided     int            `json:"elided,omitempty"`
+	FusedPairs int            `json:"fused_pairs"`
+	FusedOps   int            `json:"fused_ops"`
+	Density    float64        `json:"fused_density"`
+	Pairs      map[string]int `json:"pairs,omitempty"`
+}
+
 // Profile is a spec generation's full coverage picture: structure
-// (blocks, edges, commands) annotated with training and runtime counts.
+// (blocks, edges, commands) annotated with training and runtime counts,
+// plus the generation's threaded-code lowering statistics.
 // Rounds is the number of checked I/O rounds behind the runtime counts;
 // zero means the profile is structural only (no enforcement has run).
 type Profile struct {
-	Device     string     `json:"device"`
-	Generation uint64     `json:"generation"`
-	Rounds     uint64     `json:"rounds,omitempty"`
-	Blocks     []BlockCov `json:"blocks"`
-	Edges      []EdgeCov  `json:"edges"`
-	Commands   []uint64   `json:"commands,omitempty"`
+	Device     string       `json:"device"`
+	Generation uint64       `json:"generation"`
+	Rounds     uint64       `json:"rounds,omitempty"`
+	Blocks     []BlockCov   `json:"blocks"`
+	Edges      []EdgeCov    `json:"edges"`
+	Commands   []uint64     `json:"commands,omitempty"`
+	Lowering   *LoweringCov `json:"lowering,omitempty"`
 }
 
 type blockKey struct{ handler, block int }
@@ -100,11 +119,20 @@ type Drift struct {
 	// unhit under "from" — behavior the newer generation legalized and
 	// that traffic actually uses.
 	NewlyHotEdges []EdgeCov `json:"newly_hot_edges,omitempty"`
+
+	// Lowering drift: each generation's threaded-code fusion statistics,
+	// so a spec enhancement that degrades the compiled stream's density
+	// (new blocks lowering to unfusable op runs) is visible in the report.
+	FromLowering *LoweringCov `json:"from_lowering,omitempty"`
+	ToLowering   *LoweringCov `json:"to_lowering,omitempty"`
 }
 
 // Diff compares two profiles, from the older to the newer generation.
 func Diff(from, to *Profile) *Drift {
-	d := &Drift{Device: to.Device, FromGen: from.Generation, ToGen: to.Generation}
+	d := &Drift{
+		Device: to.Device, FromGen: from.Generation, ToGen: to.Generation,
+		FromLowering: from.Lowering, ToLowering: to.Lowering,
+	}
 
 	fromBlocks := make(map[blockKey]BlockCov, len(from.Blocks))
 	for _, b := range from.Blocks {
@@ -243,6 +271,14 @@ func (d *Drift) WriteTable(w io.Writer) error {
 		len(d.EdgesAdded), len(d.EdgesRemoved),
 		len(d.CommandsAdded), len(d.CommandsRemoved)); err != nil {
 		return err
+	}
+	if d.FromLowering != nil && d.ToLowering != nil {
+		if err := p("  fused density: %.2f -> %.2f  (pairs %d -> %d, ops %d -> %d)\n",
+			d.FromLowering.Density, d.ToLowering.Density,
+			d.FromLowering.FusedPairs, d.ToLowering.FusedPairs,
+			d.FromLowering.Ops, d.ToLowering.Ops); err != nil {
+			return err
+		}
 	}
 	for _, c := range d.CommandsAdded {
 		if err := p("  command added    %#x\n", c); err != nil {

@@ -326,6 +326,17 @@ func (r *Recorder) Ring() *Ring { return &r.ring }
 // goroutine while the session runs.
 func (r *Recorder) Snapshot() MetricsSnapshot {
 	m := MetricsSnapshot{Device: r.device}
+	// Read outcomes before cells: record commits the histogram cell first
+	// and the outcome second, so this read order guarantees every anomaly
+	// the snapshot counts also has its round counted — mid-run snapshots
+	// keep Rounds >= Anomalies no matter how the reads interleave with
+	// running sessions. (Reading cells first leaves a window where a
+	// just-committed anomaly shows up with no round.)
+	for s := 0; s < NumStrategies; s++ {
+		for v := 0; v < NumVerdicts; v++ {
+			m.Outcomes[s][v] = r.bank.outcomes[s][v].Load()
+		}
+	}
 	for i := range r.bank.cells {
 		for j := range r.bank.cells[i] {
 			n := r.bank.cells[i][j].Load()
@@ -335,11 +346,6 @@ func (r *Recorder) Snapshot() MetricsSnapshot {
 			m.Latency.Buckets[i] += n
 			m.Steps.Buckets[j] += n
 			m.Rounds += n
-		}
-	}
-	for s := 0; s < NumStrategies; s++ {
-		for v := 0; v < NumVerdicts; v++ {
-			m.Outcomes[s][v] = r.bank.outcomes[s][v].Load()
 		}
 	}
 	m.Outcomes[StrategyNone][VerdictOK] = m.Rounds - m.Anomalies()
