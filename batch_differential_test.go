@@ -1,0 +1,248 @@
+// Batched-delivery differentials: for every CVE case study the batched
+// check path (PreIOBatch) must be byte-identical to per-round delivery
+// (PreIO) in both modes, across engines and across batch sizes. The
+// exploit's request stream is captured once under live protection, then
+// replayed machine-less through fresh checkers sharing a frozen
+// environment, so the only variable between configurations is the
+// delivery path — any divergence in journal epochs, counter batching,
+// short-circuiting, or round numbering shows up as a stream or counter
+// mismatch.
+package sedspec_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sedspec"
+	"sedspec/internal/checker"
+	"sedspec/internal/core"
+	"sedspec/internal/cvesim"
+	"sedspec/internal/interp"
+	"sedspec/internal/machine"
+)
+
+// reqCapture records a deep copy of every request dispatched through an
+// attachment, without interfering with delivery.
+type reqCapture struct {
+	reqs []*interp.Request
+}
+
+func (r *reqCapture) PreIO(_ machine.Device, req *interp.Request) error {
+	cl := &interp.Request{Space: req.Space, Addr: req.Addr, Write: req.Write}
+	if len(req.Data) > 0 {
+		cl.Data = append([]byte(nil), req.Data...)
+	}
+	r.reqs = append(r.reqs, cl)
+	return nil
+}
+
+// capturedPoC is one PoC's frozen replay material: the learned spec, the
+// device control state at exploit start, the exploit's full request
+// stream, and the attachment whose machine holds the exploit's guest
+// memory (the checker environment for DMA reads during replay).
+type capturedPoC struct {
+	spec  *core.Spec
+	start *interp.State
+	reqs  []*interp.Request
+	att   *machine.Attached
+}
+
+// captureExploit learns the PoC's spec, snapshots the trained device
+// state, then runs the exploit under live protection with a capturing
+// interposer installed ahead of the checker, so the recorded stream is
+// exactly the request sequence the live checker saw — including the
+// blocked request itself. Capturing under protection (not bare, and not
+// warn-only enhancement) matters: the blocking anomaly halts the machine
+// at the first detection, freezing guest memory with the exploit's
+// malicious staging intact; a run that continues would let the device's
+// own writebacks overwrite it, and the replay environment would no
+// longer reproduce the anomaly. Both modes replay the same stream.
+func captureExploit(t *testing.T, p *cvesim.PoC) *capturedPoC {
+	t.Helper()
+	m := machine.New(machine.WithMemory(1 << 20))
+	dev, aopts := p.Build()
+	att := m.Attach(dev, aopts...)
+	spec, err := sedspec.Learn(att, p.Train)
+	if err != nil {
+		t.Fatalf("learn: %v", err)
+	}
+	start := att.Dev().State().Clone()
+	cap := &reqCapture{}
+	att.AddInterposer(cap)
+	sedspec.Protect(att, spec, checker.WithMode(checker.ModeProtection), checker.WithBudget(200_000))
+	// The exploit's outcome (blocked, halted, or ran out) is not the
+	// subject here; the captured stream is the deterministic input the
+	// replay configurations are pinned on.
+	_ = p.Exploit(sedspec.NewDriver(att), m)
+	if len(cap.reqs) == 0 {
+		t.Fatal("exploit dispatched no requests")
+	}
+	return &capturedPoC{spec: spec, start: start, reqs: cap.reqs, att: att}
+}
+
+func (c *capturedPoC) cloneReqs() []*interp.Request {
+	out := make([]*interp.Request, len(c.reqs))
+	for i, req := range c.reqs {
+		cl := &interp.Request{Space: req.Space, Addr: req.Addr, Write: req.Write}
+		if len(req.Data) > 0 {
+			cl.Data = append([]byte(nil), req.Data...)
+		}
+		out[i] = cl
+	}
+	return out
+}
+
+// streamRun is everything observable from one machine-less replay of a
+// captured stream: the ordered blocking-anomaly stream, the warning
+// stream, and the full counters.
+type streamRun struct {
+	blocked  []string
+	stats    checker.Stats
+	warnings []checker.Anomaly
+}
+
+// newReplayChecker builds a fresh checker for one replay configuration.
+// No halt hook is installed: replay continues past blocking anomalies so
+// every configuration processes the identical full stream.
+func newReplayChecker(c *capturedPoC, mode checker.Mode, engine []checker.Option) *checker.Checker {
+	opts := []checker.Option{
+		checker.WithMode(mode),
+		checker.WithBudget(200_000),
+		checker.WithEnv(c.att),
+	}
+	opts = append(opts, engine...)
+	return checker.New(c.spec, c.start, opts...)
+}
+
+// replayPerRound is the baseline delivery: one PreIO per request, with
+// the dispatcher's PostIO resync point emulated after each round.
+func replayPerRound(t *testing.T, c *capturedPoC, mode checker.Mode, engine []checker.Option) streamRun {
+	t.Helper()
+	chk := newReplayChecker(c, mode, engine)
+	var run streamRun
+	for _, req := range c.cloneReqs() {
+		if err := chk.PreIO(nil, req); err != nil {
+			var a *checker.Anomaly
+			if !errors.As(err, &a) {
+				t.Fatalf("non-anomaly block: %v", err)
+			}
+			run.blocked = append(run.blocked, describeAnomaly(a))
+		}
+		if chk.NeedsResync() {
+			chk.ResyncShadow(c.start)
+		}
+	}
+	run.stats = chk.Stats()
+	run.warnings = chk.Warnings()
+	return run
+}
+
+// replayBatched delivers the same stream through PreIOBatch in windows
+// of the given size, consuming checked prefixes and re-presenting the
+// tail after each short-circuit — exactly the dispatcher's protocol,
+// with the same emulated resync point between deliveries.
+func replayBatched(t *testing.T, c *capturedPoC, mode checker.Mode, engine []checker.Option, size int) streamRun {
+	t.Helper()
+	chk := newReplayChecker(c, mode, engine)
+	var run streamRun
+	stream := c.cloneReqs()
+	for i := 0; i < len(stream); {
+		end := i + size
+		if end > len(stream) {
+			end = len(stream)
+		}
+		vs := chk.PreIOBatch(stream[i:end])
+		checked := 0
+		for checked < len(vs) && vs[checked].Checked {
+			checked++
+		}
+		if checked == 0 {
+			t.Fatalf("batch made no progress at request %d", i)
+		}
+		for k := 0; k < checked; k++ {
+			if !vs[k].Blocked {
+				continue
+			}
+			var a *checker.Anomaly
+			if !errors.As(vs[k].Err, &a) {
+				t.Fatalf("non-anomaly block: %v", vs[k].Err)
+			}
+			run.blocked = append(run.blocked, describeAnomaly(a))
+		}
+		i += checked
+		if chk.NeedsResync() {
+			chk.ResyncShadow(c.start)
+		}
+	}
+	run.stats = chk.Stats()
+	run.warnings = chk.Warnings()
+	return run
+}
+
+// assertSameStream pins one replay's observable state to another's.
+func assertSameStream(t *testing.T, label string, got, want streamRun) {
+	t.Helper()
+	if len(got.blocked) != len(want.blocked) {
+		t.Fatalf("%s: blocked streams diverge: got %d %v, want %d %v",
+			label, len(got.blocked), got.blocked, len(want.blocked), want.blocked)
+	}
+	for i := range got.blocked {
+		if got.blocked[i] != want.blocked[i] {
+			t.Errorf("%s: blocked anomaly %d diverges:\n  got:  %s\n  want: %s",
+				label, i, got.blocked[i], want.blocked[i])
+		}
+	}
+	if got.stats != want.stats {
+		t.Errorf("%s: stats diverge:\n  got:  %+v\n  want: %+v", label, got.stats, want.stats)
+	}
+	if len(got.warnings) != len(want.warnings) {
+		t.Fatalf("%s: warning streams diverge: got %d, want %d",
+			label, len(got.warnings), len(want.warnings))
+	}
+	for i := range got.warnings {
+		if !sameAnomaly(&got.warnings[i], &want.warnings[i]) {
+			t.Errorf("%s: warning %d diverges:\n  got:  %s\n  want: %s",
+				label, i, describeAnomaly(&got.warnings[i]), describeAnomaly(&want.warnings[i]))
+		}
+	}
+}
+
+// TestBatchedDifferential replays every case study's captured exploit
+// stream under per-round delivery with all three engines and under
+// batched delivery with both sealed engines at batch sizes 1, 4, 16,
+// and whole-stream (plus the reference engine at one size), in both
+// modes. All configurations must produce the identical anomaly stream,
+// warning stream, and counters — per-round threaded is the baseline.
+func TestBatchedDifferential(t *testing.T) {
+	for _, p := range cvesim.All() {
+		p := p
+		t.Run(p.CVE, func(t *testing.T) {
+			cap := captureExploit(t, p)
+			sizes := []int{1, 4, 16, len(cap.reqs)}
+			for _, mode := range []checker.Mode{checker.ModeProtection, checker.ModeEnhancement} {
+				t.Run(fmt.Sprint(mode), func(t *testing.T) {
+					baseline := replayPerRound(t, cap, mode, checkerEngines[0].opts)
+					total := baseline.stats.ParamAnomalies +
+						baseline.stats.IndirectAnomalies + baseline.stats.CondAnomalies
+					if p.Expected != nil && total == 0 {
+						t.Fatal("replayed exploit raised no anomalies; differential is vacuous")
+					}
+					for _, eng := range checkerEngines[1:] {
+						assertSameStream(t, "per-round/"+eng.name,
+							replayPerRound(t, cap, mode, eng.opts), baseline)
+					}
+					for _, eng := range checkerEngines[:2] { // threaded, walker
+						for _, size := range sizes {
+							label := fmt.Sprintf("batched/%s/size=%d", eng.name, size)
+							assertSameStream(t, label,
+								replayBatched(t, cap, mode, eng.opts, size), baseline)
+						}
+					}
+					assertSameStream(t, "batched/reference/size=16",
+						replayBatched(t, cap, mode, checkerEngines[2].opts, 16), baseline)
+				})
+			}
+		})
+	}
+}

@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	sedbench [-experiment all|table1|table2|table3|fig34|fig5|comparison|ablation|checker|dispatch|coverage|throughput|swap]
+//	sedbench [-experiment all|table1|table2|table3|fig34|fig5|comparison|ablation|checker|dispatch|coverage|throughput|batch|swap]
 //	         [-full] [-frames N] [-mib N] [-checker-iters N] [-checker-out FILE]
 //	         [-dispatch-iters N] [-dispatch-out FILE]
 //	         [-coverage-iters N] [-coverage-out FILE]
 //	         [-throughput-ops N] [-throughput-iters N] [-throughput-e2e-ops N] [-throughput-out FILE]
+//	         [-batch-ops N] [-batch-iters N] [-batch-size N] [-batch-out FILE]
 //	         [-swap-iters N] [-swap-store DIR] [-swap-out FILE]
 //
 // The checker experiment measures per-I/O ES-Checker overhead (sealed
@@ -32,10 +33,18 @@
 // second run exercises the warm cache.
 //
 // The throughput experiment measures checked-I/O scaling when one sealed
-// spec is shared across 1, 2, 4, 8, GOMAXPROCS concurrent enforcement
-// sessions per device — both the bare check loop (captured-stream replay)
-// and full guest sessions on a machine pool — and writes
-// -throughput-out (default BENCH_throughput.json).
+// spec is shared across 1, 2, 4, 8 concurrent enforcement sessions per
+// device, with GOMAXPROCS pinned to min(sessions, host CPUs) per row and
+// a per-round/batched delivery ablation at every point — both the bare
+// check loop (captured-stream replay) and full guest sessions on a
+// machine pool — and writes -throughput-out (default
+// BENCH_throughput.json, version 2). The check loop must be
+// allocation-free at steady state; any point that allocates fails the
+// experiment.
+//
+// The batch experiment isolates what batched delivery (PreIOBatch ring
+// sweeps) amortizes against the per-round path on a single session per
+// device, and writes -batch-out (default BENCH_batch.json).
 //
 // With -full, Table II runs the paper's 10/20/30 virtual hours (slow);
 // otherwise a scaled-down 2/4/6-hour study with a proportionally raised
@@ -46,6 +55,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"sedspec/internal/bench"
@@ -69,6 +79,10 @@ func main() {
 	tpIters := flag.Int("throughput-iters", 200_000, "timed replay rounds per session for the throughput experiment")
 	tpE2EOps := flag.Int("throughput-e2e-ops", 200, "benign ops per full guest session for the e2e throughput rows")
 	tpOut := flag.String("throughput-out", "BENCH_throughput.json", "output file for the throughput experiment's JSON rows")
+	batchOps := flag.Int("batch-ops", 60, "benign session ops captured per device for the batch replay")
+	batchIters := flag.Int("batch-iters", 600_000, "timed replay rounds per delivery path for the batch experiment")
+	batchSize := flag.Int("batch-size", bench.DefaultBatchSize, "requests per batched delivery window")
+	batchOut := flag.String("batch-out", "BENCH_batch.json", "output file for the batch experiment's JSON rows")
 	swapIters := flag.Int("swap-iters", 200_000, "timed replay rounds per phase for the swap experiment")
 	swapStore := flag.String("swap-store", "", "spec store directory for the swap experiment (default: a fresh temp dir)")
 	swapOut := flag.String("swap-out", "BENCH_swap.json", "output file for the swap experiment's JSON rows")
@@ -83,6 +97,7 @@ func main() {
 		dispatchIters: *dispatchIters, dispatchOut: *dispatchOut,
 		coverageIters: *coverageIters, coverageOut: *coverageOut,
 		tpOps: *tpOps, tpIters: *tpIters, tpE2EOps: *tpE2EOps, tpOut: *tpOut,
+		batchOps: *batchOps, batchIters: *batchIters, batchSize: *batchSize, batchOut: *batchOut,
 		swapIters: *swapIters, swapStore: *swapStore, swapOut: *swapOut,
 	}
 	if err := realMain(*experiment, cfg, *metrics, *pprofAddr, *spans); err != nil {
@@ -126,6 +141,10 @@ type runConfig struct {
 	tpIters       int
 	tpE2EOps      int
 	tpOut         string
+	batchOps      int
+	batchIters    int
+	batchSize     int
+	batchOut      string
 	swapIters     int
 	swapStore     string
 	swapOut       string
@@ -306,6 +325,12 @@ func run(experiment string, cfg runConfig) error {
 
 	if want("throughput") {
 		counts := bench.SessionCounts()
+		if bench.DegradedParallelism() {
+			fmt.Fprintf(os.Stderr, "sedbench: WARNING: host has %d CPU(s) but the session ladder tops out at %d.\n"+
+				"sedbench: rows with sessions > host CPUs time-slice on shared cores; their scaling numbers are\n"+
+				"sedbench: work-normalized estimates, not wall-clock parallelism (degraded_parallelism=true in %s).\n",
+				runtime.NumCPU(), counts[len(counts)-1], cfg.tpOut)
+		}
 		var rows []*bench.ThroughputRow
 		var e2e []*bench.E2ERow
 		for _, t := range bench.Targets(true) {
@@ -318,8 +343,12 @@ func run(experiment string, cfg runConfig) error {
 				return err
 			}
 			for _, row := range trs {
-				fmt.Fprintf(w, "throughput %-6s x%-2d  %10.0f checked-I/Os/s  scaling %5.2fx  eff %5.1f%%  %.4f allocs/op\n",
-					row.Device, row.Sessions, row.AggPerSec, row.ScalingX, 100*row.Efficiency, row.AllocsPerOp)
+				path := "per-round"
+				if row.Batched {
+					path = fmt.Sprintf("batch=%d", row.BatchSize)
+				}
+				fmt.Fprintf(w, "throughput %-6s x%-2d %-9s gomaxprocs %-2d %10.0f checked-I/Os/s  scaling %5.2fx  eff %5.1f%%\n",
+					row.Device, row.Sessions, path, row.GoMaxProcs, row.AggPerSec, row.ScalingX, 100*row.Efficiency)
 			}
 			rows = append(rows, trs...)
 			ers, err := bench.ThroughputE2E(t, r.Spec, cfg.tpE2EOps, counts)
@@ -344,6 +373,32 @@ func run(experiment string, cfg runConfig) error {
 			return err
 		}
 		fmt.Fprintf(w, "wrote %s\n", cfg.tpOut)
+		fmt.Fprintln(w)
+	}
+
+	if want("batch") {
+		var rows []*bench.BatchBenchRow
+		for _, t := range bench.Targets(true) {
+			row, err := bench.BatchOverhead(t, cfg.batchOps, cfg.batchIters, cfg.batchSize)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "batch %-6s per-round %8.1f ns/op  batched %8.1f ns/op  -%5.1f%%  (window %d, 0 allocs/op)\n",
+				row.Device, row.PerRoundNsPerOp, row.BatchedNsPerOp, row.SpeedupPct, row.BatchSize)
+		}
+		f, err := os.Create(cfg.batchOut)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteBatchJSON(f, rows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.batchOut)
 		fmt.Fprintln(w)
 	}
 

@@ -24,13 +24,21 @@ import (
 //   - Throughput replays each device's captured benign stream through N
 //     per-session checkers on N goroutines — the check loop alone, no
 //     machine or device in the way. This is where contention on the
-//     shared engine would show up, so it is the scaling headline.
+//     shared engine would show up, so it is the scaling headline. Every
+//     (device, sessions) point is measured twice: once through the
+//     per-round path (PreIO) and once through the batched path
+//     (PreIOBatch windows of DefaultBatchSize), so the ablation shows
+//     what batching buys at each point on the ladder.
 //   - ThroughputE2E drives N full guest sessions (machine.Pool, one
 //     machine + device instance each, ProtectShared interposers) through
 //     the benign workload — the whole emulation stack under enforcement.
 //
-// Scaling is reported in work-normalized form so the numbers mean the
-// same thing on any host. With cores = min(sessions, GOMAXPROCS):
+// GOMAXPROCS is pinned to min(sessions, host CPUs) for each row and
+// restored afterwards, so a 2-session row really runs on at most two
+// cores rather than letting the runtime spread bookkeeping across all of
+// them; the pinned value is recorded in the row. Scaling is reported in
+// work-normalized form so the numbers mean the same thing on any host.
+// With cores = min(sessions, gomaxprocs):
 //
 //	cpu_ns_per_checked_io = wall * cores / rounds
 //	agg_checked_ios_per_sec = sessions / cpu_ns_per_checked_io
@@ -42,22 +50,24 @@ import (
 // the slicing factor, and the normalization divides it back out — but
 // cross-session interference is still measured, not assumed: any lock or
 // cache-line contention on the shared engine inflates c_N and drags
-// scaling_x below N either way. host_cpus in the JSON records which
-// regime produced the numbers.
+// scaling_x below N either way. host_cpus and degraded_parallelism in
+// the JSON record which regime produced the numbers.
 
-// ThroughputRow is one (device, session-count) scaling measurement of the
-// concurrent check loop.
+// ThroughputRow is one (device, session-count, delivery-path) scaling
+// measurement of the concurrent check loop.
 type ThroughputRow struct {
 	Device      string  `json:"device"`
 	Sessions    int     `json:"sessions"`
-	CheckedIOs  uint64  `json:"checked_ios"`  // total rounds across sessions
-	WallSeconds float64 `json:"wall_seconds"` //
-	CoresUsed   int     `json:"cores_used"`   // min(sessions, GOMAXPROCS)
+	Batched     bool    `json:"batched"`
+	BatchSize   int     `json:"batch_size,omitempty"` // 0 on per-round rows
+	CheckedIOs  uint64  `json:"checked_ios"`          // total rounds across sessions
+	WallSeconds float64 `json:"wall_seconds"`         //
+	GoMaxProcs  int     `json:"gomaxprocs"`           // pinned for this row: min(sessions, host CPUs)
+	CoresUsed   int     `json:"cores_used"`           // min(sessions, gomaxprocs)
 	CPUNsPerIO  float64 `json:"cpu_ns_per_checked_io"`
 	AggPerSec   float64 `json:"agg_checked_ios_per_sec"`
-	ScalingX    float64 `json:"scaling_x"`  // sessions * c_1/c_N
+	ScalingX    float64 `json:"scaling_x"`  // sessions * c_1/c_N within the same delivery path
 	Efficiency  float64 `json:"efficiency"` // ScalingX / sessions
-	AllocsPerOp float64 `json:"check_allocs_per_op"`
 }
 
 // E2ERow is one (device, session-count) measurement of full guest
@@ -68,16 +78,17 @@ type E2ERow struct {
 	Sessions    int     `json:"sessions"`
 	CheckedIOs  uint64  `json:"checked_ios"`
 	WallSeconds float64 `json:"wall_seconds"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
 	CoresUsed   int     `json:"cores_used"`
 	CPUNsPerIO  float64 `json:"cpu_ns_per_checked_io"`
 	AggPerSec   float64 `json:"agg_checked_ios_per_sec"`
 	ScalingX    float64 `json:"scaling_x"`
 }
 
-// SessionCounts returns the session ladder 1, 2, 4, 8, GOMAXPROCS,
-// deduplicated and sorted.
+// SessionCounts returns the session ladder 1, 2, 4, 8, plus the host CPU
+// count, deduplicated and sorted.
 func SessionCounts() []int {
-	counts := []int{1, 2, 4, 8, runtime.GOMAXPROCS(0)}
+	counts := []int{1, 2, 4, 8, runtime.NumCPU()}
 	sort.Ints(counts)
 	out := counts[:1]
 	for _, n := range counts[1:] {
@@ -88,26 +99,89 @@ func SessionCounts() []int {
 	return out
 }
 
+// DegradedParallelism reports whether the host cannot actually run the
+// top of the session ladder in parallel: rows with sessions > host CPUs
+// time-slice, so their scaling numbers are normalized estimates rather
+// than direct wall-clock parallelism.
+func DegradedParallelism() bool {
+	counts := SessionCounts()
+	return runtime.NumCPU() < counts[len(counts)-1]
+}
+
+// pinGOMAXPROCS sets GOMAXPROCS to min(n, host CPUs) and returns the
+// pinned value.
+func pinGOMAXPROCS(n int) int {
+	g := n
+	if nc := runtime.NumCPU(); g > nc {
+		g = nc
+	}
+	runtime.GOMAXPROCS(g)
+	return g
+}
+
 // runConcurrentReplay replays iters rounds per session through n
 // per-session checkers drawn from one shared engine, returning wall time
-// and the heap-allocation delta across the timed window. The goroutines
-// are spawned (and their sessions warmed) before the clock starts, parked
-// on a start barrier, so only steady-state checking is inside the
-// measurement.
-func runConcurrentReplay(r *CheckerReplay, sh *checker.Shared, n, iters int) (time.Duration, uint64, error) {
+// and the heap-allocation delta across the timed window. batchSize 0
+// drives each session per round (PreIO, one call per request);
+// batchSize >= 1 drives it in batched deliveries (PreIOBatch windows,
+// capped at the stream wrap so every window sees the control state its
+// requests were recorded against). Both loops carry the stream position
+// with a compare-based wrap — no per-round modulo on either side. The
+// goroutines are spawned (and their sessions warmed) before the clock
+// starts, parked on a start barrier, so only steady-state checking is
+// inside the measurement.
+func runConcurrentReplay(r *CheckerReplay, sh *checker.Shared, n, iters, batchSize int) (time.Duration, uint64, error) {
 	chks := make([]*checker.Checker, n)
 	streams := make([][]*interp.Request, n)
 	for i := 0; i < n; i++ {
 		chks[i] = sh.NewSession(r.start)
 		streams[i] = r.CloneReqs()
 	}
-	// Warm every session one full cycle: arenas grow to steady state here,
-	// not inside the timed window.
-	for i := 0; i < n; i++ {
-		for k := 0; k < len(streams[i]); k++ {
-			if err := r.StepStream(chks[i], streams[i], k); err != nil {
-				return 0, 0, fmt.Errorf("bench: %s warm session %d: %w", r.Target.Name, i, err)
+	session := func(chk *checker.Checker, reqs []*interp.Request, iters int) error {
+		j := 0
+		if batchSize <= 0 {
+			for k := 0; k < iters; k++ {
+				if j == 0 {
+					chk.ResyncShadow(r.start)
+				}
+				if err := chk.PreIO(nil, reqs[j]); err != nil {
+					return fmt.Errorf("round %d: %w", k, err)
+				}
+				if j++; j == len(reqs) {
+					j = 0
+				}
 			}
+			return nil
+		}
+		for k := 0; k < iters; {
+			if j == 0 {
+				chk.ResyncShadow(r.start)
+			}
+			w := batchSize
+			if rem := len(reqs) - j; w > rem {
+				w = rem
+			}
+			if rem := iters - k; w > rem {
+				w = rem
+			}
+			vs := chk.PreIOBatch(reqs[j : j+w])
+			for x := range vs {
+				if !vs[x].Checked || vs[x].Err != nil {
+					return fmt.Errorf("round %d: checked=%v err=%v", k+x, vs[x].Checked, vs[x].Err)
+				}
+			}
+			k += w
+			if j += w; j == len(reqs) {
+				j = 0
+			}
+		}
+		return nil
+	}
+	// Warm every session one full cycle: arenas and verdict buffers grow
+	// to steady state here, not inside the timed window.
+	for i := 0; i < n; i++ {
+		if err := session(chks[i], streams[i], len(streams[i])); err != nil {
+			return 0, 0, fmt.Errorf("bench: %s warm session %d: %w", r.Target.Name, i, err)
 		}
 	}
 
@@ -120,11 +194,8 @@ func runConcurrentReplay(r *CheckerReplay, sh *checker.Shared, n, iters int) (ti
 			defer wg.Done()
 			chk, reqs := chks[i], streams[i]
 			<-start
-			for k := 0; k < iters; k++ {
-				if err := r.StepStream(chk, reqs, k); err != nil {
-					errs[i] = fmt.Errorf("session %d round %d: %w", i, k, err)
-					return
-				}
+			if err := session(chk, reqs, iters); err != nil {
+				errs[i] = fmt.Errorf("session %d %w", i, err)
 			}
 		}(i)
 	}
@@ -155,55 +226,88 @@ func runConcurrentReplay(r *CheckerReplay, sh *checker.Shared, n, iters int) (ti
 
 // Throughput measures checked-I/O scaling for one device's captured
 // replay across the given session counts (iters timed rounds per
-// session).
+// session), with a per-round/batched ablation at every point. The check
+// loop must be allocation-free at steady state on every point; any point
+// whose best repeat still allocates fails the experiment outright rather
+// than reporting a rate.
 func Throughput(r *CheckerReplay, iters int, counts []int) ([]*ThroughputRow, error) {
 	t := r.Target
+	if iters < 1 {
+		iters = 1
+	}
 	// Best of three runs per point, with the repeats interleaved across
-	// session counts (1,2,4,.. then again 1,2,4,..): a slow host phase —
-	// GC, frequency dip, a neighbour process — then hits every point
-	// rather than masquerading as contention at one. Each run gets a
-	// fresh shared engine so counters and pool state stay independent.
+	// session counts and delivery paths (1,2,4,.. then again 1,2,4,..): a
+	// slow host phase — GC, frequency dip, a neighbour process — then
+	// hits every point rather than masquerading as contention at one.
+	// Each run gets a fresh shared engine so counters and pool state stay
+	// independent.
 	const repeats = 3
-	walls := make([]time.Duration, len(counts))
-	allocs := make([]uint64, len(counts))
+	batchSizes := []int{0, DefaultBatchSize} // ablation: per-round, batched
+	type point struct {
+		wall    time.Duration
+		mallocs uint64
+		gmp     int
+	}
+	pts := make([]point, len(batchSizes)*len(counts))
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
 	for rep := 0; rep < repeats; rep++ {
 		for ci, n := range counts {
-			sh := checker.NewShared(r.Spec, checker.WithEnv(r.att))
-			w, m, err := runConcurrentReplay(r, sh, n, iters)
-			if err != nil {
-				return nil, err
-			}
-			if rep == 0 || w < walls[ci] {
-				walls[ci], allocs[ci] = w, m
+			gmp := pinGOMAXPROCS(n)
+			for bi, bs := range batchSizes {
+				sh := checker.NewShared(r.Spec, checker.WithEnv(r.att))
+				w, m, err := runConcurrentReplay(r, sh, n, iters, bs)
+				if err != nil {
+					runtime.GOMAXPROCS(prev)
+					return nil, err
+				}
+				p := &pts[bi*len(counts)+ci]
+				if rep == 0 || w < p.wall {
+					p.wall = w
+				}
+				if rep == 0 || m < p.mallocs {
+					p.mallocs = m
+				}
+				p.gmp = gmp
 			}
 		}
 	}
+	runtime.GOMAXPROCS(prev)
+
 	var rows []*ThroughputRow
-	var c1 float64
-	for ci, n := range counts {
-		wall, mallocs := walls[ci], allocs[ci]
-		rounds := uint64(n) * uint64(iters)
-		cores := n
-		if g := runtime.GOMAXPROCS(0); cores > g {
-			cores = g
+	for bi, bs := range batchSizes {
+		var c1 float64
+		for ci, n := range counts {
+			p := pts[bi*len(counts)+ci]
+			rounds := uint64(n) * uint64(iters)
+			if p.mallocs != 0 {
+				return nil, fmt.Errorf("bench: %s x%d (batch=%d) check loop allocates at steady state: "+
+					"%d allocs over %d rounds; the enforcement hot path must be allocation-free",
+					t.Name, n, bs, p.mallocs, rounds)
+			}
+			cores := n
+			if cores > p.gmp {
+				cores = p.gmp
+			}
+			cn := float64(p.wall.Nanoseconds()) * float64(cores) / float64(rounds)
+			if ci == 0 {
+				c1 = cn
+			}
+			rows = append(rows, &ThroughputRow{
+				Device:      t.Name,
+				Sessions:    n,
+				Batched:     bs > 0,
+				BatchSize:   bs,
+				CheckedIOs:  rounds,
+				WallSeconds: p.wall.Seconds(),
+				GoMaxProcs:  p.gmp,
+				CoresUsed:   cores,
+				CPUNsPerIO:  cn,
+				AggPerSec:   float64(n) * 1e9 / cn,
+				ScalingX:    float64(n) * c1 / cn,
+				Efficiency:  c1 / cn,
+			})
 		}
-		cn := float64(wall.Nanoseconds()) * float64(cores) / float64(rounds)
-		if n == counts[0] {
-			c1 = cn
-		}
-		row := &ThroughputRow{
-			Device:      t.Name,
-			Sessions:    n,
-			CheckedIOs:  rounds,
-			WallSeconds: wall.Seconds(),
-			CoresUsed:   cores,
-			CPUNsPerIO:  cn,
-			AggPerSec:   float64(n) * 1e9 / cn,
-			ScalingX:    float64(n) * c1 / cn,
-			Efficiency:  c1 / cn,
-			AllocsPerOp: float64(mallocs) / float64(rounds),
-		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -213,10 +317,14 @@ func Throughput(r *CheckerReplay, iters int, counts []int) ([]*ThroughputRow, er
 // from one shared engine, each driven ops benign operations. Every
 // session runs the same deterministic workload (one rng seed), so the
 // request streams are identical across sessions and across runs.
+// GOMAXPROCS is pinned per point like Throughput.
 func ThroughputE2E(t *Target, spec *core.Spec, ops int, counts []int) ([]*E2ERow, error) {
 	var rows []*E2ERow
 	var c1 float64
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
 	for _, n := range counts {
+		gmp := pinGOMAXPROCS(n)
 		p := machine.NewPool(n, t.Build, machine.WithMemory(1<<20))
 		sh := checker.NewShared(spec)
 		work := make([]*Session, n)
@@ -250,8 +358,8 @@ func ThroughputE2E(t *Target, spec *core.Spec, ops int, counts []int) ([]*E2ERow
 			return nil, fmt.Errorf("bench: e2e %s x%d: no checked I/Os recorded", t.Name, n)
 		}
 		cores := n
-		if g := runtime.GOMAXPROCS(0); cores > g {
-			cores = g
+		if cores > gmp {
+			cores = gmp
 		}
 		cn := float64(wall.Nanoseconds()) * float64(cores) / float64(rounds)
 		if n == counts[0] {
@@ -262,6 +370,7 @@ func ThroughputE2E(t *Target, spec *core.Spec, ops int, counts []int) ([]*E2ERow
 			Sessions:    n,
 			CheckedIOs:  rounds,
 			WallSeconds: wall.Seconds(),
+			GoMaxProcs:  gmp,
 			CoresUsed:   cores,
 			CPUNsPerIO:  cn,
 			AggPerSec:   float64(n) * 1e9 / cn,
@@ -272,23 +381,31 @@ func ThroughputE2E(t *Target, spec *core.Spec, ops int, counts []int) ([]*E2ERow
 }
 
 // WriteThroughputJSON emits both measurement families plus the host
-// parameters needed to interpret them (BENCH_throughput.json).
+// parameters needed to interpret them (BENCH_throughput.json, version 2:
+// per-row gomaxprocs and per-round/batched ablation rows, top-level
+// degraded_parallelism flag).
 func WriteThroughputJSON(w io.Writer, rows []*ThroughputRow, e2e []*E2ERow) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
-		Benchmark     string           `json:"benchmark"`
-		HostCPUs      int              `json:"host_cpus"`
-		SessionCounts []int            `json:"session_counts"`
-		Normalization string           `json:"normalization"`
-		Rows          []*ThroughputRow `json:"rows"`
-		E2E           []*E2ERow        `json:"e2e_rows"`
+		Benchmark           string           `json:"benchmark"`
+		Version             int              `json:"version"`
+		HostCPUs            int              `json:"host_cpus"`
+		DegradedParallelism bool             `json:"degraded_parallelism"`
+		SessionCounts       []int            `json:"session_counts"`
+		BatchSize           int              `json:"batch_size"`
+		Normalization       string           `json:"normalization"`
+		Rows                []*ThroughputRow `json:"rows"`
+		E2E                 []*E2ERow        `json:"e2e_rows"`
 	}{
-		Benchmark:     "concurrent_throughput",
-		HostCPUs:      runtime.GOMAXPROCS(0),
-		SessionCounts: SessionCounts(),
-		Normalization: "cpu_ns_per_checked_io = wall*min(sessions,host_cpus)/rounds; agg = sessions/cpu_ns; scaling_x = sessions*c1/cN (equals direct wall-clock aggregate scaling when host_cpus >= sessions)",
-		Rows:          rows,
-		E2E:           e2e,
+		Benchmark:           "concurrent_throughput",
+		Version:             2,
+		HostCPUs:            runtime.NumCPU(),
+		DegradedParallelism: DegradedParallelism(),
+		SessionCounts:       SessionCounts(),
+		BatchSize:           DefaultBatchSize,
+		Normalization:       "cpu_ns_per_checked_io = wall*min(sessions,gomaxprocs)/rounds; agg = sessions/cpu_ns; scaling_x = sessions*c1/cN within one delivery path (equals direct wall-clock aggregate scaling when host_cpus >= sessions)",
+		Rows:                rows,
+		E2E:                 e2e,
 	})
 }

@@ -23,25 +23,38 @@ func TestThroughputScalesAcrossSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != len(counts) {
-		t.Fatalf("rows = %d, want %d", len(rows), len(counts))
+	// One row per (session count, delivery path): per-round first, then
+	// batched.
+	if len(rows) != 2*len(counts) {
+		t.Fatalf("rows = %d, want %d", len(rows), 2*len(counts))
 	}
 	for i, row := range rows {
-		if row.Sessions != counts[i] || row.Device != "fdc" {
+		wantN := counts[i%len(counts)]
+		wantBatched := i >= len(counts)
+		if row.Sessions != wantN || row.Device != "fdc" || row.Batched != wantBatched {
 			t.Errorf("row %d mislabeled: %+v", i, row)
 		}
-		if row.CheckedIOs != uint64(counts[i])*5000 {
-			t.Errorf("row %d checked %d I/Os, want %d", i, row.CheckedIOs, counts[i]*5000)
+		if row.Batched && row.BatchSize != bench.DefaultBatchSize {
+			t.Errorf("row %d batch size = %d, want %d", i, row.BatchSize, bench.DefaultBatchSize)
+		}
+		if row.CheckedIOs != uint64(wantN)*5000 {
+			t.Errorf("row %d checked %d I/Os, want %d", i, row.CheckedIOs, wantN*5000)
 		}
 		if row.CPUNsPerIO <= 0 || row.AggPerSec <= 0 {
 			t.Errorf("row %d has empty measurement: %+v", i, row)
 		}
-		if row.AllocsPerOp > 0.01 {
-			t.Errorf("row %d allocates %.4f/op in the check loop, want ~0", i, row.AllocsPerOp)
+		wantG := wantN
+		if nc := runtime.NumCPU(); wantG > nc {
+			wantG = nc
+		}
+		if row.GoMaxProcs != wantG {
+			t.Errorf("row %d gomaxprocs = %d, want pinned %d", i, row.GoMaxProcs, wantG)
 		}
 	}
-	if rows[0].ScalingX != 1 {
-		t.Errorf("baseline scaling = %f, want 1", rows[0].ScalingX)
+	for _, i := range []int{0, len(counts)} {
+		if rows[i].ScalingX != 1 {
+			t.Errorf("row %d baseline scaling = %f, want 1", i, rows[i].ScalingX)
+		}
 	}
 	// Per-op CPU cost must not blow up under concurrency (the path is
 	// lock-free); allow 2x for scheduler and cache noise on small runs.
@@ -68,20 +81,31 @@ func TestThroughputScalesAcrossSessions(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out struct {
-		Benchmark string `json:"benchmark"`
-		HostCPUs  int    `json:"host_cpus"`
-		Rows      []struct {
-			Device string `json:"device"`
+		Benchmark           string `json:"benchmark"`
+		Version             int    `json:"version"`
+		HostCPUs            int    `json:"host_cpus"`
+		DegradedParallelism bool   `json:"degraded_parallelism"`
+		Rows                []struct {
+			Device     string `json:"device"`
+			GoMaxProcs int    `json:"gomaxprocs"`
 		} `json:"rows"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
 		t.Fatalf("emitted JSON invalid: %v", err)
 	}
-	if out.Benchmark != "concurrent_throughput" || out.HostCPUs != runtime.GOMAXPROCS(0) {
+	if out.Benchmark != "concurrent_throughput" || out.Version != 2 || out.HostCPUs != runtime.NumCPU() {
 		t.Errorf("JSON header wrong: %+v", out)
+	}
+	if out.DegradedParallelism != bench.DegradedParallelism() {
+		t.Errorf("degraded_parallelism = %v, want %v", out.DegradedParallelism, bench.DegradedParallelism())
 	}
 	if len(out.Rows) != len(rows) {
 		t.Errorf("JSON rows = %d, want %d", len(out.Rows), len(rows))
+	}
+	for i, row := range out.Rows {
+		if row.GoMaxProcs == 0 {
+			t.Errorf("JSON row %d missing gomaxprocs", i)
+		}
 	}
 }
 
@@ -99,7 +123,7 @@ func TestSessionCountsLadder(t *testing.T) {
 	for _, n := range counts {
 		seen[n] = true
 	}
-	for _, want := range []int{1, 2, 4, 8, runtime.GOMAXPROCS(0)} {
+	for _, want := range []int{1, 2, 4, 8, runtime.NumCPU()} {
 		if !seen[want] {
 			t.Errorf("ladder %v missing %d", counts, want)
 		}

@@ -16,6 +16,7 @@
 package checker
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sync"
@@ -367,6 +368,12 @@ type Checker struct {
 	// few descriptor words, where a scan beats hashing.
 	dmaShadow map[uint64]byte
 	dmaLog    []dmaWrite
+	// dmaLo/dmaHi bound the address range the journal covers, so reads
+	// outside it — the common case in a schedule walk, where most reads
+	// touch descriptors not yet written back — skip the overlay scan on
+	// one compare. Valid only while len(dmaLog) > 0; set fresh by the
+	// first append after a truncation.
+	dmaLo, dmaHi uint64
 	// entryTemps is the temp-bank size of the entry block's handler,
 	// resolved once at construction for the per-round entry push.
 	entryTemps int
@@ -375,6 +382,20 @@ type Checker struct {
 	// interp.Env interface escape, and a stack buffer would cost one heap
 	// allocation per DMA-read op.
 	dmaBuf [8]byte
+	// noClear is set when the sealed program passed the
+	// definitely-assigned temp analysis: frame pushes skip zeroing the
+	// temp and flag banks because no path can read another round's
+	// residue (core.SealedSpec.TempsDefinitelyAssigned).
+	noClear bool
+	// batching is true while PreIOBatch drives the engines: per-round
+	// arena resets, DMA journal truncation, coverage ticks, and obs/stat
+	// publication are lifted to the batch boundary.
+	batching bool
+	// batchSteps accumulates clean rounds' step counts within a batch so
+	// stepsSimulated is published once per batch instead of per round.
+	batchSteps uint64
+	// verdicts is PreIOBatch's reusable result buffer.
+	verdicts []machine.Verdict
 }
 
 // covGen pairs a coverage map with the sealed generation it counts for.
@@ -383,13 +404,67 @@ type covGen struct {
 	m   *coverage.Map
 }
 
-// dmaWrite is one suppressed guest-memory byte write in the sealed
-// engine's per-round journal. Overlay scans apply entries in append
-// order, so a later write to the same address wins, matching the map's
-// last-write semantics.
+// dmaWrite is one suppressed guest-memory write in the sealed engine's
+// journal — the whole word a single OpDMAWrite produced, not a byte, so
+// a journal entry costs one append and one overlap test however wide
+// the write was. Overlay scans apply entries in append order, so a
+// later write to the same range wins, matching the map's last-write
+// semantics.
 type dmaWrite struct {
 	addr uint64
-	val  byte
+	val  [8]byte
+	n    uint8
+}
+
+// journalDMAWrite records one suppressed guest write in the DMA
+// journal. A write whose range exactly re-covers an earlier entry —
+// the dominant pattern in ring sweeps, where every round rewrites the
+// same descriptor status words — updates that entry in place, so a
+// batch's journal stays bounded by the number of distinct writeback
+// targets instead of growing per round. The in-place update is sound
+// exactly when no later journal entry partially overlaps the range:
+// the backward scan stops at the first (most recent) overlapping
+// entry, so an exact match found there is the range's latest value and
+// overwriting it preserves last-write-wins order.
+func (c *Checker) journalDMAWrite(addr uint64, val uint64, n uint8) {
+	if len(c.dmaLog) == 0 {
+		c.dmaLo, c.dmaHi = addr, addr+uint64(n)
+	} else {
+		if addr < c.dmaLo {
+			c.dmaLo = addr
+		}
+		if end := addr + uint64(n); end > c.dmaHi {
+			c.dmaHi = end
+		}
+	}
+	for j := len(c.dmaLog) - 1; j >= 0; j-- {
+		w := &c.dmaLog[j]
+		if addr < w.addr+uint64(w.n) && w.addr < addr+uint64(n) {
+			if w.addr == addr && w.n == n {
+				binary.LittleEndian.PutUint64(w.val[:], val)
+				return
+			}
+			break
+		}
+	}
+	w := dmaWrite{addr: addr, n: n}
+	binary.LittleEndian.PutUint64(w.val[:], val)
+	c.dmaLog = append(c.dmaLog, w)
+}
+
+// overlay copies the bytes of w that fall inside [addr, addr+n) into
+// buf (which aliases that range).
+func (w *dmaWrite) overlay(buf []byte, addr uint64, n int) {
+	lo, hi := w.addr, w.addr+uint64(w.n)
+	if lo < addr {
+		lo = addr
+	}
+	if end := addr + uint64(n); hi > end {
+		hi = end
+	}
+	for a := lo; a < hi; a++ {
+		buf[a-addr] = w.val[a-w.addr]
+	}
 }
 
 type simFrame struct {
@@ -537,6 +612,7 @@ func New(spec *core.Spec, initial *interp.State, opts ...Option) *Checker {
 			c.tprog = buildThreaded(c.sealed)
 		}
 	}
+	c.noClear = c.sealed != nil && c.sealed.TempsDefinitelyAssigned()
 	if !c.covOff && c.sealed != nil {
 		c.cov = coverage.NewMap(c.sealed.NumBlocks(), c.sealed.NumEdges())
 		c.covGens = append(c.covGens, covGen{gen: c.specGen, m: c.cov})
@@ -632,6 +708,12 @@ func (c *Checker) SpecGen() uint64 { return c.specGen }
 // Shadow exposes the shadow device state for tests and diagnostics.
 func (c *Checker) Shadow() *interp.State { return c.shadow }
 
+// NeedsResync reports whether the last check round desynchronized the
+// shadow from the device — a warning or an unobserved path — i.e.
+// whether PostIO would resynchronize at the next dispatch. Machine-less
+// replay harnesses use it to emulate the dispatcher's resync point.
+func (c *Checker) NeedsResync() bool { return c.needResync }
+
 // ResyncShadow re-initializes the shadow device state from the real
 // control structure and drops command tracking. Rollback recovery calls
 // it after restoring a machine snapshot, since the restored device state
@@ -681,6 +763,15 @@ func (c *Checker) PreIO(_ machine.Device, req *interp.Request) error {
 	req.Rewind()
 	anomaly := c.simulate(req)
 	req.Rewind()
+	return c.finishRound(req, round, anomaly)
+}
+
+// finishRound runs the post-simulation half of a check round: event
+// recording, anomaly stamping and accounting, blocking or warning. It
+// returns the anomaly when it blocks in the current mode, nil
+// otherwise. PreIO and PreIOBatch share it so a batched round is
+// observable exactly like a serial one.
+func (c *Checker) finishRound(req *interp.Request, round uint64, anomaly *Anomaly) error {
 	if anomaly == nil {
 		if c.rec != nil {
 			c.record(req, round, Strategy(obs.StrategyNone), obs.VerdictOK, c.entryRef)
@@ -712,7 +803,9 @@ func (c *Checker) PreIO(_ machine.Device, req *interp.Request) error {
 			c.record(req, round, anomaly.Strategy, obs.VerdictBlocked, anomaly.Block)
 			anomaly.Ctx = c.rec.Freeze(c.traceDepth)
 		}
-		if c.haltFn != nil {
+		// In a batch the halt is deferred onto the verdict (PreIOBatch),
+		// so the batch's clean prefix still reaches the device first.
+		if c.haltFn != nil && !c.batching {
 			c.haltFn()
 		}
 		return anomaly
@@ -747,6 +840,7 @@ func (c *Checker) adopt(v *specVersion) {
 	c.ver = v
 	c.spec = v.spec
 	c.sealed = v.sealed
+	c.noClear = v.sealed != nil && v.sealed.TempsDefinitelyAssigned()
 	c.prog = v.prog
 	c.entryTemps = v.entryTemps
 	c.entryRef = v.entryRef
@@ -834,7 +928,11 @@ func (c *Checker) record(req *interp.Request, round uint64, strat Strategy, v ob
 	ev.SpecGen = uint16(c.specGen)
 	ev.Strategy = uint8(strat)
 	ev.Verdict = v
-	c.rec.Commit(ev)
+	if c.batching {
+		c.rec.CommitDeferred(ev)
+	} else {
+		c.rec.Commit(ev)
+	}
 }
 
 // Recorder exposes the checker's flight recorder (nil when disabled).

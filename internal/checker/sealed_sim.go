@@ -13,24 +13,39 @@ import (
 // switch arms, and bitset access vectors. Steady-state rounds (no anomaly,
 // no frame-stack growth) allocate nothing.
 func (c *Checker) simulateSealed(req *interp.Request) *Anomaly {
-	c.frames = c.frames[:0]
-	c.tempArena = c.tempArena[:0]
-	c.flagArena = c.flagArena[:0]
+	if !c.batching {
+		c.frames = c.frames[:0]
+		c.tempArena = c.tempArena[:0]
+		c.flagArena = c.flagArena[:0]
+		c.dmaLog = c.dmaLog[:0]
+	} else if len(c.tempArena) != 0 {
+		// Mid-batch after a Halts round: the frame stack is already empty
+		// but the arenas kept their residue (a serial round's reset would
+		// have cleared it). The DMA journal stays — it is the batch's
+		// guest-memory overlay.
+		c.frames = c.frames[:0]
+		c.tempArena = c.tempArena[:0]
+		c.flagArena = c.flagArena[:0]
+	}
 	c.push(c.sealed.Entry, c.entryTemps)
 	if c.cov != nil {
 		c.cov.HitBlock(c.sealed.Entry)
 	}
 	steps := 0
-	c.dmaLog = c.dmaLog[:0]
 	a := c.walkSealed(req, &steps)
 	// The round's step count feeds the flight-recorder event either way;
 	// the aggregate counter keeps its pre-recorder semantics of counting
-	// only completed (anomaly-free) rounds.
+	// only completed (anomaly-free) rounds. In a batch the aggregate is
+	// accumulated and published once at the batch boundary.
 	c.roundSteps = steps
 	if a == nil {
-		c.stats.stepsSimulated.Add(uint64(steps))
+		if c.batching {
+			c.batchSteps += uint64(steps)
+		} else {
+			c.stats.stepsSimulated.Add(uint64(steps))
+		}
 	}
-	if c.cov != nil {
+	if c.cov != nil && !c.batching {
 		c.cov.RoundEnd()
 	}
 	return a
@@ -161,10 +176,11 @@ func (c *Checker) execDSODSealed(f *simFrame, dsod []core.SealedOp, ref ir.Block
 				return false, nil
 			}
 			// Overlay this round's suppressed writebacks (skipped entirely
-			// in the common no-writeback round).
-			for _, w := range c.dmaLog {
-				if w.addr-addr < uint64(n) {
-					buf[w.addr-addr] = w.val
+			// in the common no-writeback round, and by a range compare
+			// when the read cannot touch any journaled writeback).
+			if len(c.dmaLog) > 0 && addr < c.dmaHi && c.dmaLo < addr+uint64(n) {
+				for i := range c.dmaLog {
+					c.dmaLog[i].overlay(buf[:], addr, n)
 				}
 			}
 			temps[op.Dst] = binary.LittleEndian.Uint64(buf[:])
@@ -174,11 +190,7 @@ func (c *Checker) execDSODSealed(f *simFrame, dsod []core.SealedOp, ref ir.Block
 			flags[op.Dst] = interp.Flags{}
 		case ir.OpDMAWrite:
 			// Suppressed guest write: journal it for this round's reads.
-			var buf [8]byte
-			binary.LittleEndian.PutUint64(buf[:], temps[op.Src])
-			for i := 0; i < op.Width.Bytes(); i++ {
-				c.dmaLog = append(c.dmaLog, dmaWrite{temps[op.A] + uint64(i), buf[i]})
-			}
+			c.journalDMAWrite(temps[op.A], temps[op.Src], uint8(op.Width.Bytes()))
 		case ir.OpIOIn:
 			temps[op.Dst] = req.Consume(op.Width.Bytes())
 			flags[op.Dst] = interp.Flags{}

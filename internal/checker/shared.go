@@ -76,9 +76,11 @@ func newSpecVersion(spec *core.Spec, gen uint64) *specVersion {
 // fleet deployment — start with warm, right-sized arenas instead of
 // re-growing them over their first rounds.
 //
-// Counters are per-session atomics; Stats sums live sessions plus the
-// retired bank that Close folds finished sessions into, so aggregate
-// accounting survives session churn.
+// The session registry and the retired aggregates are sharded: sessions
+// partition by ID across GOMAXPROCS cache-line-padded shards, each with
+// its own lock, session list, and retired banks. Opening, closing, and
+// retiring sessions on different shards never contend on a lock or dirty
+// a shared counter line; aggregate readers fold across the shards.
 type Shared struct {
 	device string
 	// cur is the published spec version. Sessions load it once per round;
@@ -105,27 +107,48 @@ type Shared struct {
 	// swaps counts published versions beyond the first.
 	swaps atomic.Uint64
 
-	// mu guards the session registry, the session-ID counter, the retired
-	// aggregates, and version publication ordering. It is taken on session
-	// open/close, by aggregate readers, and by Swap — never on the check
-	// path.
-	mu              sync.Mutex
-	sessions        []*Checker
-	nextSession     int
-	retired         statCounters
-	retiredWarnings []Anomaly
-	retiredAudit    []AuditRecord
+	// shards partitions the session registry and retired aggregates by
+	// session ID. Fixed at construction (one per GOMAXPROCS core), so
+	// shardFor is a bounds-check and a modulo — no lock.
+	shards []*sessionShard
+	// nextSession allocates session IDs lock-free across shards.
+	nextSession atomic.Int64
+	// swapMu serializes Swap's publication+grace sequence; it is never
+	// taken on the check path or by session open/close.
+	swapMu sync.Mutex
 
 	// covOff is the engine-wide coverage switch sessions inherit.
-	// retiredCov accumulates closed sessions' coverage counters, keyed by
-	// spec generation (counter index spaces are per-generation).
-	covOff     bool
-	retiredCov map[uint64]*coverage.Snapshot
+	covOff bool
 
 	// useWalker is the engine-wide dispatch default sessions inherit
 	// (WithThreadedDispatch on the Shared constructor); individual
 	// sessions may still override it.
 	useWalker bool
+}
+
+// sessionShard is one partition of the session registry plus the retired
+// banks its closed sessions fold into. Shards are allocated individually
+// and padded so two cores folding or reading different shards never
+// write the same cache line.
+type sessionShard struct {
+	mu              sync.Mutex
+	sessions        []*Checker
+	retired         statCounters
+	retiredWarnings []Anomaly
+	retiredAudit    []AuditRecord
+	// retiredCov accumulates closed sessions' coverage counters, keyed by
+	// spec generation (counter index spaces are per-generation).
+	retiredCov map[uint64]*coverage.Snapshot
+
+	_ [64]byte // pad: keep the tail clear of the next shard's header line
+}
+
+// shardFor maps a session ID to its home shard.
+func (s *Shared) shardFor(id int) *sessionShard {
+	if id < 0 {
+		id = -id
+	}
+	return s.shards[id%len(s.shards)]
 }
 
 // scratch is one session's recyclable simulation storage: the frame stack
@@ -163,10 +186,17 @@ func NewShared(spec *core.Spec, opts ...Option) *Shared {
 		traceDepth:    tmpl.traceDepth,
 		covOff:        tmpl.covOff,
 		useWalker:     tmpl.useWalker,
-		retiredCov:    make(map[uint64]*coverage.Snapshot),
 	}
 	if s.reg == nil {
 		s.reg = obs.Default()
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	s.shards = make([]*sessionShard, n)
+	for i := range s.shards {
+		s.shards[i] = &sessionShard{retiredCov: make(map[uint64]*coverage.Snapshot)}
 	}
 	s.cur.Store(newSpecVersion(spec, 1))
 	s.scratchPool.New = func() any { return &scratch{} }
@@ -226,45 +256,58 @@ func compatiblePrograms(old, repl *ir.Program) error {
 //
 // The replacement must be for the same device and structurally compatible
 // with the current program (sessions' shadow states survive the swap).
-// Swap may be called from any goroutine; concurrent Swaps serialize.
+// Swap may be called from any goroutine; concurrent Swaps serialize. A
+// session registering concurrently with publication is safe without a
+// registry lock: NewSession loads the version before registering, and a
+// session that is not yet registered cannot be mid-round — if it loaded
+// the old version it adopts the new one at its first PreIO, so the grace
+// wait only needs the sessions visible in the shards.
 func (s *Shared) Swap(spec *core.Spec) error {
 	if spec.Device != s.device {
 		return fmt.Errorf("checker: swap: spec is for device %q, engine enforces %q", spec.Device, s.device)
 	}
+	// Shape compatibility is transitive over the program geometry checks,
+	// so validating against the version current at call time stays valid
+	// even if a concurrent Swap publishes in between.
 	if err := compatiblePrograms(s.cur.Load().prog, spec.Program()); err != nil {
 		return err
 	}
-	// Seal outside the lock: sealing cost scales with spec size and must
-	// not extend the window during which sessions are blocked from
-	// opening/closing.
+	// Seal outside the serialization lock: sealing cost scales with spec
+	// size and must not extend the window during which a competing Swap
+	// is held off.
 	sp := span.Default().Start("swap", span.Device(s.device))
 	sealed := newSpecVersion(spec, 0)
 
-	s.mu.Lock()
+	s.swapMu.Lock()
 	old := s.cur.Load()
 	sealed.gen = old.gen + 1
 	s.cur.Store(sealed)
-	sessions := append([]*Checker(nil), s.sessions...)
-	s.mu.Unlock()
 	s.swaps.Add(1)
 	if s.reg != nil {
 		s.reg.CountSwap(s.device)
 	}
 
-	// Grace period. A session's epoch is odd while it is inside PreIO
-	// (mid-round) and even between rounds. Any round entered after the
-	// Store above adopts the new version, so the old version remains
-	// reachable only by rounds whose epoch was already odd at publication
-	// time; wait for each of those epochs to advance.
-	for _, c := range sessions {
-		e := c.epoch.Load()
-		if e&1 == 0 {
-			continue
-		}
-		for c.epoch.Load() == e {
-			runtime.Gosched()
+	// Grace period. A session's epoch is odd while it is inside PreIO or
+	// PreIOBatch (mid-round) and even between rounds. Any round entered
+	// after the Store above adopts the new version, so the old version
+	// remains reachable only by rounds whose epoch was already odd at
+	// publication time; wait for each of those epochs to advance. Shard
+	// locks are held only long enough to snapshot each session list.
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sessions := append([]*Checker(nil), sh.sessions...)
+		sh.mu.Unlock()
+		for _, c := range sessions {
+			e := c.epoch.Load()
+			if e&1 == 0 {
+				continue
+			}
+			for c.epoch.Load() == e {
+				runtime.Gosched()
+			}
 		}
 	}
+	s.swapMu.Unlock()
 	sp.End(span.Gen(sealed.gen))
 	return nil
 }
@@ -280,12 +323,14 @@ func (s *Shared) Swap(spec *core.Spec) error {
 // engine's observability registry, under an auto-assigned session ID
 // unless WithSessionID fixed one. Per-recorder event rings and metric
 // banks mean sibling sessions never write a shared cache line for
-// telemetry, preserving the engine's no-cross-session-traffic property.
+// telemetry; the session ID also selects the registry shard the session
+// lives on, so open/close traffic spreads across shard locks.
 func (s *Shared) NewSession(initial *interp.State, opts ...Option) *Checker {
 	v := s.cur.Load()
 	c := &Checker{
 		spec:          v.spec,
 		sealed:        v.sealed,
+		noClear:       v.sealed != nil && v.sealed.TempsDefinitelyAssigned(),
 		prog:          v.prog,
 		ver:           v,
 		specGen:       v.gen,
@@ -328,23 +373,30 @@ func (s *Shared) NewSession(initial *interp.State, opts ...Option) *Checker {
 	c.flagArena = sc.flagArena[:0]
 	c.dmaLog = sc.dmaLog[:0]
 
-	s.mu.Lock()
 	if c.sessionID < 0 {
-		c.sessionID = s.nextSession
-		s.nextSession++
-	} else if c.sessionID >= s.nextSession {
-		s.nextSession = c.sessionID + 1
+		c.sessionID = int(s.nextSession.Add(1) - 1)
+	} else {
+		// WithSessionID fixed an ID: keep the allocator ahead of it so
+		// auto-assigned siblings never collide.
+		for {
+			next := s.nextSession.Load()
+			if int64(c.sessionID) < next || s.nextSession.CompareAndSwap(next, int64(c.sessionID)+1) {
+				break
+			}
+		}
 	}
-	s.sessions = append(s.sessions, c)
-	s.mu.Unlock()
+	sh := s.shardFor(c.sessionID)
+	sh.mu.Lock()
+	sh.sessions = append(sh.sessions, c)
+	sh.mu.Unlock()
 	if !c.recSet {
 		c.rec = c.obsReg.NewRecorder(s.device, c.sessionID, obs.DefaultRingSize)
 	}
 	return c
 }
 
-// Close retires a session checker: its counters fold into the shared
-// retired bank, its warnings and audit records drain into the shared
+// Close retires a session checker: its counters fold into its shard's
+// retired bank, its warnings and audit records drain into the shard
 // buffers, its flight recorder folds into the observability registry, and
 // its scratch returns to the pool for the next session. A serial checker
 // (built with New) closes just its recorder. Closing is idempotent; the
@@ -358,34 +410,35 @@ func (c *Checker) Close() {
 		return
 	}
 	c.shared = nil
+	sh := s.shardFor(c.sessionID)
 
-	s.mu.Lock()
-	for i, sess := range s.sessions {
+	sh.mu.Lock()
+	for i, sess := range sh.sessions {
 		if sess == c {
-			s.sessions = append(s.sessions[:i], s.sessions[i+1:]...)
+			sh.sessions = append(sh.sessions[:i], sh.sessions[i+1:]...)
 			break
 		}
 	}
 	snap := c.stats.snapshot()
-	s.retired.rounds.Add(snap.Rounds)
-	s.retired.paramAnomalies.Add(snap.ParamAnomalies)
-	s.retired.indirectAnomalies.Add(snap.IndirectAnomalies)
-	s.retired.condAnomalies.Add(snap.CondAnomalies)
-	s.retired.blocked.Add(snap.Blocked)
-	s.retired.warnings.Add(snap.Warnings)
-	s.retired.resyncs.Add(snap.Resyncs)
-	s.retired.stepsSimulated.Add(snap.StepsSimulated)
-	s.retired.syncPointsResolved.Add(snap.SyncPointsResolved)
+	sh.retired.rounds.Add(snap.Rounds)
+	sh.retired.paramAnomalies.Add(snap.ParamAnomalies)
+	sh.retired.indirectAnomalies.Add(snap.IndirectAnomalies)
+	sh.retired.condAnomalies.Add(snap.CondAnomalies)
+	sh.retired.blocked.Add(snap.Blocked)
+	sh.retired.warnings.Add(snap.Warnings)
+	sh.retired.resyncs.Add(snap.Resyncs)
+	sh.retired.stepsSimulated.Add(snap.StepsSimulated)
+	sh.retired.syncPointsResolved.Add(snap.SyncPointsResolved)
 	c.warnMu.Lock()
-	s.retiredWarnings = append(s.retiredWarnings, c.warnings...)
+	sh.retiredWarnings = append(sh.retiredWarnings, c.warnings...)
 	c.warnings = nil
-	s.retiredAudit = append(s.retiredAudit, c.audit...)
+	sh.retiredAudit = append(sh.retiredAudit, c.audit...)
 	c.audit = nil
 	for _, cg := range c.covGens {
-		acc := s.retiredCov[cg.gen]
+		acc := sh.retiredCov[cg.gen]
 		if acc == nil {
 			acc = &coverage.Snapshot{}
-			s.retiredCov[cg.gen] = acc
+			sh.retiredCov[cg.gen] = acc
 		}
 		// The caller owns the quiesced session, so publishing its pending
 		// counts here is safe; the fold then loses nothing.
@@ -395,7 +448,7 @@ func (c *Checker) Close() {
 	c.covGens = nil
 	c.cov = nil
 	c.warnMu.Unlock()
-	s.mu.Unlock()
+	sh.mu.Unlock()
 
 	if sc := c.pooled; sc != nil {
 		c.pooled = nil
@@ -410,34 +463,48 @@ func (c *Checker) Close() {
 
 // Sessions reports the number of open sessions.
 func (s *Shared) Sessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.sessions)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// Stats aggregates counters across all sessions, open and retired. It may
-// be called while sessions run: per-field sums are exact at the atomic
-// loads, with cross-field skew bounded by in-flight rounds.
+// Stats aggregates counters across all sessions, open and retired, by
+// folding the shards in order. It may be called while sessions run:
+// per-field sums are exact at the atomic loads, with cross-field skew
+// bounded by in-flight rounds. A session closing concurrently is counted
+// exactly once — the shard lock orders the read against the fold, so its
+// counters come either from its live bank or from the shard's retired
+// bank, never both and never neither.
 func (s *Shared) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	agg := s.retired.snapshot()
-	for _, c := range s.sessions {
-		agg = agg.merge(c.stats.snapshot())
+	var agg Stats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		agg = agg.merge(sh.retired.snapshot())
+		for _, c := range sh.sessions {
+			agg = agg.merge(c.stats.snapshot())
+		}
+		sh.mu.Unlock()
 	}
 	return agg
 }
 
-// Warnings copies every session's accumulated warnings, retired sessions
-// first, then open sessions in open order. Within a session the warnings
-// keep their round order; across concurrently-running sessions there is
-// no global order to report.
+// Warnings copies every session's accumulated warnings, shard by shard,
+// retired sessions first within each shard, then open sessions in open
+// order. Within a session the warnings keep their round order; across
+// concurrently-running sessions there is no global order to report.
 func (s *Shared) Warnings() []Anomaly {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := append([]Anomaly(nil), s.retiredWarnings...)
-	for _, c := range s.sessions {
-		out = append(out, c.Warnings()...)
+	var out []Anomaly
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		out = append(out, sh.retiredWarnings...)
+		for _, c := range sh.sessions {
+			out = append(out, c.Warnings()...)
+		}
+		sh.mu.Unlock()
 	}
 	if len(out) == 0 {
 		return nil
@@ -445,29 +512,35 @@ func (s *Shared) Warnings() []Anomaly {
 	return out
 }
 
-// ClearWarnings discards every accumulated warning — the retired buffer
+// ClearWarnings discards every accumulated warning — the retired buffers
 // and each open session's — keeping the buffers' capacity so later
 // rounds do not re-allocate. Like the per-Checker ClearWarnings, it is
 // meant for the gap between experiments; warnings raised concurrently
 // with the clear land in whichever side of it their lock acquisition
 // orders them.
 func (s *Shared) ClearWarnings() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.retiredWarnings = s.retiredWarnings[:0]
-	for _, c := range s.sessions {
-		c.ClearWarnings()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.retiredWarnings = sh.retiredWarnings[:0]
+		for _, c := range sh.sessions {
+			c.ClearWarnings()
+		}
+		sh.mu.Unlock()
 	}
 }
 
 // Audit copies every session's accumulated audit records (the warning
-// replays the enhancement pipeline feeds on), retired sessions first.
+// replays the enhancement pipeline feeds on), shard by shard, retired
+// sessions first within each shard.
 func (s *Shared) Audit() []AuditRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := append([]AuditRecord(nil), s.retiredAudit...)
-	for _, c := range s.sessions {
-		out = append(out, c.Audit()...)
+	var out []AuditRecord
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		out = append(out, sh.retiredAudit...)
+		for _, c := range sh.sessions {
+			out = append(out, c.Audit()...)
+		}
+		sh.mu.Unlock()
 	}
 	if len(out) == 0 {
 		return nil
@@ -478,11 +551,13 @@ func (s *Shared) Audit() []AuditRecord {
 // ClearAudit discards every accumulated audit record, retired and
 // per-session, typically after an enhancement pass consumed them.
 func (s *Shared) ClearAudit() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.retiredAudit = s.retiredAudit[:0]
-	for _, c := range s.sessions {
-		c.ClearAudit()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.retiredAudit = sh.retiredAudit[:0]
+		for _, c := range sh.sessions {
+			c.ClearAudit()
+		}
+		sh.mu.Unlock()
 	}
 }
 
@@ -491,23 +566,31 @@ func (s *Shared) ClearAudit() {
 // per-generation (each sealing assigns its own block and edge slots), so
 // cross-generation counts never mix. Safe to call while sessions run:
 // counters only grow, so a concurrent snapshot is a consistent lower
-// bound.
+// bound; the shard lock orders the read against a concurrent Close's
+// fold, so a closing session's published counts are seen exactly once.
 func (s *Shared) CoverageSnapshots() map[uint64]*coverage.Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[uint64]*coverage.Snapshot, len(s.retiredCov))
-	for gen, snap := range s.retiredCov {
-		out[gen] = snap.Clone()
-	}
-	for _, c := range s.sessions {
-		for _, cg := range c.coverageGens() {
-			acc := out[cg.gen]
+	out := make(map[uint64]*coverage.Snapshot)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for gen, snap := range sh.retiredCov {
+			acc := out[gen]
 			if acc == nil {
 				acc = &coverage.Snapshot{}
-				out[cg.gen] = acc
+				out[gen] = acc
 			}
-			acc.Merge(cg.m.Snapshot())
+			acc.Merge(snap)
 		}
+		for _, c := range sh.sessions {
+			for _, cg := range c.coverageGens() {
+				acc := out[cg.gen]
+				if acc == nil {
+					acc = &coverage.Snapshot{}
+					out[cg.gen] = acc
+				}
+				acc.Merge(cg.m.Snapshot())
+			}
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }

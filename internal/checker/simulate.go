@@ -43,7 +43,9 @@ func (c *Checker) simulateRef(req *interp.Request) *Anomaly {
 	c.frames = c.frames[:0]
 	c.push(c.spec.Entry, c.entryTemps)
 	steps := 0
-	if len(c.dmaShadow) > 0 {
+	// The DMA shadow map is the reference engine's writeback journal; in
+	// a batch it persists as the batch's guest-memory overlay.
+	if !c.batching && len(c.dmaShadow) > 0 {
 		clear(c.dmaShadow)
 	}
 	a := c.walkRef(req, &steps)
@@ -51,7 +53,11 @@ func (c *Checker) simulateRef(req *interp.Request) *Anomaly {
 	// regardless of verdict, the aggregate only on clean rounds.
 	c.roundSteps = steps
 	if a == nil {
-		c.stats.stepsSimulated.Add(uint64(steps))
+		if c.batching {
+			c.batchSteps += uint64(steps)
+		} else {
+			c.stats.stepsSimulated.Add(uint64(steps))
+		}
 	}
 	return a
 }
@@ -116,8 +122,10 @@ func (c *Checker) push(block, numTemps int) {
 		}
 		ts := c.tempArena[off:end:end]
 		fs := c.flagArena[off:end:end]
-		clear(ts)
-		clear(fs)
+		if !c.noClear {
+			clear(ts)
+			clear(fs)
+		}
 		c.frames = append(c.frames, simFrame{block: block, temps: ts, flags: fs, off: off})
 		return
 	}

@@ -132,10 +132,20 @@ func init() {
 // (entry push, coverage round-end, step accounting) mirrors simulateSealed.
 func (c *Checker) simulateThreaded(req *interp.Request) *Anomaly {
 	tp := c.tprog
-	c.frames = c.frames[:0]
-	c.tempArena = c.tempArena[:0]
-	c.flagArena = c.flagArena[:0]
-	c.dmaLog = c.dmaLog[:0]
+	if !c.batching {
+		c.frames = c.frames[:0]
+		c.tempArena = c.tempArena[:0]
+		c.flagArena = c.flagArena[:0]
+		c.dmaLog = c.dmaLog[:0]
+	} else if len(c.tempArena) != 0 {
+		// Mid-batch after a Halts round: the frame stack is already empty
+		// but the arenas kept their residue (a serial round's reset would
+		// have cleared it). The DMA journal stays — it is the batch's
+		// guest-memory overlay.
+		c.frames = c.frames[:0]
+		c.tempArena = c.tempArena[:0]
+		c.flagArena = c.flagArena[:0]
+	}
 	c.treq = req
 	c.tsteps = 0
 	c.tanom = nil
@@ -154,9 +164,13 @@ func (c *Checker) simulateThreaded(req *interp.Request) *Anomaly {
 	a := c.tanom
 	c.roundSteps = c.tsteps
 	if a == nil {
-		c.stats.stepsSimulated.Add(uint64(c.tsteps))
+		if c.batching {
+			c.batchSteps += uint64(c.tsteps)
+		} else {
+			c.stats.stepsSimulated.Add(uint64(c.tsteps))
+		}
 	}
-	if c.cov != nil {
+	if c.cov != nil && !c.batching {
 		c.cov.RoundEnd()
 	}
 	c.treq = nil
@@ -183,8 +197,10 @@ func (c *Checker) pushT(blockID, numTemps int32) {
 	}
 	ts := c.tempArena[off:end:end]
 	fs := c.flagArena[off:end:end]
-	clear(ts)
-	clear(fs)
+	if !c.noClear {
+		clear(ts)
+		clear(fs)
+	}
 	c.frames = append(c.frames, simFrame{block: int(blockID), temps: ts, flags: fs, off: off})
 	c.ttemps, c.tflags = ts, fs
 }
@@ -364,10 +380,11 @@ func tDMAReadH(c *Checker, i *tinstr) int32 {
 		return tpcStop
 	}
 	// Overlay this round's suppressed writebacks (skipped entirely in the
-	// common no-writeback round).
-	for _, w := range c.dmaLog {
-		if w.addr-addr < uint64(n) {
-			buf[w.addr-addr] = w.val
+	// common no-writeback round, and by a range compare when the read
+	// cannot touch any journaled writeback).
+	if len(c.dmaLog) > 0 && addr < c.dmaHi && c.dmaLo < addr+uint64(n) {
+		for k := range c.dmaLog {
+			c.dmaLog[k].overlay(buf[:], addr, n)
 		}
 	}
 	v := binary.LittleEndian.Uint64(buf[:])
@@ -381,11 +398,7 @@ func tDMAReadH(c *Checker, i *tinstr) int32 {
 
 func tDMAWriteH(c *Checker, i *tinstr) int32 {
 	// Suppressed guest write: journal it for this round's reads.
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], c.ttemps[i.Src])
-	for k := 0; k < int(i.bits)>>3; k++ {
-		c.dmaLog = append(c.dmaLog, dmaWrite{c.ttemps[i.A] + uint64(k), buf[k]})
-	}
+	c.journalDMAWrite(c.ttemps[i.A], c.ttemps[i.Src], uint8(i.bits>>3))
 	return i.Next
 }
 

@@ -192,6 +192,14 @@ type SealedSpec struct {
 	// spec's immutability contract and travels with it through RCU
 	// hot-swaps as part of the published spec-version object.
 	threaded *ThreadedCode
+
+	// defAssigned records that the program passed the definitely-assigned
+	// temp analysis (ir.DefiniteTemps) and that every frame entry point —
+	// the spec entry and all call entries — is its handler's block 0, the
+	// analysis' entry assumption. When set, a checker's frame push may
+	// skip zeroing the temp and flag banks: no path can read a previous
+	// round's residue.
+	defAssigned bool
 }
 
 // Seal lowers the specification into its dense runtime form. The result
@@ -384,6 +392,9 @@ func (s *Spec) Seal() *SealedSpec {
 	}
 	// Lower the verified sealed form into its threaded-code stream; the
 	// invariants above are exactly what the lowering pass dereferences.
+	if ss.Entry >= 0 && ss.Entry < len(ss.blocks) && ss.blocks[ss.Entry].Ref.Block == 0 {
+		ss.defAssigned = s.prog.DefiniteTemps()
+	}
 	ss.threaded = ss.lowerThreaded()
 	return ss
 }
@@ -580,6 +591,11 @@ func (s *SealedSpec) BlockID(handler, block int) int {
 func (s *SealedSpec) HandlerEntry(handler int) int {
 	return s.BlockID(handler, 0)
 }
+
+// TempsDefinitelyAssigned reports that every temp read in the program
+// is preceded by a write on all structural paths from its frame entry,
+// so a simulator's frame push may skip zeroing its temp and flag banks.
+func (s *SealedSpec) TempsDefinitelyAssigned() bool { return s.defAssigned }
 
 // HandlerTemps returns handler h's temp-bank size (0 when out of range).
 func (s *SealedSpec) HandlerTemps(h int) int {

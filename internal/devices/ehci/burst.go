@@ -1,0 +1,52 @@
+package ehci
+
+import (
+	"encoding/binary"
+
+	"sedspec/internal/interp"
+)
+
+// RunBurst lays out several qTD chains in disjoint guest-memory areas
+// and delivers the whole schedule sweep — one AsyncList write plus one
+// USBCmd run per chain — through machine.DispatchBatch, so a
+// batch-capable enforcement interposer checks the entire sweep in one
+// call. The request stream is exactly the one len(chains) sequential
+// Run calls would issue; only its delivery is batched.
+func (g *Guest) RunBurst(chains ...[]TD) ([]*interp.Result, error) {
+	mem := g.p.Machine().Mem
+	reqs := make([]*interp.Request, 0, 2*len(chains))
+	area := uint64(guestTDBase)
+	for _, tds := range chains {
+		head := area
+		for i, td := range tds {
+			addr := area + uint64(i)*16
+			token := td.Pid | td.Len<<16
+			if td.IOC {
+				token |= TokenIOC
+			}
+			next := uint32(0)
+			if i < len(tds)-1 {
+				next = uint32(addr + 16)
+			}
+			buf := make([]byte, 16)
+			binary.LittleEndian.PutUint32(buf[TDToken:], token)
+			binary.LittleEndian.PutUint32(buf[TDBuffer:], td.Buffer)
+			binary.LittleEndian.PutUint32(buf[TDNext:], next)
+			if err := mem.Write(addr, buf); err != nil {
+				return nil, err
+			}
+		}
+		area += uint64(len(tds)) * 16
+		reqs = append(reqs,
+			mmio32(g.Base+RegAsyncList, uint32(head)),
+			mmio32(g.Base+RegUSBCmd, CmdRun))
+	}
+	return g.p.Attached().DispatchBatch(reqs)
+}
+
+// mmio32 builds one little-endian 32-bit MMIO write request.
+func mmio32(addr uint64, v uint32) *interp.Request {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, v)
+	return interp.NewWrite(interp.SpaceMMIO, addr, b)
+}

@@ -1,0 +1,60 @@
+package pcnet
+
+import (
+	"encoding/binary"
+
+	"sedspec/internal/interp"
+)
+
+// TransmitBurst queues one single-chunk frame per descriptor slot and
+// delivers the whole doorbell sequence — one RAP/RDP TDMD pair per frame
+// — through machine.DispatchBatch, so an enforcement interposer that
+// understands batches checks the entire ring sweep in one call instead
+// of round by round. The request stream is exactly the one N Transmit
+// calls would issue; only its delivery is batched. Frames beyond the
+// ring size are sent in ring-sized groups (descriptors for a group must
+// not overwrite slots the device has not consumed yet).
+func (g *Guest) TransmitBurst(frames ...[]byte) ([]*interp.Result, error) {
+	var all []*interp.Result
+	for len(frames) > 0 {
+		n := len(frames)
+		if n > int(g.TxLen) {
+			n = int(g.TxLen)
+		}
+		res, err := g.transmitGroup(frames[:n])
+		all = append(all, res...)
+		if err != nil {
+			return all, err
+		}
+		frames = frames[n:]
+	}
+	return all, nil
+}
+
+// transmitGroup writes up to TxLen descriptor chains and batches their
+// doorbells. The first TDMD transmits every owned descriptor; the
+// remaining doorbells walk the trained empty-ring path — identical
+// behaviour to issuing the same doorbells per round.
+func (g *Guest) transmitGroup(frames [][]byte) ([]*interp.Result, error) {
+	mem := g.p.Machine().Mem
+	reqs := make([]*interp.Request, 0, 2*len(frames))
+	for i, frame := range frames {
+		slot := (g.txSlot + uint16(i)) % g.TxLen
+		addr := uint64(guestTxBuf) + uint64(slot)*0x800
+		if err := mem.Write(addr, frame); err != nil {
+			return nil, err
+		}
+		desc := make([]byte, 16)
+		binary.LittleEndian.PutUint32(desc[DescAddr:], uint32(addr))
+		binary.LittleEndian.PutUint32(desc[DescFlags:], DescOWN|DescENP)
+		binary.LittleEndian.PutUint32(desc[DescLen:], uint32(len(frame)))
+		if err := mem.Write(guestTxRing+uint64(slot)*16, desc); err != nil {
+			return nil, err
+		}
+		reqs = append(reqs,
+			interp.NewWrite(interp.SpacePIO, PortRAP, le16(0)),
+			interp.NewWrite(interp.SpacePIO, PortRDP, le16(CSR0TDMD)))
+	}
+	g.txSlot = (g.txSlot + uint16(len(frames))) % g.TxLen
+	return g.p.Attached().DispatchBatch(reqs)
+}

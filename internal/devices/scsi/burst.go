@@ -1,0 +1,38 @@
+package scsi
+
+import "sedspec/internal/interp"
+
+// SelectBurst delivers a burst of SELECT-with-ATN commands — for each
+// CDB the FIFO flush, the identify byte, the CDB bytes, the ESP command,
+// and the interrupt acknowledge — through machine.DispatchBatch, so a
+// batch-capable enforcement interposer checks the whole CDB burst in
+// one call. The request stream is exactly the one len(cdbs) sequential
+// Select calls would issue; only its delivery is batched. Returns one
+// interrupt-register value per CDB.
+func (g *Guest) SelectBurst(cdbs ...[]byte) ([]byte, error) {
+	var reqs []*interp.Request
+	var intrAt []int
+	for _, cdb := range cdbs {
+		reqs = append(reqs, interp.NewWrite(interp.SpacePIO, PortCmd, []byte{ESPFlush}))
+		reqs = append(reqs, interp.NewWrite(interp.SpacePIO, PortFIFO, []byte{0x80}))
+		for _, v := range cdb {
+			reqs = append(reqs, interp.NewWrite(interp.SpacePIO, PortFIFO, []byte{v}))
+		}
+		reqs = append(reqs, interp.NewWrite(interp.SpacePIO, PortCmd, []byte{ESPSelATN}))
+		intrAt = append(intrAt, len(reqs))
+		reqs = append(reqs, interp.NewRead(interp.SpacePIO, PortIntr))
+	}
+	results, err := g.p.Attached().DispatchBatch(reqs)
+	if err != nil {
+		return nil, err
+	}
+	intrs := make([]byte, 0, len(cdbs))
+	for _, i := range intrAt {
+		if res := results[i]; res != nil && len(res.Output) > 0 {
+			intrs = append(intrs, res.Output[0])
+		} else {
+			intrs = append(intrs, 0)
+		}
+	}
+	return intrs, nil
+}

@@ -1,0 +1,118 @@
+package machine
+
+import (
+	"fmt"
+
+	"sedspec/internal/interp"
+)
+
+// Verdict is the per-request outcome of a batched pre-I/O check. A
+// batch interposer returns one Verdict per request it looked at;
+// requests past the first short-circuit point are left with
+// Checked=false and must be re-presented (the dispatcher below does
+// this automatically).
+type Verdict struct {
+	// Checked reports whether the interposer actually examined this
+	// request. A batch short-circuits at the first anomaly or at the
+	// first round that desynchronized the shadow state, leaving the
+	// tail unchecked.
+	Checked bool
+	// Blocked reports that this request must not reach the device.
+	Blocked bool
+	// Err is the blocking error (the anomaly) when Blocked is set.
+	Err error
+	// Halt, when non-nil on a blocked verdict, is the enforcement action
+	// the dispatcher runs when it reaches the blocked request. A batched
+	// checker defers its halt hook here so the clean prefix still reaches
+	// the device first — exactly the order per-round delivery produces.
+	Halt func()
+}
+
+// BatchInterposer is an Interposer that can additionally vet a whole
+// burst of requests in one call, amortizing its per-round fixed costs
+// across the batch. PreIOBatch must return exactly one Verdict per
+// request and must mark a non-empty checked prefix (Verdicts are
+// consumed prefix-wise: the dispatcher executes checked rounds in
+// order and re-presents the unchecked tail).
+type BatchInterposer interface {
+	Interposer
+	PreIOBatch(reqs []*interp.Request) []Verdict
+}
+
+// DispatchBatch delivers a burst of requests — a descriptor-ring sweep,
+// an EHCI schedule walk, a CDB push — through the interposer chain and
+// the device in one call. With a single batch-capable interposer
+// installed (the common enforcement configuration) the whole burst is
+// vetted per batch: one PreIOBatch call covers a checked prefix, the
+// checked rounds execute, and any unchecked tail is re-presented until
+// the burst is consumed or a request is blocked. Any other interposer
+// configuration falls back to per-request DispatchDirect so semantics
+// are identical whether or not the interposers understand batches.
+//
+// Results are positional: results[i] is non-nil iff request i reached
+// the device. On a blocked request or a halted machine the error
+// reports the first failure and the partial results are returned.
+func (a *Attached) DispatchBatch(reqs []*interp.Request) ([]*interp.Result, error) {
+	m := a.machine
+	results := make([]*interp.Result, len(reqs))
+	var bi BatchInterposer
+	if len(a.interposers) == 1 {
+		bi, _ = a.interposers[0].(BatchInterposer)
+	}
+	if bi == nil && len(a.interposers) > 0 {
+		for i, req := range reqs {
+			res, err := a.DispatchDirect(req)
+			if err != nil {
+				return results, err
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+	pi, _ := any(bi).(PostInterposer)
+	for start := 0; start < len(reqs); {
+		if m.halted {
+			return results, ErrHalted
+		}
+		sub := reqs[start:]
+		checked := len(sub)
+		var verdicts []Verdict
+		if bi != nil {
+			verdicts = bi.PreIOBatch(sub)
+			checked = 0
+			for checked < len(sub) && verdicts[checked].Checked {
+				checked++
+			}
+			if checked == 0 {
+				return results, fmt.Errorf("machine: batch interposer made no progress at request %d", start)
+			}
+		}
+		for k := 0; k < checked; k++ {
+			a.round++
+			if verdicts != nil && verdicts[k].Blocked {
+				if h := verdicts[k].Halt; h != nil {
+					h()
+				}
+				return results, fmt.Errorf("%w: %w", ErrBlocked, verdicts[k].Err)
+			}
+			if m.halted {
+				return results, ErrHalted
+			}
+			m.Clock.AdvanceMicros(1)
+			m.burn(vmExitCost)
+			req := sub[k]
+			req.Rewind()
+			results[start+k] = a.in.Dispatch(req)
+		}
+		// One post-I/O point per delivered prefix instead of one per
+		// round: a batch short-circuits at the first round that leaves
+		// the interposer desynchronized, so only the last checked round
+		// can need post-I/O work — the per-round calls before it would
+		// all be no-ops, observably identical to per-round delivery.
+		if pi != nil {
+			pi.PostIO(a.dev, sub[checked-1], results[start+checked-1])
+		}
+		start += checked
+	}
+	return results, nil
+}

@@ -1,0 +1,208 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sedspec/internal/interp"
+)
+
+// scriptedBatcher is a BatchInterposer whose verdicts follow a script:
+// prefix[i] is how many requests the i-th PreIOBatch call marks checked
+// (0 = whole sub-batch); block, when >= 0, marks that absolute request
+// index blocked. It records every delivery for assertions.
+type scriptedBatcher struct {
+	prefix  []int
+	call    int
+	seen    int
+	block   int
+	halts   int
+	haltsFn bool
+	batches [][]int // request counts per PreIOBatch call
+	preIOs  int
+}
+
+func (s *scriptedBatcher) PreIO(Device, *interp.Request) error {
+	s.preIOs++
+	return nil
+}
+
+func (s *scriptedBatcher) PreIOBatch(reqs []*interp.Request) []Verdict {
+	s.batches = append(s.batches, []int{len(reqs)})
+	n := len(reqs)
+	if s.call < len(s.prefix) && s.prefix[s.call] > 0 && s.prefix[s.call] < n {
+		n = s.prefix[s.call]
+	}
+	s.call++
+	vs := make([]Verdict, len(reqs))
+	for i := 0; i < n; i++ {
+		abs := s.seen + i
+		vs[i].Checked = true
+		if abs == s.block {
+			vs[i].Blocked = true
+			vs[i].Err = fmt.Errorf("scripted block at %d", abs)
+			if s.haltsFn {
+				vs[i].Halt = func() { s.halts++ }
+			}
+			n = i + 1
+			break
+		}
+	}
+	s.seen += n
+	return vs
+}
+
+func storeReqs(n int) []*interp.Request {
+	reqs := make([]*interp.Request, n)
+	for i := range reqs {
+		reqs[i] = interp.NewWrite(interp.SpacePIO, 0x100, []byte{byte(i + 1)})
+	}
+	return reqs
+}
+
+// TestDispatchBatchConsumesPrefixes re-presents unchecked tails until the
+// burst is consumed, and every checked round reaches the device in order.
+func TestDispatchBatchConsumesPrefixes(t *testing.T) {
+	m := New()
+	dev := newToyDevice(t)
+	a := m.Attach(dev, WithPIO(0x100, 4))
+	sb := &scriptedBatcher{prefix: []int{3, 2, 0}, block: -1}
+	a.AddInterposer(sb)
+
+	reqs := storeReqs(8)
+	results, err := a.DispatchBatch(reqs)
+	if err != nil {
+		t.Fatalf("DispatchBatch: %v", err)
+	}
+	if len(sb.batches) != 3 {
+		t.Fatalf("PreIOBatch calls = %d, want 3", len(sb.batches))
+	}
+	for i, want := range []int{8, 5, 3} {
+		if sb.batches[i][0] != want {
+			t.Errorf("call %d saw %d requests, want %d", i, sb.batches[i][0], want)
+		}
+	}
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("request %d has no result", i)
+		}
+	}
+	if got, _ := dev.state.IntByName("reg"); got != 8 {
+		t.Errorf("reg = %d, want 8 (last request)", got)
+	}
+	if a.round != 8 {
+		t.Errorf("round = %d, want 8", a.round)
+	}
+	if sb.preIOs != 0 {
+		t.Errorf("per-round PreIO called %d times alongside batches", sb.preIOs)
+	}
+}
+
+// TestDispatchBatchBlocked stops at the blocked request: the clean prefix
+// reaches the device, the halt action runs, and the tail never executes.
+func TestDispatchBatchBlocked(t *testing.T) {
+	m := New()
+	dev := newToyDevice(t)
+	a := m.Attach(dev, WithPIO(0x100, 4))
+	sb := &scriptedBatcher{block: 3, haltsFn: true}
+	a.AddInterposer(sb)
+
+	results, err := a.DispatchBatch(storeReqs(6))
+	if !errors.Is(err, ErrBlocked) {
+		t.Fatalf("err = %v, want ErrBlocked", err)
+	}
+	if sb.halts != 1 {
+		t.Errorf("halt action ran %d times, want 1", sb.halts)
+	}
+	// Requests 0..2 executed, 3.. did not.
+	for i := 0; i < 3; i++ {
+		if results[i] == nil {
+			t.Errorf("request %d should have executed", i)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if results[i] != nil {
+			t.Errorf("request %d should not have executed", i)
+		}
+	}
+	if got, _ := dev.state.IntByName("reg"); got != 3 {
+		t.Errorf("reg = %d, want 3 (last clean request)", got)
+	}
+}
+
+// plainInterposer is a non-batch interposer counting calls.
+type plainInterposer struct{ n int }
+
+func (p *plainInterposer) PreIO(Device, *interp.Request) error {
+	p.n++
+	return nil
+}
+
+// TestDispatchBatchFallsBackPerRequest uses DispatchDirect when the
+// interposer chain is not a single batch-capable interposer.
+func TestDispatchBatchFallsBackPerRequest(t *testing.T) {
+	m := New()
+	dev := newToyDevice(t)
+	a := m.Attach(dev, WithPIO(0x100, 4))
+	pi := &plainInterposer{}
+	a.AddInterposer(pi)
+
+	if _, err := a.DispatchBatch(storeReqs(5)); err != nil {
+		t.Fatalf("DispatchBatch: %v", err)
+	}
+	if pi.n != 5 {
+		t.Errorf("PreIO calls = %d, want 5", pi.n)
+	}
+	if got, _ := dev.state.IntByName("reg"); got != 5 {
+		t.Errorf("reg = %d, want 5", got)
+	}
+}
+
+// TestDispatchBatchNoInterposers executes the burst bare.
+func TestDispatchBatchNoInterposers(t *testing.T) {
+	m := New()
+	dev := newToyDevice(t)
+	a := m.Attach(dev, WithPIO(0x100, 4))
+	results, err := a.DispatchBatch(storeReqs(4))
+	if err != nil {
+		t.Fatalf("DispatchBatch: %v", err)
+	}
+	if len(results) != 4 || results[3] == nil {
+		t.Fatalf("results incomplete: %v", results)
+	}
+	if a.round != 4 {
+		t.Errorf("round = %d, want 4", a.round)
+	}
+}
+
+// TestDispatchBatchHalted refuses to run on a halted machine, like
+// DispatchDirect.
+func TestDispatchBatchHalted(t *testing.T) {
+	m := New()
+	dev := newToyDevice(t)
+	a := m.Attach(dev, WithPIO(0x100, 4))
+	m.Halt()
+	if _, err := a.DispatchBatch(storeReqs(2)); !errors.Is(err, ErrHalted) {
+		t.Errorf("err = %v, want ErrHalted", err)
+	}
+}
+
+// TestDispatchBatchNoProgress surfaces a defective interposer that marks
+// nothing checked instead of spinning forever.
+func TestDispatchBatchNoProgress(t *testing.T) {
+	m := New()
+	dev := newToyDevice(t)
+	a := m.Attach(dev, WithPIO(0x100, 4))
+	a.AddInterposer(&stuckBatcher{})
+	if _, err := a.DispatchBatch(storeReqs(2)); err == nil {
+		t.Error("no-progress batch should error")
+	}
+}
+
+type stuckBatcher struct{}
+
+func (s *stuckBatcher) PreIO(Device, *interp.Request) error { return nil }
+func (s *stuckBatcher) PreIOBatch(reqs []*interp.Request) []Verdict {
+	return make([]Verdict, len(reqs))
+}

@@ -63,6 +63,17 @@ func (m *Map) RoundEnd() {
 	}
 }
 
+// RoundEndN marks the end of a batch of n checked rounds in one tick:
+// the batched check path pays the publication check once per batch
+// instead of once per round, at the same flushInterval cadence.
+// Single-writer.
+func (m *Map) RoundEndN(n int) {
+	m.sinceFlush += uint32(n)
+	if m.sinceFlush >= flushInterval {
+		m.Flush()
+	}
+}
+
 // Flush publishes all pending counts into the snapshot-visible bank. It
 // must be called from the session's driving goroutine, or from a caller
 // that synchronized with it (a quiesced or closed session); the shared

@@ -40,6 +40,13 @@ const (
 	KindMMIOWrite ExitKind = 5
 	// KindDMA is a DMA interface event.
 	KindDMA ExitKind = 6
+	// KindBatch is a coalesced summary of a batched delivery's clean
+	// rounds: Round is the first round covered, Len the number of rounds,
+	// Steps their summed step count, and Latency the virtual-time gap
+	// since the previous event (the doorbell gap). Anomalous rounds are
+	// never coalesced — they always record individually, after the
+	// summary of the clean prefix that preceded them.
+	KindBatch ExitKind = 7
 )
 
 // KindOf maps an I/O space code (1 = PIO, 2 = MMIO, matching
@@ -67,6 +74,8 @@ func (k ExitKind) String() string {
 		return "mmio-wr"
 	case KindDMA:
 		return "dma"
+	case KindBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("exit(%d)", uint8(k))
 	}

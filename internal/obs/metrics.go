@@ -247,6 +247,28 @@ type Recorder struct {
 	ring     Ring
 	bank     bank
 	closed   bool
+
+	// pendCount is a write-combining image of the bank's bucket matrix
+	// for OK-round adds within a batched check (CommitDeferred), folded
+	// into the bank by FlushDeferred. It is indexed directly by
+	// latencyBucket<<5 | stepsBucket — the full key space — so no two
+	// cells ever collide and a deferred round costs a plain increment
+	// where Commit pays an atomic. pendDirty lists the distinct cells
+	// touched since the last flush (at most one new cell per deferred
+	// round, so pendFlushInterval entries bound it); flushing walks the
+	// dirty list, not the table. The table survives batch boundaries and
+	// self-publishes every pendFlushInterval deferred rounds, so a live
+	// Snapshot trails a batched session by a bounded number of OK rounds
+	// (anomalies always flush first). lastLat / lastSteps / lastIdx
+	// memoize the previous round's raw values so back-to-back identical
+	// rounds skip bucketing entirely.
+	pendCount  [NumBuckets * NumBuckets]uint32
+	pendDirty  [pendFlushInterval]uint16
+	pendDirtyN int
+	pendRounds uint32
+	lastLat    uint32
+	lastSteps  uint32
+	lastIdx    int16
 }
 
 // NewRecorder opens a recorder for one enforcement session and
@@ -263,6 +285,7 @@ func (g *Registry) NewRecorder(device string, session int, ringSize int) *Record
 		device:  device,
 		session: uint32(session & math.MaxUint32),
 		ring:    newRing(ringSize),
+		lastIdx: -1,
 	}
 	g.mu.Lock()
 	g.recs = append(g.recs, r)
@@ -304,9 +327,86 @@ func (r *Recorder) Append(tick int64) *Event {
 }
 
 // Commit folds a filled slot from Append into the metric bank: one
-// uncontended atomic add (two on anomalies).
+// uncontended atomic add (two on anomalies). Any counts still deferred
+// from an earlier batched stretch are published first, so the bank never
+// records a later round ahead of an earlier one.
 func (r *Recorder) Commit(ev *Event) {
+	if r.pendDirtyN > 0 {
+		r.FlushDeferred()
+	}
 	r.bank.record(ev)
+}
+
+// CommitDeferred is Commit for batched check paths: OK rounds
+// accumulate in a small pending buffer and reach the atomic bank in one
+// add per distinct histogram cell at the next FlushDeferred; anomalous
+// rounds flush the buffer first and then commit directly, preserving
+// Snapshot's rounds-before-anomalies read invariant.
+func (r *Recorder) CommitDeferred(ev *Event) {
+	if ev.Verdict != VerdictOK {
+		r.FlushDeferred()
+		r.bank.record(ev)
+		return
+	}
+	r.CommitOKDeferred(ev.Latency, ev.Steps)
+}
+
+// CommitOKDeferred folds one clean batched round into the deferred
+// write-combining table without materializing a ring event. Batched
+// delivery coalesces its clean rounds into a single KindBatch ring
+// summary per batch; the histograms — and therefore Rounds — still
+// count every round individually through here, so Snapshot totals are
+// identical to per-round delivery.
+func (r *Recorder) CommitOKDeferred(latency, steps uint32) {
+	// Inlinable memo fast path: same raw values as the previous round and
+	// room before the next self-paced flush.
+	if latency == r.lastLat && steps == r.lastSteps && r.lastIdx >= 0 &&
+		r.pendRounds < pendFlushInterval-1 {
+		r.pendRounds++
+		r.pendCount[r.lastIdx]++
+		return
+	}
+	r.commitOKSlow(latency, steps)
+}
+
+func (r *Recorder) commitOKSlow(latency, steps uint32) {
+	r.pendRounds++
+	if latency == r.lastLat && steps == r.lastSteps && r.lastIdx >= 0 {
+		r.pendCount[r.lastIdx]++
+	} else {
+		r.lastLat, r.lastSteps = latency, steps
+		i := uint32(bucketOf(uint64(latency)))<<5 | uint32(bucketOf(uint64(steps)))
+		if r.pendCount[i] == 0 {
+			r.pendDirty[r.pendDirtyN] = uint16(i)
+			r.pendDirtyN++
+		}
+		r.pendCount[i]++
+		r.lastIdx = int16(i)
+	}
+	if r.pendRounds >= pendFlushInterval {
+		r.FlushDeferred()
+	}
+}
+
+// pendFlushInterval bounds how many OK rounds CommitDeferred may hold
+// back before self-publishing, mirroring the coverage map's cadence: a
+// concurrent Snapshot of a batched session lags by at most this many
+// rounds and reads a consistent lower bound.
+const pendFlushInterval = 64
+
+// FlushDeferred publishes pending CommitDeferred counts into the atomic
+// bank. The recorder self-paces it every pendFlushInterval deferred
+// rounds; anomalous rounds and Close force it so outcome ordering and
+// final totals are exact.
+func (r *Recorder) FlushDeferred() {
+	for k := 0; k < r.pendDirtyN; k++ {
+		i := r.pendDirty[k]
+		r.bank.cells[i>>5][i&(NumBuckets-1)].Add(uint64(r.pendCount[i]))
+		r.pendCount[i] = 0
+	}
+	r.pendDirtyN = 0
+	r.pendRounds = 0
+	r.lastIdx = -1
 }
 
 // Record stamps sequencing fields into ev and stores it — the
@@ -356,6 +456,7 @@ func (r *Recorder) Snapshot() MetricsSnapshot {
 // and unregisters it, so aggregate accounting survives session churn.
 // Idempotent; the ring stays readable after Close.
 func (r *Recorder) Close() {
+	r.FlushDeferred()
 	g := r.reg
 	if g == nil {
 		return
