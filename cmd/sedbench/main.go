@@ -88,7 +88,9 @@ func main() {
 	swapOut := flag.String("swap-out", "BENCH_swap.json", "output file for the swap experiment's JSON rows")
 	metrics := flag.String("metrics", "", "periodically export checker metrics as JSON to this file")
 	spans := flag.String("spans", "", "write the lifecycle span trace as Chrome trace_event JSON to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, /debug/vars, and /coverage on this address (profile live runs)")
+	listen := flag.String("listen", "", "serve the introspection endpoints (/healthz /fleet /metrics /anomalies /coverage /buildinfo /debug/vars /debug/pprof) on this address (profile live runs)")
+	pprofAddr := flag.String("pprof", "", "deprecated alias for -listen")
+	budget := flag.Float64("overhead-budget", 0, "enforcement-overhead watchdog budget in ns per checked I/O (0 disables)")
 	flag.Parse()
 
 	cfg := runConfig{
@@ -100,7 +102,7 @@ func main() {
 		batchOps: *batchOps, batchIters: *batchIters, batchSize: *batchSize, batchOut: *batchOut,
 		swapIters: *swapIters, swapStore: *swapStore, swapOut: *swapOut,
 	}
-	if err := realMain(*experiment, cfg, *metrics, *pprofAddr, *spans); err != nil {
+	if err := realMain(*experiment, cfg, *metrics, cmdutil.ResolveListen(*listen, *pprofAddr), *budget, *spans); err != nil {
 		fmt.Fprintln(os.Stderr, "sedbench:", err)
 		os.Exit(1)
 	}
@@ -109,13 +111,11 @@ func main() {
 // realMain brackets run with the observability plumbing so the final
 // metrics/span exports happen on the error path and on SIGINT/SIGTERM
 // too (os.Exit skips defers).
-func realMain(experiment string, cfg runConfig, metrics, pprofAddr, spans string) error {
-	if pprofAddr != "" {
-		addr, err := obs.ServeDebug(pprofAddr, obs.Default())
-		if err != nil {
-			return fmt.Errorf("pprof: %w", err)
+func realMain(experiment string, cfg runConfig, metrics, listenAddr string, budget float64, spans string) error {
+	if listenAddr != "" {
+		if _, err := cmdutil.ServeIntrospection(listenAddr, budget); err != nil {
+			return fmt.Errorf("listen: %w", err)
 		}
-		fmt.Printf("debug server on http://%s/debug/pprof (metrics on /debug/vars, coverage on /coverage)\n", addr)
 	}
 	fl := cmdutil.NewFlusher()
 	defer fl.Flush()

@@ -41,16 +41,20 @@ func main() {
 	specIn := flag.String("spec-in", "", "hammer under enforcement of this binary specification (enhancement mode)")
 	metrics := flag.String("metrics", "", "periodically export checker metrics as JSON to this file")
 	spans := flag.String("spans", "", "write the lifecycle span trace as Chrome trace_event JSON to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, /debug/vars, and /coverage on this address")
+	listen := flag.String("listen", "", "serve the introspection endpoints (/healthz /fleet /metrics /anomalies /coverage /buildinfo /debug/vars /debug/pprof) on this address")
+	pprofAddr := flag.String("pprof", "", "deprecated alias for -listen")
+	budget := flag.Float64("overhead-budget", 0, "enforcement-overhead watchdog budget in ns per checked I/O (0 disables)")
+	hold := flag.Bool("hold", false, "after the run, keep serving -listen until interrupted (for probing a finished run)")
 	flag.Parse()
 
-	if *pprofAddr != "" {
-		addr, err := obs.ServeDebug(*pprofAddr, obs.Default())
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sedfuzz: pprof:", err)
+	addr := cmdutil.ResolveListen(*listen, *pprofAddr)
+	serving := false
+	if addr != "" {
+		if _, err := cmdutil.ServeIntrospection(addr, *budget); err != nil {
+			fmt.Fprintln(os.Stderr, "sedfuzz: listen:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("debug server on http://%s/debug/pprof (metrics on /debug/vars, coverage on /coverage)\n", addr)
+		serving = true
 	}
 	fl := cmdutil.NewFlusher()
 	if *metrics != "" {
@@ -66,6 +70,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sedfuzz:", err)
 		os.Exit(1)
+	}
+	if *hold && serving {
+		fmt.Println("holding for introspection; interrupt to exit")
+		select {}
 	}
 }
 

@@ -9,7 +9,7 @@
 //	        [-dot cfg.dot] [-attack] [-enhance]
 //	        [-mode protection|enhancement] [-metrics metrics.json]
 //	        [-trace-on-anomaly DIR] [-coverage-dir DIR] [-spans FILE]
-//	        [-pprof ADDR]
+//	        [-listen ADDR]
 //
 // Without flags it learns the specification, prints its summary and the
 // selected device-state parameters, and replays the benign workload under
@@ -31,14 +31,18 @@
 // blocked PoC's flight-recorder timeline as DIR/<CVE>.trace,
 // -coverage-dir writes the run's ES-CFG coverage profile (and each
 // blocked PoC's anomaly training-coverage record) as JSON, -spans writes
-// the lifecycle span trace as Chrome trace_event JSON, and -pprof serves
-// net/http/pprof plus /debug/vars and /coverage on the given address.
-// Final exports also run on SIGINT/SIGTERM.
+// the lifecycle span trace as Chrome trace_event JSON, and -listen
+// serves the unified introspection server (/healthz, /fleet, /metrics,
+// /anomalies live tail, /coverage, /buildinfo, /debug/vars,
+// /debug/pprof) on the given address; -pprof remains as a deprecated
+// alias. Final exports also run on SIGINT/SIGTERM.
 //
 // The report subcommand diffs two spec generations' structure and
-// coverage:
+// coverage; the watch subcommand tails a running process's telemetry
+// stream:
 //
 //	sedspec report -spec-store DIR -device fdc -from 1 -to 2 [-json]
+//	sedspec watch ADDR [-kinds anomaly,swap] [-json] [-n 10] [-recent]
 package main
 
 import (
@@ -68,6 +72,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "watch" {
+		if err := runWatch(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "sedspec watch:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var cfg runConfig
 	flag.StringVar(&cfg.device, "device", "fdc", "device to build a specification for")
@@ -80,13 +91,15 @@ func main() {
 	flag.BoolVar(&cfg.enhance, "enhance", false, "audit the device's rare legitimate command in enhancement mode and publish the enhanced spec to -spec-store")
 	flag.StringVar(&cfg.mode, "mode", "protection", "checker working mode: protection or enhancement")
 	metrics := flag.String("metrics", "", "periodically export checker metrics as JSON to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, /debug/vars, and /coverage on this address")
+	listen := flag.String("listen", "", "serve the introspection endpoints (/healthz /fleet /metrics /anomalies /coverage /buildinfo /debug/vars /debug/pprof) on this address")
+	pprofAddr := flag.String("pprof", "", "deprecated alias for -listen")
+	budget := flag.Float64("overhead-budget", 0, "enforcement-overhead watchdog budget in ns per checked I/O (0 disables)")
 	flag.StringVar(&cfg.traceDir, "trace-on-anomaly", "", "write each blocked PoC's flight-recorder timeline into this directory")
 	flag.StringVar(&cfg.coverageDir, "coverage-dir", "", "write ES-CFG coverage profiles and per-PoC anomaly coverage as JSON into this directory")
 	spans := flag.String("spans", "", "write the lifecycle span trace as Chrome trace_event JSON to this file")
 	flag.Parse()
 
-	if err := realMain(cfg, *metrics, *pprofAddr, *spans); err != nil {
+	if err := realMain(cfg, *metrics, cmdutil.ResolveListen(*listen, *pprofAddr), *budget, *spans); err != nil {
 		fmt.Fprintln(os.Stderr, "sedspec:", err)
 		os.Exit(1)
 	}
@@ -109,13 +122,11 @@ type runConfig struct {
 // realMain brackets run with the observability plumbing so the final
 // metrics/span exports happen on the error path and on SIGINT/SIGTERM
 // too (os.Exit skips defers).
-func realMain(cfg runConfig, metrics, pprofAddr, spans string) error {
-	if pprofAddr != "" {
-		addr, err := obs.ServeDebug(pprofAddr, obs.Default())
-		if err != nil {
-			return fmt.Errorf("pprof: %w", err)
+func realMain(cfg runConfig, metrics, listenAddr string, budget float64, spans string) error {
+	if listenAddr != "" {
+		if _, err := cmdutil.ServeIntrospection(listenAddr, budget); err != nil {
+			return fmt.Errorf("listen: %w", err)
 		}
-		fmt.Printf("debug server on http://%s/debug/pprof (metrics on /debug/vars, coverage on /coverage)\n", addr)
 	}
 	fl := cmdutil.NewFlusher()
 	defer fl.Flush()

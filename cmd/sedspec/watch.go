@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+
+	"sedspec/internal/obs/stream"
+)
+
+// runWatch implements `sedspec watch ADDR`: attach to a running
+// process's introspection server (its -listen address), subscribe to
+// the telemetry stream, and pretty-print events as they arrive. This
+// is the resident-process/client split the daemon work needs: the
+// enforcing process owns the hub, the watcher is just an NDJSON
+// consumer.
+func runWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	kinds := fs.String("kinds", "", "comma-separated event kinds to tail (anomaly,audit,swap,attach,detach,spec,health,drop; default: all but health)")
+	asJSON := fs.Bool("json", false, "print raw NDJSON instead of the pretty form")
+	n := fs.Int("n", 0, "exit after N events (0: until interrupted)")
+	recent := fs.Bool("recent", false, "print the server's retained recent events and exit instead of following")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: sedspec watch [flags] ADDR")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addr := fs.Arg(0)
+	if addr == "" {
+		fs.Usage()
+		return fmt.Errorf("ADDR required (the target process's -listen address)")
+	}
+	if *kinds != "" {
+		if _, err := stream.ParseKinds(*kinds); err != nil {
+			return err
+		}
+	}
+
+	q := url.Values{}
+	if *kinds != "" {
+		q.Set("kinds", *kinds)
+	}
+	if !*recent {
+		q.Set("follow", "1")
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	target := addr + "/anomalies?" + q.Encode()
+
+	resp, err := http.Get(target)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", target, resp.Status)
+	}
+
+	if !*recent {
+		fmt.Fprintf(os.Stderr, "watching %s (interrupt to stop)\n", target)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	seen := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		// Tolerate SSE framing so the same client works against sse=1
+		// streams too.
+		line = strings.TrimPrefix(line, "data: ")
+		if line == "" {
+			continue
+		}
+		if *asJSON {
+			fmt.Println(line)
+		} else {
+			var ev stream.Event
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				fmt.Fprintf(os.Stderr, "watch: skipping undecodable line: %v\n", err)
+				continue
+			}
+			fmt.Println(ev.String())
+		}
+		seen++
+		if *n > 0 && seen >= *n {
+			return nil
+		}
+	}
+	return sc.Err()
+}

@@ -29,6 +29,7 @@ import (
 	"sedspec/internal/obs"
 	"sedspec/internal/obs/coverage"
 	"sedspec/internal/obs/span"
+	"sedspec/internal/obs/stream"
 	"sedspec/internal/simclock"
 )
 
@@ -333,6 +334,15 @@ type Checker struct {
 	// applied, including WithRecorder(nil) to disable recording.
 	obsReg *obs.Registry
 	recSet bool
+	// hub is the telemetry hub lifecycle and anomaly events publish
+	// into (stream.Default() unless WithStream redirected or disabled
+	// it). Only the rare paths touch it — blocked anomalies, warnings,
+	// attach/detach — never a clean check round. hubSet records that
+	// WithStream was applied, including WithStream(nil) to disable
+	// publication; closed makes Close idempotent for serial checkers.
+	hub    *stream.Hub
+	hubSet bool
+	closed bool
 	// roundSteps is the last round's walker step count, captured for the
 	// round's event.
 	roundSteps int
@@ -568,6 +578,13 @@ func WithCoverage(on bool) Option {
 	return func(c *Checker) { c.covOff = !on }
 }
 
+// WithStream selects the telemetry hub the checker publishes anomaly
+// and lifecycle events into (default stream.Default()). WithStream(nil)
+// disables publication entirely.
+func WithStream(h *stream.Hub) Option {
+	return func(c *Checker) { c.hub, c.hubSet = h, true }
+}
+
 // WithTraceDepth bounds how many trailing events a blocking anomaly
 // freezes into its AnomalyContext (default 32, capped by the ring).
 func WithTraceDepth(k int) Option {
@@ -634,6 +651,15 @@ func New(spec *core.Spec, initial *interp.State, opts ...Option) *Checker {
 		}
 		c.rec = reg.NewRecorder(spec.Device, c.sessionID, obs.DefaultRingSize)
 	}
+	if !c.hubSet {
+		c.hub = stream.Default()
+	}
+	c.hub.Publish(stream.Event{
+		Kind:    stream.KindAttach,
+		Device:  spec.Device,
+		Session: c.sessionID,
+		SpecGen: c.specGen,
+	})
 	return c
 }
 
@@ -803,6 +829,24 @@ func (c *Checker) finishRound(req *interp.Request, round uint64, anomaly *Anomal
 			c.record(req, round, anomaly.Strategy, obs.VerdictBlocked, anomaly.Block)
 			anomaly.Ctx = c.rec.Freeze(c.traceDepth)
 		}
+		c.hub.Publish(stream.Event{
+			Kind:    stream.KindAnomaly,
+			Device:  c.spec.Device,
+			Session: c.sessionID,
+			SpecGen: c.specGen,
+			Anomaly: &stream.AnomalyInfo{
+				Strategy: anomaly.Strategy.String(),
+				Severity: anomaly.Severity().String(),
+				Detail:   anomaly.Detail,
+				Round:    round,
+				Addr:     req.Addr,
+				Write:    req.Write,
+				Len:      len(req.Data),
+				EdgeKind: anomaly.EdgeKind,
+				EdgeSel:  anomaly.EdgeSel,
+				Ctx:      anomaly.Ctx,
+			},
+		})
 		// In a batch the halt is deferred onto the verdict (PreIOBatch),
 		// so the batch's clean prefix still reaches the device first.
 		if c.haltFn != nil && !c.batching {
@@ -814,6 +858,20 @@ func (c *Checker) finishRound(req *interp.Request, round uint64, anomaly *Anomal
 	if c.rec != nil {
 		c.record(req, round, anomaly.Strategy, obs.VerdictWarned, anomaly.Block)
 	}
+	c.hub.Publish(stream.Event{
+		Kind:    stream.KindAudit,
+		Device:  c.spec.Device,
+		Session: c.sessionID,
+		SpecGen: c.specGen,
+		Audit: &stream.AuditInfo{
+			Strategy: anomaly.Strategy.String(),
+			Detail:   anomaly.Detail,
+			Round:    round,
+			Addr:     req.Addr,
+			Write:    req.Write,
+			Len:      len(req.Data),
+		},
+	})
 	c.warnMu.Lock()
 	c.warnings = append(c.warnings, *anomaly)
 	c.audit = append(c.audit, AuditRecord{

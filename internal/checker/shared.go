@@ -12,6 +12,7 @@ import (
 	"sedspec/internal/obs"
 	"sedspec/internal/obs/coverage"
 	"sedspec/internal/obs/span"
+	"sedspec/internal/obs/stream"
 )
 
 // specVersion is one immutable generation of the enforced specification:
@@ -102,6 +103,10 @@ type Shared struct {
 	reg        *obs.Registry
 	traceDepth int
 
+	// hub is the telemetry hub sessions inherit (overridable per session
+	// with WithStream); the engine itself publishes swap events into it.
+	hub *stream.Hub
+
 	scratchPool sync.Pool
 
 	// swaps counts published versions beyond the first.
@@ -189,6 +194,10 @@ func NewShared(spec *core.Spec, opts ...Option) *Shared {
 	}
 	if s.reg == nil {
 		s.reg = obs.Default()
+	}
+	s.hub = tmpl.hub
+	if !tmpl.hubSet {
+		s.hub = stream.Default()
 	}
 	n := runtime.GOMAXPROCS(0)
 	if n < 1 {
@@ -309,6 +318,13 @@ func (s *Shared) Swap(spec *core.Spec) error {
 	}
 	s.swapMu.Unlock()
 	sp.End(span.Gen(sealed.gen))
+	s.hub.Publish(stream.Event{
+		Kind:    stream.KindSwap,
+		Device:  s.device,
+		Session: -1,
+		SpecGen: sealed.gen,
+		Swap:    &stream.SwapInfo{FromGen: old.gen, ToGen: sealed.gen},
+	})
 	return nil
 }
 
@@ -350,6 +366,7 @@ func (s *Shared) NewSession(initial *interp.State, opts ...Option) *Checker {
 	}
 	c.covOff = s.covOff
 	c.useWalker = s.useWalker
+	c.hub = s.hub
 	for _, o := range opts {
 		o(c)
 	}
@@ -392,6 +409,12 @@ func (s *Shared) NewSession(initial *interp.State, opts ...Option) *Checker {
 	if !c.recSet {
 		c.rec = c.obsReg.NewRecorder(s.device, c.sessionID, obs.DefaultRingSize)
 	}
+	c.hub.Publish(stream.Event{
+		Kind:    stream.KindAttach,
+		Device:  s.device,
+		Session: c.sessionID,
+		SpecGen: c.specGen,
+	})
 	return c
 }
 
@@ -402,9 +425,25 @@ func (s *Shared) NewSession(initial *interp.State, opts ...Option) *Checker {
 // (built with New) closes just its recorder. Closing is idempotent; the
 // checker must not be used after Close.
 func (c *Checker) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
 	if c.rec != nil {
 		c.rec.Close()
 	}
+	final := c.stats.snapshot()
+	c.hub.Publish(stream.Event{
+		Kind:    stream.KindDetach,
+		Device:  c.spec.Device,
+		Session: c.sessionID,
+		SpecGen: c.specGen,
+		Detach: &stream.SessionInfo{
+			Rounds:   final.Rounds,
+			Blocked:  final.Blocked,
+			Warnings: final.Warnings,
+		},
+	})
 	s := c.shared
 	if s == nil {
 		return
@@ -615,4 +654,44 @@ func (s *Shared) Registry() *obs.Registry { return s.reg }
 // open and retired. Safe to call while sessions run.
 func (s *Shared) Metrics() obs.MetricsSnapshot {
 	return s.reg.Snapshot().Device(s.device)
+}
+
+// EngineStatus folds the engine's session registry, aggregate
+// counters, and current-generation coverage into the shape the fleet
+// health aggregator consumes. Register it as a source with
+// stream.Health.AddEngine(sh.EngineStatus); safe to call while
+// sessions run.
+func (s *Shared) EngineStatus() stream.EngineStatus {
+	v := s.cur.Load()
+	st := s.Stats()
+	es := stream.EngineStatus{
+		Device:     s.device,
+		Generation: v.gen,
+		Sessions:   s.Sessions(),
+		Swaps:      s.swaps.Load(),
+		Rounds:     st.Rounds,
+		Blocked:    st.Blocked,
+		Warnings:   st.Warnings,
+	}
+	if !s.covOff {
+		if snap := s.CoverageSnapshots()[v.gen]; snap != nil {
+			cov := &stream.GenCoverage{
+				Generation:  v.gen,
+				TotalBlocks: v.sealed.NumBlocks(),
+				TotalEdges:  v.sealed.NumEdges(),
+			}
+			for _, n := range snap.Blocks {
+				if n != 0 {
+					cov.BlocksCovered++
+				}
+			}
+			for _, n := range snap.Edges {
+				if n != 0 {
+					cov.EdgesCovered++
+				}
+			}
+			es.Coverage = cov
+		}
+	}
+	return es
 }

@@ -1,0 +1,46 @@
+package cmdutil
+
+import (
+	"fmt"
+	"os"
+
+	"sedspec/internal/obs"
+	"sedspec/internal/obs/stream"
+)
+
+// ResolveListen folds the -listen flag with its deprecated -pprof
+// alias: -listen wins when both are set, and using -pprof prints a
+// deprecation note.
+func ResolveListen(listen, pprofAlias string) string {
+	if listen != "" {
+		return listen
+	}
+	if pprofAlias != "" {
+		fmt.Fprintln(os.Stderr, "warning: -pprof is deprecated; use -listen (same server, more endpoints)")
+		return pprofAlias
+	}
+	return ""
+}
+
+// ServeIntrospection starts the unified introspection server on addr
+// over the process-wide metrics registry and telemetry hub, with a
+// running health aggregator (budgetNs > 0 arms the enforcement-overhead
+// watchdog), and prints the startup banner. The server and the health
+// ticker live for the process; addr may use port 0.
+func ServeIntrospection(addr string, budgetNs float64) (*stream.Server, error) {
+	h := stream.NewHealth(obs.Default(), stream.Default(), stream.HealthOptions{
+		BudgetNsPerOp: budgetNs,
+	})
+	srv, err := stream.Serve(addr, stream.ServerOptions{
+		Registry: obs.Default(),
+		Hub:      stream.Default(),
+		Health:   h,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.Start()
+	fmt.Printf("introspection server on http://%s — /healthz /fleet /metrics /anomalies /coverage /buildinfo /debug/vars /debug/pprof\n",
+		srv.Addr())
+	return srv, nil
+}

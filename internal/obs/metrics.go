@@ -83,6 +83,54 @@ func (h *Hist) merge(o *Hist) {
 	}
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the recorded
+// values by walking the cumulative bucket counts and interpolating
+// linearly inside the bucket the rank lands in. Bucket i >= 1 spans
+// [2^(i-1), 2^i), so the estimate is off by at most a factor of 2 —
+// the bucket's own width — and is exact for bucket 0 (zeros) and
+// bucket 1 (ones). Returns 0 for an empty histogram; q outside (0,1]
+// is clamped.
+func (h *Hist) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, b := range h.Buckets {
+		if b == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(b)
+		if cum < rank {
+			continue
+		}
+		switch i {
+		case 0:
+			return 0
+		case 1:
+			return 1
+		}
+		lo := float64(uint64(1) << (i - 1))
+		hi := lo * 2
+		if i == NumBuckets-1 {
+			// The last bucket is open-ended; report its lower edge rather
+			// than inventing an upper one.
+			return lo
+		}
+		frac := (rank - prev) / float64(b)
+		return lo + frac*(hi-lo)
+	}
+	return 0
+}
+
 // MetricsSnapshot is one device's (or one session's) counters at a
 // point in time. It is a plain comparable value: merging and equality
 // need no locks, which is what lets aggregate accounting be tested as

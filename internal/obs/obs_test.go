@@ -2,8 +2,6 @@ package obs
 
 import (
 	"encoding/json"
-	"fmt"
-	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -227,22 +225,5 @@ func TestExportEvery(t *testing.T) {
 	}
 }
 
-func TestServeDebug(t *testing.T) {
-	g := NewRegistry()
-	r := g.NewRecorder("fdc", 0, 8)
-	r.Record(Event{Steps: 3, Verdict: VerdictOK})
-	addr, err := ServeDebug("127.0.0.1:0", g)
-	if err != nil {
-		t.Skipf("cannot listen: %v", err)
-	}
-	for _, path := range []string{"/debug/vars", "/debug/pprof/cmdline"} {
-		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
-		if err != nil {
-			t.Fatalf("GET %s: %v", path, err)
-		}
-		if resp.StatusCode != http.StatusOK {
-			t.Errorf("GET %s: status %d", path, resp.StatusCode)
-		}
-		resp.Body.Close()
-	}
-}
+// The debug HTTP surface moved to the stream package's unified
+// introspection server; see internal/obs/stream/http_test.go.

@@ -1,0 +1,75 @@
+package obs
+
+import "testing"
+
+// TestHistQuantile pins the interpolated-quantile contract the fleet
+// health rollups depend on: exact answers for the two exact buckets,
+// estimates inside the owning bucket (the factor-<2 bound) elsewhere,
+// clamped q, and a lower-edge answer for the open-ended last bucket.
+func TestHistQuantile(t *testing.T) {
+	var empty Hist
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+
+	var zeros Hist
+	zeros.Buckets[0] = 100
+	if got := zeros.Quantile(0.99); got != 0 {
+		t.Errorf("all-zeros p99 = %v, want 0", got)
+	}
+
+	var ones Hist
+	ones.Buckets[1] = 100
+	if got := ones.Quantile(0.5); got != 1 {
+		t.Errorf("all-ones p50 = %v, want 1", got)
+	}
+
+	// 100 values in bucket 5 = [16, 32): every quantile estimate must
+	// stay inside the bucket (q=1 interpolates to the closed upper
+	// edge), and the interpolation must be monotone.
+	var h Hist
+	h.Buckets[5] = 100
+	prev := 0.0
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 1.0} {
+		v := h.Quantile(q)
+		if v < 16 || v > 32 {
+			t.Errorf("q=%v: %v outside [16,32]", q, v)
+		}
+		if v < prev {
+			t.Errorf("q=%v: quantile not monotone (%v < %v)", q, v, prev)
+		}
+		prev = v
+	}
+	if got := h.Quantile(1.0); got < 31 {
+		t.Errorf("p100 of a full bucket = %v, want near the upper edge", got)
+	}
+
+	// Mixed distribution: 90 ones and 10 values in [16,32). p50 lands in
+	// the ones bucket (exact), p95 in the upper bucket.
+	var mix Hist
+	mix.Buckets[1] = 90
+	mix.Buckets[5] = 10
+	if got := mix.Quantile(0.5); got != 1 {
+		t.Errorf("mixed p50 = %v, want 1", got)
+	}
+	if got := mix.Quantile(0.95); got < 16 || got >= 32 {
+		t.Errorf("mixed p95 = %v, want inside [16,32)", got)
+	}
+
+	// Clamping: q <= 0 and q > 1 answer the extreme ranks instead of
+	// panicking or extrapolating.
+	if got := mix.Quantile(-1); got != 1 {
+		t.Errorf("q=-1 = %v, want the low extreme", got)
+	}
+	if got := mix.Quantile(2); got < 16 || got > 32 {
+		t.Errorf("q=2 = %v, want the high extreme", got)
+	}
+
+	// The open-ended last bucket reports its lower edge.
+	var top Hist
+	top.Buckets[NumBuckets-1] = 5
+	want := float64(uint64(1) << (NumBuckets - 2))
+	if got := top.Quantile(0.5); got != want {
+		t.Errorf("last-bucket quantile = %v, want lower edge %v", got, want)
+	}
+}

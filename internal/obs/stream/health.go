@@ -1,0 +1,342 @@
+package stream
+
+import (
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"sedspec/internal/obs"
+)
+
+// BuildInfo identifies the binary producing telemetry, resolved once
+// from the runtime's embedded build information.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Time      string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the process's build identity (module version, VCS
+// revision, go version). Every FleetSnapshot carries it, so exported
+// telemetry is attributable to the binary that produced it.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.GoVersion = bi.GoVersion
+		buildInfo.Path = bi.Main.Path
+		buildInfo.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.Time = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// GenCoverage is one spec generation's ES-CFG coverage rollup.
+type GenCoverage struct {
+	Generation    uint64 `json:"generation"`
+	BlocksCovered int    `json:"blocks_covered"`
+	TotalBlocks   int    `json:"total_blocks"`
+	EdgesCovered  int    `json:"edges_covered"`
+	TotalEdges    int    `json:"total_edges"`
+}
+
+// EngineStatus is what one enforcement engine contributes to a fleet
+// snapshot beyond its metrics-registry row: session registry size,
+// current generation, swap count, and live coverage. Produced by
+// checker.Shared.EngineStatus; registered with Health.AddEngine.
+type EngineStatus struct {
+	Device     string       `json:"device"`
+	Generation uint64       `json:"generation"`
+	Sessions   int          `json:"sessions"`
+	Swaps      uint64       `json:"swaps"`
+	Rounds     uint64       `json:"rounds"`
+	Blocked    uint64       `json:"blocked"`
+	Warnings   uint64       `json:"warnings"`
+	Coverage   *GenCoverage `json:"coverage,omitempty"`
+}
+
+// DeviceHealth is one device's folded view in a FleetSnapshot.
+type DeviceHealth struct {
+	Device     string `json:"device"`
+	Rounds     uint64 `json:"rounds"`
+	Anomalies  uint64 `json:"anomalies"`
+	Blocked    uint64 `json:"blocked"`
+	Warned     uint64 `json:"warned"`
+	Swaps      uint64 `json:"swaps,omitempty"`
+	Sessions   int    `json:"sessions"`
+	Generation uint64 `json:"generation,omitempty"`
+
+	// RoundsPerSec is the checked-I/O rate observed between this
+	// snapshot and the previous one (0 on the first).
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+
+	// Latency (simclock ticks between checked I/Os) and steps quantiles,
+	// interpolated from the log2 histogram buckets; see
+	// obs.Hist.Quantile for the error bound.
+	LatencyTicksP50 float64 `json:"latency_ticks_p50"`
+	LatencyTicksP90 float64 `json:"latency_ticks_p90"`
+	LatencyTicksP99 float64 `json:"latency_ticks_p99"`
+	StepsP50        float64 `json:"steps_p50"`
+	StepsP90        float64 `json:"steps_p90"`
+	StepsP99        float64 `json:"steps_p99"`
+
+	// NsPerOp is the enforcement-overhead watchdog's observation:
+	// wall nanoseconds elapsed between snapshots divided by rounds
+	// retired in that window. It is a throughput-derived upper bound on
+	// per-check cost (dispatch and device work share the same wall
+	// window); 0 when the window retired fewer than the watchdog's
+	// minimum rounds. OverBudget flags NsPerOp exceeding the configured
+	// budget.
+	NsPerOp    float64 `json:"observed_ns_per_op"`
+	OverBudget bool    `json:"over_budget"`
+
+	Coverage *GenCoverage `json:"coverage,omitempty"`
+}
+
+// FleetSnapshot is the health aggregator's periodic fold: per-device
+// rollups with derived rates and quantiles, hub traffic, and the build
+// identity of the producing binary.
+type FleetSnapshot struct {
+	TimeUnixNs    int64          `json:"time_unix_ns"`
+	UptimeSec     float64        `json:"uptime_sec"`
+	BudgetNsPerOp float64        `json:"budget_ns_per_op,omitempty"`
+	Build         BuildInfo      `json:"build"`
+	Stream        HubStats       `json:"stream"`
+	Devices       []DeviceHealth `json:"devices"`
+	// Sessions is the fleet-wide open session count (engine sources
+	// only; serial checkers are visible through their device rows).
+	Sessions int `json:"sessions"`
+	// Degraded is set when any device trips the overhead watchdog.
+	Degraded bool `json:"degraded"`
+}
+
+// Device returns the row for the named device (nil if absent).
+func (f *FleetSnapshot) Device(name string) *DeviceHealth {
+	for i := range f.Devices {
+		if f.Devices[i].Device == name {
+			return &f.Devices[i]
+		}
+	}
+	return nil
+}
+
+// HealthOptions configures the aggregator.
+type HealthOptions struct {
+	// Interval is the Start ticker period (default 5s).
+	Interval time.Duration
+	// BudgetNsPerOp arms the enforcement-overhead watchdog: a device
+	// whose observed ns/op exceeds it is flagged OverBudget and the
+	// snapshot marked Degraded. 0 disables the watchdog.
+	BudgetNsPerOp float64
+	// WatchdogMinRounds is the minimum rounds a snapshot window must
+	// retire before the watchdog computes ns/op for it, so idle windows
+	// never false-positive (default 256).
+	WatchdogMinRounds uint64
+}
+
+// devWindow is the watchdog's per-device memory of the previous fold.
+type devWindow struct {
+	rounds uint64
+	at     time.Time
+}
+
+// Health periodically folds the metrics registry and registered engine
+// sources into FleetSnapshots, publishing each as a KindHealth event.
+type Health struct {
+	reg  *obs.Registry
+	hub  *Hub
+	opts HealthOptions
+
+	mu      sync.Mutex
+	engines []func() EngineStatus
+	prev    map[string]devWindow
+	start   time.Time
+
+	stopOnce sync.Once
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewHealth builds an aggregator over a registry and hub (both may be
+// the process defaults). Engines register with AddEngine.
+func NewHealth(reg *obs.Registry, hub *Hub, opts HealthOptions) *Health {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	if hub == nil {
+		hub = Default()
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 5 * time.Second
+	}
+	if opts.WatchdogMinRounds == 0 {
+		opts.WatchdogMinRounds = 256
+	}
+	return &Health{
+		reg:   reg,
+		hub:   hub,
+		opts:  opts,
+		prev:  make(map[string]devWindow),
+		start: time.Now(),
+		done:  make(chan struct{}),
+	}
+}
+
+// AddEngine registers a live engine source (typically
+// Shared.EngineStatus bound as a method value). Sources are polled on
+// every Snapshot; register only engines that outlive the aggregator or
+// remove the aggregator first via Stop.
+func (h *Health) AddEngine(src func() EngineStatus) {
+	h.mu.Lock()
+	h.engines = append(h.engines, src)
+	h.mu.Unlock()
+}
+
+// Snapshot folds the current state into a FleetSnapshot. Safe to call
+// from any goroutine while sessions run.
+func (h *Health) Snapshot() *FleetSnapshot {
+	now := time.Now()
+	snap := h.reg.Snapshot()
+
+	h.mu.Lock()
+	srcs := append([]func() EngineStatus(nil), h.engines...)
+	h.mu.Unlock()
+	// Poll engines outside the aggregator lock: a source takes its own
+	// engine's shard locks.
+	statuses := make([]EngineStatus, 0, len(srcs))
+	for _, src := range srcs {
+		statuses = append(statuses, src())
+	}
+
+	out := &FleetSnapshot{
+		TimeUnixNs:    now.UnixNano(),
+		UptimeSec:     now.Sub(h.start).Seconds(),
+		BudgetNsPerOp: h.opts.BudgetNsPerOp,
+		Build:         Build(),
+		Stream:        h.hub.Stats(),
+	}
+
+	byDev := make(map[string]*DeviceHealth, len(snap.Devices))
+	for _, m := range snap.Devices {
+		var blocked, warned uint64
+		for s := 0; s < obs.NumStrategies; s++ {
+			blocked += m.Outcomes[s][obs.VerdictBlocked]
+			warned += m.Outcomes[s][obs.VerdictWarned]
+		}
+		d := &DeviceHealth{
+			Device:          m.Device,
+			Rounds:          m.Rounds,
+			Anomalies:       m.Anomalies(),
+			Blocked:         blocked,
+			Warned:          warned,
+			Swaps:           m.Swaps,
+			LatencyTicksP50: m.Latency.Quantile(0.50),
+			LatencyTicksP90: m.Latency.Quantile(0.90),
+			LatencyTicksP99: m.Latency.Quantile(0.99),
+			StepsP50:        m.Steps.Quantile(0.50),
+			StepsP90:        m.Steps.Quantile(0.90),
+			StepsP99:        m.Steps.Quantile(0.99),
+		}
+		byDev[m.Device] = d
+	}
+	for _, es := range statuses {
+		d := byDev[es.Device]
+		if d == nil {
+			d = &DeviceHealth{Device: es.Device}
+			byDev[es.Device] = d
+		}
+		d.Sessions += es.Sessions
+		out.Sessions += es.Sessions
+		if es.Generation > d.Generation {
+			d.Generation = es.Generation
+		}
+		if es.Coverage != nil {
+			d.Coverage = es.Coverage
+		}
+	}
+
+	h.mu.Lock()
+	for _, d := range byDev {
+		prev, seen := h.prev[d.Device]
+		h.prev[d.Device] = devWindow{rounds: d.Rounds, at: now}
+		if !seen || d.Rounds < prev.rounds {
+			continue // first sight of the device, or a registry reset
+		}
+		delta := d.Rounds - prev.rounds
+		elapsed := now.Sub(prev.at)
+		if elapsed <= 0 {
+			continue
+		}
+		d.RoundsPerSec = float64(delta) / elapsed.Seconds()
+		if delta >= h.opts.WatchdogMinRounds {
+			d.NsPerOp = float64(elapsed.Nanoseconds()) / float64(delta)
+			if h.opts.BudgetNsPerOp > 0 && d.NsPerOp > h.opts.BudgetNsPerOp {
+				d.OverBudget = true
+				out.Degraded = true
+			}
+		}
+	}
+	h.mu.Unlock()
+
+	out.Devices = make([]DeviceHealth, 0, len(byDev))
+	for _, d := range byDev {
+		out.Devices = append(out.Devices, *d)
+	}
+	sort.Slice(out.Devices, func(i, j int) bool {
+		return out.Devices[i].Device < out.Devices[j].Device
+	})
+	return out
+}
+
+// Start launches the periodic fold: every Interval a snapshot is taken
+// and published into the hub as a KindHealth event. Stop (or the
+// returned func) ends it; Start after Stop is a no-op.
+func (h *Health) Start() (stop func()) {
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		t := time.NewTicker(h.opts.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-h.done:
+				return
+			case <-t.C:
+				h.hub.Publish(Event{
+					Kind:    KindHealth,
+					Session: -1,
+					Health:  h.Snapshot(),
+				})
+			}
+		}
+	}()
+	return h.Stop
+}
+
+// Stop ends the periodic fold and waits for the ticker goroutine.
+// Idempotent; Snapshot remains usable afterwards.
+func (h *Health) Stop() {
+	h.stopOnce.Do(func() { close(h.done) })
+	h.wg.Wait()
+}

@@ -1,0 +1,169 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"sedspec/internal/obs"
+)
+
+// feed records n rounds into a fresh recorder on reg, with fixed
+// latency/steps so the quantile assertions are deterministic, plus one
+// blocked and one warned anomaly.
+func feed(reg *obs.Registry, device string, n int) {
+	r := reg.NewRecorder(device, 0, 0)
+	for i := 0; i < n; i++ {
+		r.Record(obs.Event{Tick: int64(i) * 10, Steps: 16, Verdict: obs.VerdictOK})
+	}
+	r.Record(obs.Event{Tick: int64(n) * 10, Steps: 16, Strategy: 1, Verdict: obs.VerdictBlocked})
+	r.Record(obs.Event{Tick: int64(n)*10 + 10, Steps: 16, Strategy: 2, Verdict: obs.VerdictWarned})
+}
+
+// TestHealthSnapshotFolds: a snapshot folds registry rows into device
+// rollups with blocked/warned split out, quantiles from the histograms,
+// and engine-source sessions/generation/coverage merged in.
+func TestHealthSnapshotFolds(t *testing.T) {
+	reg := obs.NewRegistry()
+	feed(reg, "fdc", 500)
+	hub := NewHub()
+	h := NewHealth(reg, hub, HealthOptions{})
+	h.AddEngine(func() EngineStatus {
+		return EngineStatus{
+			Device:     "fdc",
+			Generation: 3,
+			Sessions:   2,
+			Swaps:      2,
+			Coverage:   &GenCoverage{Generation: 3, BlocksCovered: 10, TotalBlocks: 20, EdgesCovered: 5, TotalEdges: 9},
+		}
+	})
+	h.AddEngine(func() EngineStatus {
+		return EngineStatus{Device: "ehci", Sessions: 1, Generation: 1}
+	})
+
+	snap := h.Snapshot()
+	if len(snap.Devices) != 2 {
+		t.Fatalf("devices = %d, want 2 (fdc + engine-only ehci)", len(snap.Devices))
+	}
+	if snap.Sessions != 3 {
+		t.Errorf("fleet sessions = %d, want 3", snap.Sessions)
+	}
+	if snap.Build.GoVersion == "" {
+		t.Error("snapshot missing build identity")
+	}
+
+	d := snap.Device("fdc")
+	if d == nil {
+		t.Fatal("no fdc row")
+	}
+	if d.Rounds != 502 || d.Anomalies != 2 || d.Blocked != 1 || d.Warned != 1 {
+		t.Errorf("rollup %+v", d)
+	}
+	if d.Sessions != 2 || d.Generation != 3 {
+		t.Errorf("engine merge: sessions %d gen %d", d.Sessions, d.Generation)
+	}
+	if d.Coverage == nil || d.Coverage.BlocksCovered != 10 {
+		t.Errorf("coverage not merged: %+v", d.Coverage)
+	}
+	// Steps were constant 16, bucket [16,32): the quantile estimate must
+	// land inside the bucket — the documented factor-<2 bound.
+	if d.StepsP50 < 16 || d.StepsP50 >= 32 || d.StepsP99 < 16 || d.StepsP99 >= 32 {
+		t.Errorf("steps quantiles p50=%v p99=%v outside [16,32)", d.StepsP50, d.StepsP99)
+	}
+	if snap.Device("ehci") == nil {
+		t.Error("engine-only device missing from fleet")
+	}
+	if snap.Degraded {
+		t.Error("degraded without a budget")
+	}
+}
+
+// TestHealthWatchdog: a window that retires enough rounds gets an
+// observed ns/op, and a tiny budget trips OverBudget -> Degraded. Idle
+// windows (below WatchdogMinRounds) never false-positive.
+func TestHealthWatchdog(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := NewHealth(reg, NewHub(), HealthOptions{
+		BudgetNsPerOp:     0.001, // any real window exceeds this
+		WatchdogMinRounds: 256,
+	})
+
+	feed(reg, "fdc", 100)
+	first := h.Snapshot()
+	if d := first.Device("fdc"); d.NsPerOp != 0 || d.OverBudget {
+		t.Errorf("first sight computed a window: %+v", d)
+	}
+
+	// Below-threshold window: 100 more rounds < 256.
+	feed(reg, "fdc", 98) // 98+2 anomalies = 100 rounds
+	quiet := h.Snapshot()
+	if d := quiet.Device("fdc"); d.NsPerOp != 0 || d.OverBudget {
+		t.Errorf("quiet window tripped the watchdog: %+v", d)
+	}
+	if quiet.Degraded {
+		t.Error("quiet window degraded the fleet")
+	}
+
+	// Busy window: 500 rounds >= 256 with nonzero elapsed wall time.
+	feed(reg, "fdc", 498)
+	time.Sleep(2 * time.Millisecond)
+	busy := h.Snapshot()
+	d := busy.Device("fdc")
+	if d.NsPerOp <= 0 {
+		t.Fatalf("busy window has no ns/op observation: %+v", d)
+	}
+	if d.RoundsPerSec <= 0 {
+		t.Errorf("busy window has no rate: %+v", d)
+	}
+	if !d.OverBudget || !busy.Degraded {
+		t.Errorf("watchdog did not trip on budget %v vs observed %v", busy.BudgetNsPerOp, d.NsPerOp)
+	}
+}
+
+// TestHealthTicker: Start publishes KindHealth events into the hub
+// until stopped; Stop is idempotent.
+func TestHealthTicker(t *testing.T) {
+	reg := obs.NewRegistry()
+	feed(reg, "fdc", 10)
+	hub := NewHub()
+	sub := hub.Subscribe(WithKinds(MaskOf(KindHealth)))
+	defer sub.Close()
+
+	h := NewHealth(reg, hub, HealthOptions{Interval: 2 * time.Millisecond})
+	stop := h.Start()
+	timeout := time.After(5 * time.Second)
+	donech := make(chan struct{})
+	var ev Event
+	var ok bool
+	go func() { ev, ok = sub.Recv(nil); close(donech) }()
+	select {
+	case <-donech:
+	case <-timeout:
+		t.Fatal("no health tick within 5s")
+	}
+	stop()
+	h.Stop()
+	if !ok || ev.Kind != KindHealth || ev.Health == nil {
+		t.Fatalf("tick = %+v, %v", ev, ok)
+	}
+	if ev.Session != -1 {
+		t.Errorf("health tick session = %d, want -1", ev.Session)
+	}
+	if ev.Health.Device("fdc") == nil {
+		t.Error("tick snapshot missing the device")
+	}
+	if hub.Published(KindHealth) == 0 {
+		t.Error("hub counted no health publications")
+	}
+}
+
+// TestBuildInfo: the resolved build identity is stable and carries the
+// toolchain version.
+func TestBuildInfo(t *testing.T) {
+	b := Build()
+	if b.GoVersion == "" {
+		t.Error("no go version in build info")
+	}
+	if b != Build() {
+		t.Error("Build() not stable across calls")
+	}
+}

@@ -1,0 +1,262 @@
+package stream
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+
+	"sedspec/internal/obs"
+	"sedspec/internal/obs/coverage"
+)
+
+// ServerOptions wires an introspection server's data sources. Zero
+// fields select the process-wide defaults.
+type ServerOptions struct {
+	Registry *obs.Registry
+	Hub      *Hub
+	Health   *Health
+	// FollowBuffer sizes the per-tail subscriber ring behind
+	// /anomalies?follow=1 (default DefaultSubBuffer).
+	FollowBuffer int
+}
+
+// Server is the unified introspection surface: health, fleet
+// snapshots, Prometheus metrics, the live anomaly tail, coverage,
+// expvar, and pprof — all on the server's own *http.ServeMux, so any
+// number of servers (tests, two CLIs sharing a process) coexist
+// without the default mux's duplicate-registration panic.
+type Server struct {
+	mux    *http.ServeMux
+	ln     net.Listener
+	srv    *http.Server
+	reg    *obs.Registry
+	hub    *Hub
+	health *Health
+	opts   ServerOptions
+}
+
+// expvarOnce guards the one process-global side effect: publishing the
+// first server's registry under the "sedspec_obs" expvar name (expvar
+// panics on duplicate publication). Later servers serve the same var.
+var expvarOnce sync.Once
+
+// NewServer builds the introspection handler without binding a
+// listener (useful under httptest).
+func NewServer(opts ServerOptions) *Server {
+	if opts.Registry == nil {
+		opts.Registry = obs.Default()
+	}
+	if opts.Hub == nil {
+		opts.Hub = Default()
+	}
+	if opts.Health == nil {
+		opts.Health = NewHealth(opts.Registry, opts.Hub, HealthOptions{})
+	}
+	if opts.FollowBuffer <= 0 {
+		opts.FollowBuffer = DefaultSubBuffer
+	}
+	s := &Server{
+		mux:    http.NewServeMux(),
+		reg:    opts.Registry,
+		hub:    opts.Hub,
+		health: opts.Health,
+		opts:   opts,
+	}
+	expvarOnce.Do(func() { expvar.Publish("sedspec_obs", s.reg) })
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/fleet", s.handleFleet)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/anomalies", s.handleAnomalies)
+	s.mux.HandleFunc("/buildinfo", s.handleBuildInfo)
+	s.mux.Handle("/coverage", coverage.Handler())
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Serve binds addr (port 0 allowed) and serves the introspection
+// surface in the background, returning the bound server.
+func Serve(addr string, opts ServerOptions) (*Server, error) {
+	s := NewServer(opts)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address ("" when built by NewServer).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Health returns the aggregator the server reads.
+func (s *Server) Health() *Health { return s.health }
+
+// Close stops the listener. In-flight follow streams end when their
+// connections drop.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// handleHealthz answers liveness probes: 200 with a small JSON body,
+// or 503 when the overhead watchdog marked the fleet degraded.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	snap := s.health.Snapshot()
+	status := http.StatusOK
+	state := "ok"
+	if snap.Degraded {
+		status = http.StatusServiceUnavailable
+		state = "degraded"
+	}
+	writeJSON(w, status, struct {
+		Status    string  `json:"status"`
+		UptimeSec float64 `json:"uptime_sec"`
+		Devices   int     `json:"devices"`
+		Sessions  int     `json:"sessions"`
+	}{state, snap.UptimeSec, len(snap.Devices), snap.Sessions})
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.health.Snapshot())
+}
+
+func (s *Server) handleBuildInfo(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, Build())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WriteExposition(w, s.health.Snapshot(), s.reg.Snapshot())
+}
+
+// handleAnomalies serves the event stream. Without follow=1 it returns
+// a bounded NDJSON read of the hub's retained recent events (limit=N,
+// default 64). With follow=1 it subscribes and streams live events as
+// NDJSON — or SSE frames when sse=1 or the client accepts
+// text/event-stream — until the client disconnects. A lagging tail's
+// gaps surface as synthesized kind="drop" records carrying the exact
+// number of events shed since the previous record.
+func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	mask, err := ParseKinds(q.Get("kinds"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if q.Get("kinds") == "" {
+		// The page is the anomaly tail by default; health ticks are opt-in
+		// (kinds=health or an explicit list) to keep the stream quiet.
+		mask &^= MaskOf(KindHealth)
+	}
+
+	sse := q.Get("sse") == "1" || r.Header.Get("Accept") == "text/event-stream"
+	writeEvent := func(enc *json.Encoder, ev *Event) error {
+		if sse {
+			if _, err := fmt.Fprintf(w, "data: "); err != nil {
+				return err
+			}
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+		if sse {
+			if _, err := fmt.Fprintf(w, "\n"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if q.Get("follow") != "1" {
+		limit := 64
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, ev := range s.hub.Recent(mask, limit) {
+			if writeEvent(enc, &ev) != nil {
+				return
+			}
+		}
+		return
+	}
+
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	sub := s.hub.Subscribe(WithKinds(mask), WithBuffer(s.opts.FollowBuffer))
+	defer sub.Close()
+	enc := json.NewEncoder(w)
+	done := r.Context().Done()
+	var reported uint64
+	for {
+		ev, ok := sub.Recv(done)
+		if !ok {
+			return
+		}
+		if d := sub.Dropped(); d > reported {
+			notice := Event{
+				TimeNs:  ev.TimeNs,
+				Kind:    KindDrop,
+				Session: -1,
+				Dropped: d - reported,
+			}
+			reported = d
+			if writeEvent(enc, &notice) != nil {
+				return
+			}
+		}
+		if writeEvent(enc, &ev) != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"sedspec/internal/obs"
+)
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format: backslash, double-quote, and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promWriter accumulates one exposition document, emitting each
+// family's HELP/TYPE header once.
+type promWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (p *promWriter) family(name, help, typ string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) sample(name string, labels [][2]string, v float64) {
+	if p.err != nil {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, `%s="%s"`, l[0], escapeLabel(l[1]))
+		}
+		sb.WriteByte('}')
+	}
+	var val string
+	switch {
+	case math.IsInf(v, 1):
+		val = "+Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		val = strconv.FormatFloat(v, 'f', -1, 64)
+	default:
+		val = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	_, p.err = fmt.Fprintf(p.w, "%s %s\n", sb.String(), val)
+}
+
+// histogram emits a Hist as a cumulative Prometheus histogram. Bucket
+// i's upper bound is 2^i (every value in the bucket is strictly below
+// it), the top bucket maps to +Inf, and the _sum is estimated from
+// bucket midpoints — a documented approximation inherent to log2
+// bucketing, consistent with the factor-<2 quantile bound.
+func (p *promWriter) histogram(name string, labels [][2]string, h *obs.Hist) {
+	var cum uint64
+	var sum float64
+	lbls := func(le string) [][2]string {
+		out := make([][2]string, len(labels), len(labels)+1)
+		copy(out, labels)
+		return append(out, [2]string{"le", le})
+	}
+	for i, b := range h.Buckets {
+		cum += b
+		switch {
+		case i == 0:
+		case i == 1:
+			sum += float64(b)
+		default:
+			sum += float64(b) * 1.5 * float64(uint64(1)<<(i-1))
+		}
+		if i == obs.NumBuckets-1 {
+			p.sample(name+"_bucket", lbls("+Inf"), float64(cum))
+		} else {
+			p.sample(name+"_bucket", lbls(strconv.FormatUint(uint64(1)<<i, 10)), float64(cum))
+		}
+	}
+	p.sample(name+"_sum", labels, sum)
+	p.sample(name+"_count", labels, float64(cum))
+}
+
+// WriteExposition renders the fleet snapshot and metrics registry
+// snapshot as a Prometheus text-format (version 0.0.4) document.
+func WriteExposition(w io.Writer, fleet *FleetSnapshot, snap obs.Snapshot) error {
+	p := &promWriter{w: bufio.NewWriter(w)}
+
+	b := fleet.Build
+	p.family("sedspec_build_info", "Build identity of the reporting binary (value is always 1).", "gauge")
+	p.sample("sedspec_build_info", [][2]string{
+		{"go_version", b.GoVersion},
+		{"version", b.Version},
+		{"revision", b.Revision},
+	}, 1)
+
+	p.family("sedspec_uptime_seconds", "Seconds since the health aggregator started.", "gauge")
+	p.sample("sedspec_uptime_seconds", nil, fleet.UptimeSec)
+
+	p.family("sedspec_rounds_total", "Checked I/O rounds per device.", "counter")
+	for _, m := range snap.Devices {
+		p.sample("sedspec_rounds_total", [][2]string{{"device", m.Device}}, float64(m.Rounds))
+	}
+
+	p.family("sedspec_anomalies_total", "Anomalous rounds per device, strategy, and verdict.", "counter")
+	for _, m := range snap.Devices {
+		for s := 1; s < obs.NumStrategies; s++ {
+			for v := 0; v < obs.NumVerdicts; v++ {
+				if n := m.Outcomes[s][v]; n != 0 {
+					p.sample("sedspec_anomalies_total", [][2]string{
+						{"device", m.Device},
+						{"strategy", obs.StrategyName(uint8(s))},
+						{"verdict", obs.Verdict(v).String()},
+					}, float64(n))
+				}
+			}
+		}
+	}
+
+	p.family("sedspec_swaps_total", "Spec hot-swaps applied per device.", "counter")
+	for _, m := range snap.Devices {
+		if m.Swaps != 0 {
+			p.sample("sedspec_swaps_total", [][2]string{{"device", m.Device}}, float64(m.Swaps))
+		}
+	}
+
+	p.family("sedspec_sessions", "Open enforcement sessions per device.", "gauge")
+	p.family("sedspec_generation", "Current spec generation per device.", "gauge")
+	p.family("sedspec_rounds_per_second", "Checked I/O rate per device over the last health window.", "gauge")
+	p.family("sedspec_check_ns_per_op", "Watchdog-observed wall nanoseconds per checked I/O (throughput-derived upper bound; 0 when the window was too quiet).", "gauge")
+	p.family("sedspec_check_over_budget", "1 when the device's observed ns/op exceeds the configured budget.", "gauge")
+	for _, d := range fleet.Devices {
+		lbl := [][2]string{{"device", d.Device}}
+		p.sample("sedspec_sessions", lbl, float64(d.Sessions))
+		p.sample("sedspec_generation", lbl, float64(d.Generation))
+		p.sample("sedspec_rounds_per_second", lbl, d.RoundsPerSec)
+		p.sample("sedspec_check_ns_per_op", lbl, d.NsPerOp)
+		over := 0.0
+		if d.OverBudget {
+			over = 1
+		}
+		p.sample("sedspec_check_over_budget", lbl, over)
+	}
+
+	p.family("sedspec_coverage_blocks_covered", "ES-CFG blocks covered at runtime, current generation.", "gauge")
+	p.family("sedspec_coverage_blocks_total", "ES-CFG blocks in the current sealed spec.", "gauge")
+	p.family("sedspec_coverage_edges_covered", "ES-CFG edges covered at runtime, current generation.", "gauge")
+	p.family("sedspec_coverage_edges_total", "ES-CFG edges in the current sealed spec.", "gauge")
+	for _, d := range fleet.Devices {
+		if d.Coverage == nil {
+			continue
+		}
+		lbl := [][2]string{{"device", d.Device}}
+		p.sample("sedspec_coverage_blocks_covered", lbl, float64(d.Coverage.BlocksCovered))
+		p.sample("sedspec_coverage_blocks_total", lbl, float64(d.Coverage.TotalBlocks))
+		p.sample("sedspec_coverage_edges_covered", lbl, float64(d.Coverage.EdgesCovered))
+		p.sample("sedspec_coverage_edges_total", lbl, float64(d.Coverage.TotalEdges))
+	}
+
+	p.family("sedspec_latency_ticks", "Virtual-time gap between consecutive checked I/Os, simclock ticks (log2 buckets; _sum estimated from bucket midpoints).", "histogram")
+	for i := range snap.Devices {
+		m := &snap.Devices[i]
+		p.histogram("sedspec_latency_ticks", [][2]string{{"device", m.Device}}, &m.Latency)
+	}
+	p.family("sedspec_steps", "Simulation steps per checked round (log2 buckets; _sum estimated from bucket midpoints).", "histogram")
+	for i := range snap.Devices {
+		m := &snap.Devices[i]
+		p.histogram("sedspec_steps", [][2]string{{"device", m.Device}}, &m.Steps)
+	}
+
+	p.family("sedspec_stream_published_total", "Telemetry events published into the hub, by kind.", "counter")
+	p.family("sedspec_stream_dropped_total", "Telemetry events dropped by lagging subscribers, by kind.", "counter")
+	for k := 0; k < NumKinds; k++ {
+		name := Kind(k).String()
+		if n := fleet.Stream.Published[name]; n != 0 {
+			p.sample("sedspec_stream_published_total", [][2]string{{"kind", name}}, float64(n))
+		}
+		if n := fleet.Stream.Dropped[name]; n != 0 {
+			p.sample("sedspec_stream_dropped_total", [][2]string{{"kind", name}}, float64(n))
+		}
+	}
+	p.family("sedspec_stream_subscribers", "Live hub subscribers.", "gauge")
+	p.sample("sedspec_stream_subscribers", nil, float64(fleet.Stream.Subscribers))
+
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}
+
+var (
+	promHelpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$`)
+	promTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	promSampleRe = regexp.MustCompile(
+		`^([a-zA-Z_:][a-zA-Z0-9_:]*)` + // metric name
+			`(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?` + // labels
+			` (NaN|[+-]?Inf|[+-]?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)` + // value
+			`( [+-]?[0-9]+)?$`) // optional timestamp
+)
+
+// baseFamily strips the histogram/summary series suffixes so a sample
+// maps back to its declared family.
+func baseFamily(name string, typed map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t := typed[base]; t == "histogram" || t == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// ValidateExposition checks a document against the Prometheus text
+// exposition-format grammar (version 0.0.4): line shapes, label
+// syntax, at most one TYPE per family declared before its samples,
+// histogram series carrying le labels with a +Inf bucket whose
+// cumulative count equals _count. It returns the first violation.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	typed := make(map[string]string) // family -> declared type
+	sampled := make(map[string]bool) // family -> sample seen
+	infCount := make(map[string]float64)
+	cntCount := make(map[string]float64)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if m := promTypeRe.FindStringSubmatch(line); m != nil {
+				name := m[1]
+				if _, dup := typed[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if sampled[name] {
+					return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				typed[name] = m[2]
+				continue
+			}
+			if promHelpRe.MatchString(line) || strings.HasPrefix(line, "# ") {
+				continue
+			}
+			return fmt.Errorf("line %d: malformed comment line %q", lineNo, line)
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample line %q", lineNo, line)
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		fam := baseFamily(name, typed)
+		sampled[fam] = true
+		if typed[fam] == "histogram" {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if !strings.Contains(labels, `le="`) {
+					return fmt.Errorf("line %d: histogram bucket %s missing le label", lineNo, name)
+				}
+				if strings.Contains(labels, `le="+Inf"`) {
+					v, err := strconv.ParseFloat(valStr, 64)
+					if err != nil {
+						return fmt.Errorf("line %d: bad +Inf bucket value: %v", lineNo, err)
+					}
+					infCount[fam] += v
+				}
+			case strings.HasSuffix(name, "_count"):
+				v, err := strconv.ParseFloat(valStr, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad _count value: %v", lineNo, err)
+				}
+				cntCount[fam] += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for fam, t := range typed {
+		if t != "histogram" || !sampled[fam] {
+			continue
+		}
+		inf, cnt := infCount[fam], cntCount[fam]
+		if inf != cnt {
+			return fmt.Errorf("histogram %s: +Inf bucket total %v != _count total %v", fam, inf, cnt)
+		}
+	}
+	return nil
+}

@@ -3,18 +3,12 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
-	"expvar"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
-	_ "net/http/pprof" // register /debug/pprof on the default mux
 	"os"
 	"strings"
 	"sync"
 	"time"
-
-	"sedspec/internal/obs/coverage"
 )
 
 // AnomalyContext is the forensic record attached to a blocking anomaly:
@@ -121,26 +115,4 @@ func ExportEvery(path string, every time.Duration, g *Registry) (stop func() err
 		wg.Wait()
 		return write()
 	}
-}
-
-var publishOnce sync.Once
-
-// ServeDebug serves net/http/pprof (live profiling of throughput runs),
-// expvar's /debug/vars — with the given registry published under
-// "sedspec_obs" — and the live ES-CFG coverage profiles on /coverage, on
-// addr, in the background. It returns the bound address, so addr may use
-// port 0.
-func ServeDebug(addr string, g *Registry) (string, error) {
-	publishOnce.Do(func() {
-		expvar.Publish("sedspec_obs", g)
-		http.Handle("/coverage", coverage.Handler())
-	})
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", err
-	}
-	go func() {
-		_ = http.Serve(ln, nil)
-	}()
-	return ln.Addr().String(), nil
 }

@@ -30,6 +30,7 @@ import (
 	"sedspec/internal/core"
 	"sedspec/internal/ir"
 	"sedspec/internal/obs/span"
+	"sedspec/internal/obs/stream"
 )
 
 // Key identifies a spec by the content of its inputs: the device program
@@ -140,15 +141,32 @@ func (st *Store) persistIndex() error {
 // returns the existing version.
 func (st *Store) Put(spec *core.Spec, meta VersionMeta) (VersionMeta, error) {
 	sp := span.Default().Start("store.put", span.Device(spec.Device))
-	m, err := st.put(spec, meta)
+	m, fresh, err := st.put(spec, meta)
 	sp.End(span.Gen(m.Generation))
+	if err == nil && fresh {
+		// A fresh generation landing in the store is a fleet-visible
+		// lifecycle moment: operators tailing the stream see enhancement
+		// pipelines produce versions before any engine swaps to them.
+		stream.Default().Publish(stream.Event{
+			Kind:    stream.KindSpec,
+			Device:  m.Device,
+			Session: -1,
+			SpecGen: m.Generation,
+			Spec: &stream.SpecInfo{
+				Generation: m.Generation,
+				Parent:     m.Parent,
+				CreatedBy:  m.CreatedBy,
+				Blob:       m.Blob,
+			},
+		})
+	}
 	return m, err
 }
 
-func (st *Store) put(spec *core.Spec, meta VersionMeta) (VersionMeta, error) {
+func (st *Store) put(spec *core.Spec, meta VersionMeta) (VersionMeta, bool, error) {
 	data, err := spec.EncodeBinary()
 	if err != nil {
-		return VersionMeta{}, fmt.Errorf("specstore: put: %w", err)
+		return VersionMeta{}, false, fmt.Errorf("specstore: put: %w", err)
 	}
 	sum := sha256.Sum256(data)
 	blob := hex.EncodeToString(sum[:])
@@ -167,7 +185,7 @@ func (st *Store) put(spec *core.Spec, meta VersionMeta) (VersionMeta, error) {
 			gen = v.Generation
 		}
 		if v.Blob == blob && v.ProgramHash == meta.ProgramHash && v.CorpusHash == meta.CorpusHash {
-			return v, nil
+			return v, false, nil
 		}
 	}
 	meta.Generation = gen + 1
@@ -176,18 +194,18 @@ func (st *Store) put(spec *core.Spec, meta VersionMeta) (VersionMeta, error) {
 	if _, err := os.Stat(path); os.IsNotExist(err) {
 		tmp := path + ".tmp"
 		if err := os.WriteFile(tmp, data, 0o644); err != nil {
-			return VersionMeta{}, fmt.Errorf("specstore: write blob: %w", err)
+			return VersionMeta{}, false, fmt.Errorf("specstore: write blob: %w", err)
 		}
 		if err := os.Rename(tmp, path); err != nil {
-			return VersionMeta{}, fmt.Errorf("specstore: commit blob: %w", err)
+			return VersionMeta{}, false, fmt.Errorf("specstore: commit blob: %w", err)
 		}
 	}
 
 	st.idx.Versions = append(st.idx.Versions, meta)
 	if err := st.persistIndex(); err != nil {
-		return VersionMeta{}, err
+		return VersionMeta{}, false, err
 	}
-	return meta, nil
+	return meta, true, nil
 }
 
 // Lookup returns the newest version matching the key, if any. This is the

@@ -18,6 +18,7 @@ import (
 	"sedspec/internal/devices/testdev"
 	"sedspec/internal/machine"
 	"sedspec/internal/obs"
+	"sedspec/internal/obs/stream"
 )
 
 func lifecycleBuild() (machine.Device, []machine.AttachOption) {
@@ -49,6 +50,7 @@ func TestSpecStorePutLookupLoad(t *testing.T) {
 	}
 
 	key := sedspec.StoreKey(att, "benign-v1")
+	specEvents := stream.Default().Published(stream.KindSpec)
 	meta, err := st.Put(spec, sedspec.SpecVersion{
 		ProgramHash: key.ProgramHash,
 		CorpusHash:  key.CorpusHash,
@@ -59,6 +61,15 @@ func TestSpecStorePutLookupLoad(t *testing.T) {
 	}
 	if meta.Generation != 1 || meta.Device != spec.Device || meta.Blob == "" {
 		t.Fatalf("published meta incomplete: %+v", meta)
+	}
+	// A fresh publication is fleet-visible telemetry.
+	if got := stream.Default().Published(stream.KindSpec); got != specEvents+1 {
+		t.Errorf("fresh Put published %d spec events, want 1", got-specEvents)
+	}
+	recent := stream.Default().Recent(stream.MaskOf(stream.KindSpec), 1)
+	if len(recent) != 1 || recent[0].Spec == nil ||
+		recent[0].Spec.Generation != meta.Generation || recent[0].Spec.Blob != meta.Blob {
+		t.Errorf("spec event payload wrong: %+v", recent)
 	}
 
 	// Lookup by content key, Load verifies the blob hash and rebinds.
@@ -83,6 +94,9 @@ func TestSpecStorePutLookupLoad(t *testing.T) {
 	}
 	if again.Generation != 1 || len(st.Versions(spec.Device)) != 1 {
 		t.Errorf("idempotent Put created a new version: %+v", again)
+	}
+	if got := stream.Default().Published(stream.KindSpec); got != specEvents+1 {
+		t.Errorf("idempotent Put re-published a spec event (%d total)", got-specEvents)
 	}
 
 	// A different corpus is a different key and a new generation.

@@ -40,6 +40,7 @@ import (
 	"sedspec/internal/obs"
 	"sedspec/internal/obs/coverage"
 	"sedspec/internal/obs/span"
+	"sedspec/internal/obs/stream"
 	"sedspec/internal/trace"
 )
 
@@ -86,6 +87,16 @@ type (
 	// SpanSink collects lifecycle spans (learn, seal, swap, enhance, store
 	// put/get) and exports them as Chrome trace_event JSON.
 	SpanSink = span.Sink
+	// TelemetryHub is the bounded non-blocking broadcast hub the checkers
+	// publish fleet telemetry into (anomalies, swaps, session lifecycle,
+	// health ticks).
+	TelemetryHub = stream.Hub
+	// TelemetryEvent is one typed, sequence-numbered event on the hub.
+	TelemetryEvent = stream.Event
+	// FleetSnapshot is the health aggregator's one-stop fleet picture:
+	// per-device rollups, rates, latency quantiles, and the
+	// enforcement-overhead watchdog verdict.
+	FleetSnapshot = stream.FleetSnapshot
 )
 
 // DiffCoverage compares two coverage profiles, older to newer.
@@ -98,6 +109,15 @@ func Spans() *SpanSink { return span.Default() }
 // WithRecorder installs a caller-owned flight recorder on a checker
 // (WithRecorder(nil) disables recording entirely).
 func WithRecorder(rec *obs.Recorder) checker.Option { return checker.WithRecorder(rec) }
+
+// WithStream routes a checker's telemetry events to a caller-owned hub
+// instead of the process-wide default (WithStream(nil) disables
+// publication entirely).
+func WithStream(h *stream.Hub) checker.Option { return checker.WithStream(h) }
+
+// Stream returns the process-wide telemetry hub the checkers publish
+// into unless redirected with WithStream.
+func Stream() *TelemetryHub { return stream.Default() }
 
 // ObsDefault returns the process-wide observability registry the
 // checkers report into unless redirected with checker.WithObs.

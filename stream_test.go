@@ -1,0 +1,194 @@
+// Streaming telemetry acceptance tests: the delivery contract of the
+// anomaly event hub under a concurrent multi-session hammer, and the
+// guard that keeps an attached hub free on the sealed check path.
+package sedspec_test
+
+import (
+	"sync"
+	"testing"
+
+	"sedspec"
+	"sedspec/internal/bench"
+	"sedspec/internal/checker"
+	"sedspec/internal/devices/testdev"
+	"sedspec/internal/fuzzer"
+	"sedspec/internal/interp"
+	"sedspec/internal/machine"
+	"sedspec/internal/obs"
+	"sedspec/internal/obs/stream"
+)
+
+// TestStreamDeliverySemantics pins the hub's two delivery contracts at
+// once, under -race with four concurrent protected sessions:
+//
+//   - a keeping-up subscriber sees every published event exactly once,
+//     in strictly increasing sequence order, with zero drops;
+//   - a slow subscriber that never drains loses events instead of
+//     blocking publishers, and its accounting balances exactly:
+//     enqueued + dropped == published.
+func TestStreamDeliverySemantics(t *testing.T) {
+	_, latt := setup(t, testdev.Options{})
+	spec := learn(t, latt).Spec
+
+	hub := stream.NewHub()
+	// Large enough to hold every event even if the consumer stalls: 4
+	// sessions x 2000 hammer ops publish at most one event each, plus
+	// lifecycle events.
+	keeper := hub.Subscribe(stream.WithBuffer(1 << 16))
+	slow := hub.Subscribe(stream.WithBuffer(4)) // never drained
+	defer slow.Close()
+
+	// Enhancement mode plus a no-op halt keeps sessions publishing
+	// audits and blocked anomalies straight through random I/O.
+	sh := sedspec.NewSharedChecker(spec,
+		checker.WithObs(obs.NewRegistry()),
+		checker.WithMode(checker.ModeEnhancement),
+		sedspec.WithStream(hub))
+
+	const n = 4
+	p := machine.NewPool(n, lifecycleBuild)
+	chks := make([]*checker.Checker, n)
+	for i, s := range p.Sessions() {
+		chks[i] = sedspec.ProtectShared(s.Attached(), sh, checker.WithHalt(func() {}))
+	}
+
+	var (
+		wg        sync.WaitGroup
+		delivered uint64
+		lastSeq   uint64
+		orderErr  bool
+		byKind    [stream.NumKinds]uint64
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			ev, ok := keeper.Recv(nil)
+			if !ok {
+				return
+			}
+			if ev.Seq <= lastSeq {
+				orderErr = true
+			}
+			lastSeq = ev.Seq
+			delivered++
+			byKind[ev.Kind%stream.NumKinds]++
+		}
+	}()
+
+	if err := p.Run(func(s *machine.Session) error {
+		fuzzer.Hammer(s.Attached(), interp.SpacePIO, testdev.PortCmd, testdev.PortCount,
+			uint64(1+s.ID()), 2000)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range chks {
+		c.Close()
+	}
+	// Close detaches the keeper from the hub but leaves its buffered
+	// backlog readable; the consumer drains it and Recv reports done.
+	keeper.Close()
+	wg.Wait()
+
+	if orderErr {
+		t.Error("keeper observed a non-increasing sequence number")
+	}
+	if got := keeper.Dropped(); got != 0 {
+		t.Errorf("keeping-up subscriber dropped %d events", got)
+	}
+	st := hub.Stats()
+	if delivered != st.TotalPublished {
+		t.Errorf("keeper delivered %d events, hub published %d", delivered, st.TotalPublished)
+	}
+	if lastSeq != hub.Seq() {
+		t.Errorf("keeper's final seq %d != hub seq %d", lastSeq, hub.Seq())
+	}
+	if byKind[stream.KindAttach] != n || byKind[stream.KindDetach] != n {
+		t.Errorf("lifecycle events: %d attach / %d detach, want %d each",
+			byKind[stream.KindAttach], byKind[stream.KindDetach], n)
+	}
+	if byKind[stream.KindAnomaly]+byKind[stream.KindAudit] == 0 {
+		t.Error("hammer published no anomaly or audit events")
+	}
+	// The slow subscriber's books must balance: every published event was
+	// either enqueued to it or counted as dropped, nothing vanished.
+	if got := slow.Enqueued() + slow.Dropped(); got != st.TotalPublished {
+		t.Errorf("slow subscriber accounting: enqueued %d + dropped %d != published %d",
+			slow.Enqueued(), slow.Dropped(), st.TotalPublished)
+	}
+	if slow.Dropped() == 0 {
+		t.Error("slow subscriber with a 4-slot buffer never dropped")
+	}
+	t.Logf("published %d events (%d anomalies, %d audits), slow sub dropped %d",
+		st.TotalPublished, byKind[stream.KindAnomaly], byKind[stream.KindAudit], slow.Dropped())
+}
+
+// TestStreamOverheadGuard pins the hub's price on the sealed check
+// path: a checker with a hub attached (and zero subscribers) must stay
+// within 1% of one with streaming disabled, and must not allocate.
+// Clean rounds never touch the hub at all, so the budget is tight.
+func TestStreamOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews the hub/no-hub ratio")
+	}
+	target := bench.TargetByName("fdc", true)
+	r, err := bench.NewCheckerReplay(target, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := r.NewChecker(checker.WithObs(obs.NewRegistry()), sedspec.WithStream(stream.NewHub()))
+	off := r.NewChecker(checker.WithObs(obs.NewRegistry()), sedspec.WithStream(nil))
+
+	const chunk = 50_000
+	warm := func(chk *checker.Checker) {
+		t.Helper()
+		for i := 0; i < 2*len(r.Reqs); i++ {
+			if err := r.Step(chk, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	warm(on)
+	warm(off)
+	minAllocs := uint64(^uint64(0))
+	timeOf := func(chk *checker.Checker) float64 {
+		t.Helper()
+		elapsed, allocs, err := r.TimeChunk(chk, 0, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if allocs < minAllocs {
+			minAllocs = allocs
+		}
+		return float64(elapsed) / chunk
+	}
+	// Interleave trials and keep each side's best: the minimum is the
+	// least-noisy estimate of the path's true cost on this machine.
+	minOn, minOff := timeOf(on), timeOf(off)
+	for trial := 0; trial < 5; trial++ {
+		if v := timeOf(off); v < minOff {
+			minOff = v
+		}
+		if v := timeOf(on); v < minOn {
+			minOn = v
+		}
+	}
+	// Judge allocations on the minimum across trials: background runtime
+	// activity can land a stray malloc in any one chunk, but a hot path
+	// that allocates does so in every chunk.
+	if minAllocs != 0 {
+		t.Fatalf("steady-state chunks allocated %d times in every trial", minAllocs)
+	}
+	ratio := minOn / minOff
+	t.Logf("sealed check: hub attached %.1f ns/op, disabled %.1f ns/op, ratio %.3f", minOn, minOff, ratio)
+	// Budget: 1% (the streaming layer's contract — clean rounds never
+	// touch the hub) plus 3% measurement slack for interleaved-chunk
+	// timing noise.
+	if ratio > 1.04 {
+		t.Errorf("attached hub costs %.1f%% on the sealed path, want <= 1%% (+slack)", 100*(ratio-1))
+	}
+}
