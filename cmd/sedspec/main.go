@@ -43,6 +43,17 @@
 //
 //	sedspec report -spec-store DIR -device fdc -from 1 -to 2 [-json]
 //	sedspec watch ADDR [-kinds anomaly,swap] [-json] [-n 10] [-recent]
+//	              [-retry] [-retry-max 15s]
+//
+// The control-plane subcommands drive a running sedspecd fleet daemon
+// over its HTTP/JSON API (see cmd/sedspecd):
+//
+//	sedspec tenant [-addr A] create|delete|list [NAME]
+//	sedspec install [-addr A] -tenant T -device D [-corpus C] [-mode M] [-budget N]
+//	sedspec attach  [-addr A] -tenant T -device D [-workload W] [-cve ID] [-count N]
+//	sedspec detach  [-addr A] -tenant T -id N
+//	sedspec swap    [-addr A] -tenant T -device D [-enhance] [-generation N]
+//	sedspec status  [-addr A] [-tenant T]
 package main
 
 import (
@@ -78,6 +89,23 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+	if len(os.Args) > 1 {
+		ctl := map[string]func([]string) error{
+			"tenant":  runTenant,
+			"install": runInstall,
+			"attach":  runAttach,
+			"detach":  runDetach,
+			"swap":    runSwap,
+			"status":  runStatus,
+		}
+		if run, ok := ctl[os.Args[1]]; ok {
+			if err := run(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "sedspec "+os.Args[1]+":", err)
+				os.Exit(1)
+			}
+			return
+		}
 	}
 
 	var cfg runConfig

@@ -9,9 +9,14 @@ import (
 	"net/url"
 	"os"
 	"strings"
+	"time"
 
 	"sedspec/internal/obs/stream"
 )
+
+// watchInitialBackoff is the first reconnect delay; it doubles per
+// failed attempt up to -retry-max.
+const watchInitialBackoff = 500 * time.Millisecond
 
 // runWatch implements `sedspec watch ADDR`: attach to a running
 // process's introspection server (its -listen address), subscribe to
@@ -19,12 +24,22 @@ import (
 // is the resident-process/client split the daemon work needs: the
 // enforcing process owns the hub, the watcher is just an NDJSON
 // consumer.
+//
+// With -retry (the default) a dropped stream reconnects with capped
+// exponential backoff. Each reconnect first replays the server's
+// retained recent events, deduplicated by sequence number, so events
+// published while the watcher was down are not silently lost; a recent
+// buffer whose newest sequence is below the last one seen means the
+// server restarted, and the dedup cursor resets so the new process's
+// stream prints from its beginning.
 func runWatch(args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	kinds := fs.String("kinds", "", "comma-separated event kinds to tail (anomaly,audit,swap,attach,detach,spec,health,drop; default: all but health)")
 	asJSON := fs.Bool("json", false, "print raw NDJSON instead of the pretty form")
 	n := fs.Int("n", 0, "exit after N events (0: until interrupted)")
 	recent := fs.Bool("recent", false, "print the server's retained recent events and exit instead of following")
+	retry := fs.Bool("retry", true, "reconnect with capped exponential backoff when the stream drops")
+	retryMax := fs.Duration("retry-max", 15*time.Second, "backoff cap between reconnect attempts")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: sedspec watch [flags] ADDR")
 		fs.PrintDefaults()
@@ -42,56 +57,209 @@ func runWatch(args []string) error {
 			return err
 		}
 	}
-
-	q := url.Values{}
-	if *kinds != "" {
-		q.Set("kinds", *kinds)
-	}
-	if !*recent {
-		q.Set("follow", "1")
-	}
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
-	target := addr + "/anomalies?" + q.Encode()
+	w := &watcher{
+		base:     strings.TrimRight(addr, "/"),
+		kinds:    *kinds,
+		asJSON:   *asJSON,
+		limit:    *n,
+		retry:    *retry,
+		retryMax: *retryMax,
+	}
+	if w.retryMax <= 0 {
+		w.retryMax = watchInitialBackoff
+	}
+	if *recent {
+		// One-shot: print the retained buffer and exit; no retry loop.
+		return w.replayRecent(true)
+	}
+	return w.follow()
+}
 
-	resp, err := http.Get(target)
+// watcher is the stateful stream client: the dedup cursor (lastSeq)
+// and printed-event count survive reconnects.
+type watcher struct {
+	base     string
+	kinds    string
+	asJSON   bool
+	limit    int
+	retry    bool
+	retryMax time.Duration
+
+	lastSeq uint64
+	seen    int
+}
+
+func (w *watcher) url(follow bool) string {
+	q := url.Values{}
+	if w.kinds != "" {
+		q.Set("kinds", w.kinds)
+	}
+	if follow {
+		q.Set("follow", "1")
+	} else {
+		q.Set("limit", "256")
+	}
+	return w.base + "/anomalies?" + q.Encode()
+}
+
+// follow streams until -n events were printed or (without -retry) the
+// stream drops.
+func (w *watcher) follow() error {
+	backoff := watchInitialBackoff
+	first := true
+	for {
+		if !first {
+			// Catch up on whatever the server retained while we were
+			// down; connection errors here just mean it is still down.
+			_ = w.replayRecent(false)
+			if w.done() {
+				return nil
+			}
+		}
+		connected, err := w.streamFollow(first)
+		if w.done() {
+			return nil
+		}
+		if !w.retry {
+			if err == nil {
+				err = fmt.Errorf("stream closed by server")
+			}
+			return err
+		}
+		if connected {
+			backoff = watchInitialBackoff
+		}
+		if err == nil {
+			err = fmt.Errorf("stream closed by server")
+		}
+		fmt.Fprintf(os.Stderr, "watch: %v; reconnecting in %s\n", err, backoff)
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > w.retryMax {
+			backoff = w.retryMax
+		}
+		first = false
+	}
+}
+
+// replayRecent fetches the server's retained events and prints the
+// ones not seen yet. A newest sequence below the cursor means a fresh
+// server process (the hub's sequence counter restarted), so the cursor
+// resets instead of suppressing the new stream forever.
+func (w *watcher) replayRecent(oneShot bool) error {
+	resp, err := http.Get(w.url(false))
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: %s", target, resp.Status)
+		return fmt.Errorf("%s: %s", w.url(false), resp.Status)
 	}
-
-	if !*recent {
-		fmt.Fprintf(os.Stderr, "watching %s (interrupt to stop)\n", target)
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	seen := 0
+	var events []stream.Event
+	var lines []string
+	var maxSeq uint64
+	sc := newEventScanner(resp.Body)
 	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		// Tolerate SSE framing so the same client works against sse=1
-		// streams too.
-		line = strings.TrimPrefix(line, "data: ")
+		line := eventLine(sc)
 		if line == "" {
 			continue
 		}
-		if *asJSON {
-			fmt.Println(line)
-		} else {
-			var ev stream.Event
-			if err := json.Unmarshal([]byte(line), &ev); err != nil {
-				fmt.Fprintf(os.Stderr, "watch: skipping undecodable line: %v\n", err)
-				continue
-			}
-			fmt.Println(ev.String())
+		var ev stream.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			fmt.Fprintf(os.Stderr, "watch: skipping undecodable line: %v\n", err)
+			continue
 		}
-		seen++
-		if *n > 0 && seen >= *n {
+		if ev.Seq > maxSeq {
+			maxSeq = ev.Seq
+		}
+		events = append(events, ev)
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !oneShot && w.lastSeq > 0 && maxSeq > 0 && maxSeq < w.lastSeq {
+		fmt.Fprintf(os.Stderr, "watch: server restarted (stream sequence reset); resuming from its beginning\n")
+		w.lastSeq = 0
+	}
+	for i, ev := range events {
+		if !oneShot && ev.Seq <= w.lastSeq {
+			continue
+		}
+		w.print(lines[i], &ev)
+		if w.done() {
 			return nil
 		}
 	}
-	return sc.Err()
+	return nil
+}
+
+// streamFollow opens the live tail and prints events until it ends.
+// The returned bool reports whether the connection was established
+// (resetting the caller's backoff even when the stream later drops).
+func (w *watcher) streamFollow(announce bool) (bool, error) {
+	target := w.url(true)
+	resp, err := http.Get(target)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("%s: %s", target, resp.Status)
+	}
+	if announce {
+		fmt.Fprintf(os.Stderr, "watching %s (interrupt to stop)\n", target)
+	}
+	sc := newEventScanner(resp.Body)
+	for sc.Scan() {
+		line := eventLine(sc)
+		if line == "" {
+			continue
+		}
+		var ev stream.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			fmt.Fprintf(os.Stderr, "watch: skipping undecodable line: %v\n", err)
+			continue
+		}
+		// Drop notices are synthesized per-subscriber and carry no hub
+		// sequence; everything else dedups against the resume replay.
+		if ev.Kind != stream.KindDrop && ev.Seq > 0 && ev.Seq <= w.lastSeq {
+			continue
+		}
+		w.print(line, &ev)
+		if w.done() {
+			return true, nil
+		}
+	}
+	return true, sc.Err()
+}
+
+func (w *watcher) print(line string, ev *stream.Event) {
+	if w.asJSON {
+		fmt.Println(line)
+	} else {
+		fmt.Println(ev.String())
+	}
+	if ev.Seq > w.lastSeq {
+		w.lastSeq = ev.Seq
+	}
+	w.seen++
+}
+
+func (w *watcher) done() bool { return w.limit > 0 && w.seen >= w.limit }
+
+func newEventScanner(r interface{ Read([]byte) (int, error) }) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	return sc
+}
+
+// eventLine strips whitespace and SSE framing so the same client works
+// against sse=1 streams too.
+func eventLine(sc *bufio.Scanner) string {
+	line := strings.TrimSpace(sc.Text())
+	return strings.TrimPrefix(line, "data: ")
 }

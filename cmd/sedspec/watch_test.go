@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"sedspec/internal/obs/stream"
+)
+
+// captureStdout redirects os.Stdout around fn so the watcher's printed
+// events can be asserted on.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		_, _ = io.Copy(&buf, r)
+		close(done)
+	}()
+	ferr := fn()
+	_ = w.Close()
+	<-done
+	os.Stdout = old
+	return buf.String(), ferr
+}
+
+// seqsOf parses the -json output lines back into their sequence
+// numbers, in print order.
+func seqsOf(t *testing.T, out string) []uint64 {
+	t.Helper()
+	var seqs []uint64
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev stream.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("undecodable output line %q: %v", line, err)
+		}
+		seqs = append(seqs, ev.Seq)
+	}
+	return seqs
+}
+
+func wantSeqs(t *testing.T, out string, want ...uint64) {
+	t.Helper()
+	got := seqsOf(t, out)
+	if len(got) != len(want) {
+		t.Fatalf("printed seqs %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("printed seqs %v, want %v", got, want)
+		}
+	}
+}
+
+// anomalyServer scripts /anomalies: followFn serves the Nth follow=1
+// request, recentFn the Nth recent fetch. Returning from the handler
+// closes the response body, which the watcher sees as a dropped
+// stream.
+func anomalyServer(t *testing.T, followFn, recentFn func(call int, emit func(...uint64))) *httptest.Server {
+	t.Helper()
+	var mu sync.Mutex
+	followN, recentN := 0, 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/anomalies" {
+			http.NotFound(w, r)
+			return
+		}
+		enc := json.NewEncoder(w)
+		emit := func(seqs ...uint64) {
+			for _, s := range seqs {
+				_ = enc.Encode(stream.Event{Seq: s, Kind: stream.KindAnomaly, Device: "fdc"})
+			}
+		}
+		follow := r.URL.Query().Get("follow") == "1"
+		mu.Lock()
+		var call int
+		if follow {
+			followN++
+			call = followN
+		} else {
+			recentN++
+			call = recentN
+		}
+		mu.Unlock()
+		if follow {
+			followFn(call, emit)
+		} else {
+			recentFn(call, emit)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestWatchReconnectResumes drops the follow stream after three events
+// and asserts the reconnect replays only the events published while
+// the watcher was down — the overlap with what was already printed is
+// deduplicated by sequence number.
+func TestWatchReconnectResumes(t *testing.T) {
+	ts := anomalyServer(t,
+		func(call int, emit func(...uint64)) {
+			if call == 1 {
+				emit(1, 2, 3) // then close: dropped stream
+				return
+			}
+			emit(6, 7) // not reached at -n 5, but keeps later calls alive
+		},
+		func(_ int, emit func(...uint64)) {
+			// The server retained 2..5; 2 and 3 were already printed.
+			emit(2, 3, 4, 5)
+		},
+	)
+	out, err := captureStdout(t, func() error {
+		return runWatch([]string{"-json", "-n", "5", "-retry-max", "1s", ts.URL})
+	})
+	if err != nil {
+		t.Fatalf("runWatch: %v", err)
+	}
+	wantSeqs(t, out, 1, 2, 3, 4, 5)
+}
+
+// TestWatchDetectsServerRestart gives the reconnect a recent buffer
+// whose newest sequence is below the cursor — a fresh server process —
+// and asserts the cursor resets instead of suppressing everything the
+// new process publishes.
+func TestWatchDetectsServerRestart(t *testing.T) {
+	ts := anomalyServer(t,
+		func(call int, emit func(...uint64)) {
+			if call == 1 {
+				emit(10, 11) // old process, then it dies
+				return
+			}
+			emit(3, 4) // new process's live tail
+		},
+		func(_ int, emit func(...uint64)) {
+			emit(1, 2) // new process's retained buffer: max 2 < cursor 11
+		},
+	)
+	out, err := captureStdout(t, func() error {
+		return runWatch([]string{"-json", "-n", "5", "-retry-max", "1s", ts.URL})
+	})
+	if err != nil {
+		t.Fatalf("runWatch: %v", err)
+	}
+	wantSeqs(t, out, 10, 11, 1, 2, 3)
+}
+
+// TestWatchNoRetrySurfacesDrop pins the -retry=false contract: a
+// server-side close is an error, not a silent exit.
+func TestWatchNoRetrySurfacesDrop(t *testing.T) {
+	ts := anomalyServer(t,
+		func(_ int, emit func(...uint64)) { emit(1) },
+		func(_ int, emit func(...uint64)) { emit(1) },
+	)
+	out, err := captureStdout(t, func() error {
+		return runWatch([]string{"-json", "-retry=false", ts.URL})
+	})
+	if err == nil {
+		t.Fatal("runWatch with -retry=false returned nil after server closed the stream")
+	}
+	wantSeqs(t, out, 1)
+}
+
+// TestWatchRecentOneShot pins -recent: print the retained buffer once,
+// no follow request, no retry loop.
+func TestWatchRecentOneShot(t *testing.T) {
+	ts := anomalyServer(t,
+		func(_ int, _ func(...uint64)) {
+			t.Error("-recent must not open a follow stream")
+		},
+		func(_ int, emit func(...uint64)) { emit(1, 2, 3) },
+	)
+	out, err := captureStdout(t, func() error {
+		return runWatch([]string{"-json", "-recent", ts.URL})
+	})
+	if err != nil {
+		t.Fatalf("runWatch: %v", err)
+	}
+	wantSeqs(t, out, 1, 2, 3)
+}

@@ -1,0 +1,87 @@
+// Command sedspecd is the resident SEDSpec fleet-enforcement daemon: a
+// long-running process hosting named tenants, each with its own
+// spec-store namespace and live enforcement sessions, driven over an
+// HTTP/JSON control plane that shares a listener with the
+// introspection surface (/healthz /fleet /metrics /anomalies
+// /coverage /buildinfo /debug/pprof).
+//
+// Usage:
+//
+//	sedspecd -store DIR [-addr 127.0.0.1:6060]
+//	         [-drain-timeout 10s] [-overhead-budget NS]
+//	         [-health-interval 5s]
+//
+// Control plane (all JSON; see the README walkthrough):
+//
+//	POST   /tenants                       {"name": "prod"}
+//	GET    /tenants
+//	GET    /tenants/{tenant}
+//	DELETE /tenants/{tenant}              drain + remove
+//	POST   /tenants/{tenant}/specs        {"device": "fdc", "corpus": "benign"|"cve:<ID>", "mode": "...", "budget": N}
+//	GET    /tenants/{tenant}/specs[?device=fdc]
+//	POST   /tenants/{tenant}/sessions     {"device": "fdc", "workload": "benign"|"mixed"|"poc"|"idle", "count": N, ...}
+//	GET    /tenants/{tenant}/sessions
+//	DELETE /tenants/{tenant}/sessions/{id}
+//	POST   /tenants/{tenant}/swap         {"device": "fdc", "enhance": true} or {"device": "fdc", "generation": N}
+//	GET    /status
+//	GET    /fleet[?tenant=prod]
+//
+// On SIGINT/SIGTERM the daemon drains: every session goroutine is
+// stopped, checkers are retired (stats folded, one final detach event
+// each), and the process exits 0 on a clean drain or 1 when a session
+// failed to stop within -drain-timeout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sedspec/internal/daemon"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6060", "control-plane + introspection listen address")
+	store := flag.String("store", "", "spec-store root directory; tenant namespaces live under it (required)")
+	drain := flag.Duration("drain-timeout", 10*time.Second, "deadline for stopping session goroutines on shutdown or tenant delete")
+	budget := flag.Float64("overhead-budget", 0, "enforcement-overhead watchdog budget in ns per checked I/O (0 disables)")
+	healthEvery := flag.Duration("health-interval", 5*time.Second, "fleet health aggregation period")
+	flag.Parse()
+
+	if err := run(*addr, *store, *drain, *budget, *healthEvery); err != nil {
+		fmt.Fprintln(os.Stderr, "sedspecd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, store string, drain time.Duration, budget float64, healthEvery time.Duration) error {
+	if store == "" {
+		return fmt.Errorf("-store is required (spec-store root directory)")
+	}
+	d, err := daemon.New(daemon.Options{
+		StoreRoot:        store,
+		DrainTimeout:     drain,
+		OverheadBudgetNs: budget,
+		HealthInterval:   healthEvery,
+	})
+	if err != nil {
+		return err
+	}
+	if err := d.Serve(addr); err != nil {
+		return err
+	}
+	fmt.Printf("sedspecd listening on %s (store %s, drain timeout %s)\n", d.Addr(), store, drain)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("sedspecd: received %s, draining ...\n", s)
+	if err := d.Close(); err != nil {
+		return err
+	}
+	fmt.Println("sedspecd: drained clean")
+	return nil
+}

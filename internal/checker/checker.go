@@ -343,6 +343,9 @@ type Checker struct {
 	hub    *stream.Hub
 	hubSet bool
 	closed bool
+	// tenant is the control-plane namespace stamped onto every published
+	// event (empty for single-tenant CLI runs).
+	tenant string
 	// roundSteps is the last round's walker step count, captured for the
 	// round's event.
 	roundSteps int
@@ -585,6 +588,14 @@ func WithStream(h *stream.Hub) Option {
 	return func(c *Checker) { c.hub, c.hubSet = h, true }
 }
 
+// WithTenant stamps a control-plane tenant name onto every event the
+// checker (or a Shared engine templated from it) publishes, so a
+// daemon's anomaly tail attributes each record to the namespace that
+// owns the session. Empty (the default) means single-tenant.
+func WithTenant(name string) Option {
+	return func(c *Checker) { c.tenant = name }
+}
+
 // WithTraceDepth bounds how many trailing events a blocking anomaly
 // freezes into its AnomalyContext (default 32, capped by the ring).
 func WithTraceDepth(k int) Option {
@@ -656,6 +667,7 @@ func New(spec *core.Spec, initial *interp.State, opts ...Option) *Checker {
 	}
 	c.hub.Publish(stream.Event{
 		Kind:    stream.KindAttach,
+		Tenant:  c.tenant,
 		Device:  spec.Device,
 		Session: c.sessionID,
 		SpecGen: c.specGen,
@@ -831,6 +843,7 @@ func (c *Checker) finishRound(req *interp.Request, round uint64, anomaly *Anomal
 		}
 		c.hub.Publish(stream.Event{
 			Kind:    stream.KindAnomaly,
+			Tenant:  c.tenant,
 			Device:  c.spec.Device,
 			Session: c.sessionID,
 			SpecGen: c.specGen,
@@ -860,6 +873,7 @@ func (c *Checker) finishRound(req *interp.Request, round uint64, anomaly *Anomal
 	}
 	c.hub.Publish(stream.Event{
 		Kind:    stream.KindAudit,
+		Tenant:  c.tenant,
 		Device:  c.spec.Device,
 		Session: c.sessionID,
 		SpecGen: c.specGen,

@@ -106,6 +106,9 @@ type Shared struct {
 	// hub is the telemetry hub sessions inherit (overridable per session
 	// with WithStream); the engine itself publishes swap events into it.
 	hub *stream.Hub
+	// tenant is the control-plane namespace sessions inherit and the
+	// engine stamps onto its own swap events (empty for single-tenant).
+	tenant string
 
 	scratchPool sync.Pool
 
@@ -191,6 +194,7 @@ func NewShared(spec *core.Spec, opts ...Option) *Shared {
 		traceDepth:    tmpl.traceDepth,
 		covOff:        tmpl.covOff,
 		useWalker:     tmpl.useWalker,
+		tenant:        tmpl.tenant,
 	}
 	if s.reg == nil {
 		s.reg = obs.Default()
@@ -320,6 +324,7 @@ func (s *Shared) Swap(spec *core.Spec) error {
 	sp.End(span.Gen(sealed.gen))
 	s.hub.Publish(stream.Event{
 		Kind:    stream.KindSwap,
+		Tenant:  s.tenant,
 		Device:  s.device,
 		Session: -1,
 		SpecGen: sealed.gen,
@@ -367,6 +372,7 @@ func (s *Shared) NewSession(initial *interp.State, opts ...Option) *Checker {
 	c.covOff = s.covOff
 	c.useWalker = s.useWalker
 	c.hub = s.hub
+	c.tenant = s.tenant
 	for _, o := range opts {
 		o(c)
 	}
@@ -411,6 +417,7 @@ func (s *Shared) NewSession(initial *interp.State, opts ...Option) *Checker {
 	}
 	c.hub.Publish(stream.Event{
 		Kind:    stream.KindAttach,
+		Tenant:  c.tenant,
 		Device:  s.device,
 		Session: c.sessionID,
 		SpecGen: c.specGen,
@@ -435,6 +442,7 @@ func (c *Checker) Close() {
 	final := c.stats.snapshot()
 	c.hub.Publish(stream.Event{
 		Kind:    stream.KindDetach,
+		Tenant:  c.tenant,
 		Device:  c.spec.Device,
 		Session: c.sessionID,
 		SpecGen: c.specGen,
@@ -666,6 +674,7 @@ func (s *Shared) EngineStatus() stream.EngineStatus {
 	st := s.Stats()
 	es := stream.EngineStatus{
 		Device:     s.device,
+		Tenant:     s.tenant,
 		Generation: v.gen,
 		Sessions:   s.Sessions(),
 		Swaps:      s.swaps.Load(),

@@ -1,0 +1,69 @@
+package daemon_test
+
+import (
+	"testing"
+	"time"
+
+	"sedspec/internal/cvesim"
+	"sedspec/internal/daemon"
+)
+
+// TestDaemonPoCVerdictParity replays every case-study PoC as a daemon
+// session — engine installed from the PoC's training corpus with the
+// batch CLI's check budget — and requires the verdict to be identical,
+// field for field, to cvesim.PoC.RunProtected. The resident path
+// (spec-store roundtrip, shared sealed engine, per-session checker)
+// must not change a single detection outcome, including the documented
+// CVE-2016-1568 miss.
+func TestDaemonPoCVerdictParity(t *testing.T) {
+	d := newTestDaemon(t, daemon.Options{DrainTimeout: 30 * time.Second})
+	defer d.Close()
+	tn, err := d.CreateTenant("parity")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, p := range cvesim.All() {
+		t.Run(p.CVE, func(t *testing.T) {
+			want, err := p.RunProtected()
+			if err != nil {
+				t.Fatalf("baseline RunProtected: %v", err)
+			}
+			if _, err := tn.Install(daemon.InstallRequest{
+				Corpus: "cve:" + p.CVE,
+				Budget: 200_000, // RunProtected's budget
+			}); err != nil {
+				t.Fatalf("install: %v", err)
+			}
+			ss, err := tn.Attach(daemon.AttachRequest{Device: p.Device, Workload: "poc"})
+			if err != nil {
+				t.Fatalf("attach: %v", err)
+			}
+			s := ss[0]
+			deadline := time.Now().Add(60 * time.Second)
+			for s.Status().Verdict == nil {
+				if time.Now().After(deadline) {
+					t.Fatalf("no verdict: %+v", s.Status())
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			fin, err := tn.Detach(s.ID)
+			if err != nil {
+				t.Fatalf("detach: %v", err)
+			}
+			if fin.Err != "" {
+				t.Fatalf("session error: %s", fin.Err)
+			}
+
+			wantV := daemon.Verdict{CVE: p.CVE, Detected: want.Detected, Succeeded: want.Succeeded}
+			if want.Anomaly != nil {
+				wantV.Strategy = want.Anomaly.Strategy.String()
+				wantV.Severity = want.Anomaly.Severity().String()
+				wantV.Detail = want.Anomaly.Detail
+			}
+			if *fin.Verdict != wantV {
+				t.Errorf("daemon verdict diverged from batch replay:\n got %+v\nwant %+v", *fin.Verdict, wantV)
+			}
+		})
+	}
+}

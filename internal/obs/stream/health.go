@@ -66,7 +66,12 @@ type GenCoverage struct {
 // current generation, swap count, and live coverage. Produced by
 // checker.Shared.EngineStatus; registered with Health.AddEngine.
 type EngineStatus struct {
-	Device     string       `json:"device"`
+	Device string `json:"device"`
+	// Tenant is the control-plane namespace the engine was opened under
+	// (empty for single-tenant CLI engines). Tenant-owned engines get
+	// their own fleet rows instead of merging into the registry's
+	// process-wide device row.
+	Tenant     string       `json:"tenant,omitempty"`
 	Generation uint64       `json:"generation"`
 	Sessions   int          `json:"sessions"`
 	Swaps      uint64       `json:"swaps"`
@@ -76,9 +81,13 @@ type EngineStatus struct {
 	Coverage   *GenCoverage `json:"coverage,omitempty"`
 }
 
-// DeviceHealth is one device's folded view in a FleetSnapshot.
+// DeviceHealth is one device's folded view in a FleetSnapshot. A
+// daemon-hosted engine contributes one row per (tenant, device) pair;
+// single-tenant engines and serial checkers fold into the per-device
+// registry row with Tenant empty.
 type DeviceHealth struct {
 	Device     string `json:"device"`
+	Tenant     string `json:"tenant,omitempty"`
 	Rounds     uint64 `json:"rounds"`
 	Anomalies  uint64 `json:"anomalies"`
 	Blocked    uint64 `json:"blocked"`
@@ -161,6 +170,12 @@ type devWindow struct {
 	at     time.Time
 }
 
+// engineSource is a registered engine poll with a removal handle.
+type engineSource struct {
+	id  uint64
+	src func() EngineStatus
+}
+
 // Health periodically folds the metrics registry and registered engine
 // sources into FleetSnapshots, publishing each as a KindHealth event.
 type Health struct {
@@ -168,10 +183,11 @@ type Health struct {
 	hub  *Hub
 	opts HealthOptions
 
-	mu      sync.Mutex
-	engines []func() EngineStatus
-	prev    map[string]devWindow
-	start   time.Time
+	mu        sync.Mutex
+	engines   []engineSource
+	engineSeq uint64
+	prev      map[string]devWindow
+	start     time.Time
 
 	stopOnce sync.Once
 	done     chan struct{}
@@ -204,13 +220,27 @@ func NewHealth(reg *obs.Registry, hub *Hub, opts HealthOptions) *Health {
 }
 
 // AddEngine registers a live engine source (typically
-// Shared.EngineStatus bound as a method value). Sources are polled on
-// every Snapshot; register only engines that outlive the aggregator or
-// remove the aggregator first via Stop.
-func (h *Health) AddEngine(src func() EngineStatus) {
+// Shared.EngineStatus bound as a method value) and returns a func that
+// unregisters it. Sources are polled on every Snapshot; an engine that
+// is being torn down (a daemon tenant deleted mid-flight) must be
+// removed before its Shared is abandoned, or the aggregator stopped
+// first via Stop. The remove func is idempotent.
+func (h *Health) AddEngine(src func() EngineStatus) (remove func()) {
 	h.mu.Lock()
-	h.engines = append(h.engines, src)
+	h.engineSeq++
+	id := h.engineSeq
+	h.engines = append(h.engines, engineSource{id: id, src: src})
 	h.mu.Unlock()
+	return func() {
+		h.mu.Lock()
+		for i, e := range h.engines {
+			if e.id == id {
+				h.engines = append(h.engines[:i], h.engines[i+1:]...)
+				break
+			}
+		}
+		h.mu.Unlock()
+	}
 }
 
 // Snapshot folds the current state into a FleetSnapshot. Safe to call
@@ -220,13 +250,13 @@ func (h *Health) Snapshot() *FleetSnapshot {
 	snap := h.reg.Snapshot()
 
 	h.mu.Lock()
-	srcs := append([]func() EngineStatus(nil), h.engines...)
+	srcs := append([]engineSource(nil), h.engines...)
 	h.mu.Unlock()
 	// Poll engines outside the aggregator lock: a source takes its own
 	// engine's shard locks.
 	statuses := make([]EngineStatus, 0, len(srcs))
-	for _, src := range srcs {
-		statuses = append(statuses, src())
+	for _, s := range srcs {
+		statuses = append(statuses, s.src())
 	}
 
 	out := &FleetSnapshot{
@@ -261,10 +291,18 @@ func (h *Health) Snapshot() *FleetSnapshot {
 		byDev[m.Device] = d
 	}
 	for _, es := range statuses {
-		d := byDev[es.Device]
+		// Tenant-owned engines get dedicated rows keyed tenant/device:
+		// the process-wide metrics registry cannot split counters per
+		// tenant, so the row is populated from the engine's own folded
+		// aggregates instead of the registry fold.
+		key := es.Device
+		if es.Tenant != "" {
+			key = es.Tenant + "/" + es.Device
+		}
+		d := byDev[key]
 		if d == nil {
-			d = &DeviceHealth{Device: es.Device}
-			byDev[es.Device] = d
+			d = &DeviceHealth{Device: es.Device, Tenant: es.Tenant}
+			byDev[key] = d
 		}
 		d.Sessions += es.Sessions
 		out.Sessions += es.Sessions
@@ -274,12 +312,19 @@ func (h *Health) Snapshot() *FleetSnapshot {
 		if es.Coverage != nil {
 			d.Coverage = es.Coverage
 		}
+		if es.Tenant != "" {
+			d.Rounds += es.Rounds
+			d.Blocked += es.Blocked
+			d.Warned += es.Warnings
+			d.Anomalies += es.Blocked + es.Warnings
+			d.Swaps += es.Swaps
+		}
 	}
 
 	h.mu.Lock()
-	for _, d := range byDev {
-		prev, seen := h.prev[d.Device]
-		h.prev[d.Device] = devWindow{rounds: d.Rounds, at: now}
+	for key, d := range byDev {
+		prev, seen := h.prev[key]
+		h.prev[key] = devWindow{rounds: d.Rounds, at: now}
 		if !seen || d.Rounds < prev.rounds {
 			continue // first sight of the device, or a registry reset
 		}
@@ -304,6 +349,9 @@ func (h *Health) Snapshot() *FleetSnapshot {
 		out.Devices = append(out.Devices, *d)
 	}
 	sort.Slice(out.Devices, func(i, j int) bool {
+		if out.Devices[i].Tenant != out.Devices[j].Tenant {
+			return out.Devices[i].Tenant < out.Devices[j].Tenant
+		}
 		return out.Devices[i].Device < out.Devices[j].Device
 	})
 	return out

@@ -88,17 +88,43 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Serve binds addr (port 0 allowed) and serves the introspection
-// surface in the background, returning the bound server.
-func Serve(addr string, opts ServerOptions) (*Server, error) {
-	s := NewServer(opts)
+// Handle mounts an additional handler on the server's mux, so a
+// control plane (the fleet daemon's tenant/session API) rides the same
+// listener as the introspection surface. Patterns follow
+// http.ServeMux semantics, including method and wildcard patterns.
+// Mount before Start: the mux is not safe for concurrent registration
+// once requests flow.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+}
+
+// HandleFunc is Handle for plain functions.
+func (s *Server) HandleFunc(pattern string, h func(http.ResponseWriter, *http.Request)) {
+	s.mux.HandleFunc(pattern, h)
+}
+
+// Start binds addr (port 0 allowed) and serves the mux in the
+// background. Use after NewServer + Handle when extra routes must be
+// mounted before the listener opens; Serve composes the two for the
+// introspection-only callers.
+func (s *Server) Start(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	s.ln = ln
 	s.srv = &http.Server{Handler: s.mux}
 	go func() { _ = s.srv.Serve(ln) }()
+	return nil
+}
+
+// Serve binds addr (port 0 allowed) and serves the introspection
+// surface in the background, returning the bound server.
+func Serve(addr string, opts ServerOptions) (*Server, error) {
+	s := NewServer(opts)
+	if err := s.Start(addr); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -148,8 +174,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}{state, snap.UptimeSec, len(snap.Devices), snap.Sessions})
 }
 
-func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.health.Snapshot())
+// handleFleet serves the full fleet snapshot; ?tenant=NAME narrows the
+// device rows (and the session count) to one control-plane tenant's
+// engines. Registry-wide rows carry no tenant and are excluded from a
+// filtered view.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	snap := s.health.Snapshot()
+	if tenant := r.URL.Query().Get("tenant"); tenant != "" {
+		filtered := make([]DeviceHealth, 0, len(snap.Devices))
+		sessions := 0
+		for _, d := range snap.Devices {
+			if d.Tenant == tenant {
+				filtered = append(filtered, d)
+				sessions += d.Sessions
+			}
+		}
+		snap.Devices = filtered
+		snap.Sessions = sessions
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) handleBuildInfo(w http.ResponseWriter, _ *http.Request) {

@@ -143,8 +143,18 @@ func WriteExposition(w io.Writer, fleet *FleetSnapshot, snap obs.Snapshot) error
 	p.family("sedspec_rounds_per_second", "Checked I/O rate per device over the last health window.", "gauge")
 	p.family("sedspec_check_ns_per_op", "Watchdog-observed wall nanoseconds per checked I/O (throughput-derived upper bound; 0 when the window was too quiet).", "gauge")
 	p.family("sedspec_check_over_budget", "1 when the device's observed ns/op exceeds the configured budget.", "gauge")
-	for _, d := range fleet.Devices {
+	// Fleet-row labels: tenant-owned rows get a tenant label so the
+	// same device hosted by two tenants never collides on a label set.
+	fleetLabels := func(d *DeviceHealth) [][2]string {
 		lbl := [][2]string{{"device", d.Device}}
+		if d.Tenant != "" {
+			lbl = append(lbl, [2]string{"tenant", d.Tenant})
+		}
+		return lbl
+	}
+	for i := range fleet.Devices {
+		d := fleet.Devices[i]
+		lbl := fleetLabels(&d)
 		p.sample("sedspec_sessions", lbl, float64(d.Sessions))
 		p.sample("sedspec_generation", lbl, float64(d.Generation))
 		p.sample("sedspec_rounds_per_second", lbl, d.RoundsPerSec)
@@ -160,11 +170,12 @@ func WriteExposition(w io.Writer, fleet *FleetSnapshot, snap obs.Snapshot) error
 	p.family("sedspec_coverage_blocks_total", "ES-CFG blocks in the current sealed spec.", "gauge")
 	p.family("sedspec_coverage_edges_covered", "ES-CFG edges covered at runtime, current generation.", "gauge")
 	p.family("sedspec_coverage_edges_total", "ES-CFG edges in the current sealed spec.", "gauge")
-	for _, d := range fleet.Devices {
+	for i := range fleet.Devices {
+		d := fleet.Devices[i]
 		if d.Coverage == nil {
 			continue
 		}
-		lbl := [][2]string{{"device", d.Device}}
+		lbl := fleetLabels(&d)
 		p.sample("sedspec_coverage_blocks_covered", lbl, float64(d.Coverage.BlocksCovered))
 		p.sample("sedspec_coverage_blocks_total", lbl, float64(d.Coverage.TotalBlocks))
 		p.sample("sedspec_coverage_edges_covered", lbl, float64(d.Coverage.EdgesCovered))

@@ -198,9 +198,12 @@ type SessionInfo struct {
 // pointer is set, matching Kind. Session is -1 for engine-level events
 // (swaps, spec publications, health ticks).
 type Event struct {
-	Seq     uint64 `json:"seq"`
-	TimeNs  int64  `json:"time_unix_ns"`
-	Kind    Kind   `json:"kind"`
+	Seq    uint64 `json:"seq"`
+	TimeNs int64  `json:"time_unix_ns"`
+	Kind   Kind   `json:"kind"`
+	// Tenant is the control-plane namespace the producing engine was
+	// opened under (empty for single-tenant CLI runs).
+	Tenant  string `json:"tenant,omitempty"`
 	Device  string `json:"device,omitempty"`
 	Session int    `json:"session"`
 	SpecGen uint64 `json:"spec_gen,omitempty"`
@@ -222,6 +225,9 @@ func (e *Event) String() string {
 	ts := time.Unix(0, e.TimeNs).Format("15:04:05.000")
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%8d %s %-7s", e.Seq, ts, e.Kind)
+	if e.Tenant != "" {
+		fmt.Fprintf(&sb, " %s:", e.Tenant)
+	}
 	if e.Device != "" {
 		fmt.Fprintf(&sb, " %-8s", e.Device)
 	}

@@ -1,0 +1,71 @@
+package specstore
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+)
+
+// MaxNamespaceLen bounds tenant namespace names; long enough for any
+// reasonable deployment name, short enough that the name stays a sane
+// single path component on every filesystem.
+const MaxNamespaceLen = 64
+
+// ValidateNamespace checks that a tenant namespace name is safe to use
+// as a single directory component under a store root. The control
+// plane accepts tenant names over the network, so the name must never
+// be able to escape the root: no path separators (which rules out
+// `../` traversal and absolute paths in one stroke), no `.`/`..`, no
+// empty or oversized names, and a conservative first character so
+// names never collide with the store's own files or look like flags.
+//
+// Allowed: letters, digits, `-`, `_`, `.` — starting with a letter or
+// digit.
+func ValidateNamespace(name string) error {
+	if name == "" {
+		return fmt.Errorf("specstore: namespace name is empty")
+	}
+	if len(name) > MaxNamespaceLen {
+		return fmt.Errorf("specstore: namespace %q exceeds %d bytes", name, MaxNamespaceLen)
+	}
+	if name == "." || name == ".." {
+		return fmt.Errorf("specstore: namespace %q is a relative path component", name)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+			if i == 0 {
+				return fmt.Errorf("specstore: namespace %q must start with a letter or digit", name)
+			}
+		default:
+			return fmt.Errorf("specstore: namespace %q contains forbidden byte %q", name, c)
+		}
+	}
+	// Belt and braces: the character whitelist above already excludes
+	// separators, but assert the filesystem-level property the whole
+	// scheme depends on so a future whitelist edit cannot silently
+	// reopen traversal.
+	if filepath.Base(name) != name || strings.ContainsAny(name, `/\`) {
+		return fmt.Errorf("specstore: namespace %q is not a single path component", name)
+	}
+	return nil
+}
+
+// OpenNamespace opens (creating if needed) the tenant's spec store
+// under root: a fully independent store at root/<tenant>, so tenants
+// never see each other's generations or blobs. The tenant name is
+// validated with ValidateNamespace and stamped onto every KindSpec
+// event the namespace store publishes.
+func OpenNamespace(root, tenant string) (*Store, error) {
+	if err := ValidateNamespace(tenant); err != nil {
+		return nil, err
+	}
+	st, err := Open(filepath.Join(root, tenant))
+	if err != nil {
+		return nil, err
+	}
+	st.tenant = tenant
+	return st, nil
+}

@@ -1,0 +1,92 @@
+package specstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestValidateNamespace(t *testing.T) {
+	valid := []string{
+		"a", "tenant", "tenant-1", "prod_eu", "team.alpha", "T9",
+		"0numeric", strings.Repeat("x", MaxNamespaceLen),
+	}
+	for _, name := range valid {
+		if err := ValidateNamespace(name); err != nil {
+			t.Errorf("ValidateNamespace(%q) = %v, want nil", name, err)
+		}
+	}
+
+	invalid := []string{
+		"",
+		".",
+		"..",
+		"../escape",
+		"..\\escape",
+		"a/../b",
+		"a/b",
+		`a\b`,
+		"/abs",
+		"/etc/passwd",
+		"C:\\win",
+		"-flag",
+		"_hidden",
+		".dotfile",
+		"sp ace",
+		"semi;colon",
+		"null\x00byte",
+		"uni\u2044code", // fraction slash
+		strings.Repeat("x", MaxNamespaceLen+1),
+	}
+	for _, name := range invalid {
+		if err := ValidateNamespace(name); err == nil {
+			t.Errorf("ValidateNamespace(%q) = nil, want error", name)
+		}
+	}
+}
+
+func TestOpenNamespaceRejectsTraversal(t *testing.T) {
+	root := t.TempDir()
+	// A sibling directory the traversal would land in if unguarded.
+	outside := filepath.Join(root, "..", "outside")
+
+	for _, name := range []string{"../outside", "..", "", "/abs", "a/b"} {
+		if _, err := OpenNamespace(root, name); err == nil {
+			t.Errorf("OpenNamespace(root, %q) = nil error, want rejection", name)
+		}
+	}
+	if _, err := os.Stat(outside); !os.IsNotExist(err) {
+		t.Fatalf("traversal attempt created %s", outside)
+	}
+}
+
+func TestOpenNamespaceIsolation(t *testing.T) {
+	root := t.TempDir()
+	a, err := OpenNamespace(root, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenNamespace(root, "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tenant() != "alpha" || b.Tenant() != "beta" {
+		t.Fatalf("tenant stamps wrong: %q / %q", a.Tenant(), b.Tenant())
+	}
+	if a.Dir() == b.Dir() {
+		t.Fatalf("namespaces share a directory: %s", a.Dir())
+	}
+	for _, st := range []*Store{a, b} {
+		if got := filepath.Dir(st.Dir()); got != root {
+			t.Fatalf("namespace dir %s escaped root %s", st.Dir(), root)
+		}
+		if _, err := os.Stat(filepath.Join(st.Dir(), "blobs")); err != nil {
+			t.Fatalf("namespace store not initialised: %v", err)
+		}
+	}
+	// Reopening an existing namespace must succeed (idempotent create).
+	if _, err := OpenNamespace(root, "alpha"); err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+}

@@ -89,6 +89,14 @@ type Store struct {
 	mu  sync.Mutex
 	dir string
 	idx indexFile
+	// tenant is the namespace this store belongs to (set by
+	// OpenNamespace, empty for a root store); stamped on published
+	// KindSpec events.
+	tenant string
+	// hub overrides the publication hub (SetStream); nil selects
+	// stream.Default() at publish time.
+	hub    *stream.Hub
+	hubSet bool
 }
 
 // Open opens (creating if needed) a spec store rooted at dir.
@@ -112,6 +120,17 @@ func Open(dir string) (*Store, error) {
 
 // Dir returns the store's root directory.
 func (st *Store) Dir() string { return st.dir }
+
+// Tenant returns the namespace the store was opened under ("" for a
+// root store).
+func (st *Store) Tenant() string { return st.tenant }
+
+// SetStream selects the telemetry hub the store publishes KindSpec
+// events into (default stream.Default()). SetStream(nil) disables
+// publication. Call before sharing the store across goroutines.
+func (st *Store) SetStream(h *stream.Hub) {
+	st.hub, st.hubSet = h, true
+}
 
 func (st *Store) blobPath(blob string) string {
 	return filepath.Join(st.dir, "blobs", blob+".spec")
@@ -144,11 +163,16 @@ func (st *Store) Put(spec *core.Spec, meta VersionMeta) (VersionMeta, error) {
 	m, fresh, err := st.put(spec, meta)
 	sp.End(span.Gen(m.Generation))
 	if err == nil && fresh {
+		hub := st.hub
+		if !st.hubSet {
+			hub = stream.Default()
+		}
 		// A fresh generation landing in the store is a fleet-visible
 		// lifecycle moment: operators tailing the stream see enhancement
 		// pipelines produce versions before any engine swaps to them.
-		stream.Default().Publish(stream.Event{
+		hub.Publish(stream.Event{
 			Kind:    stream.KindSpec,
+			Tenant:  st.tenant,
 			Device:  m.Device,
 			Session: -1,
 			SpecGen: m.Generation,
