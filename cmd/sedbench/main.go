@@ -328,8 +328,10 @@ func run(experiment string, cfg runConfig) error {
 		if bench.DegradedParallelism() {
 			fmt.Fprintf(os.Stderr, "sedbench: WARNING: host has %d CPU(s) but the session ladder tops out at %d.\n"+
 				"sedbench: rows with sessions > host CPUs time-slice on shared cores; their scaling numbers are\n"+
-				"sedbench: work-normalized estimates, not wall-clock parallelism (degraded_parallelism=true in %s).\n",
-				runtime.NumCPU(), counts[len(counts)-1], cfg.tpOut)
+				"sedbench: work-normalized estimates, not wall-clock parallelism (degraded_parallelism=true in %s).\n"+
+				"sedbench: for wall-clock scaling, re-run on a host with >= %d cores:\n"+
+				"sedbench:     go run ./cmd/sedbench -experiment throughput\n",
+				runtime.NumCPU(), counts[len(counts)-1], cfg.tpOut, counts[len(counts)-1])
 		}
 		var rows []*bench.ThroughputRow
 		var e2e []*bench.E2ERow

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"sedspec/internal/obs/stream"
+)
+
+// runLogs implements `sedspec logs ADDR`: query a daemon's durable
+// telemetry journal — the historical record that survives restarts —
+// with time, kind, tenant, and device filters. With -follow the
+// journal history is spliced seamlessly into the live hub tail: both
+// sides carry the hub sequence number, so the watcher's dedup cursor
+// guarantees each event prints exactly once even when the journal and
+// the hub's recent ring overlap.
+func runLogs(args []string) error {
+	fs := flag.NewFlagSet("logs", flag.ExitOnError)
+	since := fs.String("since", "", "lower time bound: duration ago (15m), RFC3339, or unix nanoseconds")
+	until := fs.String("until", "", "upper time bound: duration ago, RFC3339, or unix nanoseconds")
+	kinds := fs.String("kinds", "", "comma-separated event kinds (anomaly,audit,swap,attach,detach,spec,health)")
+	tenant := fs.String("tenant", "", "only this tenant's events")
+	device := fs.String("device", "", "only this device's events")
+	asJSON := fs.Bool("json", false, "print raw NDJSON instead of the pretty form")
+	n := fs.Int("n", 0, "exit after N events (0: all history, then follow forever with -follow)")
+	follow := fs.Bool("follow", false, "after the history, keep following the live stream")
+	retryMax := fs.Duration("retry-max", 15*time.Second, "backoff cap between reconnect attempts under -follow")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: sedspec logs [flags] ADDR")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addr := fs.Arg(0)
+	if addr == "" {
+		fs.Usage()
+		return fmt.Errorf("ADDR required (the daemon's -addr address)")
+	}
+	if *kinds != "" {
+		if _, err := stream.ParseKinds(*kinds); err != nil {
+			return err
+		}
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	w := &watcher{
+		base:     strings.TrimRight(addr, "/"),
+		kinds:    *kinds,
+		asJSON:   *asJSON,
+		limit:    *n,
+		retry:    *follow,
+		retryMax: *retryMax,
+		tenant:   *tenant,
+		device:   *device,
+	}
+
+	q := url.Values{}
+	if *since != "" {
+		q.Set("since", *since)
+	}
+	if *until != "" {
+		q.Set("until", *until)
+	}
+	if *kinds != "" {
+		q.Set("kinds", *kinds)
+	}
+	if *tenant != "" {
+		q.Set("tenant", *tenant)
+	}
+	if *device != "" {
+		q.Set("device", *device)
+	}
+	q.Set("limit", strconv.Itoa(*n)) // 0 = unlimited
+
+	if err := w.replayJournal(q); err != nil {
+		if err == errNoJournal {
+			return fmt.Errorf("%s runs without a journal (-journal off); only `sedspec watch` is available", w.base)
+		}
+		return err
+	}
+	if !*follow || w.done() {
+		return nil
+	}
+	// -until bounds history; following past it would contradict the ask.
+	if *until != "" {
+		return fmt.Errorf("-follow and -until are mutually exclusive")
+	}
+	return w.follow()
+}

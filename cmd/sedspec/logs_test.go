@@ -1,0 +1,229 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"sedspec/internal/obs/stream"
+)
+
+// journalServer scripts both halves of the splice: journalFn serves
+// /journal (nil → 404, a server without persistence), followFn the
+// /anomalies follow stream, recentFn the recent fetch. The last
+// /journal query is captured for parameter assertions.
+type journalServer struct {
+	*httptest.Server
+	mu       sync.Mutex
+	journalQ url.Values
+}
+
+func newJournalServer(t *testing.T, journalFn func(emit func(...uint64)), followFn, recentFn func(call int, emit func(...uint64))) *journalServer {
+	t.Helper()
+	js := &journalServer{}
+	var mu sync.Mutex
+	followN, recentN := 0, 0
+	js.Server = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		enc := json.NewEncoder(w)
+		emit := func(seqs ...uint64) {
+			for _, s := range seqs {
+				_ = enc.Encode(stream.Event{Seq: s, Kind: stream.KindAnomaly, Tenant: "prod", Device: "fdc"})
+			}
+		}
+		switch r.URL.Path {
+		case "/journal":
+			if journalFn == nil {
+				http.NotFound(w, r)
+				return
+			}
+			js.mu.Lock()
+			js.journalQ = r.URL.Query()
+			js.mu.Unlock()
+			journalFn(emit)
+		case "/anomalies":
+			follow := r.URL.Query().Get("follow") == "1"
+			mu.Lock()
+			var call int
+			if follow {
+				followN++
+				call = followN
+			} else {
+				recentN++
+				call = recentN
+			}
+			mu.Unlock()
+			if follow {
+				if followFn == nil {
+					t.Error("unexpected follow request")
+					return
+				}
+				followFn(call, emit)
+			} else {
+				if recentFn == nil {
+					t.Error("unexpected recent request")
+					return
+				}
+				recentFn(call, emit)
+			}
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(js.Server.Close)
+	return js
+}
+
+func (js *journalServer) lastJournalQuery() url.Values {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.journalQ
+}
+
+// TestWatchSinceSplicesJournal pins the -since contract: durable
+// history prints first, and the live tail's overlap with it is
+// deduplicated by hub sequence number.
+func TestWatchSinceSplicesJournal(t *testing.T) {
+	ts := newJournalServer(t,
+		func(emit func(...uint64)) { emit(1, 2, 3, 4) },
+		func(_ int, emit func(...uint64)) { emit(3, 4, 5, 6) }, // overlaps 3,4
+		nil,
+	)
+	out, err := captureStdout(t, func() error {
+		return runWatch([]string{"-json", "-n", "6", "-since", "15m", ts.URL})
+	})
+	if err != nil {
+		t.Fatalf("runWatch: %v", err)
+	}
+	wantSeqs(t, out, 1, 2, 3, 4, 5, 6)
+	if got := ts.lastJournalQuery().Get("since"); got != "15m" {
+		t.Errorf("journal since param %q, want 15m", got)
+	}
+}
+
+// TestWatchSinceSeq pins the sequence-cursor form: a bare integer maps
+// to min_seq, not a time bound.
+func TestWatchSinceSeq(t *testing.T) {
+	ts := newJournalServer(t,
+		func(emit func(...uint64)) { emit(3, 4) },
+		func(_ int, emit func(...uint64)) { emit(5) },
+		nil,
+	)
+	out, err := captureStdout(t, func() error {
+		return runWatch([]string{"-json", "-n", "3", "-since", "3", ts.URL})
+	})
+	if err != nil {
+		t.Fatalf("runWatch: %v", err)
+	}
+	wantSeqs(t, out, 3, 4, 5)
+	q := ts.lastJournalQuery()
+	if q.Get("min_seq") != "3" || q.Get("since") != "" {
+		t.Errorf("journal query %v, want min_seq=3 and no since", q)
+	}
+}
+
+// TestWatchSinceFallsBackWithoutJournal: a server running without
+// persistence 404s /journal; -since degrades to the in-memory recent
+// buffer instead of failing.
+func TestWatchSinceFallsBackWithoutJournal(t *testing.T) {
+	ts := newJournalServer(t,
+		nil, // no /journal
+		func(_ int, emit func(...uint64)) { emit(3) },
+		func(_ int, emit func(...uint64)) { emit(1, 2) },
+	)
+	out, err := captureStdout(t, func() error {
+		return runWatch([]string{"-json", "-n", "3", "-since", "15m", ts.URL})
+	})
+	if err != nil {
+		t.Fatalf("runWatch: %v", err)
+	}
+	wantSeqs(t, out, 1, 2, 3)
+}
+
+// TestWatchSinceRejectsGarbage pins the -since grammar error.
+func TestWatchSinceRejectsGarbage(t *testing.T) {
+	if err := runWatch([]string{"-since", "yesterday", "127.0.0.1:1"}); err == nil ||
+		!strings.Contains(err.Error(), "-since") {
+		t.Fatalf("bad -since accepted: %v", err)
+	}
+}
+
+// TestLogsOneShot pins `sedspec logs` without -follow: one journal
+// query carrying every filter, no stream request afterwards.
+func TestLogsOneShot(t *testing.T) {
+	ts := newJournalServer(t,
+		func(emit func(...uint64)) { emit(7, 8, 9) },
+		nil, nil,
+	)
+	out, err := captureStdout(t, func() error {
+		return runLogs([]string{"-json", "-since", "1h", "-kinds", "anomaly", "-tenant", "prod", "-device", "fdc", ts.URL})
+	})
+	if err != nil {
+		t.Fatalf("runLogs: %v", err)
+	}
+	wantSeqs(t, out, 7, 8, 9)
+	q := ts.lastJournalQuery()
+	for param, want := range map[string]string{
+		"since": "1h", "kinds": "anomaly", "tenant": "prod", "device": "fdc", "limit": "0",
+	} {
+		if got := q.Get(param); got != want {
+			t.Errorf("journal %s param %q, want %q", param, got, want)
+		}
+	}
+}
+
+// TestLogsFollowSplices pins -follow: history then the live tail,
+// exactly once per event across the overlap.
+func TestLogsFollowSplices(t *testing.T) {
+	ts := newJournalServer(t,
+		func(emit func(...uint64)) { emit(1, 2, 3) },
+		func(_ int, emit func(...uint64)) { emit(2, 3, 4, 5) },
+		nil,
+	)
+	out, err := captureStdout(t, func() error {
+		return runLogs([]string{"-json", "-n", "5", "-follow", ts.URL})
+	})
+	if err != nil {
+		t.Fatalf("runLogs: %v", err)
+	}
+	wantSeqs(t, out, 1, 2, 3, 4, 5)
+}
+
+// TestLogsTenantFilterAppliesToLiveTail: the live stream has no
+// server-side tenant filter, so the client must drop non-matching
+// events in the -follow half too.
+func TestLogsTenantFilterAppliesToLiveTail(t *testing.T) {
+	// Live tail mixes tenants; the journal half is server-filtered.
+	mixed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		enc := json.NewEncoder(w)
+		switch r.URL.Path {
+		case "/journal":
+			_ = enc.Encode(stream.Event{Seq: 1, Kind: stream.KindAnomaly, Tenant: "prod", Device: "fdc"})
+		case "/anomalies":
+			_ = enc.Encode(stream.Event{Seq: 2, Kind: stream.KindAnomaly, Tenant: "edge", Device: "fdc"})
+			_ = enc.Encode(stream.Event{Seq: 3, Kind: stream.KindAnomaly, Tenant: "prod", Device: "fdc"})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer mixed.Close()
+	out, err := captureStdout(t, func() error {
+		return runLogs([]string{"-json", "-n", "2", "-tenant", "prod", "-follow", mixed.URL})
+	})
+	if err != nil {
+		t.Fatalf("runLogs: %v", err)
+	}
+	wantSeqs(t, out, 1, 3)
+}
+
+// TestLogsNoJournal pins the error when the daemon runs with -journal
+// off: logs cannot serve history that was never persisted.
+func TestLogsNoJournal(t *testing.T) {
+	ts := newJournalServer(t, nil, nil, nil)
+	if err := runLogs([]string{ts.URL}); err == nil || !strings.Contains(err.Error(), "journal") {
+		t.Fatalf("missing journal not surfaced: %v", err)
+	}
+}

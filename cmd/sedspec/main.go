@@ -43,7 +43,14 @@
 //
 //	sedspec report -spec-store DIR -device fdc -from 1 -to 2 [-json]
 //	sedspec watch ADDR [-kinds anomaly,swap] [-json] [-n 10] [-recent]
-//	              [-retry] [-retry-max 15s]
+//	              [-since 15m|SEQ] [-retry] [-retry-max 15s]
+//
+// The logs subcommand queries a daemon's durable telemetry journal —
+// history that survives restarts — and with -follow splices it into
+// the live tail, deduplicated by hub sequence number:
+//
+//	sedspec logs ADDR [-since 15m] [-until TIME] [-kinds anomaly]
+//	             [-tenant T] [-device D] [-json] [-n N] [-follow]
 //
 // The control-plane subcommands drive a running sedspecd fleet daemon
 // over its HTTP/JSON API (see cmd/sedspecd):
@@ -92,6 +99,7 @@ func main() {
 	}
 	if len(os.Args) > 1 {
 		ctl := map[string]func([]string) error{
+			"logs":    runLogs,
 			"tenant":  runTenant,
 			"install": runInstall,
 			"attach":  runAttach,

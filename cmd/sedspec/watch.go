@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -38,6 +39,7 @@ func runWatch(args []string) error {
 	asJSON := fs.Bool("json", false, "print raw NDJSON instead of the pretty form")
 	n := fs.Int("n", 0, "exit after N events (0: until interrupted)")
 	recent := fs.Bool("recent", false, "print the server's retained recent events and exit instead of following")
+	since := fs.String("since", "", "splice durable history before the live tail: a duration (15m) or a hub sequence number, served from /journal")
 	retry := fs.Bool("retry", true, "reconnect with capped exponential backoff when the stream drops")
 	retryMax := fs.Duration("retry-max", 15*time.Second, "backoff cap between reconnect attempts")
 	fs.Usage = func() {
@@ -71,11 +73,57 @@ func runWatch(args []string) error {
 	if w.retryMax <= 0 {
 		w.retryMax = watchInitialBackoff
 	}
+	if *since != "" {
+		// History first, from the durable journal; printed events move the
+		// dedup cursor, so the live tail (or the recent replay) splices in
+		// without repeating a single event.
+		q, err := sinceQuery(*since)
+		if err != nil {
+			return err
+		}
+		if w.kinds != "" {
+			q.Set("kinds", w.kinds)
+		}
+		q.Set("limit", "0")
+		if err := w.replayJournal(q); err != nil {
+			if err != errNoJournal {
+				return err
+			}
+			// Server without persistence: the hub's in-memory recent ring is
+			// the only history there is.
+			fmt.Fprintln(os.Stderr, "watch: server has no /journal; falling back to the in-memory recent buffer")
+			if err := w.replayRecent(false); err != nil {
+				return err
+			}
+		}
+		if w.done() {
+			return nil
+		}
+	}
 	if *recent {
 		// One-shot: print the retained buffer and exit; no retry loop.
+		if *since != "" {
+			return nil // history already printed from the journal
+		}
 		return w.replayRecent(true)
 	}
 	return w.follow()
+}
+
+// sinceQuery translates watch's -since value into /journal parameters:
+// a bare integer is a hub sequence cursor, anything else must parse as
+// a duration ("that long ago").
+func sinceQuery(since string) (url.Values, error) {
+	q := url.Values{}
+	if seq, err := strconv.ParseUint(since, 10, 64); err == nil {
+		q.Set("min_seq", strconv.FormatUint(seq, 10))
+		return q, nil
+	}
+	if _, err := time.ParseDuration(since); err != nil {
+		return nil, fmt.Errorf("-since %q: want a duration (15m) or a sequence number", since)
+	}
+	q.Set("since", since) // the server resolves durations against its own clock
+	return q, nil
 }
 
 // watcher is the stateful stream client: the dedup cursor (lastSeq)
@@ -87,9 +135,30 @@ type watcher struct {
 	limit    int
 	retry    bool
 	retryMax time.Duration
+	// tenant/device narrow the printed events client-side; the live
+	// /anomalies tail has no server-side tenant filter, so `sedspec logs
+	// -follow` applies the same filter to both halves of the splice.
+	tenant string
+	device string
 
 	lastSeq uint64
 	seen    int
+}
+
+// match applies the client-side tenant/device filter. Drop notices
+// always pass: suppressing them would hide that filtered events were
+// shed.
+func (w *watcher) match(ev *stream.Event) bool {
+	if ev.Kind == stream.KindDrop {
+		return true
+	}
+	if w.tenant != "" && ev.Tenant != w.tenant {
+		return false
+	}
+	if w.device != "" && ev.Device != w.device {
+		return false
+	}
+	return true
 }
 
 func (w *watcher) url(follow bool) string {
@@ -189,12 +258,60 @@ func (w *watcher) replayRecent(oneShot bool) error {
 		if !oneShot && ev.Seq <= w.lastSeq {
 			continue
 		}
+		if !w.match(&ev) {
+			continue
+		}
 		w.print(lines[i], &ev)
 		if w.done() {
 			return nil
 		}
 	}
 	return nil
+}
+
+// errNoJournal marks a server running without durable persistence
+// (no /journal route mounted).
+var errNoJournal = fmt.Errorf("server has no /journal endpoint")
+
+// replayJournal fetches durable history from /journal with the given
+// query and prints events past the dedup cursor, advancing it — the
+// splice point for a subsequent live tail.
+func (w *watcher) replayJournal(q url.Values) error {
+	target := w.base + "/journal?" + q.Encode()
+	resp, err := http.Get(target)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return errNoJournal
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", target, resp.Status)
+	}
+	sc := newEventScanner(resp.Body)
+	for sc.Scan() {
+		line := eventLine(sc)
+		if line == "" {
+			continue
+		}
+		var ev stream.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			fmt.Fprintf(os.Stderr, "watch: skipping undecodable line: %v\n", err)
+			continue
+		}
+		if ev.Seq > 0 && ev.Seq <= w.lastSeq {
+			continue
+		}
+		if !w.match(&ev) {
+			continue
+		}
+		w.print(line, &ev)
+		if w.done() {
+			return nil
+		}
+	}
+	return sc.Err()
 }
 
 // streamFollow opens the live tail and prints events until it ends.
@@ -227,6 +344,9 @@ func (w *watcher) streamFollow(announce bool) (bool, error) {
 		// Drop notices are synthesized per-subscriber and carry no hub
 		// sequence; everything else dedups against the resume replay.
 		if ev.Kind != stream.KindDrop && ev.Seq > 0 && ev.Seq <= w.lastSeq {
+			continue
+		}
+		if !w.match(&ev) {
 			continue
 		}
 		w.print(line, &ev)

@@ -2,7 +2,7 @@
 // long-running process hosting named tenants, each with its own
 // spec-store namespace and live enforcement sessions, driven over an
 // HTTP/JSON control plane that shares a listener with the
-// introspection surface (/healthz /fleet /metrics /anomalies
+// introspection surface (/healthz /fleet /metrics /anomalies /journal
 // /coverage /buildinfo /debug/pprof).
 //
 // Usage:
@@ -10,6 +10,9 @@
 //	sedspecd -store DIR [-addr 127.0.0.1:6060]
 //	         [-drain-timeout 10s] [-overhead-budget NS]
 //	         [-health-interval 5s]
+//	         [-journal DIR|off] [-journal-fsync interval|always|none]
+//	         [-journal-fsync-interval 250ms]
+//	         [-journal-segment-bytes N] [-journal-max-segments N]
 //
 // Control plane (all JSON; see the README walkthrough):
 //
@@ -25,11 +28,19 @@
 //	POST   /tenants/{tenant}/swap         {"device": "fdc", "enhance": true} or {"device": "fdc", "generation": N}
 //	GET    /status
 //	GET    /fleet[?tenant=prod]
+//	GET    /journal[?since=15m&kinds=anomaly&tenant=prod&stats=1]
+//
+// By default the daemon keeps a durable telemetry journal under
+// <store>/.journal (a dot-prefixed directory can never collide with a
+// tenant namespace): anomalies, audits, swaps, spec publications, and
+// session finals survive restarts, and a fresh boot replays the tail
+// so `sedspec watch -recent` and /fleet carry pre-restart history.
+// Pass -journal off to run fully in-memory.
 //
 // On SIGINT/SIGTERM the daemon drains: every session goroutine is
 // stopped, checkers are retired (stats folded, one final detach event
-// each), and the process exits 0 on a clean drain or 1 when a session
-// failed to stop within -drain-timeout.
+// each), the journal flushes and fsyncs, and the process exits 0 on a
+// clean drain or 1 when a session failed to stop within -drain-timeout.
 package main
 
 import (
@@ -37,10 +48,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"sedspec/internal/daemon"
+	"sedspec/internal/obs/journal"
 )
 
 func main() {
@@ -49,23 +62,50 @@ func main() {
 	drain := flag.Duration("drain-timeout", 10*time.Second, "deadline for stopping session goroutines on shutdown or tenant delete")
 	budget := flag.Float64("overhead-budget", 0, "enforcement-overhead watchdog budget in ns per checked I/O (0 disables)")
 	healthEvery := flag.Duration("health-interval", 5*time.Second, "fleet health aggregation period")
+	jdir := flag.String("journal", "", "durable event journal directory (default <store>/.journal; \"off\" disables persistence)")
+	jfsync := flag.String("journal-fsync", "interval", "journal fsync policy: interval, always, or none")
+	jevery := flag.Duration("journal-fsync-interval", 250*time.Millisecond, "fsync period under the interval policy")
+	jseg := flag.Int64("journal-segment-bytes", 4<<20, "journal segment rotation size")
+	jmax := flag.Int("journal-max-segments", 16, "journal segments retained before the oldest is pruned")
 	flag.Parse()
 
-	if err := run(*addr, *store, *drain, *budget, *healthEvery); err != nil {
+	if err := run(*addr, *store, *drain, *budget, *healthEvery,
+		*jdir, *jfsync, *jevery, *jseg, *jmax); err != nil {
 		fmt.Fprintln(os.Stderr, "sedspecd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, store string, drain time.Duration, budget float64, healthEvery time.Duration) error {
+func run(addr, store string, drain time.Duration, budget float64, healthEvery time.Duration,
+	jdir, jfsync string, jevery time.Duration, jseg int64, jmax int) error {
 	if store == "" {
 		return fmt.Errorf("-store is required (spec-store root directory)")
+	}
+	var jopts journal.Options
+	switch jdir {
+	case "off":
+	case "":
+		jdir = filepath.Join(store, ".journal")
+		fallthrough
+	default:
+		policy, err := journal.ParsePolicy(jfsync)
+		if err != nil {
+			return err
+		}
+		jopts = journal.Options{
+			Dir:           jdir,
+			Fsync:         policy,
+			FsyncInterval: jevery,
+			SegmentBytes:  jseg,
+			MaxSegments:   jmax,
+		}
 	}
 	d, err := daemon.New(daemon.Options{
 		StoreRoot:        store,
 		DrainTimeout:     drain,
 		OverheadBudgetNs: budget,
 		HealthInterval:   healthEvery,
+		Journal:          jopts,
 	})
 	if err != nil {
 		return err
@@ -73,7 +113,13 @@ func run(addr, store string, drain time.Duration, budget float64, healthEvery ti
 	if err := d.Serve(addr); err != nil {
 		return err
 	}
-	fmt.Printf("sedspecd listening on %s (store %s, drain timeout %s)\n", d.Addr(), store, drain)
+	if j := d.Journal(); j != nil {
+		st := j.Stats()
+		fmt.Printf("sedspecd listening on %s (store %s, drain timeout %s, journal %s: %d records replayed)\n",
+			d.Addr(), store, drain, st.Dir, st.Records)
+	} else {
+		fmt.Printf("sedspecd listening on %s (store %s, drain timeout %s, journal off)\n", d.Addr(), store, drain)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -43,10 +43,10 @@ type binWriter struct {
 	buf []byte
 }
 
-func (w *binWriter) u(v uint64)     { w.buf = binary.AppendUvarint(w.buf, v) }
-func (w *binWriter) i(v int)        { w.buf = binary.AppendVarint(w.buf, int64(v)) }
-func (w *binWriter) b(v byte)       { w.buf = append(w.buf, v) }
-func (w *binWriter) s(v string)     { w.u(uint64(len(v))); w.buf = append(w.buf, v...) }
+func (w *binWriter) u(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *binWriter) i(v int)    { w.buf = binary.AppendVarint(w.buf, int64(v)) }
+func (w *binWriter) b(v byte)   { w.buf = append(w.buf, v) }
+func (w *binWriter) s(v string) { w.u(uint64(len(v))); w.buf = append(w.buf, v...) }
 func (w *binWriter) bool(v bool) byte {
 	if v {
 		return 1

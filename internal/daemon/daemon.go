@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"sedspec/internal/obs"
+	"sedspec/internal/obs/journal"
 	"sedspec/internal/obs/stream"
 	"sedspec/internal/specstore"
 )
@@ -62,6 +63,11 @@ type Options struct {
 	OverheadBudgetNs float64
 	// FollowBuffer sizes /anomalies?follow=1 subscriber rings.
 	FollowBuffer int
+	// Journal, when its Dir is non-empty, opens a durable event journal
+	// there: rare-path events persist across restarts, boot replays the
+	// tail into the hub's recent ring and the health baselines, and the
+	// /journal endpoint serves history.
+	Journal journal.Options
 }
 
 // Daemon is the resident service: tenants, their engines and sessions,
@@ -72,6 +78,7 @@ type Daemon struct {
 	reg    *obs.Registry
 	health *stream.Health
 	srv    *stream.Server
+	jrnl   *journal.Journal
 
 	stopHealth func()
 
@@ -117,9 +124,42 @@ func New(opts Options) (*Daemon, error) {
 		FollowBuffer: opts.FollowBuffer,
 	})
 	d.registerRoutes()
+
+	// The journal opens (replaying and repairing any torn tail) before
+	// the health ticker starts and before any subscriber attaches:
+	// restored events seed the hub's recent ring and seq counter, fold
+	// into per-tenant health baselines so /fleet survives the restart,
+	// and only then does the journal begin persisting new traffic.
+	if opts.Journal.Dir != "" {
+		j, err := journal.Open(opts.Journal)
+		if err != nil {
+			return nil, fmt.Errorf("daemon: open journal: %w", err)
+		}
+		tail, err := j.Tail(stream.RecentCap)
+		if err != nil {
+			j.Close()
+			return nil, fmt.Errorf("daemon: replay journal: %w", err)
+		}
+		d.hub.Restore(tail)
+		rows, err := j.FoldBaselines()
+		if err != nil {
+			j.Close()
+			return nil, fmt.Errorf("daemon: fold journal baselines: %w", err)
+		}
+		d.health.AddBaseline(rows)
+		d.health.SetJournal(j.Status)
+		j.Attach(d.hub)
+		d.jrnl = j
+		d.srv.Handle("GET /journal", journal.Handler(j))
+	}
+
 	d.stopHealth = d.health.Start()
 	return d, nil
 }
+
+// Journal returns the daemon's durable journal (nil when persistence
+// is disabled).
+func (d *Daemon) Journal() *journal.Journal { return d.jrnl }
 
 // Server returns the introspection+control-plane HTTP surface (useful
 // under httptest).
@@ -243,6 +283,15 @@ func (d *Daemon) Close() error {
 		}
 	}
 	d.stopHealth()
+	// The journal closes after the tenant drain and health stop: every
+	// final detach event and the last health tick are already in the
+	// hub, and journal.Close drains its subscription backlog to disk
+	// before fsyncing and returning.
+	if d.jrnl != nil {
+		if err := d.jrnl.Close(); err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
 	if err := d.srv.Close(); err != nil {
 		errs = append(errs, err.Error())
 	}

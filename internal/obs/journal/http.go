@@ -1,0 +1,107 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sedspec/internal/obs/stream"
+)
+
+// Handler serves the journal's history as NDJSON. It lives here rather
+// than on stream.Server because the handler needs the Journal type and
+// stream must not import its own consumer; the daemon mounts it with
+// srv.Handle("/journal", journal.Handler(j)).
+//
+// Query parameters:
+//
+//	since, until  time bound: RFC3339, unix nanoseconds, or a relative
+//	              duration ("15m" = that long ago)
+//	kinds         comma-separated kind list (default all)
+//	tenant        exact tenant match
+//	device        exact device match
+//	min_seq       minimum hub sequence number
+//	limit         cap on returned events (default 1024, 0 = unlimited)
+//	stats         "1" returns the journal's Stats instead of events
+//
+// Events stream oldest-first in the same JSON shape as /anomalies, so
+// a client can splice journal history and a live follow tail by seq.
+func Handler(j *Journal) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("stats") == "1" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(j.Stats())
+			return
+		}
+		q, err := parseQuery(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		werr := error(nil)
+		qerr := j.Query(q, func(ev *stream.Event) bool {
+			werr = enc.Encode(ev)
+			return werr == nil
+		})
+		if qerr != nil && werr == nil {
+			// Headers are gone; the NDJSON contract is that a clean stream
+			// ends at EOF, so surface read errors as a trailer record the
+			// client can detect.
+			_ = enc.Encode(map[string]string{"error": qerr.Error()})
+		}
+	})
+}
+
+func parseQuery(r *http.Request) (Query, error) {
+	v := r.URL.Query()
+	q := Query{Limit: 1024}
+	var err error
+	if q.SinceNs, err = parseTime(v.Get("since")); err != nil {
+		return q, fmt.Errorf("bad since: %w", err)
+	}
+	if q.UntilNs, err = parseTime(v.Get("until")); err != nil {
+		return q, fmt.Errorf("bad until: %w", err)
+	}
+	if q.Kinds, err = stream.ParseKinds(v.Get("kinds")); err != nil {
+		return q, err
+	}
+	q.Tenant = v.Get("tenant")
+	q.Device = v.Get("device")
+	if s := v.Get("min_seq"); s != "" {
+		if q.MinSeq, err = strconv.ParseUint(s, 10, 64); err != nil {
+			return q, fmt.Errorf("bad min_seq: %w", err)
+		}
+	}
+	if s := v.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return q, fmt.Errorf("bad limit %q", s)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+// parseTime resolves a time bound: RFC3339, raw unix nanoseconds, or a
+// duration meaning "that long before now". Empty means unbounded.
+func parseTime(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t.UnixNano(), nil
+	}
+	if ns, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return ns, nil
+	}
+	if d, err := time.ParseDuration(s); err == nil && d > 0 {
+		return time.Now().Add(-d).UnixNano(), nil
+	}
+	return 0, fmt.Errorf("want RFC3339, unix nanoseconds, or a duration like 15m: %q", s)
+}

@@ -1,0 +1,278 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"sedspec/internal/obs/stream"
+)
+
+// Query selects a slice of history. Zero values are unbounded.
+type Query struct {
+	// SinceNs/UntilNs bound event timestamps (inclusive since, inclusive
+	// until; 0 = unbounded).
+	SinceNs int64
+	UntilNs int64
+	// Kinds masks event kinds (0 = all).
+	Kinds stream.KindMask
+	// Tenant/Device match exactly when non-empty.
+	Tenant string
+	Device string
+	// MinSeq skips events with hub seq below it.
+	MinSeq uint64
+	// Limit caps delivered events (0 = unlimited).
+	Limit int
+}
+
+func (q *Query) matches(ev *stream.Event) bool {
+	if q.Kinds != 0 && q.Kinds&stream.MaskOf(ev.Kind) == 0 {
+		return false
+	}
+	if q.SinceNs != 0 && ev.TimeNs < q.SinceNs {
+		return false
+	}
+	if q.UntilNs != 0 && ev.TimeNs > q.UntilNs {
+		return false
+	}
+	if q.Tenant != "" && ev.Tenant != q.Tenant {
+		return false
+	}
+	if q.Device != "" && ev.Device != q.Device {
+		return false
+	}
+	if q.MinSeq != 0 && ev.Seq < q.MinSeq {
+		return false
+	}
+	return true
+}
+
+// segView is a point-in-time snapshot of one segment for reading:
+// path plus the byte length that was valid when the snapshot was
+// taken. The writer only ever appends, so reading [0, bytes) races
+// with nothing.
+type segView struct {
+	path     string
+	bytes    int64
+	firstSeq uint64
+	lastSeq  uint64
+	firstNs  int64
+	lastNs   int64
+	records  uint64
+}
+
+// snapshotSegs flushes the active segment's buffered tail to the OS
+// (so a reader opening the file sees every appended frame) and
+// snapshots the segment index.
+func (j *Journal) snapshotSegs() ([]segView, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.closed {
+		if err := j.w.Flush(); err != nil {
+			j.wrErrs++
+			return nil, err
+		}
+	}
+	views := make([]segView, len(j.segs))
+	for i := range j.segs {
+		s := &j.segs[i]
+		views[i] = segView{
+			path: s.path, bytes: s.bytes,
+			firstSeq: s.firstSeq, lastSeq: s.lastSeq,
+			firstNs: s.firstNs, lastNs: s.lastNs,
+			records: s.records,
+		}
+	}
+	return views, nil
+}
+
+// skippable reports whether the whole segment falls outside the query
+// bounds (by seq or time), so it need not be opened at all.
+func (q *Query) skippable(v *segView) bool {
+	if v.records == 0 {
+		return true
+	}
+	if q.MinSeq != 0 && v.lastSeq < q.MinSeq {
+		return true
+	}
+	if q.SinceNs != 0 && v.lastNs < q.SinceNs {
+		return true
+	}
+	if q.UntilNs != 0 && v.firstNs > q.UntilNs {
+		return true
+	}
+	return false
+}
+
+// Query streams matching events oldest-first into fn; fn returning
+// false stops the walk early. Concurrent appends are safe: the walk
+// covers exactly the records that existed when it began. Usable on a
+// closed journal (post-crash inspection tools).
+func (j *Journal) Query(q Query, fn func(ev *stream.Event) bool) error {
+	views, err := j.snapshotSegs()
+	if err != nil {
+		return err
+	}
+	delivered := 0
+	for i := range views {
+		v := &views[i]
+		if q.skippable(v) {
+			continue
+		}
+		stop, err := walkSegment(v, func(ev *stream.Event) bool {
+			if !q.matches(ev) {
+				return true
+			}
+			if !fn(ev) {
+				return false
+			}
+			delivered++
+			return q.Limit == 0 || delivered < q.Limit
+		})
+		if err != nil {
+			return err
+		}
+		if stop || (q.Limit > 0 && delivered >= q.Limit) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// walkSegment decodes every frame in [magic, v.bytes), calling fn per
+// event; fn returning false stops (stop=true). Frames inside the valid
+// prefix were CRC-verified at write or recovery time, but verify again
+// on read: a corrupt record here is bit rot, reported as an error
+// rather than silently skipped.
+func walkSegment(v *segView, fn func(ev *stream.Event) bool) (stop bool, err error) {
+	f, err := os.Open(v.path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(io.LimitReader(f, v.bytes), 64<<10)
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != segMagic {
+		return false, fmt.Errorf("journal: %s: bad segment magic", v.path)
+	}
+	var hdr [frameHeader]byte
+	var payload []byte
+	for off := int64(len(segMagic)); off < v.bytes; {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return false, fmt.Errorf("journal: %s: truncated frame header at %d: %w", v.path, off, err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxFrame {
+			return false, fmt.Errorf("journal: %s: bad frame length %d at %d", v.path, n, off)
+		}
+		if uint32(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return false, fmt.Errorf("journal: %s: truncated frame at %d: %w", v.path, off, err)
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return false, fmt.Errorf("journal: %s: CRC mismatch at %d", v.path, off)
+		}
+		var ev stream.Event
+		if err := ev.UnmarshalBinary(payload); err != nil {
+			return false, fmt.Errorf("journal: %s: frame at %d: %w", v.path, off, err)
+		}
+		off += frameHeader + int64(n)
+		if !fn(&ev) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Tail returns the newest max events (all when max <= 0), oldest
+// first — the shape stream.Hub.Restore wants for rebuilding the
+// recent-events ring on daemon boot.
+func (j *Journal) Tail(max int) ([]stream.Event, error) {
+	var out []stream.Event
+	err := j.Query(Query{}, func(ev *stream.Event) bool {
+		out = append(out, *ev)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out, nil
+}
+
+// FoldBaselines replays the whole journal into per-(tenant, device)
+// history rows for Health.AddBaseline, so /fleet counters survive a
+// restart. Each count has exactly one authoritative source to avoid
+// double counting: blocked from anomaly events, warned from audit
+// events, rounds from detach finals (the only record that carries
+// them), swaps from swap events, generation from the highest SpecGen
+// stamp seen on any of the device's events.
+func (j *Journal) FoldBaselines() ([]stream.BaselineRow, error) {
+	type key struct{ tenant, device string }
+	rows := make(map[key]*stream.BaselineRow)
+	get := func(ev *stream.Event) *stream.BaselineRow {
+		k := key{ev.Tenant, ev.Device}
+		r := rows[k]
+		if r == nil {
+			r = &stream.BaselineRow{Tenant: ev.Tenant, Device: ev.Device}
+			rows[k] = r
+		}
+		return r
+	}
+	err := j.Query(Query{}, func(ev *stream.Event) bool {
+		if ev.Device == "" {
+			return true // engine-level events (spec publications) carry no device row
+		}
+		r := get(ev)
+		switch ev.Kind {
+		case stream.KindAnomaly:
+			r.Blocked++
+		case stream.KindAudit:
+			r.Warned++
+		case stream.KindSwap:
+			r.Swaps++
+		case stream.KindDetach:
+			if ev.Detach != nil {
+				r.Rounds += ev.Detach.Rounds
+			}
+		}
+		if ev.SpecGen > r.Generation {
+			r.Generation = ev.SpecGen
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]stream.BaselineRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	// Deterministic order for tests and logs.
+	sortRows(out)
+	return out, nil
+}
+
+func sortRows(rows []stream.BaselineRow) {
+	for i := 1; i < len(rows); i++ {
+		for k := i; k > 0 && rowLess(&rows[k], &rows[k-1]); k-- {
+			rows[k], rows[k-1] = rows[k-1], rows[k]
+		}
+	}
+}
+
+func rowLess(a, b *stream.BaselineRow) bool {
+	if a.Tenant != b.Tenant {
+		return a.Tenant < b.Tenant
+	}
+	return a.Device < b.Device
+}

@@ -1,0 +1,223 @@
+package stream
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// The binary event codec is the journal's wire form and the canonical
+// serialization shared by every durable consumer: a compact varint
+// envelope for the fields every event carries (seq, time, kind, tenant,
+// device, session, spec generation, drop count) followed by the
+// kind-specific payload encoded as JSON. The envelope keeps filtering
+// cheap — a reader resolves kind/tenant/device/seq without touching the
+// payload — while the JSON body keeps the rare, structurally rich
+// payloads (frozen AnomalyContext timelines, FleetSnapshot rollups)
+// schema-stable across versions without a hand-rolled struct codec.
+//
+// The encoding is deterministic: the same Event always produces the
+// same bytes (Go's encoding/json is deterministic over struct fields),
+// so journal records are content-comparable and the round-trip property
+// test can assert byte-identical re-encoding.
+
+// codecVersion is the first byte of every encoded event. Decoders
+// reject versions they do not know rather than misparsing.
+const codecVersion = 1
+
+// MarshalBinary encodes the event in the deterministic binary+JSON
+// form. Exactly the payload matching Kind is encoded; payload pointers
+// that do not match the kind are ignored (the Event contract sets at
+// most one, matching Kind).
+func (e *Event) MarshalBinary() ([]byte, error) {
+	payload, err := e.payloadJSON()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 40+len(e.Tenant)+len(e.Device)+len(payload))
+	buf = append(buf, codecVersion, byte(e.Kind))
+	buf = binary.AppendUvarint(buf, e.Seq)
+	buf = binary.AppendVarint(buf, e.TimeNs)
+	buf = binary.AppendVarint(buf, int64(e.Session))
+	buf = binary.AppendUvarint(buf, e.SpecGen)
+	buf = binary.AppendUvarint(buf, e.Dropped)
+	buf = appendString(buf, e.Tenant)
+	buf = appendString(buf, e.Device)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return buf, nil
+}
+
+// payloadJSON renders the kind-matching payload as JSON (nil when the
+// kind carries none or the pointer is unset).
+func (e *Event) payloadJSON() ([]byte, error) {
+	var v any
+	switch e.Kind {
+	case KindAnomaly:
+		if e.Anomaly != nil {
+			v = e.Anomaly
+		}
+	case KindAudit:
+		if e.Audit != nil {
+			v = e.Audit
+		}
+	case KindSwap:
+		if e.Swap != nil {
+			v = e.Swap
+		}
+	case KindDetach:
+		if e.Detach != nil {
+			v = e.Detach
+		}
+	case KindSpec:
+		if e.Spec != nil {
+			v = e.Spec
+		}
+	case KindHealth:
+		if e.Health != nil {
+			v = e.Health
+		}
+	}
+	if v == nil {
+		return nil, nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalBinary decodes an event encoded by MarshalBinary. The
+// receiver is fully overwritten.
+func (e *Event) UnmarshalBinary(data []byte) error {
+	d := codecReader{buf: data}
+	ver := d.byte()
+	if d.err == nil && ver != codecVersion {
+		return fmt.Errorf("stream: unknown event codec version %d", ver)
+	}
+	kind := Kind(d.byte())
+	if d.err == nil && int(kind) >= NumKinds {
+		return fmt.Errorf("stream: unknown event kind code %d", kind)
+	}
+	*e = Event{Kind: kind}
+	e.Seq = d.uvarint()
+	e.TimeNs = d.varint()
+	sess := d.varint()
+	e.SpecGen = d.uvarint()
+	e.Dropped = d.uvarint()
+	e.Tenant = d.string()
+	e.Device = d.string()
+	payload := d.bytes()
+	if d.err != nil {
+		return fmt.Errorf("stream: decode event: %w", d.err)
+	}
+	if len(d.buf) != d.off {
+		return fmt.Errorf("stream: decode event: %d trailing bytes", len(d.buf)-d.off)
+	}
+	if sess < math.MinInt32 || sess > math.MaxInt32 {
+		return fmt.Errorf("stream: decode event: session %d out of range", sess)
+	}
+	e.Session = int(sess)
+	if len(payload) == 0 {
+		return nil
+	}
+	var into any
+	switch kind {
+	case KindAnomaly:
+		e.Anomaly = &AnomalyInfo{}
+		into = e.Anomaly
+	case KindAudit:
+		e.Audit = &AuditInfo{}
+		into = e.Audit
+	case KindSwap:
+		e.Swap = &SwapInfo{}
+		into = e.Swap
+	case KindDetach:
+		e.Detach = &SessionInfo{}
+		into = e.Detach
+	case KindSpec:
+		e.Spec = &SpecInfo{}
+		into = e.Spec
+	case KindHealth:
+		e.Health = &FleetSnapshot{}
+		into = e.Health
+	default:
+		return fmt.Errorf("stream: decode event: kind %s carries no payload, got %d bytes", kind, len(payload))
+	}
+	if err := json.Unmarshal(payload, into); err != nil {
+		return fmt.Errorf("stream: decode %s payload: %w", kind, err)
+	}
+	return nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// codecReader is a cursor over an encoded event with sticky error
+// handling, so the decode body reads linearly.
+type codecReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *codecReader) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("truncated %s at offset %d", what, d.off)
+	}
+}
+
+func (d *codecReader) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("byte")
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *codecReader) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *codecReader) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *codecReader) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail("bytes")
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
+
+func (d *codecReader) string() string { return string(d.bytes()) }

@@ -123,6 +123,24 @@ type DeviceHealth struct {
 	Coverage *GenCoverage `json:"coverage,omitempty"`
 }
 
+// JournalStatus is the durable journal's contribution to a fleet
+// snapshot: on-disk footprint, write progress, and the health of the
+// write path itself (drops, torn-tail truncations, fsync latency).
+// Defined here rather than in the journal package so the aggregator
+// does not import its own consumer; the journal fills it via
+// Health.SetJournal.
+type JournalStatus struct {
+	Dir         string  `json:"dir"`
+	Segments    int     `json:"segments"`
+	Bytes       int64   `json:"bytes"`
+	Records     uint64  `json:"records"`
+	LastSeq     uint64  `json:"last_seq,omitempty"`
+	Dropped     uint64  `json:"dropped"`
+	Truncations uint64  `json:"truncations"`
+	Fsyncs      uint64  `json:"fsyncs"`
+	FsyncP99Us  float64 `json:"fsync_p99_us"`
+}
+
 // FleetSnapshot is the health aggregator's periodic fold: per-device
 // rollups with derived rates and quantiles, hub traffic, and the build
 // identity of the producing binary.
@@ -138,6 +156,9 @@ type FleetSnapshot struct {
 	Sessions int `json:"sessions"`
 	// Degraded is set when any device trips the overhead watchdog.
 	Degraded bool `json:"degraded"`
+	// Journal reports the durable journal's state when one is attached
+	// (Health.SetJournal); nil when the daemon runs without persistence.
+	Journal *JournalStatus `json:"journal,omitempty"`
 }
 
 // Device returns the row for the named device (nil if absent).
@@ -176,6 +197,20 @@ type engineSource struct {
 	src func() EngineStatus
 }
 
+// BaselineRow is history folded back into the live fleet view: counts a
+// device had accumulated before the current process started, rebuilt
+// from the journal on boot. Snapshot adds baselines into the matching
+// (tenant, device) rows so /fleet does not reset to zero on restart.
+type BaselineRow struct {
+	Tenant     string
+	Device     string
+	Rounds     uint64
+	Blocked    uint64
+	Warned     uint64
+	Swaps      uint64
+	Generation uint64
+}
+
 // Health periodically folds the metrics registry and registered engine
 // sources into FleetSnapshots, publishing each as a KindHealth event.
 type Health struct {
@@ -186,6 +221,8 @@ type Health struct {
 	mu        sync.Mutex
 	engines   []engineSource
 	engineSeq uint64
+	baselines []BaselineRow
+	journal   func() JournalStatus
 	prev      map[string]devWindow
 	start     time.Time
 
@@ -243,6 +280,23 @@ func (h *Health) AddEngine(src func() EngineStatus) (remove func()) {
 	}
 }
 
+// AddBaseline registers pre-restart history rows (rebuilt from the
+// journal) to fold into every future Snapshot. Appends to any rows
+// already registered.
+func (h *Health) AddBaseline(rows []BaselineRow) {
+	h.mu.Lock()
+	h.baselines = append(h.baselines, rows...)
+	h.mu.Unlock()
+}
+
+// SetJournal attaches the durable journal's status source; every
+// Snapshot carries its result. A nil src detaches.
+func (h *Health) SetJournal(src func() JournalStatus) {
+	h.mu.Lock()
+	h.journal = src
+	h.mu.Unlock()
+}
+
 // Snapshot folds the current state into a FleetSnapshot. Safe to call
 // from any goroutine while sessions run.
 func (h *Health) Snapshot() *FleetSnapshot {
@@ -251,6 +305,8 @@ func (h *Health) Snapshot() *FleetSnapshot {
 
 	h.mu.Lock()
 	srcs := append([]engineSource(nil), h.engines...)
+	baselines := h.baselines
+	journal := h.journal
 	h.mu.Unlock()
 	// Poll engines outside the aggregator lock: a source takes its own
 	// engine's shard locks.
@@ -319,6 +375,34 @@ func (h *Health) Snapshot() *FleetSnapshot {
 			d.Anomalies += es.Blocked + es.Warnings
 			d.Swaps += es.Swaps
 		}
+	}
+
+	// Fold pre-restart baselines in before the rate window: the baseline
+	// contribution is constant across snapshots, so deltas (and therefore
+	// rounds/sec and the watchdog) are unaffected by it.
+	for _, b := range baselines {
+		key := b.Device
+		if b.Tenant != "" {
+			key = b.Tenant + "/" + b.Device
+		}
+		d := byDev[key]
+		if d == nil {
+			d = &DeviceHealth{Device: b.Device, Tenant: b.Tenant}
+			byDev[key] = d
+		}
+		d.Rounds += b.Rounds
+		d.Blocked += b.Blocked
+		d.Warned += b.Warned
+		d.Anomalies += b.Blocked + b.Warned
+		d.Swaps += b.Swaps
+		if b.Generation > d.Generation {
+			d.Generation = b.Generation
+		}
+	}
+
+	if journal != nil {
+		st := journal()
+		out.Journal = &st
 	}
 
 	h.mu.Lock()

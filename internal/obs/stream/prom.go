@@ -207,6 +207,25 @@ func WriteExposition(w io.Writer, fleet *FleetSnapshot, snap obs.Snapshot) error
 	p.family("sedspec_stream_subscribers", "Live hub subscribers.", "gauge")
 	p.sample("sedspec_stream_subscribers", nil, float64(fleet.Stream.Subscribers))
 
+	if j := fleet.Journal; j != nil {
+		p.family("sedspec_journal_segments", "On-disk journal segment files.", "gauge")
+		p.sample("sedspec_journal_segments", nil, float64(j.Segments))
+		p.family("sedspec_journal_bytes", "Total journal bytes on disk.", "gauge")
+		p.sample("sedspec_journal_bytes", nil, float64(j.Bytes))
+		p.family("sedspec_journal_records_total", "Records retained in the journal.", "counter")
+		p.sample("sedspec_journal_records_total", nil, float64(j.Records))
+		p.family("sedspec_journal_dropped_total", "Events shed by the journal's hub subscription before reaching disk.", "counter")
+		p.sample("sedspec_journal_dropped_total", nil, float64(j.Dropped))
+		p.family("sedspec_journal_truncations_total", "Torn-tail truncations repaired at journal open.", "counter")
+		p.sample("sedspec_journal_truncations_total", nil, float64(j.Truncations))
+		p.family("sedspec_journal_fsyncs_total", "Journal fsync calls.", "counter")
+		p.sample("sedspec_journal_fsyncs_total", nil, float64(j.Fsyncs))
+		p.family("sedspec_journal_fsync_p99_microseconds", "p99 journal fsync latency, interpolated from log2 buckets.", "gauge")
+		p.sample("sedspec_journal_fsync_p99_microseconds", nil, j.FsyncP99Us)
+		p.family("sedspec_journal_last_seq", "Highest hub sequence number persisted.", "gauge")
+		p.sample("sedspec_journal_last_seq", nil, float64(j.LastSeq))
+	}
+
 	if p.err != nil {
 		return p.err
 	}

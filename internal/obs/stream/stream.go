@@ -269,9 +269,9 @@ func (e *Event) String() string {
 	return sb.String()
 }
 
-// recentCap bounds the hub's recent-events ring, which backs bounded
-// (non-follow) /anomalies reads.
-const recentCap = 256
+// RecentCap bounds the hub's recent-events ring, which backs bounded
+// (non-follow) /anomalies reads and the journal's restart replay.
+const RecentCap = 256
 
 // DefaultSubBuffer is a subscriber ring's capacity unless WithBuffer
 // overrides it.
@@ -287,7 +287,14 @@ type Hub struct {
 	seq       uint64
 	published [NumKinds]uint64
 	dropped   [NumKinds]uint64
-	recent    [recentCap]Event
+	// recent is an insertion-order ring of the last RecentCap events:
+	// rpos is the next write slot, rcount the live entry count. The ring
+	// is decoupled from seq so restored history (journal replay after a
+	// restart, where persisted kinds may be a filtered subsequence) reads
+	// back exactly as stored.
+	recent [RecentCap]Event
+	rpos   int
+	rcount int
 }
 
 // NewHub returns an empty hub.
@@ -316,7 +323,7 @@ func (h *Hub) Publish(ev Event) uint64 {
 	h.seq++
 	ev.Seq = h.seq
 	h.published[ev.Kind%NumKinds]++
-	h.recent[(h.seq-1)%recentCap] = ev
+	h.retain(ev)
 	for _, s := range h.subs {
 		if !s.mask.Has(ev.Kind) {
 			continue
@@ -327,6 +334,39 @@ func (h *Hub) Publish(ev Event) uint64 {
 	}
 	h.mu.Unlock()
 	return ev.Seq
+}
+
+// retain stores ev into the recent ring; called with the hub lock held.
+func (h *Hub) retain(ev Event) {
+	h.recent[h.rpos] = ev
+	h.rpos = (h.rpos + 1) % RecentCap
+	if h.rcount < RecentCap {
+		h.rcount++
+	}
+}
+
+// Restore seeds the hub with persisted history after a restart: the
+// events enter the recent ring in order and the sequence counter
+// resumes past the highest restored seq, so post-restart publications
+// extend the pre-restart total order instead of re-issuing already
+// journaled sequence numbers (a `watch` client's dedup cursor keeps
+// working across the restart). Events whose seq is not beyond the
+// hub's current counter are skipped — Restore only moves time forward.
+// Call before any subscriber attaches; restored events are not fanned
+// out (they are history, not news).
+func (h *Hub) Restore(events []Event) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, ev := range events {
+		if ev.Seq <= h.seq {
+			continue
+		}
+		h.seq = ev.Seq
+		h.retain(ev)
+	}
 }
 
 // Published returns how many events of kind k the hub has accepted.
@@ -348,13 +388,10 @@ func (h *Hub) Seq() uint64 {
 func (h *Hub) Recent(mask KindMask, limit int) []Event {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	n := h.seq
-	if n > recentCap {
-		n = recentCap
-	}
-	out := make([]Event, 0, n)
-	for i := uint64(0); i < n; i++ {
-		ev := h.recent[(h.seq-n+i)%recentCap]
+	out := make([]Event, 0, h.rcount)
+	start := (h.rpos - h.rcount + RecentCap) % RecentCap
+	for i := 0; i < h.rcount; i++ {
+		ev := h.recent[(start+i)%RecentCap]
 		if mask.Has(ev.Kind) {
 			out = append(out, ev)
 		}
@@ -436,6 +473,7 @@ func (h *Hub) Subscribe(opts ...SubOption) *Sub {
 		s.buf = make([]Event, DefaultSubBuffer)
 	}
 	h.mu.Lock()
+	s.joinPub = h.published
 	h.subs = append(h.subs, s)
 	h.mu.Unlock()
 	return s
@@ -447,11 +485,21 @@ type Sub struct {
 	hub  *Hub
 	mask KindMask
 
+	// joinPub and leavePub snapshot the hub's per-kind published
+	// counters at Subscribe and Close, taken under the hub lock that
+	// also serializes every publish — so the difference is exactly the
+	// set of events the hub offered this subscriber while attached.
+	joinPub  [NumKinds]uint64
+	leavePub [NumKinds]uint64
+	left     bool
+
 	mu          sync.Mutex
 	buf         []Event
 	head, count int
 	enqueued    uint64
 	dropped     uint64
+	enqByKind   [NumKinds]uint64
+	dropByKind  [NumKinds]uint64
 	closed      bool
 
 	notify chan struct{}
@@ -464,6 +512,7 @@ func (s *Sub) push(ev Event) bool {
 	if s.closed || s.count == len(s.buf) {
 		if !s.closed {
 			s.dropped++
+			s.dropByKind[ev.Kind%NumKinds]++
 		}
 		s.mu.Unlock()
 		return s.closed // a closed sub neither accepts nor counts drops
@@ -471,12 +520,46 @@ func (s *Sub) push(ev Event) bool {
 	s.buf[(s.head+s.count)%len(s.buf)] = ev
 	s.count++
 	s.enqueued++
+	s.enqByKind[ev.Kind%NumKinds]++
 	s.mu.Unlock()
 	select {
 	case s.notify <- struct{}{}:
 	default:
 	}
 	return true
+}
+
+// Accounting returns, per kind, how many events the hub published
+// during this subscription's attachment window (Subscribe to Close, or
+// to now while still attached) alongside how many of those this
+// subscriber enqueued and dropped. The delivery invariant holds exactly
+// for every kind the subscription's mask selects:
+//
+//	published[k] == enqueued[k] + dropped[k]
+//
+// because the window edges and every publish serialize on the hub lock
+// — there is no moment where an event is in the window but was offered
+// to a half-attached subscriber.
+func (s *Sub) Accounting() (published, enqueued, dropped [NumKinds]uint64) {
+	h := s.hub
+	var upper [NumKinds]uint64
+	if h != nil {
+		h.mu.Lock()
+		if s.left {
+			upper = s.leavePub
+		} else {
+			upper = h.published
+		}
+		h.mu.Unlock()
+	}
+	s.mu.Lock()
+	enqueued = s.enqByKind
+	dropped = s.dropByKind
+	s.mu.Unlock()
+	for k := 0; k < NumKinds; k++ {
+		published[k] = upper[k] - s.joinPub[k]
+	}
+	return published, enqueued, dropped
 }
 
 // TryRecv pops the oldest buffered event without blocking.
@@ -543,6 +626,10 @@ func (s *Sub) Close() {
 				h.subs = append(h.subs[:i], h.subs[i+1:]...)
 				break
 			}
+		}
+		if !s.left {
+			s.left = true
+			s.leavePub = h.published
 		}
 		h.mu.Unlock()
 	}

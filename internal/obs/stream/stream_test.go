@@ -144,11 +144,11 @@ func TestDropAccounting(t *testing.T) {
 	}
 }
 
-// TestRecent: the hub retains the last recentCap events for bounded
+// TestRecent: the hub retains the last RecentCap events for bounded
 // reads, oldest first, honoring mask and limit.
 func TestRecent(t *testing.T) {
 	h := NewHub()
-	const n = recentCap + 50
+	const n = RecentCap + 50
 	for i := 0; i < n; i++ {
 		k := KindAudit
 		if i%2 == 0 {
@@ -157,12 +157,12 @@ func TestRecent(t *testing.T) {
 		h.Publish(Event{Kind: k, Session: i})
 	}
 	all := h.Recent(MaskAll, 0)
-	if len(all) != recentCap {
-		t.Fatalf("retained %d, want %d", len(all), recentCap)
+	if len(all) != RecentCap {
+		t.Fatalf("retained %d, want %d", len(all), RecentCap)
 	}
-	if all[0].Session != n-recentCap || all[len(all)-1].Session != n-1 {
+	if all[0].Session != n-RecentCap || all[len(all)-1].Session != n-1 {
 		t.Errorf("retained window [%d, %d], want [%d, %d]",
-			all[0].Session, all[len(all)-1].Session, n-recentCap, n-1)
+			all[0].Session, all[len(all)-1].Session, n-RecentCap, n-1)
 	}
 	for i := 1; i < len(all); i++ {
 		if all[i].Seq != all[i-1].Seq+1 {

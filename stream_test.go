@@ -5,7 +5,9 @@ package sedspec_test
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"sedspec"
 	"sedspec/internal/bench"
@@ -15,6 +17,7 @@ import (
 	"sedspec/internal/interp"
 	"sedspec/internal/machine"
 	"sedspec/internal/obs"
+	"sedspec/internal/obs/journal"
 	"sedspec/internal/obs/stream"
 )
 
@@ -125,9 +128,12 @@ func TestStreamDeliverySemantics(t *testing.T) {
 }
 
 // TestStreamOverheadGuard pins the hub's price on the sealed check
-// path: a checker with a hub attached (and zero subscribers) must stay
+// path: a checker with a hub attached (and zero anomalies) must stay
 // within 1% of one with streaming disabled, and must not allocate.
-// Clean rounds never touch the hub at all, so the budget is tight.
+// The hub additionally carries an attached durable journal — the
+// strongest form of the contract: clean rounds never publish, so even
+// with persistence enabled the sealed path never reaches the journal
+// writer and its cost stays zero.
 func TestStreamOverheadGuard(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing-sensitive; skipped with -short")
@@ -140,7 +146,14 @@ func TestStreamOverheadGuard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	on := r.NewChecker(checker.WithObs(obs.NewRegistry()), sedspec.WithStream(stream.NewHub()))
+	hub := stream.NewHub()
+	jrnl, err := journal.Open(journal.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jrnl.Attach(hub)
+	defer jrnl.Close()
+	on := r.NewChecker(checker.WithObs(obs.NewRegistry()), sedspec.WithStream(hub))
 	off := r.NewChecker(checker.WithObs(obs.NewRegistry()), sedspec.WithStream(nil))
 
 	const chunk = 50_000
@@ -154,6 +167,19 @@ func TestStreamOverheadGuard(t *testing.T) {
 	}
 	warm(on)
 	warm(off)
+	// Lifecycle events (the checker's attach) drain into the journal
+	// asynchronously; wait for the writer to catch up with everything
+	// the hub has published, then require the timed clean rounds below
+	// to add nothing.
+	catchup := time.Now().Add(5 * time.Second)
+	for jrnl.Stats().Appended < hub.Stats().TotalPublished {
+		if time.Now().After(catchup) {
+			t.Fatalf("journal writer never caught up: %d appended, %d published",
+				jrnl.Stats().Appended, hub.Stats().TotalPublished)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	baseAppended := jrnl.Stats().Appended
 	minAllocs := uint64(^uint64(0))
 	timeOf := func(chk *checker.Checker) float64 {
 		t.Helper()
@@ -191,4 +217,104 @@ func TestStreamOverheadGuard(t *testing.T) {
 	if ratio > 1.04 {
 		t.Errorf("attached hub costs %.1f%% on the sealed path, want <= 1%% (+slack)", 100*(ratio-1))
 	}
+	// The clean rounds published nothing, so the journal saw nothing new:
+	// persistence must be invisible to a healthy fleet.
+	if st := jrnl.Stats(); st.Appended != baseAppended {
+		t.Errorf("clean replay appended %d journal records, want 0", st.Appended-baseAppended)
+	}
+}
+
+// TestStreamSubscriberChurn hammers the hub's attach/detach edges: four
+// protected sessions publish continuously while short-lived subscribers
+// join and leave mid-stream. For every subscriber — however brief its
+// window — the per-kind books must balance exactly:
+//
+//	published-in-window[k] == enqueued[k] + dropped[k]
+//
+// because Subscribe, Close, and every Publish serialize on the hub
+// lock. Run under -race this also proves the churn path is data-race
+// free.
+func TestStreamSubscriberChurn(t *testing.T) {
+	_, latt := setup(t, testdev.Options{})
+	spec := learn(t, latt).Spec
+
+	hub := stream.NewHub()
+	sh := sedspec.NewSharedChecker(spec,
+		checker.WithObs(obs.NewRegistry()),
+		checker.WithMode(checker.ModeEnhancement),
+		sedspec.WithStream(hub))
+
+	const n = 4
+	p := machine.NewPool(n, lifecycleBuild)
+	chks := make([]*checker.Checker, n)
+	for i, s := range p.Sessions() {
+		chks[i] = sedspec.ProtectShared(s.Attached(), sh, checker.WithHalt(func() {}))
+	}
+
+	// Churners: subscribe with tiny buffers (forcing drops), drain a
+	// little, close, check the invariant, repeat — all while the hammer
+	// publishes from four goroutines.
+	stopChurn := make(chan struct{})
+	var churnWG sync.WaitGroup
+	var windows, eventsSeen uint64
+	var badWindows int32
+	for c := 0; c < 3; c++ {
+		churnWG.Add(1)
+		go func(id int) {
+			defer churnWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopChurn:
+					return
+				default:
+				}
+				sub := hub.Subscribe(stream.WithBuffer(2 + id))
+				for k := 0; k < 8; k++ {
+					if _, ok := sub.TryRecv(); ok {
+						atomic.AddUint64(&eventsSeen, 1)
+					}
+				}
+				sub.Close()
+				pub, enq, drop := sub.Accounting()
+				for k := 0; k < stream.NumKinds; k++ {
+					if pub[k] != enq[k]+drop[k] {
+						atomic.AddInt32(&badWindows, 1)
+						t.Errorf("churner %d window %d kind %s: published %d != enqueued %d + dropped %d",
+							id, i, stream.Kind(k), pub[k], enq[k], drop[k])
+						return
+					}
+				}
+				atomic.AddUint64(&windows, 1)
+			}
+		}(c)
+	}
+
+	if err := p.Run(func(s *machine.Session) error {
+		fuzzer.Hammer(s.Attached(), interp.SpacePIO, testdev.PortCmd, testdev.PortCount,
+			uint64(1+s.ID()), 2000)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	close(stopChurn)
+	churnWG.Wait()
+	for _, c := range chks {
+		c.Close()
+	}
+
+	if atomic.LoadInt32(&badWindows) != 0 {
+		t.Fatalf("%d subscriber windows failed the accounting invariant", badWindows)
+	}
+	if windows == 0 {
+		t.Fatal("no churn windows completed while sessions hammered")
+	}
+	// A subscriber that outlives the workload must balance against the
+	// hub's full totals too.
+	late := hub.Subscribe(stream.WithBuffer(1))
+	late.Close()
+	if pub, enq, drop := late.Accounting(); pub != enq || pub != drop || pub != [stream.NumKinds]uint64{} {
+		t.Errorf("idle-window subscriber books not empty: %v %v %v", pub, enq, drop)
+	}
+	t.Logf("churn: %d subscriber windows balanced (%d events observed) against %d published",
+		windows, eventsSeen, hub.Stats().TotalPublished)
 }
